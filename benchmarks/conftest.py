@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(Figure 3, Figure 4, the Section 6 overhead percentages, plus two ablations).
+The node-count sweep defaults to a subset of the paper's 10..100 so that
+``pytest benchmarks/ --benchmark-only`` finishes in minutes; set
+
+    REPRO_BENCH_SIZES=10,20,30,40,50,60,70,80,90,100
+
+to run the full sweep the paper uses.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+import pytest
+
+from repro.harness.experiments import sweep
+
+#: Node counts benchmarked by default (subset of the paper's sweep).
+DEFAULT_BENCH_SIZES: Tuple[int, ...] = (10, 20, 30)
+
+
+def bench_sizes() -> Tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_SIZES")
+    if not raw:
+        return DEFAULT_BENCH_SIZES
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+@pytest.fixture(scope="session")
+def evaluation_sweep():
+    """One full sweep shared by the figure/overhead benchmarks' reporting."""
+    return sweep(node_counts=bench_sizes(), seeds=(0,))

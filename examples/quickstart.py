@@ -1,0 +1,75 @@
+"""Quickstart: run a secure, provenance-aware declarative network.
+
+This example walks through the whole pipeline on a small network:
+
+1. parse the Best-Path NDlog query and localize it for distributed execution;
+2. build a random topology (the paper's workload: average out-degree 3);
+3. run it in the SeNDlogProv configuration — every exchanged tuple is signed
+   by its asserting principal and carries condensed provenance;
+4. inspect the computed best paths and the provenance of one of them.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.engine.node_engine import EngineConfig, ProvenanceMode
+from repro.net.simulator import Simulator
+from repro.net.topology import random_topology
+from repro.provenance.quantify import count_derivations, trust_level, vote_principals
+from repro.queries.best_path import BEST_PATH_NDLOG, compile_best_path
+from repro.security.says import SaysMode
+
+
+def main() -> None:
+    print("The Best-Path query (Section 6 of the paper):")
+    print(BEST_PATH_NDLOG)
+
+    # 1. Compile: parse -> localization rewrite -> delta-join plans.
+    compiled = compile_best_path()
+    print(f"compiled {len(compiled.plans)} rule plans")
+
+    # 2. The evaluation workload: N nodes, average out-degree three.
+    topology = random_topology(node_count=12, average_outdegree=3.0, seed=42)
+    print(
+        f"topology: {topology.node_count} nodes, {topology.link_count} links, "
+        f"average out-degree {topology.average_outdegree():.1f}"
+    )
+
+    # 3. SeNDlogProv: authenticated communication plus condensed provenance.
+    config = EngineConfig(
+        says_mode=SaysMode.SIGNED,
+        provenance_mode=ProvenanceMode.CONDENSED,
+        keep_offline_provenance=True,
+    )
+    simulator = Simulator(topology, compiled, config)
+    result = simulator.run()
+
+    stats = result.stats
+    print(
+        f"\ndistributed fixpoint reached at t={stats.completion_time:.2f}s "
+        f"(simulated); {stats.total_messages} messages, "
+        f"{stats.total_bandwidth_mb():.3f} MB total bandwidth"
+    )
+
+    # 4. Inspect results and provenance at one node.
+    source = topology.nodes[0]
+    engine = result.engines[source]
+    best_paths = engine.facts("bestPath")
+    print(f"\nnode {source} computed {len(best_paths)} best paths; a few of them:")
+    for fact in sorted(best_paths, key=lambda f: f.values)[:5]:
+        annotation = engine.provenance_of(fact)
+        print(f"  {fact}")
+        print(f"    condensed provenance : {annotation}")
+        print(f"    supporting principals: {sorted(annotation.sources())}")
+        print(
+            f"    derivations={count_derivations(annotation)} "
+            f"votes={vote_principals(annotation)} "
+            f"trust(level 1 everywhere)={trust_level(annotation, {}, default_level=1)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

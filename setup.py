@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The environment ships an older setuptools without the ``bdist_wheel``
+command, so editable installs fall back to the legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

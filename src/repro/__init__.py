@@ -1,0 +1,42 @@
+"""Provenance-aware Secure Networks — reproduction of Zhou, Cronin & Loo (ICDE 2008).
+
+The package is organised as the paper is:
+
+* :mod:`repro.datalog` — the NDlog / SeNDlog declarative networking language
+  (parser, localization rewrite, analysis, compilation);
+* :mod:`repro.engine` — the per-node evaluation engine (soft-state tables,
+  semi-naive delta evaluation, aggregates);
+* :mod:`repro.net` — the simulated distributed substrate (topologies,
+  messages, discrete-event simulator, metrics);
+* :mod:`repro.security` — principals, RSA signatures and the ``says``
+  operator's authentication modes;
+* :mod:`repro.provenance` — the paper's core contribution: semiring
+  provenance, BDD-condensed annotations, derivation graphs, local /
+  distributed / online / offline / authenticated / quantifiable provenance;
+* :mod:`repro.queries` — the NDlog programs used in the paper (reachability,
+  Best-Path, path-vector, monitoring);
+* :mod:`repro.usecases` — diagnostics, forensics, accountability and trust
+  management built on provenance;
+* :mod:`repro.harness` — the experiment harness regenerating Figures 3 and 4
+  and the overhead tables of Section 6.
+
+Quickstart::
+
+    from repro.harness import run_configuration
+
+    row = run_configuration("SeNDLogProv", node_count=10)
+    print(row.completion_time_s, row.bandwidth_mb)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "datalog",
+    "engine",
+    "harness",
+    "net",
+    "provenance",
+    "queries",
+    "security",
+    "usecases",
+]

@@ -1,0 +1,235 @@
+"""Static analysis of NDlog / SeNDlog programs.
+
+Provides the predicate dependency graph, recursion and stratification
+analysis, and rule safety checks.  These mirror the checks a Datalog compiler
+performs before producing an execution plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.datalog.ast import (
+    Aggregate,
+    Assignment,
+    Atom,
+    Comparison,
+    Program,
+    Rule,
+    SaysAtom,
+    term_variables,
+)
+from repro.datalog.errors import SafetyError
+
+
+@dataclass
+class DependencyGraph:
+    """Predicate-level dependency graph of a program.
+
+    ``edges[p]`` is the set of predicates that ``p`` depends on (appears in
+    the body of some rule deriving ``p``); ``negative_edges`` is the subset of
+    those dependencies that occur under negation.
+    """
+
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    negative_edges: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def add_dependency(self, head: str, body: str, negated: bool = False) -> None:
+        self.edges.setdefault(head, set()).add(body)
+        self.edges.setdefault(body, set())
+        if negated:
+            self.negative_edges.setdefault(head, set()).add(body)
+
+    def predicates(self) -> Tuple[str, ...]:
+        return tuple(self.edges)
+
+    def depends_on(self, predicate: str) -> FrozenSet[str]:
+        return frozenset(self.edges.get(predicate, set()))
+
+    def is_recursive(self, predicate: str) -> bool:
+        """True when *predicate* transitively depends on itself."""
+        return predicate in self.reachable_from(predicate)
+
+    def reachable_from(self, predicate: str) -> FrozenSet[str]:
+        """All predicates transitively reachable from *predicate*'s body."""
+        seen: Set[str] = set()
+        stack = list(self.edges.get(predicate, set()))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.edges.get(current, set()))
+        return frozenset(seen)
+
+    def strongly_connected_components(self) -> List[FrozenSet[str]]:
+        """Tarjan's algorithm; components are returned in reverse topological order."""
+        index_counter = [0]
+        stack: List[str] = []
+        lowlink: Dict[str, int] = {}
+        index: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        components: List[FrozenSet[str]] = []
+
+        def strongconnect(node: str) -> None:
+            index[node] = index_counter[0]
+            lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for successor in self.edges.get(node, set()):
+                if successor not in index:
+                    strongconnect(successor)
+                    lowlink[node] = min(lowlink[node], lowlink[successor])
+                elif successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if lowlink[node] == index[node]:
+                component: Set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+
+        for node in self.edges:
+            if node not in index:
+                strongconnect(node)
+        return components
+
+
+@dataclass(frozen=True)
+class ProgramAnalysis:
+    """Result of :func:`analyze_program`."""
+
+    dependency_graph: DependencyGraph
+    strata: Tuple[Tuple[str, ...], ...]
+    recursive_predicates: FrozenSet[str]
+    base_predicates: FrozenSet[str]
+    derived_predicates: FrozenSet[str]
+
+    def stratum_of(self, predicate: str) -> int:
+        for level, stratum in enumerate(self.strata):
+            if predicate in stratum:
+                return level
+        return 0
+
+
+def build_dependency_graph(program: Program) -> DependencyGraph:
+    """Construct the predicate dependency graph of *program*."""
+    graph = DependencyGraph()
+    for rule in program.rules:
+        graph.edges.setdefault(rule.head.name, set())
+        for literal in rule.body:
+            if isinstance(literal, Atom):
+                graph.add_dependency(rule.head.name, literal.name, literal.negated)
+            elif isinstance(literal, SaysAtom):
+                graph.add_dependency(rule.head.name, literal.atom.name, False)
+    return graph
+
+
+def stratify(program: Program) -> Tuple[Tuple[str, ...], ...]:
+    """Compute a stratification of *program*'s predicates.
+
+    Raises :class:`SafetyError` when a predicate depends on its own negation
+    (the program is then not stratifiable).
+    """
+    graph = build_dependency_graph(program)
+    strata: Dict[str, int] = {name: 0 for name in graph.predicates()}
+
+    changed = True
+    iterations = 0
+    limit = len(strata) * len(strata) + 10
+    while changed:
+        changed = False
+        iterations += 1
+        if iterations > limit:
+            raise SafetyError("program is not stratifiable (negative cycle)")
+        for head, bodies in graph.edges.items():
+            for body in bodies:
+                negated = body in graph.negative_edges.get(head, set())
+                required = strata[body] + 1 if negated else strata[body]
+                if strata[head] < required:
+                    strata[head] = required
+                    changed = True
+
+    if not strata:
+        return ()
+    max_level = max(strata.values())
+    grouped: List[List[str]] = [[] for _ in range(max_level + 1)]
+    for name in sorted(strata):
+        grouped[strata[name]].append(name)
+    return tuple(tuple(level) for level in grouped if level)
+
+
+def check_safety(rule: Rule) -> None:
+    """Check the standard Datalog safety conditions for *rule*.
+
+    * every head variable must be bound by a positive body atom or an
+      assignment;
+    * every variable of a negated atom or comparison must be bound positively;
+    * assignment targets must not be bound before the assignment.
+    """
+    bound: Set[str] = set()
+    for literal in rule.body:
+        if isinstance(literal, (Atom, SaysAtom)):
+            atom = literal.atom if isinstance(literal, SaysAtom) else literal
+            if not atom.negated:
+                for variable in literal.variables():
+                    bound.add(variable.name)
+        elif isinstance(literal, Assignment):
+            bound.add(literal.target.name)
+
+    for literal in rule.body:
+        if isinstance(literal, Atom) and literal.negated:
+            for variable in literal.variables():
+                if variable.name not in bound:
+                    raise SafetyError(
+                        f"rule {rule.label}: variable {variable.name} of negated "
+                        f"atom {literal.name} is not bound positively"
+                    )
+        elif isinstance(literal, Comparison):
+            for variable in literal.variables():
+                if variable.name not in bound:
+                    raise SafetyError(
+                        f"rule {rule.label}: comparison variable {variable.name} "
+                        "is not bound by the body"
+                    )
+
+    for term in rule.head.terms:
+        for variable in term_variables(term):
+            if variable.name not in bound:
+                raise SafetyError(
+                    f"rule {rule.label}: head variable {variable.name} "
+                    "is not bound by the body"
+                )
+    if rule.head.ship_to is not None:
+        for variable in term_variables(rule.head.ship_to):
+            if variable.name not in bound and (
+                rule.context is None or str(rule.context) != variable.name
+            ):
+                raise SafetyError(
+                    f"rule {rule.label}: ship-to variable {variable.name} "
+                    "is not bound by the body"
+                )
+
+
+def analyze_program(program: Program) -> ProgramAnalysis:
+    """Run safety checks and structural analysis over *program*."""
+    for rule in program.rules:
+        if not rule.is_fact():
+            check_safety(rule)
+    graph = build_dependency_graph(program)
+    strata = stratify(program)
+    recursive = frozenset(
+        name for name in graph.predicates() if graph.is_recursive(name)
+    )
+    return ProgramAnalysis(
+        dependency_graph=graph,
+        strata=strata,
+        recursive_predicates=recursive,
+        base_predicates=frozenset(program.base_predicates()),
+        derived_predicates=frozenset(program.derived_predicates()),
+    )

@@ -1,0 +1,354 @@
+"""Abstract syntax tree for NDlog and SeNDlog programs.
+
+The grammar follows Section 2 of the paper:
+
+* an NDlog *program* is a list of *rules*;
+* a rule is ``label head :- body_literal, ..., body_literal.``;
+* literals are predicates (atoms) with terms, boolean expressions over
+  function symbols, or assignments;
+* each predicate may carry a *location specifier*: the attribute marked with
+  ``@`` denotes where tuples of that predicate live;
+* SeNDlog adds ``At P:`` context blocks, the ``says`` operator on body atoms,
+  and ``@Loc`` shipping annotations on rule heads.
+
+The AST is deliberately immutable (frozen dataclasses) so that rewrites build
+new nodes instead of mutating shared structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Variable:
+    """A Datalog variable.  Variable names begin with an uppercase letter."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant term: string, int, or float literal."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A call to a built-in function symbol, e.g. ``f_concat(P, D)``."""
+
+    name: str
+    args: Tuple["Term", ...]
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({rendered})"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate term appearing in a rule head, e.g. ``min<C>``.
+
+    Aggregates implement the paper's Best-Path query, which selects the
+    minimum-cost path for each group of non-aggregate head attributes.
+    """
+
+    function: str
+    variable: Variable
+
+    def __str__(self) -> str:
+        return f"{self.function}<{self.variable}>"
+
+
+Term = Union[Variable, Constant, FunctionCall, Aggregate]
+
+
+def term_variables(term: Term) -> Iterator[Variable]:
+    """Yield every variable appearing in *term* (depth first)."""
+    if isinstance(term, Variable):
+        yield term
+    elif isinstance(term, Aggregate):
+        yield term.variable
+    elif isinstance(term, FunctionCall):
+        for arg in term.args:
+            yield from term_variables(arg)
+
+
+# ---------------------------------------------------------------------------
+# Literals
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Atom:
+    """A predicate literal, e.g. ``link(@S, D)`` or ``reachable(S, D)@D``.
+
+    Attributes
+    ----------
+    name:
+        Predicate (relation) name.
+    terms:
+        The argument terms, in order.
+    location_index:
+        Index of the attribute carrying the ``@`` location specifier, or
+        ``None`` if the atom is written without one (SeNDlog-localised form).
+    ship_to:
+        For head atoms only: the term after a trailing ``@`` (SeNDlog's
+        "send the derived tuple to this location"), e.g. the ``@D`` in
+        ``linkD(D, S)@D``.
+    negated:
+        True for stratified negation (``!pred(...)``).
+    """
+
+    name: str
+    terms: Tuple[Term, ...]
+    location_index: Optional[int] = None
+    ship_to: Optional[Term] = None
+    negated: bool = False
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    @property
+    def location_term(self) -> Optional[Term]:
+        if self.location_index is None:
+            return None
+        return self.terms[self.location_index]
+
+    def variables(self) -> Iterator[Variable]:
+        for term in self.terms:
+            yield from term_variables(term)
+        if self.ship_to is not None:
+            yield from term_variables(self.ship_to)
+
+    def with_location(self, index: Optional[int]) -> "Atom":
+        return replace(self, location_index=index)
+
+    def __str__(self) -> str:
+        parts = []
+        for i, term in enumerate(self.terms):
+            prefix = "@" if i == self.location_index else ""
+            parts.append(f"{prefix}{term}")
+        rendered = f"{self.name}({', '.join(parts)})"
+        if self.ship_to is not None:
+            rendered += f"@{self.ship_to}"
+        if self.negated:
+            rendered = "!" + rendered
+        return rendered
+
+
+@dataclass(frozen=True)
+class SaysAtom:
+    """A SeNDlog body literal of the form ``Principal says atom``.
+
+    ``principal`` is either a :class:`Variable` bound elsewhere in the rule or
+    a :class:`Constant` naming a fixed principal.
+    """
+
+    principal: Term
+    atom: Atom
+
+    @property
+    def name(self) -> str:
+        return self.atom.name
+
+    def variables(self) -> Iterator[Variable]:
+        yield from term_variables(self.principal)
+        yield from self.atom.variables()
+
+    def __str__(self) -> str:
+        return f"{self.principal} says {self.atom}"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A boolean comparison literal, e.g. ``C < C2`` or ``N > 3``."""
+
+    operator: str
+    left: Term
+    right: Term
+
+    def variables(self) -> Iterator[Variable]:
+        yield from term_variables(self.left)
+        yield from term_variables(self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.operator} {self.right}"
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """An assignment literal, e.g. ``C := C1 + C2`` or ``P := f_concat(S, P2)``."""
+
+    target: Variable
+    expression: Term
+
+    def variables(self) -> Iterator[Variable]:
+        yield self.target
+        yield from term_variables(self.expression)
+
+    def __str__(self) -> str:
+        return f"{self.target} := {self.expression}"
+
+
+Expression = Union[Comparison, Assignment]
+Literal = Union[Atom, SaysAtom, Comparison, Assignment]
+
+
+# ---------------------------------------------------------------------------
+# Rules and programs
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Rule:
+    """A single NDlog / SeNDlog rule.
+
+    Attributes
+    ----------
+    label:
+        The rule label (``r1``, ``s2``...), used for provenance annotations:
+        each derivation records which rule produced it.
+    head:
+        The head atom.
+    body:
+        The ordered body literals.
+    context:
+        The SeNDlog principal context the rule belongs to (from ``At P:``
+        blocks), or ``None`` for plain NDlog rules.
+    """
+
+    label: str
+    head: Atom
+    body: Tuple[Literal, ...]
+    context: Optional[Term] = None
+
+    def body_atoms(self) -> Iterator[Atom]:
+        """Yield the relational atoms in the body (unwrapping ``says``)."""
+        for literal in self.body:
+            if isinstance(literal, Atom):
+                yield literal
+            elif isinstance(literal, SaysAtom):
+                yield literal.atom
+
+    def body_predicates(self) -> Tuple[str, ...]:
+        return tuple(atom.name for atom in self.body_atoms())
+
+    def variables(self) -> Iterator[Variable]:
+        yield from self.head.variables()
+        for literal in self.body:
+            yield from literal.variables()
+
+    def is_fact(self) -> bool:
+        """A rule with an empty body asserts a base fact."""
+        return not self.body
+
+    def __str__(self) -> str:
+        if self.is_fact():
+            return f"{self.label} {self.head}."
+        rendered_body = ", ".join(str(lit) for lit in self.body)
+        return f"{self.label} {self.head} :- {rendered_body}."
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed NDlog / SeNDlog program.
+
+    ``materialized`` carries the ``materialize(...)`` declarations found in
+    the source (relation name -> (lifetime seconds, size, primary-key column
+    indexes)), mirroring P2's soft-state declarations.
+    """
+
+    rules: Tuple[Rule, ...]
+    materialized: Tuple["MaterializeDecl", ...] = ()
+    dialect: str = "ndlog"
+
+    def rules_for(self, predicate: str) -> Tuple[Rule, ...]:
+        """Return the rules whose head derives *predicate*."""
+        return tuple(rule for rule in self.rules if rule.head.name == predicate)
+
+    def head_predicates(self) -> Tuple[str, ...]:
+        seen = []
+        for rule in self.rules:
+            if rule.head.name not in seen:
+                seen.append(rule.head.name)
+        return tuple(seen)
+
+    def body_predicates(self) -> Tuple[str, ...]:
+        seen = []
+        for rule in self.rules:
+            for name in rule.body_predicates():
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+    def base_predicates(self) -> Tuple[str, ...]:
+        """Predicates that appear only in rule bodies (EDB relations)."""
+        heads = set(self.head_predicates())
+        return tuple(name for name in self.body_predicates() if name not in heads)
+
+    def derived_predicates(self) -> Tuple[str, ...]:
+        """Predicates derived by at least one rule (IDB relations)."""
+        return self.head_predicates()
+
+    def contexts(self) -> Tuple[Term, ...]:
+        seen: list[Term] = []
+        for rule in self.rules:
+            if rule.context is not None and rule.context not in seen:
+                seen.append(rule.context)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        lines = [str(decl) for decl in self.materialized]
+        lines.extend(str(rule) for rule in self.rules)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class MaterializeDecl:
+    """A ``materialize(name, lifetime, size, keys(...))`` declaration.
+
+    ``lifetime`` is the soft-state time-to-live in seconds (``infinity`` maps
+    to ``None``); ``keys`` are 1-based attribute positions as in P2.
+    """
+
+    name: str
+    lifetime: Optional[float]
+    max_size: Optional[int]
+    keys: Tuple[int, ...]
+
+    def __str__(self) -> str:
+        lifetime = "infinity" if self.lifetime is None else str(self.lifetime)
+        size = "infinity" if self.max_size is None else str(self.max_size)
+        keys = ", ".join(str(k) for k in self.keys)
+        return f"materialize({self.name}, {lifetime}, {size}, keys({keys}))."
+
+
+def make_atom(name: str, *terms: object, location: Optional[int] = None) -> Atom:
+    """Convenience constructor used heavily in tests and examples.
+
+    Strings beginning with an uppercase letter become variables; everything
+    else becomes a constant.
+    """
+    converted: list[Term] = []
+    for term in terms:
+        if isinstance(term, (Variable, Constant, FunctionCall, Aggregate)):
+            converted.append(term)
+        elif isinstance(term, str) and term[:1].isupper():
+            converted.append(Variable(term))
+        else:
+            converted.append(Constant(term))
+    return Atom(name=name, terms=tuple(converted), location_index=location)

@@ -1,0 +1,45 @@
+"""Structured error hierarchy for the NDlog / SeNDlog front end.
+
+Every error raised by the language layer derives from :class:`DatalogError`,
+so callers can catch a single exception type at API boundaries while tests can
+assert on the precise failure class.
+"""
+
+from __future__ import annotations
+
+
+class DatalogError(Exception):
+    """Base class for all language-layer errors."""
+
+
+class ParseError(DatalogError):
+    """Raised when NDlog / SeNDlog source text cannot be parsed.
+
+    Carries the source line and column to make diagnostics actionable.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class SchemaError(DatalogError):
+    """Raised when a predicate is used inconsistently with its declared schema."""
+
+
+class SafetyError(DatalogError):
+    """Raised when a rule is unsafe (e.g. a head variable not bound in the body)."""
+
+
+class RewriteError(DatalogError):
+    """Raised when the localization or says rewrite cannot be applied."""
+
+
+class PlanError(DatalogError):
+    """Raised when a rule cannot be compiled into an executable plan."""
+
+
+class EvaluationError(DatalogError):
+    """Raised when rule evaluation fails at runtime (bad function call, etc.)."""

@@ -1,0 +1,160 @@
+"""Hand-written tokenizer for NDlog / SeNDlog source text.
+
+The token stream is consumed by :mod:`repro.datalog.parser`.  The lexer keeps
+line and column information so parse errors point at the offending source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.datalog.errors import ParseError
+
+# Token kinds.  Keeping them as plain strings keeps match statements readable.
+IDENT = "IDENT"          # lowercase-leading identifier (predicate, function, constant)
+VARIABLE = "VARIABLE"    # uppercase-leading identifier
+NUMBER = "NUMBER"
+STRING = "STRING"
+SYMBOL = "SYMBOL"        # punctuation and operators
+KEYWORD = "KEYWORD"      # says, at, materialize, keys, infinity
+EOF = "EOF"
+
+KEYWORDS = {"says", "at", "materialize", "keys", "infinity"}
+
+# Multi-character operators must be listed before their prefixes.
+SYMBOLS = [
+    ":=", ":-", "<=", ">=", "==", "!=",
+    "(", ")", ",", ".", "@", "<", ">", "=", "!", ":", "+", "-", "*", "/",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+class Lexer:
+    """Tokenizes NDlog / SeNDlog source text.
+
+    Comments start with ``#`` or ``//`` and run to end of line.
+    """
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    # -- public API ---------------------------------------------------------
+
+    def tokens(self) -> List[Token]:
+        """Return the full token list, ending with an EOF token."""
+        result = list(self._iter_tokens())
+        result.append(Token(EOF, "", self._line, self._column))
+        return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while self._pos < len(self._source):
+            char = self._source[self._pos]
+            if char in " \t\r":
+                self._advance(1)
+            elif char == "\n":
+                self._advance_newline()
+            elif char == "#" or self._source.startswith("//", self._pos):
+                self._skip_comment()
+            elif char == '"' or char == "'":
+                yield self._read_string(char)
+            elif char.isdigit():
+                yield self._read_number()
+            elif char.isalpha() or char == "_":
+                yield self._read_identifier()
+            else:
+                yield self._read_symbol()
+
+    def _advance(self, count: int) -> None:
+        self._pos += count
+        self._column += count
+
+    def _advance_newline(self) -> None:
+        self._pos += 1
+        self._line += 1
+        self._column = 1
+
+    def _skip_comment(self) -> None:
+        while self._pos < len(self._source) and self._source[self._pos] != "\n":
+            self._pos += 1
+
+    def _read_string(self, quote: str) -> Token:
+        line, column = self._line, self._column
+        self._advance(1)
+        start = self._pos
+        while self._pos < len(self._source) and self._source[self._pos] != quote:
+            if self._source[self._pos] == "\n":
+                raise ParseError("unterminated string literal", line, column)
+            self._advance(1)
+        if self._pos >= len(self._source):
+            raise ParseError("unterminated string literal", line, column)
+        text = self._source[start:self._pos]
+        self._advance(1)  # closing quote
+        return Token(STRING, text, line, column)
+
+    def _read_number(self) -> Token:
+        line, column = self._line, self._column
+        start = self._pos
+        seen_dot = False
+        while self._pos < len(self._source):
+            char = self._source[self._pos]
+            if char.isdigit():
+                self._advance(1)
+            elif (
+                char == "."
+                and not seen_dot
+                and self._pos + 1 < len(self._source)
+                and self._source[self._pos + 1].isdigit()
+            ):
+                seen_dot = True
+                self._advance(1)
+            else:
+                break
+        return Token(NUMBER, self._source[start:self._pos], line, column)
+
+    def _read_identifier(self) -> Token:
+        line, column = self._line, self._column
+        start = self._pos
+        while self._pos < len(self._source) and (
+            self._source[self._pos].isalnum() or self._source[self._pos] == "_"
+        ):
+            self._advance(1)
+        text = self._source[start:self._pos]
+        lowered = text.lower()
+        if lowered in KEYWORDS:
+            return Token(KEYWORD, lowered, line, column)
+        if text[0].isupper():
+            return Token(VARIABLE, text, line, column)
+        return Token(IDENT, text, line, column)
+
+    def _read_symbol(self) -> Token:
+        line, column = self._line, self._column
+        for symbol in SYMBOLS:
+            if self._source.startswith(symbol, self._pos):
+                self._advance(len(symbol))
+                return Token(SYMBOL, symbol, line, column)
+        raise ParseError(
+            f"unexpected character {self._source[self._pos]!r}", line, column
+        )
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source* and return the token list (ending with EOF)."""
+    return Lexer(source).tokens()

@@ -1,0 +1,402 @@
+"""Recursive-descent parser for NDlog and SeNDlog programs.
+
+Supported syntax (Section 2 of the paper)::
+
+    materialize(link, infinity, infinity, keys(1,2)).
+
+    r1 reachable(@S, D) :- link(@S, D).
+    r2 reachable(@S, D) :- link(@S, Z), reachable(@Z, D).
+
+    At S:
+    s1 reachable(S, D) :- link(S, D).
+    s2 linkD(D, S)@D   :- link(S, D).
+    s3 reachable(Z, Y)@Z :- Z says linkD(S, Z), W says reachable(S, Y).
+
+plus comparisons (``C < C2``), assignments (``C := C1 + C2``), function calls
+(``f_concat(S, P)``) and head aggregates (``min<C>``) which are needed for the
+Best-Path query used in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.datalog.ast import (
+    Aggregate,
+    Assignment,
+    Atom,
+    Comparison,
+    Constant,
+    FunctionCall,
+    Literal,
+    MaterializeDecl,
+    Program,
+    Rule,
+    SaysAtom,
+    Term,
+    Variable,
+)
+from repro.datalog.errors import ParseError
+from repro.datalog.lexer import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    STRING,
+    SYMBOL,
+    VARIABLE,
+    Token,
+    tokenize,
+)
+
+COMPARISON_OPERATORS = {"<", ">", "<=", ">=", "==", "!=", "="}
+ARITHMETIC_OPERATORS = {"+", "-", "*", "/"}
+AGGREGATE_FUNCTIONS = {"min", "max", "count", "sum", "avg"}
+
+
+class _Parser:
+    """Stateful recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._auto_label = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != EOF:
+            self._index += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, text):
+            expected = text if text is not None else kind
+            raise ParseError(
+                f"expected {expected!r}, found {token.text!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _at_end(self) -> bool:
+        return self._peek().kind == EOF
+
+    # -- program structure --------------------------------------------------
+
+    def parse_program(self) -> Program:
+        rules: List[Rule] = []
+        materialized: List[MaterializeDecl] = []
+        context: Optional[Term] = None
+        dialect = "ndlog"
+
+        while not self._at_end():
+            if self._check(KEYWORD, "materialize"):
+                materialized.append(self._parse_materialize())
+            elif self._check(KEYWORD, "at"):
+                context = self._parse_context_header()
+                dialect = "sendlog"
+            else:
+                rule = self._parse_rule(context)
+                rules.append(rule)
+                if rule.context is not None or any(
+                    isinstance(lit, SaysAtom) for lit in rule.body
+                ):
+                    dialect = "sendlog"
+
+        return Program(
+            rules=tuple(rules), materialized=tuple(materialized), dialect=dialect
+        )
+
+    def _parse_context_header(self) -> Term:
+        self._expect(KEYWORD, "at")
+        token = self._peek()
+        if token.kind == VARIABLE:
+            self._advance()
+            principal: Term = Variable(token.text)
+        elif token.kind in (IDENT, STRING):
+            self._advance()
+            principal = Constant(token.text)
+        else:
+            raise ParseError(
+                f"expected principal after 'At', found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        self._expect(SYMBOL, ":")
+        return principal
+
+    def _parse_materialize(self) -> MaterializeDecl:
+        self._expect(KEYWORD, "materialize")
+        self._expect(SYMBOL, "(")
+        name = self._expect(IDENT).text
+        self._expect(SYMBOL, ",")
+        lifetime = self._parse_lifetime_value()
+        self._expect(SYMBOL, ",")
+        size = self._parse_lifetime_value()
+        self._expect(SYMBOL, ",")
+        self._expect(KEYWORD, "keys")
+        self._expect(SYMBOL, "(")
+        keys: List[int] = []
+        while True:
+            keys.append(int(self._expect(NUMBER).text))
+            if self._check(SYMBOL, ","):
+                self._advance()
+            else:
+                break
+        self._expect(SYMBOL, ")")
+        self._expect(SYMBOL, ")")
+        self._expect(SYMBOL, ".")
+        max_size = None if size is None else int(size)
+        return MaterializeDecl(
+            name=name, lifetime=lifetime, max_size=max_size, keys=tuple(keys)
+        )
+
+    def _parse_lifetime_value(self) -> Optional[float]:
+        if self._check(KEYWORD, "infinity"):
+            self._advance()
+            return None
+        token = self._expect(NUMBER)
+        return float(token.text)
+
+    # -- rules ---------------------------------------------------------------
+
+    def parse_single_rule(self) -> Rule:
+        rule = self._parse_rule(context=None)
+        if not self._at_end():
+            token = self._peek()
+            raise ParseError(
+                f"unexpected trailing input {token.text!r}", token.line, token.column
+            )
+        return rule
+
+    def _parse_rule(self, context: Optional[Term]) -> Rule:
+        label = self._parse_label()
+        head = self._parse_atom(allow_aggregates=True)
+        body: Tuple[Literal, ...] = ()
+        if self._check(SYMBOL, ":-"):
+            self._advance()
+            body = tuple(self._parse_body())
+        self._expect(SYMBOL, ".")
+        return Rule(label=label, head=head, body=body, context=context)
+
+    def _parse_label(self) -> str:
+        # A label is an identifier immediately followed by another identifier
+        # that starts a head atom (e.g. "r1 reachable(...)").  Rules without a
+        # label get an auto-generated one.
+        if self._check(IDENT) and self._check(IDENT, offset=1) and self._check(
+            SYMBOL, "(", offset=2
+        ):
+            return self._advance().text
+        self._auto_label += 1
+        return f"rule{self._auto_label}"
+
+    def _parse_body(self) -> List[Literal]:
+        literals = [self._parse_literal()]
+        while self._check(SYMBOL, ","):
+            self._advance()
+            literals.append(self._parse_literal())
+        return literals
+
+    def _parse_literal(self) -> Literal:
+        # "X says atom(...)" or "alice says atom(...)"
+        if self._check(KEYWORD, "says", offset=1):
+            principal = self._parse_principal_term()
+            self._expect(KEYWORD, "says")
+            atom = self._parse_atom(allow_aggregates=False)
+            return SaysAtom(principal=principal, atom=atom)
+
+        # Negated atom.
+        if self._check(SYMBOL, "!") and self._check(IDENT, offset=1):
+            self._advance()
+            atom = self._parse_atom(allow_aggregates=False)
+            return Atom(
+                name=atom.name,
+                terms=atom.terms,
+                location_index=atom.location_index,
+                ship_to=atom.ship_to,
+                negated=True,
+            )
+
+        # Assignment: Var := expr
+        if self._check(VARIABLE) and self._check(SYMBOL, ":=", offset=1):
+            target = Variable(self._advance().text)
+            self._advance()  # :=
+            expression = self._parse_expression()
+            return Assignment(target=target, expression=expression)
+
+        # Ident followed by "(": either a relational atom or a built-in
+        # function call that starts a comparison (e.g. "f_member(P2, S) == 0").
+        if self._check(IDENT) and self._check(SYMBOL, "(", offset=1):
+            atom = self._parse_atom(allow_aggregates=False)
+            token = self._peek()
+            if token.kind == SYMBOL and token.text in COMPARISON_OPERATORS:
+                operator = self._advance().text
+                right = self._parse_expression()
+                left = FunctionCall(name=atom.name, args=atom.terms)
+                return Comparison(operator=operator, left=left, right=right)
+            return atom
+
+        # Otherwise a comparison between two expressions.
+        left = self._parse_expression()
+        token = self._peek()
+        if token.kind == SYMBOL and token.text in COMPARISON_OPERATORS:
+            operator = self._advance().text
+            right = self._parse_expression()
+            return Comparison(operator=operator, left=left, right=right)
+        raise ParseError(
+            f"expected a body literal, found {token.text!r}", token.line, token.column
+        )
+
+    def _parse_principal_term(self) -> Term:
+        token = self._peek()
+        if token.kind == VARIABLE:
+            self._advance()
+            return Variable(token.text)
+        if token.kind in (IDENT, STRING):
+            self._advance()
+            return Constant(token.text)
+        raise ParseError(
+            f"expected principal before 'says', found {token.text!r}",
+            token.line,
+            token.column,
+        )
+
+    # -- atoms and terms -----------------------------------------------------
+
+    def _parse_atom(self, allow_aggregates: bool) -> Atom:
+        name = self._expect(IDENT).text
+        self._expect(SYMBOL, "(")
+        terms: List[Term] = []
+        location_index: Optional[int] = None
+        if not self._check(SYMBOL, ")"):
+            while True:
+                has_location = False
+                if self._check(SYMBOL, "@"):
+                    self._advance()
+                    has_location = True
+                term = self._parse_term(allow_aggregates=allow_aggregates)
+                if has_location:
+                    if location_index is not None:
+                        token = self._peek()
+                        raise ParseError(
+                            "multiple location specifiers in one atom",
+                            token.line,
+                            token.column,
+                        )
+                    location_index = len(terms)
+                terms.append(term)
+                if self._check(SYMBOL, ","):
+                    self._advance()
+                else:
+                    break
+        self._expect(SYMBOL, ")")
+
+        ship_to: Optional[Term] = None
+        if self._check(SYMBOL, "@"):
+            self._advance()
+            ship_to = self._parse_term(allow_aggregates=False)
+
+        return Atom(
+            name=name,
+            terms=tuple(terms),
+            location_index=location_index,
+            ship_to=ship_to,
+        )
+
+    def _parse_term(self, allow_aggregates: bool) -> Term:
+        return self._parse_expression(allow_aggregates=allow_aggregates)
+
+    def _parse_expression(self, allow_aggregates: bool = False) -> Term:
+        """Parse an arithmetic expression with standard precedence."""
+        return self._parse_additive(allow_aggregates)
+
+    def _parse_additive(self, allow_aggregates: bool) -> Term:
+        left = self._parse_multiplicative(allow_aggregates)
+        while self._check(SYMBOL, "+") or self._check(SYMBOL, "-"):
+            operator = self._advance().text
+            right = self._parse_multiplicative(allow_aggregates)
+            left = FunctionCall(name=operator, args=(left, right))
+        return left
+
+    def _parse_multiplicative(self, allow_aggregates: bool) -> Term:
+        left = self._parse_primary(allow_aggregates)
+        while self._check(SYMBOL, "*") or self._check(SYMBOL, "/"):
+            operator = self._advance().text
+            right = self._parse_primary(allow_aggregates)
+            left = FunctionCall(name=operator, args=(left, right))
+        return left
+
+    def _parse_primary(self, allow_aggregates: bool) -> Term:
+        token = self._peek()
+
+        if token.kind == VARIABLE:
+            self._advance()
+            return Variable(token.text)
+
+        if token.kind == NUMBER:
+            self._advance()
+            text = token.text
+            return Constant(float(text) if "." in text else int(text))
+
+        if token.kind == STRING:
+            self._advance()
+            return Constant(token.text)
+
+        if token.kind == SYMBOL and token.text == "(":
+            self._advance()
+            inner = self._parse_expression(allow_aggregates)
+            self._expect(SYMBOL, ")")
+            return inner
+
+        if token.kind == IDENT:
+            # Aggregate (min<C>), function call (f_concat(...)) or constant.
+            if (
+                allow_aggregates
+                and token.text in AGGREGATE_FUNCTIONS
+                and self._check(SYMBOL, "<", offset=1)
+            ):
+                self._advance()  # function name
+                self._advance()  # <
+                variable = Variable(self._expect(VARIABLE).text)
+                self._expect(SYMBOL, ">")
+                return Aggregate(function=token.text, variable=variable)
+            if self._check(SYMBOL, "(", offset=1):
+                self._advance()
+                self._advance()  # (
+                args: List[Term] = []
+                if not self._check(SYMBOL, ")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if self._check(SYMBOL, ","):
+                            self._advance()
+                        else:
+                            break
+                self._expect(SYMBOL, ")")
+                return FunctionCall(name=token.text, args=tuple(args))
+            self._advance()
+            return Constant(token.text)
+
+        raise ParseError(
+            f"expected a term, found {token.text!r}", token.line, token.column
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse NDlog / SeNDlog *source* text into a :class:`Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule (terminated by ``.``) from *source*."""
+    return _Parser(tokenize(source)).parse_single_rule()

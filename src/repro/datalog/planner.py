@@ -1,0 +1,213 @@
+"""Compilation of localized rules into executable plans.
+
+A :class:`RulePlan` is the engine-facing representation of one rule: the
+ordered body atoms to join, the expression literals (comparisons and
+assignments) to apply, head-construction metadata (including aggregates and
+the shipping destination), and the SeNDlog principal requirements implied by
+``says`` literals.
+
+The engine evaluates plans in a delta-driven (semi-naive) fashion: whenever a
+new tuple of predicate *p* appears, every plan containing *p* in its body is
+triggered once per occurrence of *p*, with the new tuple bound to that
+occurrence and the remaining atoms joined against the stored tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datalog.ast import (
+    Aggregate,
+    Assignment,
+    Atom,
+    Comparison,
+    Program,
+    Rule,
+    SaysAtom,
+    Term,
+    Variable,
+)
+from repro.datalog.errors import PlanError
+from repro.datalog.rewrite import is_localized
+
+
+@dataclass(frozen=True)
+class BodyAtomPlan:
+    """One relational body atom of a compiled rule.
+
+    ``says_principal`` is set for SeNDlog ``P says atom`` literals: matching
+    tuples must have been asserted (signed) by a principal that unifies with
+    the term.
+    """
+
+    atom: Atom
+    says_principal: Optional[Term] = None
+
+    @property
+    def predicate(self) -> str:
+        return self.atom.name
+
+    @property
+    def negated(self) -> bool:
+        return self.atom.negated
+
+
+@dataclass(frozen=True)
+class HeadPlan:
+    """Head-construction metadata for a compiled rule.
+
+    Attributes
+    ----------
+    atom:
+        The head atom (terms may include one :class:`Aggregate`).
+    aggregate_index:
+        Position of the aggregate term in the head, or ``None``.
+    aggregate:
+        The aggregate itself, when present.
+    group_by_indexes:
+        Head positions that form the aggregate group (all non-aggregate
+        positions).
+    destination:
+        The term giving the node the derived tuple must be shipped to: the
+        head's ``@`` location specifier for NDlog, or the trailing ``@Loc``
+        ship-to annotation for SeNDlog.  ``None`` means the tuple stays local.
+    """
+
+    atom: Atom
+    aggregate_index: Optional[int]
+    aggregate: Optional[Aggregate]
+    group_by_indexes: Tuple[int, ...]
+    destination: Optional[Term]
+
+    @property
+    def predicate(self) -> str:
+        return self.atom.name
+
+    @property
+    def has_aggregate(self) -> bool:
+        return self.aggregate is not None
+
+
+@dataclass(frozen=True)
+class RulePlan:
+    """A fully compiled, localized rule ready for delta evaluation."""
+
+    rule: Rule
+    head: HeadPlan
+    body_atoms: Tuple[BodyAtomPlan, ...]
+    expressions: Tuple[object, ...]  # Comparison | Assignment, in source order
+
+    @property
+    def label(self) -> str:
+        return self.rule.label
+
+    @property
+    def context(self) -> Optional[Term]:
+        return self.rule.context
+
+    def positive_atoms(self) -> Tuple[BodyAtomPlan, ...]:
+        return tuple(b for b in self.body_atoms if not b.negated)
+
+    def negative_atoms(self) -> Tuple[BodyAtomPlan, ...]:
+        return tuple(b for b in self.body_atoms if b.negated)
+
+    def trigger_indexes(self, predicate: str) -> Tuple[int, ...]:
+        """Indexes of positive body atoms over *predicate* (delta positions)."""
+        return tuple(
+            i
+            for i, b in enumerate(self.body_atoms)
+            if b.predicate == predicate and not b.negated
+        )
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """All rule plans of a program, indexed for delta-driven evaluation."""
+
+    program: Program
+    plans: Tuple[RulePlan, ...]
+    triggers: Dict[str, Tuple[RulePlan, ...]] = field(default_factory=dict)
+
+    def plans_for_head(self, predicate: str) -> Tuple[RulePlan, ...]:
+        return tuple(p for p in self.plans if p.head.predicate == predicate)
+
+    def plans_triggered_by(self, predicate: str) -> Tuple[RulePlan, ...]:
+        return self.triggers.get(predicate, ())
+
+
+def compile_rule(rule: Rule) -> RulePlan:
+    """Compile a single localized rule into a :class:`RulePlan`."""
+    if not is_localized(rule):
+        raise PlanError(
+            f"rule {rule.label} is not localized; run the localization rewrite first"
+        )
+
+    body_atoms: List[BodyAtomPlan] = []
+    expressions: List[object] = []
+    for literal in rule.body:
+        if isinstance(literal, Atom):
+            body_atoms.append(BodyAtomPlan(atom=literal))
+        elif isinstance(literal, SaysAtom):
+            body_atoms.append(
+                BodyAtomPlan(atom=literal.atom, says_principal=literal.principal)
+            )
+        elif isinstance(literal, (Comparison, Assignment)):
+            expressions.append(literal)
+        else:  # pragma: no cover - parser cannot produce other literal types
+            raise PlanError(f"rule {rule.label}: unsupported literal {literal!r}")
+
+    head = _compile_head(rule)
+    return RulePlan(
+        rule=rule,
+        head=head,
+        body_atoms=tuple(body_atoms),
+        expressions=tuple(expressions),
+    )
+
+
+def compile_program(program: Program) -> CompiledProgram:
+    """Compile every rule of a (localized) program and build trigger indexes."""
+    plans = tuple(compile_rule(rule) for rule in program.rules if not rule.is_fact())
+    triggers: Dict[str, List[RulePlan]] = {}
+    for plan in plans:
+        for body_atom in plan.positive_atoms():
+            triggers.setdefault(body_atom.predicate, [])
+            if plan not in triggers[body_atom.predicate]:
+                triggers[body_atom.predicate].append(plan)
+    return CompiledProgram(
+        program=program,
+        plans=plans,
+        triggers={name: tuple(plans_) for name, plans_ in triggers.items()},
+    )
+
+
+def _compile_head(rule: Rule) -> HeadPlan:
+    aggregate_index: Optional[int] = None
+    aggregate: Optional[Aggregate] = None
+    for index, term in enumerate(rule.head.terms):
+        if isinstance(term, Aggregate):
+            if aggregate is not None:
+                raise PlanError(
+                    f"rule {rule.label}: at most one aggregate per head is supported"
+                )
+            aggregate_index = index
+            aggregate = term
+
+    group_by = tuple(
+        i for i in range(len(rule.head.terms)) if i != aggregate_index
+    )
+
+    destination: Optional[Term] = None
+    if rule.head.ship_to is not None:
+        destination = rule.head.ship_to
+    elif rule.head.location_term is not None:
+        destination = rule.head.location_term
+
+    return HeadPlan(
+        atom=rule.head,
+        aggregate_index=aggregate_index,
+        aggregate=aggregate,
+        group_by_indexes=group_by,
+        destination=destination,
+    )

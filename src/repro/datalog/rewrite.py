@@ -1,0 +1,256 @@
+"""Localization rewrite for NDlog rules.
+
+A distributed NDlog rule may join atoms stored at different locations, e.g.::
+
+    r2 reachable(@S, D) :- link(@S, Z), reachable(@Z, D).
+
+where ``link`` tuples live at ``S`` but ``reachable`` tuples live at ``Z``.
+Rules are executable only when every body atom is stored at the same node, so
+the classic *localization rewrite* (Loo et al., SIGMOD 2006) splits such rules
+into a chain of rules whose bodies are each localized to a single location,
+introducing intermediate relations that are shipped between nodes::
+
+    r2a r2_mid_1(@Z, S)   :- link(@S, Z).
+    r2b reachable(@S, D)  :- r2_mid_1(@Z, S), reachable(@Z, D).
+
+The head of ``r2a`` is shipped to ``Z`` (its location specifier), and the head
+of ``r2b`` back to ``S``; the node engine performs the shipping.
+
+SeNDlog rules (Section 2.2 of the paper) are already written in localized
+form within a principal's context, so the rewrite simply validates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datalog.ast import (
+    Assignment,
+    Atom,
+    Comparison,
+    Literal,
+    Program,
+    Rule,
+    SaysAtom,
+    Term,
+    Variable,
+    term_variables,
+)
+from repro.datalog.errors import RewriteError
+
+_INTERMEDIATE_SUFFIX = "_mid_"
+
+
+def is_localized(rule: Rule) -> bool:
+    """True when every located body atom of *rule* shares one location term."""
+    locations = _body_locations(rule)
+    return len(set(map(str, locations))) <= 1
+
+
+def localize_rule(rule: Rule) -> List[Rule]:
+    """Rewrite *rule* into an equivalent list of localized rules.
+
+    Localized rules are returned unchanged (in a singleton list).  Rules whose
+    body spans ``k`` distinct locations are split into ``k`` rules linked by
+    intermediate relations named ``<label>_mid_<i>``.
+    """
+    if is_localized(rule):
+        return [rule]
+    if any(isinstance(lit, SaysAtom) for lit in rule.body):
+        raise RewriteError(
+            f"rule {rule.label}: SeNDlog rules with 'says' must already be localized"
+        )
+
+    remaining = list(rule.body)
+    produced: List[Rule] = []
+    stage = 0
+    carried_atom: Optional[Atom] = None
+
+    while True:
+        group, rest = _split_first_location_group(remaining, carried_atom)
+        if rest and _first_location(rest) is None:
+            # Only expression literals remain: they belong to the final stage.
+            group = group + rest
+            rest = []
+        if not rest:
+            # Final stage: derive the original head from the carried
+            # intermediate plus the remaining local atoms and expressions.
+            body = ([carried_atom] if carried_atom is not None else []) + group
+            produced.append(
+                Rule(
+                    label=f"{rule.label}" if stage == 0 else f"{rule.label}{chr(ord('a') + stage)}",
+                    head=rule.head,
+                    body=tuple(body),
+                    context=rule.context,
+                )
+            )
+            return produced
+
+        stage_location = _group_location(group, carried_atom)
+        if stage_location is None:
+            raise RewriteError(
+                f"rule {rule.label}: cannot determine location for rewrite stage {stage}"
+            )
+
+        next_location = _first_location(rest)
+        if next_location is None:
+            raise RewriteError(
+                f"rule {rule.label}: remaining body has no location specifier"
+            )
+
+        body = ([carried_atom] if carried_atom is not None else []) + group
+        needed = _variables_needed_downstream(rule, rest)
+        bound_here = _bound_variables(body)
+        carried_vars = [v for v in needed if v.name in bound_here]
+
+        mid_terms: List[Term] = [next_location]
+        mid_terms.extend(v for v in carried_vars if str(v) != str(next_location))
+        mid_name = f"{rule.head.name}_{rule.label}{_INTERMEDIATE_SUFFIX}{stage + 1}"
+        mid_head = Atom(name=mid_name, terms=tuple(mid_terms), location_index=0)
+
+        produced.append(
+            Rule(
+                label=f"{rule.label}{chr(ord('a') + stage)}",
+                head=mid_head,
+                body=tuple(body),
+                context=rule.context,
+            )
+        )
+        carried_atom = mid_head
+        remaining = rest
+        stage += 1
+
+
+def localize_program(program: Program) -> Program:
+    """Apply :func:`localize_rule` to every rule of *program*."""
+    rewritten: List[Rule] = []
+    for rule in program.rules:
+        rewritten.extend(localize_rule(rule))
+    return replace(program, rules=tuple(rewritten))
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _body_locations(rule: Rule) -> List[Term]:
+    locations: List[Term] = []
+    for atom in rule.body_atoms():
+        if atom.location_term is not None:
+            locations.append(atom.location_term)
+    return locations
+
+
+def _first_location(literals: Sequence[Literal]) -> Optional[Term]:
+    for literal in literals:
+        atom = literal.atom if isinstance(literal, SaysAtom) else literal
+        if isinstance(atom, Atom) and atom.location_term is not None:
+            return atom.location_term
+    return None
+
+
+def _group_location(group: Sequence[Literal], carried: Optional[Atom]) -> Optional[Term]:
+    location = _first_location(group)
+    if location is not None:
+        return location
+    if carried is not None:
+        return carried.location_term
+    return None
+
+
+def _split_first_location_group(
+    literals: Sequence[Literal], carried: Optional[Atom]
+) -> Tuple[List[Literal], List[Literal]]:
+    """Partition *literals* into those evaluable at the first location and the rest.
+
+    Comparisons and assignments are greedily attached to the first group when
+    all their variables are bound there; otherwise they flow downstream.
+    """
+    anchor = _first_location(literals)
+    if anchor is None:
+        return list(literals), []
+    anchor_name = str(anchor)
+    if carried is not None and carried.location_term is not None:
+        anchor_name = str(carried.location_term)
+        anchor = carried.location_term
+        # If the carried atom defines the stage location, atoms co-located
+        # with it belong to this stage.
+
+    group: List[Literal] = []
+    rest: List[Literal] = []
+    for literal in literals:
+        atom = literal.atom if isinstance(literal, SaysAtom) else literal
+        if isinstance(atom, Atom):
+            location = atom.location_term
+            if location is not None and str(location) == anchor_name:
+                group.append(literal)
+            elif location is None:
+                group.append(literal)
+            else:
+                rest.append(literal)
+        else:
+            # Expression literal: defer placement until after atoms are split.
+            rest.append(literal)
+
+    if not group:
+        # No atom matched the carried location; fall back to the first located
+        # atom's group so progress is always made.
+        first = _first_location(literals)
+        group = [
+            lit
+            for lit in literals
+            if isinstance(lit, (Atom, SaysAtom))
+            and (lit.atom if isinstance(lit, SaysAtom) else lit).location_term is not None
+            and str((lit.atom if isinstance(lit, SaysAtom) else lit).location_term) == str(first)
+        ]
+        rest = [lit for lit in literals if lit not in group]
+
+    # Pull expressions whose variables are all bound by this group forward.
+    bound = _bound_variables(group)
+    if carried is not None:
+        bound |= {variable.name for variable in carried.variables()}
+    promoted: List[Literal] = []
+    for literal in list(rest):
+        if isinstance(literal, (Comparison, Assignment)):
+            needed = {
+                v.name
+                for v in literal.variables()
+                if not (isinstance(literal, Assignment) and v == literal.target)
+            }
+            if needed <= bound:
+                rest.remove(literal)
+                promoted.append(literal)
+                if isinstance(literal, Assignment):
+                    bound.add(literal.target.name)
+    group.extend(promoted)
+    return group, rest
+
+
+def _bound_variables(literals: Sequence[Literal]) -> set:
+    bound = set()
+    for literal in literals:
+        if isinstance(literal, (Atom, SaysAtom)):
+            for variable in literal.variables():
+                bound.add(variable.name)
+        elif isinstance(literal, Assignment):
+            bound.add(literal.target.name)
+    return bound
+
+
+def _variables_needed_downstream(rule: Rule, rest: Sequence[Literal]) -> List[Variable]:
+    """Variables that later stages or the head still require, in first-use order."""
+    needed: List[Variable] = []
+    seen = set()
+
+    def _add(variable: Variable) -> None:
+        if variable.name not in seen:
+            seen.add(variable.name)
+            needed.append(variable)
+
+    for literal in rest:
+        for variable in literal.variables():
+            _add(variable)
+    for variable in rule.head.variables():
+        _add(variable)
+    return needed

@@ -1,0 +1,95 @@
+"""Aggregate evaluation for rule heads (``min<C>``, ``max<C>``, ``count<C>``...).
+
+NDlog aggregates are *incremental group-wise* aggregates: the head's
+non-aggregate attributes form the group, and the stored table keeps exactly
+one tuple per group holding the current aggregate value.  The Best-Path query
+in the paper's evaluation uses ``min<C>`` to keep the cheapest path per
+(source, destination) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.datalog.errors import EvaluationError
+
+Value = object
+GroupKey = Tuple[Value, ...]
+
+SUPPORTED_AGGREGATES = ("min", "max", "count", "sum")
+
+
+def aggregate_init(function: str) -> Optional[Value]:
+    """Initial aggregate value before any tuple is seen."""
+    if function in ("count", "sum"):
+        return 0
+    if function in ("min", "max"):
+        return None
+    raise EvaluationError(f"unsupported aggregate function {function!r}")
+
+
+def aggregate_better(function: str, current: Optional[Value], candidate: Value) -> bool:
+    """True when *candidate* improves on the *current* min/max value."""
+    if function == "min":
+        return current is None or candidate < current
+    if function == "max":
+        return current is None or candidate > current
+    raise EvaluationError(f"{function!r} is not an order-based aggregate")
+
+
+@dataclass
+class AggregateState:
+    """Incremental aggregate state for one rule head.
+
+    For ``min``/``max`` the state records the best value per group and only
+    reports a change when a strictly better value arrives (monotone
+    refinement, which is what makes the recursive Best-Path query converge).
+    For ``count``/``sum`` the state folds every distinct contribution exactly
+    once, identified by the contribution key supplied by the caller.
+    """
+
+    function: str
+    best: Dict[GroupKey, Value] = field(default_factory=dict)
+    contributions: Dict[GroupKey, set] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.function not in SUPPORTED_AGGREGATES:
+            raise EvaluationError(
+                f"unsupported aggregate function {self.function!r}; "
+                f"supported: {', '.join(SUPPORTED_AGGREGATES)}"
+            )
+
+    def update(
+        self,
+        group: GroupKey,
+        value: Value,
+        contribution_key: Optional[Tuple[Value, ...]] = None,
+    ) -> Optional[Value]:
+        """Fold one contribution; return the new aggregate value if it changed."""
+        if self.function in ("min", "max"):
+            current = self.best.get(group)
+            if aggregate_better(self.function, current, value):
+                self.best[group] = value
+                return value
+            return None
+
+        seen = self.contributions.setdefault(group, set())
+        marker = contribution_key if contribution_key is not None else (value,)
+        if marker in seen:
+            return None
+        seen.add(marker)
+        current = self.best.get(group, aggregate_init(self.function))
+        if self.function == "count":
+            updated = current + 1
+        else:  # sum
+            updated = current + value
+        self.best[group] = updated
+        return updated
+
+    def value(self, group: GroupKey) -> Optional[Value]:
+        """Current aggregate value for *group*, or ``None`` if unseen."""
+        return self.best.get(group)
+
+    def groups(self) -> Tuple[GroupKey, ...]:
+        return tuple(self.best)

@@ -1,0 +1,106 @@
+"""Built-in function symbols available in NDlog rule bodies.
+
+NDlog programs use function symbols for list/path manipulation (the Best-Path
+query builds explicit path vectors) and arithmetic.  Paths are represented as
+Python tuples so they remain hashable and can be stored inside facts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.datalog.errors import EvaluationError
+
+Value = object
+
+
+def f_init(*items: Value) -> Tuple[Value, ...]:
+    """Build an initial path vector from its arguments: ``f_init(S, D) -> (S, D)``."""
+    return tuple(items)
+
+
+def f_concat(item: Value, path: Sequence[Value]) -> Tuple[Value, ...]:
+    """Prepend *item* to *path*: ``f_concat(S, (Z, D)) -> (S, Z, D)``."""
+    if not isinstance(path, (list, tuple)):
+        raise EvaluationError(f"f_concat expects a path, got {path!r}")
+    return (item, *tuple(path))
+
+
+def f_append(path: Sequence[Value], item: Value) -> Tuple[Value, ...]:
+    """Append *item* to *path*."""
+    if not isinstance(path, (list, tuple)):
+        raise EvaluationError(f"f_append expects a path, got {path!r}")
+    return (*tuple(path), item)
+
+
+def f_member(path: Sequence[Value], item: Value) -> int:
+    """1 when *item* occurs in *path*, else 0 (NDlog-style boolean)."""
+    if not isinstance(path, (list, tuple)):
+        raise EvaluationError(f"f_member expects a path, got {path!r}")
+    return 1 if item in tuple(path) else 0
+
+
+def f_size(path: Sequence[Value]) -> int:
+    """Number of elements in *path*."""
+    if not isinstance(path, (list, tuple)):
+        raise EvaluationError(f"f_size expects a path, got {path!r}")
+    return len(path)
+
+
+def f_first(path: Sequence[Value]) -> Value:
+    """First element of *path*."""
+    if not path:
+        raise EvaluationError("f_first of an empty path")
+    return tuple(path)[0]
+
+
+def f_last(path: Sequence[Value]) -> Value:
+    """Last element of *path*."""
+    if not path:
+        raise EvaluationError("f_last of an empty path")
+    return tuple(path)[-1]
+
+
+def _arith(operator: str) -> Callable[[Value, Value], Value]:
+    def apply(left: Value, right: Value) -> Value:
+        try:
+            if operator == "+":
+                return left + right  # type: ignore[operator]
+            if operator == "-":
+                return left - right  # type: ignore[operator]
+            if operator == "*":
+                return left * right  # type: ignore[operator]
+            if operator == "/":
+                return left / right  # type: ignore[operator]
+        except TypeError as exc:
+            raise EvaluationError(
+                f"cannot apply {operator!r} to {left!r} and {right!r}"
+            ) from exc
+        raise EvaluationError(f"unknown arithmetic operator {operator!r}")
+
+    return apply
+
+
+BUILTIN_FUNCTIONS: Dict[str, Callable[..., Value]] = {
+    "f_init": f_init,
+    "f_initlist": f_init,
+    "f_concat": f_concat,
+    "f_append": f_append,
+    "f_member": f_member,
+    "f_size": f_size,
+    "f_first": f_first,
+    "f_last": f_last,
+    "+": _arith("+"),
+    "-": _arith("-"),
+    "*": _arith("*"),
+    "/": _arith("/"),
+}
+
+
+def call_builtin(name: str, args: Sequence[Value]) -> Value:
+    """Invoke the built-in function *name* with *args*."""
+    try:
+        function = BUILTIN_FUNCTIONS[name]
+    except KeyError:
+        raise EvaluationError(f"unknown function symbol {name!r}") from None
+    return function(*args)

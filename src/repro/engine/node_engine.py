@@ -1,0 +1,406 @@
+"""The per-node engine: one simulated P2 process.
+
+A :class:`NodeEngine` owns one node's soft-state database, evaluates the
+compiled NDlog/SeNDlog program whenever a new tuple arrives (from the local
+application or from the network), authenticates imported/exported tuples
+according to the configured ``says`` mode, and maintains whichever kinds of
+provenance the configuration asks for.
+
+The engine is deliberately independent of the simulator: processing a delta
+returns the list of tuples to ship plus a :class:`ProcessingReport` of
+operation counters, and the simulator's cost model converts those counters
+into simulated CPU time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.datalog.planner import CompiledProgram, RulePlan
+from repro.engine.aggregates import AggregateState
+from repro.engine.database import Database
+from repro.engine.seminaive import RuleFiring, evaluate_plan_with_delta
+from repro.engine.tuples import Derivation, Fact
+from repro.provenance.authenticated import (
+    ProvenanceVerificationError,
+    SignedAnnotation,
+    sign_annotation,
+    verify_annotation,
+)
+from repro.provenance.condensed import CondensedProvenance
+from repro.provenance.distributed import DistributedProvenanceStore
+from repro.provenance.local import LocalProvenanceStore, PiggybackedProvenance
+from repro.provenance.pruning import MaintenanceMode, ProvenanceSampler
+from repro.provenance.store import OfflineProvenanceArchive, OnlineProvenanceStore
+from repro.security.authenticator import AuthenticationError, Authenticator
+from repro.security.keystore import KeyStore
+from repro.security.principal import PrincipalRegistry
+from repro.security.says import SaysMode
+
+
+class ProvenanceMode(Enum):
+    """Which provenance representation a node maintains and ships."""
+
+    #: No provenance at all (plain NDlog / SeNDlog configurations).
+    NONE = "none"
+    #: Condensed (BDD-minimised) annotations piggy-backed on shipped tuples.
+    CONDENSED = "condensed"
+    #: Full derivation graphs piggy-backed on shipped tuples (local provenance).
+    FULL_LOCAL = "full_local"
+    #: Pointers stored per node, nothing shipped (distributed provenance).
+    DISTRIBUTED = "distributed"
+
+    @property
+    def maintains_provenance(self) -> bool:
+        return self is not ProvenanceMode.NONE
+
+    @property
+    def ships_provenance(self) -> bool:
+        return self in (ProvenanceMode.CONDENSED, ProvenanceMode.FULL_LOCAL)
+
+
+@dataclass
+class EngineConfig:
+    """Configuration of one node engine.
+
+    The three configurations evaluated in Section 6 map to:
+
+    * NDlog          — ``says_mode=NONE``,   ``provenance_mode=NONE``
+    * SeNDlog        — ``says_mode=SIGNED``, ``provenance_mode=NONE``
+    * SeNDlogProv    — ``says_mode=SIGNED``, ``provenance_mode=CONDENSED``
+    """
+
+    says_mode: SaysMode = SaysMode.NONE
+    provenance_mode: ProvenanceMode = ProvenanceMode.NONE
+    maintenance_mode: MaintenanceMode = MaintenanceMode.PROACTIVE
+    sampler: Optional[ProvenanceSampler] = None
+    keep_online_provenance: bool = False
+    keep_offline_provenance: bool = False
+    offline_retention: Optional[float] = None
+    default_ttl: Optional[float] = None
+
+
+@dataclass
+class ProcessingReport:
+    """Operation counters produced while processing one delta."""
+
+    facts_received: int = 0
+    facts_verified: int = 0
+    verification_failures: int = 0
+    facts_rejected: int = 0
+    signatures_created: int = 0
+    facts_inserted: int = 0
+    facts_derived: int = 0
+    rule_firings: int = 0
+    payload_bytes_processed: int = 0
+    provenance_annotations: int = 0
+    provenance_bytes_computed: int = 0
+    provenance_signatures: int = 0
+    provenance_verifications: int = 0
+
+    def merge(self, other: "ProcessingReport") -> None:
+        self.facts_received += other.facts_received
+        self.facts_verified += other.facts_verified
+        self.verification_failures += other.verification_failures
+        self.facts_rejected += other.facts_rejected
+        self.signatures_created += other.signatures_created
+        self.facts_inserted += other.facts_inserted
+        self.facts_derived += other.facts_derived
+        self.rule_firings += other.rule_firings
+        self.payload_bytes_processed += other.payload_bytes_processed
+        self.provenance_annotations += other.provenance_annotations
+        self.provenance_bytes_computed += other.provenance_bytes_computed
+        self.provenance_signatures += other.provenance_signatures
+        self.provenance_verifications += other.provenance_verifications
+
+
+@dataclass(frozen=True)
+class OutgoingFact:
+    """A derived tuple that must be shipped to another node."""
+
+    destination: str
+    fact: Fact
+    security_bytes: int
+    provenance_bytes: int
+
+
+@dataclass
+class ProcessingResult:
+    """Everything one call to :meth:`NodeEngine.process` produced."""
+
+    outgoing: List[OutgoingFact] = field(default_factory=list)
+    report: ProcessingReport = field(default_factory=ProcessingReport)
+    new_facts: List[Fact] = field(default_factory=list)
+
+
+class NodeEngine:
+    """One simulated declarative-networking node."""
+
+    def __init__(
+        self,
+        address: str,
+        compiled: CompiledProgram,
+        config: EngineConfig,
+        keystore: Optional[KeyStore] = None,
+        registry: Optional[PrincipalRegistry] = None,
+    ) -> None:
+        self.address = address
+        self.compiled = compiled
+        self.config = config
+        self.keystore = keystore or KeyStore()
+        self.registry = registry or PrincipalRegistry()
+        self.registry.register(address)
+
+        from repro.datalog.catalog import Catalog
+
+        self.database = Database(Catalog.from_program(compiled.program))
+        self.authenticator = Authenticator(address, self.keystore, config.says_mode)
+        self.aggregates: Dict[str, AggregateState] = {}
+
+        self.local_provenance = LocalProvenanceStore(address)
+        self.distributed_provenance = DistributedProvenanceStore(address)
+        self.online_provenance = OnlineProvenanceStore(address)
+        self.offline_provenance = OfflineProvenanceArchive(
+            address, retention=config.offline_retention
+        )
+
+    # -- public entry points ----------------------------------------------------
+
+    def insert_base(self, fact: Fact, now: float = 0.0) -> ProcessingResult:
+        """Insert a base (application-provided) fact at this node."""
+        result = ProcessingResult()
+        prepared = self._attribute_local(fact, now)
+        if self.config.provenance_mode.maintains_provenance:
+            if self._should_record(prepared):
+                self.local_provenance.record_base(prepared, source=self.address)
+                self.distributed_provenance.record_base(prepared)
+        self._process_local(prepared, now, result)
+        return result
+
+    def receive(
+        self, fact: Fact, now: float, provenance: Optional[object] = None
+    ) -> ProcessingResult:
+        """Process a tuple received from the network."""
+        result = ProcessingResult()
+        result.report.facts_received += 1
+        result.report.payload_bytes_processed += fact.payload_size()
+        try:
+            verified = self.authenticator.import_fact(fact)
+            if self.config.says_mode.requires_signature:
+                result.report.facts_verified += 1
+        except AuthenticationError:
+            result.report.verification_failures += 1
+            result.report.facts_rejected += 1
+            return result
+
+        if self.config.provenance_mode.maintains_provenance:
+            incoming = provenance if provenance is not None else verified.provenance
+            if isinstance(incoming, SignedAnnotation):
+                try:
+                    if not verify_annotation(incoming, self.keystore):
+                        result.report.verification_failures += 1
+                        result.report.facts_rejected += 1
+                        return result
+                    result.report.provenance_verifications += 1
+                except ProvenanceVerificationError:
+                    result.report.verification_failures += 1
+                    result.report.facts_rejected += 1
+                    return result
+                incoming = incoming.annotation
+                verified = verified.with_metadata(provenance=incoming)
+            self._record_remote_provenance(verified, incoming)
+
+        self._process_local(verified, now, result)
+        return result
+
+    # -- queries -----------------------------------------------------------------
+
+    def facts(self, relation: str) -> Tuple[Fact, ...]:
+        return self.database.facts(relation)
+
+    def provenance_of(self, fact: Fact) -> CondensedProvenance:
+        """Condensed provenance annotation of a locally stored fact."""
+        return self.local_provenance.annotation(fact.key())
+
+    # -- internals ----------------------------------------------------------------
+
+    def _attribute_local(self, fact: Fact, now: float) -> Fact:
+        ttl = fact.ttl if fact.ttl is not None else self._ttl_for(fact.relation)
+        prepared = Fact(
+            relation=fact.relation,
+            values=fact.values,
+            timestamp=now,
+            ttl=ttl,
+            asserted_by=(
+                self.address if self.config.says_mode.authenticates else fact.asserted_by
+            ),
+            origin=self.address,
+            provenance=fact.provenance,
+        )
+        return prepared
+
+    def _ttl_for(self, relation: str) -> Optional[float]:
+        if relation in self.database.catalog:
+            lifetime = self.database.catalog.schema(relation).lifetime
+            if lifetime is not None:
+                return lifetime
+        return self.config.default_ttl
+
+    def _should_record(self, fact: Fact) -> bool:
+        sampler = self.config.sampler
+        if sampler is None:
+            return True
+        return sampler.should_record(fact.key())
+
+    def _record_remote_provenance(self, fact: Fact, provenance: Optional[object]) -> None:
+        piggyback = provenance if isinstance(provenance, PiggybackedProvenance) else None
+        condensed = provenance if isinstance(provenance, CondensedProvenance) else None
+        if condensed is None and isinstance(fact.provenance, CondensedProvenance):
+            condensed = fact.provenance
+        if piggyback is not None:
+            self.local_provenance.record_remote(fact, piggyback)
+        elif condensed is not None:
+            self.local_provenance.record_remote_condensed(fact, condensed)
+        else:
+            self.local_provenance.record_remote(fact, None)
+        self.distributed_provenance.record_remote(fact, fact.origin)
+
+    def _process_local(self, fact: Fact, now: float, result: ProcessingResult) -> None:
+        """Insert *fact* and run the local delta fixpoint it triggers."""
+        queue: List[Fact] = []
+        if self._store(fact, now, result):
+            queue.append(fact)
+
+        while queue:
+            delta = queue.pop(0)
+            for plan in self.compiled.plans_triggered_by(delta.relation):
+                for delta_index in plan.trigger_indexes(delta.relation):
+                    firings = evaluate_plan_with_delta(
+                        plan, self.database, delta, delta_index, now=now
+                    )
+                    for firing in firings:
+                        result.report.rule_firings += 1
+                        self._handle_firing(plan, firing, now, result, queue)
+
+    def _handle_firing(
+        self,
+        plan: RulePlan,
+        firing: RuleFiring,
+        now: float,
+        result: ProcessingResult,
+        queue: List[Fact],
+    ) -> None:
+        derived_values = firing.head_values
+        head = plan.head
+
+        if head.has_aggregate:
+            state = self.aggregates.setdefault(
+                f"{plan.label}:{head.predicate}",
+                AggregateState(head.aggregate.function),
+            )
+            group = tuple(derived_values[i] for i in head.group_by_indexes)
+            value = derived_values[head.aggregate_index]
+            changed = state.update(group, value, contribution_key=derived_values)
+            if changed is None:
+                return
+            updated = list(derived_values)
+            updated[head.aggregate_index] = changed
+            derived_values = tuple(updated)
+
+        destination = (
+            str(firing.destination) if firing.destination is not None else self.address
+        )
+        derived = Fact(
+            relation=head.predicate,
+            values=derived_values,
+            timestamp=now,
+            ttl=self._ttl_for(head.predicate),
+            origin=self.address,
+        )
+        result.report.facts_derived += 1
+        result.report.payload_bytes_processed += derived.payload_size()
+
+        annotation = self._record_derivation(derived, plan, firing, now, result)
+
+        if destination == self.address:
+            local_fact = (
+                derived.with_metadata(asserted_by=self.address)
+                if self.config.says_mode.authenticates
+                else derived
+            )
+            if annotation is not None:
+                local_fact = local_fact.with_metadata(provenance=annotation)
+            if self._store(local_fact, now, result):
+                queue.append(local_fact)
+            return
+
+        exported = self.authenticator.export_fact(derived)
+        if self.config.says_mode.requires_signature:
+            result.report.signatures_created += 1
+        provenance_bytes = 0
+        if annotation is not None and self.config.provenance_mode.ships_provenance:
+            shipped_annotation: object = annotation
+            if self.config.says_mode.requires_signature:
+                # Authenticated provenance (Section 4.3): the exporting
+                # principal signs the condensed annotation it asserts.
+                shipped_annotation = sign_annotation(
+                    annotation, self.address, self.keystore
+                )
+                result.report.provenance_signatures += 1
+                provenance_bytes = shipped_annotation.wire_size()
+            else:
+                provenance_bytes = annotation.serialized_size()
+            exported = exported.with_metadata(provenance=shipped_annotation)
+            if self.config.provenance_mode is ProvenanceMode.FULL_LOCAL:
+                piggyback = self.local_provenance.piggyback_for(derived)
+                provenance_bytes = max(
+                    provenance_bytes,
+                    piggyback.serialized_size(condensed_only=False),
+                )
+            result.report.provenance_bytes_computed += provenance_bytes
+        result.outgoing.append(
+            OutgoingFact(
+                destination=destination,
+                fact=exported,
+                security_bytes=self.authenticator.wire_overhead(exported),
+                provenance_bytes=provenance_bytes,
+            )
+        )
+
+    def _record_derivation(
+        self,
+        derived: Fact,
+        plan: RulePlan,
+        firing: RuleFiring,
+        now: float,
+        result: ProcessingResult,
+    ) -> Optional[CondensedProvenance]:
+        if not self.config.provenance_mode.maintains_provenance:
+            return None
+        if not self._should_record(derived):
+            return None
+        derivation = Derivation(
+            fact=derived,
+            rule_label=plan.label,
+            node=self.address,
+            antecedents=firing.antecedents,
+            timestamp=now,
+        )
+        annotation = self.local_provenance.record_derivation(derivation)
+        self.distributed_provenance.record_derivation(derivation)
+        if self.config.keep_online_provenance:
+            self.online_provenance.record(derivation, annotation)
+        if self.config.keep_offline_provenance:
+            self.offline_provenance.record(derivation, annotation)
+        result.report.provenance_annotations += 1
+        return annotation
+
+    def _store(self, fact: Fact, now: float, result: ProcessingResult) -> bool:
+        insert = self.database.insert(fact, now=now)
+        if insert.inserted:
+            result.report.facts_inserted += 1
+            result.new_facts.append(fact)
+            return True
+        return False

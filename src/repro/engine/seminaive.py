@@ -1,0 +1,421 @@
+"""Delta-driven (semi-naive) rule evaluation.
+
+Two entry points:
+
+* :func:`evaluate_plan_with_delta` — the distributed building block: given a
+  newly arrived or newly derived fact (the *delta*), evaluate one rule plan
+  with the delta bound to one body occurrence and all other atoms joined
+  against the node's stored tables.  This is what the per-node engine calls
+  for every delta, and is the direct analogue of P2's delta-rule dataflows.
+
+* :func:`evaluate_program` — a single-site fixpoint evaluator that runs a
+  whole program to fixpoint over one database.  It is used by tests, by the
+  provenance examples that do not need the network simulator, and as a
+  reference implementation the distributed results are checked against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.datalog.ast import (
+    Aggregate,
+    Assignment,
+    Atom,
+    Comparison,
+    Constant,
+    FunctionCall,
+    Term,
+    Variable,
+)
+from repro.datalog.errors import EvaluationError
+from repro.datalog.planner import BodyAtomPlan, CompiledProgram, RulePlan
+from repro.engine.aggregates import AggregateState
+from repro.engine.builtins import call_builtin
+from repro.engine.database import Database
+from repro.engine.tuples import Derivation, Fact
+
+Bindings = Dict[str, object]
+
+
+# ---------------------------------------------------------------------------
+# Terms and expressions
+# ---------------------------------------------------------------------------
+
+def evaluate_term(term: Term, bindings: Bindings) -> object:
+    """Evaluate *term* to a value under *bindings*."""
+    if isinstance(term, Constant):
+        return term.value
+    if isinstance(term, Variable):
+        try:
+            return bindings[term.name]
+        except KeyError:
+            raise EvaluationError(f"unbound variable {term.name}") from None
+    if isinstance(term, FunctionCall):
+        args = [evaluate_term(arg, bindings) for arg in term.args]
+        return call_builtin(term.name, args)
+    if isinstance(term, Aggregate):
+        return evaluate_term(term.variable, bindings)
+    raise EvaluationError(f"cannot evaluate term {term!r}")
+
+
+def term_is_bound(term: Term, bindings: Bindings) -> bool:
+    """True when *term* can be evaluated under *bindings*."""
+    if isinstance(term, Constant):
+        return True
+    if isinstance(term, Variable):
+        return term.name in bindings
+    if isinstance(term, FunctionCall):
+        return all(term_is_bound(arg, bindings) for arg in term.args)
+    if isinstance(term, Aggregate):
+        return term.variable.name in bindings
+    return False
+
+
+def unify_term(term: Term, value: object, bindings: Bindings) -> Optional[Bindings]:
+    """Unify *term* against a concrete *value*; return extended bindings or None."""
+    if isinstance(term, Variable):
+        existing = bindings.get(term.name, _UNSET)
+        if existing is _UNSET:
+            extended = dict(bindings)
+            extended[term.name] = value
+            return extended
+        return bindings if existing == value else None
+    if isinstance(term, Constant):
+        return bindings if term.value == value else None
+    if isinstance(term, (FunctionCall, Aggregate)):
+        if term_is_bound(term, bindings):
+            return bindings if evaluate_term(term, bindings) == value else None
+        return None
+    return None
+
+
+def unify_atom(atom: Atom, fact: Fact, bindings: Bindings) -> Optional[Bindings]:
+    """Unify every term of *atom* against the values of *fact*."""
+    if atom.name != fact.relation or atom.arity != len(fact.values):
+        return None
+    current = bindings
+    for term, value in zip(atom.terms, fact.values):
+        current = unify_term(term, value, current)
+        if current is None:
+            return None
+    return current
+
+
+_UNSET = object()
+
+_COMPARATORS = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def apply_expression(expression: object, bindings: Bindings) -> Optional[Bindings]:
+    """Apply a comparison or assignment; return updated bindings or None if it fails."""
+    if isinstance(expression, Comparison):
+        left = evaluate_term(expression.left, bindings)
+        right = evaluate_term(expression.right, bindings)
+        comparator = _COMPARATORS.get(expression.operator)
+        if comparator is None:
+            raise EvaluationError(f"unknown comparison operator {expression.operator!r}")
+        return bindings if comparator(left, right) else None
+    if isinstance(expression, Assignment):
+        value = evaluate_term(expression.expression, bindings)
+        existing = bindings.get(expression.target.name, _UNSET)
+        if existing is not _UNSET:
+            return bindings if existing == value else None
+        extended = dict(bindings)
+        extended[expression.target.name] = value
+        return extended
+    raise EvaluationError(f"unsupported expression literal {expression!r}")
+
+
+# ---------------------------------------------------------------------------
+# Join evaluation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RuleFiring:
+    """One successful rule firing: the head values plus the joined antecedents."""
+
+    plan: RulePlan
+    head_values: Tuple[object, ...]
+    destination: Optional[object]
+    antecedents: Tuple[Fact, ...]
+    bindings: Bindings
+
+
+def _says_matches(
+    body_atom: BodyAtomPlan, fact: Fact, bindings: Bindings
+) -> Optional[Bindings]:
+    """Check (and bind) the ``says`` principal requirement of a body atom."""
+    if body_atom.says_principal is None:
+        return bindings
+    if fact.asserted_by is None:
+        return None
+    return unify_term(body_atom.says_principal, fact.asserted_by, bindings)
+
+
+def _candidate_facts(
+    atom_plan: BodyAtomPlan, database: Database, bindings: Bindings, now: Optional[float]
+) -> Tuple[Fact, ...]:
+    """Facts that could match *atom_plan* given the columns already bound."""
+    atom = atom_plan.atom
+    table = database.table(atom.name, arity=atom.arity)
+    if now is not None:
+        table.expire(now)
+    bound_columns: List[int] = []
+    bound_values: List[object] = []
+    for index, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            bound_columns.append(index)
+            bound_values.append(term.value)
+        elif isinstance(term, Variable) and term.name in bindings:
+            bound_columns.append(index)
+            bound_values.append(bindings[term.name])
+    if bound_columns:
+        return table.lookup(bound_columns, bound_values)
+    return table.facts()
+
+
+def _apply_ready_expressions(
+    expressions: Sequence[object], applied: set, bindings: Bindings
+) -> Optional[Bindings]:
+    """Apply every not-yet-applied expression whose variables are all bound."""
+    current = bindings
+    progress = True
+    while progress:
+        progress = False
+        for index, expression in enumerate(expressions):
+            if index in applied:
+                continue
+            if isinstance(expression, Assignment):
+                ready = term_is_bound(expression.expression, current)
+            else:
+                ready = term_is_bound(expression.left, current) and term_is_bound(
+                    expression.right, current
+                )
+            if not ready:
+                continue
+            current = apply_expression(expression, current)
+            applied.add(index)
+            progress = True
+            if current is None:
+                return None
+    return current
+
+
+def evaluate_plan_with_delta(
+    plan: RulePlan,
+    database: Database,
+    delta: Fact,
+    delta_index: int,
+    now: Optional[float] = None,
+) -> List[RuleFiring]:
+    """Evaluate *plan* with *delta* bound to body position *delta_index*.
+
+    Returns every rule firing produced by joining the delta against the
+    node's stored tables.  Negated atoms are checked last (stratified
+    semantics), and expression literals are applied as soon as their
+    variables are bound.
+    """
+    body = plan.body_atoms
+    if delta_index < 0 or delta_index >= len(body):
+        raise EvaluationError(
+            f"rule {plan.label}: delta index {delta_index} out of range"
+        )
+    delta_atom = body[delta_index]
+    if delta_atom.negated:
+        raise EvaluationError(
+            f"rule {plan.label}: cannot use a negated atom as the delta"
+        )
+
+    initial = unify_atom(delta_atom.atom, delta, {})
+    if initial is None:
+        return []
+    initial = _says_matches(delta_atom, delta, initial)
+    if initial is None:
+        return []
+
+    firings: List[RuleFiring] = []
+    remaining = [
+        (index, atom_plan)
+        for index, atom_plan in enumerate(body)
+        if index != delta_index and not atom_plan.negated
+    ]
+    negated = [atom_plan for atom_plan in body if atom_plan.negated]
+
+    def extend(
+        position: int,
+        bindings: Bindings,
+        antecedents: Tuple[Fact, ...],
+        applied: set,
+    ) -> None:
+        bindings = _apply_ready_expressions(plan.expressions, applied, bindings)
+        if bindings is None:
+            return
+        if position == len(remaining):
+            _finish(bindings, antecedents, applied)
+            return
+        _, atom_plan = remaining[position]
+        for fact in _candidate_facts(atom_plan, database, bindings, now):
+            unified = unify_atom(atom_plan.atom, fact, bindings)
+            if unified is None:
+                continue
+            unified = _says_matches(atom_plan, fact, unified)
+            if unified is None:
+                continue
+            extend(position + 1, unified, antecedents + (fact,), set(applied))
+
+    def _finish(bindings: Bindings, antecedents: Tuple[Fact, ...], applied: set) -> None:
+        final = _apply_ready_expressions(plan.expressions, applied, bindings)
+        if final is None:
+            return
+        if len(applied) != len(plan.expressions):
+            # Some expression never became evaluable: the rule is unsafe for
+            # this binding; skip rather than guessing.
+            return
+        for atom_plan in negated:
+            matches = _candidate_facts(atom_plan, database, final, now)
+            if any(unify_atom(atom_plan.atom, fact, final) is not None for fact in matches):
+                return
+        head_values = tuple(
+            evaluate_term(term, final) for term in plan.head.atom.terms
+        )
+        destination = (
+            evaluate_term(plan.head.destination, final)
+            if plan.head.destination is not None
+            else None
+        )
+        ordered = (delta,) + antecedents
+        firings.append(
+            RuleFiring(
+                plan=plan,
+                head_values=head_values,
+                destination=destination,
+                antecedents=ordered,
+                bindings=final,
+            )
+        )
+
+    extend(0, initial, (), set())
+    return firings
+
+
+# ---------------------------------------------------------------------------
+# Single-site fixpoint evaluation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FixpointResult:
+    """Result of a single-site fixpoint run."""
+
+    database: Database
+    derivations: List[Derivation]
+    iterations: int
+
+    def facts(self, relation: str) -> Tuple[Fact, ...]:
+        return self.database.facts(relation)
+
+
+def evaluate_program(
+    compiled: CompiledProgram,
+    database: Database,
+    base_facts: Iterable[Fact],
+    now: float = 0.0,
+) -> FixpointResult:
+    """Run *compiled* to fixpoint over *database* seeded with *base_facts*.
+
+    Aggregate heads are refined monotonically: a derived aggregate tuple only
+    replaces the stored one when it improves the aggregate (e.g. a cheaper
+    path for ``min``), which guarantees termination of recursive aggregate
+    programs such as Best-Path.
+    """
+    aggregates: Dict[str, AggregateState] = {}
+    derivations: List[Derivation] = []
+    queue: List[Fact] = []
+
+    for fact in base_facts:
+        result = database.insert(fact, now=now)
+        if result.inserted:
+            derivations.append(
+                Derivation(fact=fact, rule_label="base", node=fact.origin, timestamp=now)
+            )
+            queue.append(fact)
+
+    iterations = 0
+    while queue:
+        iterations += 1
+        delta = queue.pop(0)
+        for plan in compiled.plans_triggered_by(delta.relation):
+            for delta_index in plan.trigger_indexes(delta.relation):
+                for firing in evaluate_plan_with_delta(
+                    plan, database, delta, delta_index, now=now
+                ):
+                    derived = _make_fact(plan, firing, now)
+                    accepted = _accept_firing(plan, firing, derived, database, aggregates, now)
+                    if accepted is not None:
+                        derivations.append(
+                            Derivation(
+                                fact=accepted,
+                                rule_label=plan.label,
+                                node=accepted.origin,
+                                antecedents=firing.antecedents,
+                                timestamp=now,
+                            )
+                        )
+                        queue.append(accepted)
+
+    return FixpointResult(database=database, derivations=derivations, iterations=iterations)
+
+
+def _make_fact(plan: RulePlan, firing: RuleFiring, now: float) -> Fact:
+    origin = str(firing.destination) if firing.destination is not None else None
+    return Fact(
+        relation=plan.head.predicate,
+        values=firing.head_values,
+        timestamp=now,
+        origin=origin,
+    )
+
+
+def _accept_firing(
+    plan: RulePlan,
+    firing: RuleFiring,
+    derived: Fact,
+    database: Database,
+    aggregates: Dict[str, AggregateState],
+    now: float,
+) -> Optional[Fact]:
+    """Insert a derived fact, honouring head aggregates.
+
+    Returns the fact actually stored (its aggregate column may differ from
+    the firing's raw value), or ``None`` when the firing did not change the
+    database.
+    """
+    head = plan.head
+    if head.has_aggregate:
+        state = aggregates.setdefault(
+            f"{plan.label}:{head.predicate}", AggregateState(head.aggregate.function)
+        )
+        group = tuple(firing.head_values[i] for i in head.group_by_indexes)
+        value = firing.head_values[head.aggregate_index]
+        changed = state.update(group, value, contribution_key=firing.head_values)
+        if changed is None:
+            return None
+        updated_values = list(firing.head_values)
+        updated_values[head.aggregate_index] = changed
+        derived = Fact(
+            relation=derived.relation,
+            values=tuple(updated_values),
+            timestamp=now,
+            origin=derived.origin,
+        )
+    result = database.insert(derived, now=now)
+    return derived if result.inserted else None

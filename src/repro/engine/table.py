@@ -1,0 +1,192 @@
+"""Soft-state tables.
+
+A :class:`Table` stores the facts of one relation at one node, with the
+semantics declarative networking inherits from P2:
+
+* **primary keys** — a newly inserted fact replaces any stored fact that
+  agrees on the relation's key columns (update semantics); with no declared
+  keys the whole tuple is the key, giving plain set semantics;
+* **soft state** — facts carry TTLs and are lazily expired whenever the table
+  is read or written at a later simulation time (the time-based sliding
+  window of Section 2.1);
+* **bounded size** — an optional maximum size evicts the oldest facts first.
+
+Tables also maintain hash indexes over requested column subsets so that the
+semi-naive join probes are O(matching tuples) rather than O(table).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.datalog.catalog import RelationSchema
+from repro.engine.tuples import Fact, FactKey, Value
+
+
+@dataclass(frozen=True)
+class InsertResult:
+    """Outcome of a table insertion.
+
+    ``inserted`` is True when the table contents changed (a genuinely new
+    tuple, or an update that replaced a tuple with different non-key values);
+    ``replaced`` holds the previously stored fact that was displaced, if any;
+    ``refreshed`` is True when an identical tuple was already present and
+    only its timestamp/TTL was refreshed.
+    """
+
+    inserted: bool
+    replaced: Optional[Fact] = None
+    refreshed: bool = False
+
+
+class Table:
+    """Facts of one relation at one node, with soft-state semantics."""
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+        self._rows: "OrderedDict[Tuple[Value, ...], Fact]" = OrderedDict()
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Value, ...], List[Fact]]] = {}
+
+    # -- basic protocol -------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(list(self._rows.values()))
+
+    def __contains__(self, fact: Fact) -> bool:
+        stored = self._rows.get(self._primary_key(fact.values))
+        return stored is not None and stored.values == fact.values
+
+    def facts(self) -> Tuple[Fact, ...]:
+        return tuple(self._rows.values())
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, fact: Fact, now: Optional[float] = None) -> InsertResult:
+        """Insert *fact*, applying primary-key replacement semantics."""
+        if now is not None:
+            self.expire(now)
+
+        key = self._primary_key(fact.values)
+        existing = self._rows.get(key)
+
+        if existing is not None and existing.values == fact.values:
+            # Same tuple: refresh soft-state metadata in place.
+            self._rows[key] = fact
+            self._reindex_replace(existing, fact)
+            return InsertResult(inserted=False, refreshed=True)
+
+        if existing is not None:
+            self._remove_fact(key, existing)
+            self._store(key, fact)
+            return InsertResult(inserted=True, replaced=existing)
+
+        self._store(key, fact)
+        self._enforce_max_size()
+        return InsertResult(inserted=True)
+
+    def delete(self, fact: Fact) -> bool:
+        """Delete the stored fact matching *fact*'s values; return True if removed."""
+        key = self._primary_key(fact.values)
+        existing = self._rows.get(key)
+        if existing is None or existing.values != fact.values:
+            return False
+        self._remove_fact(key, existing)
+        return True
+
+    def expire(self, now: float) -> List[Fact]:
+        """Remove and return every fact whose TTL has elapsed at time *now*."""
+        expired = [fact for fact in self._rows.values() if fact.is_expired(now)]
+        for fact in expired:
+            self._remove_fact(self._primary_key(fact.values), fact)
+        return expired
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._indexes.clear()
+
+    # -- lookups --------------------------------------------------------------
+
+    def lookup(
+        self, columns: Sequence[int], values: Sequence[Value]
+    ) -> Tuple[Fact, ...]:
+        """Return the stored facts whose *columns* equal *values*.
+
+        Builds (and thereafter maintains) a hash index on the column subset.
+        """
+        columns_key = tuple(columns)
+        if not columns_key:
+            return self.facts()
+        index = self._indexes.get(columns_key)
+        if index is None:
+            index = self._build_index(columns_key)
+        return tuple(index.get(tuple(values), ()))
+
+    def get_by_values(self, values: Sequence[Value]) -> Optional[Fact]:
+        stored = self._rows.get(self._primary_key(tuple(values)))
+        if stored is not None and stored.values == tuple(values):
+            return stored
+        return None
+
+    def scan(self, now: Optional[float] = None) -> Tuple[Fact, ...]:
+        """All live facts; expires soft state first when *now* is given."""
+        if now is not None:
+            self.expire(now)
+        return self.facts()
+
+    # -- internals ------------------------------------------------------------
+
+    def _primary_key(self, values: Tuple[Value, ...]) -> Tuple[Value, ...]:
+        return tuple(values[i] for i in self.schema.key_columns)
+
+    def _store(self, key: Tuple[Value, ...], fact: Fact) -> None:
+        self._rows[key] = fact
+        for columns, index in self._indexes.items():
+            index.setdefault(tuple(fact.values[c] for c in columns), []).append(fact)
+
+    def _remove_fact(self, key: Tuple[Value, ...], fact: Fact) -> None:
+        self._rows.pop(key, None)
+        for columns, index in self._indexes.items():
+            bucket = index.get(tuple(fact.values[c] for c in columns))
+            if bucket is not None:
+                try:
+                    bucket.remove(fact)
+                except ValueError:
+                    pass
+                if not bucket:
+                    index.pop(tuple(fact.values[c] for c in columns), None)
+
+    def _reindex_replace(self, old: Fact, new: Fact) -> None:
+        for columns, index in self._indexes.items():
+            bucket = index.get(tuple(old.values[c] for c in columns))
+            if bucket is None:
+                continue
+            for i, stored in enumerate(bucket):
+                if stored is old:
+                    bucket[i] = new
+                    break
+
+    def _build_index(
+        self, columns: Tuple[int, ...]
+    ) -> Dict[Tuple[Value, ...], List[Fact]]:
+        index: Dict[Tuple[Value, ...], List[Fact]] = {}
+        for fact in self._rows.values():
+            index.setdefault(tuple(fact.values[c] for c in columns), []).append(fact)
+        self._indexes[columns] = index
+        return index
+
+    def _enforce_max_size(self) -> None:
+        limit = self.schema.max_size
+        if limit is None:
+            return
+        while len(self._rows) > limit:
+            oldest_key = next(iter(self._rows))
+            self._remove_fact(oldest_key, self._rows[oldest_key])

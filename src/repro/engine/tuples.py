@@ -1,0 +1,173 @@
+"""Facts (tuples) and derivations.
+
+A :class:`Fact` is one tuple of a relation, extended with the stream / soft
+state / security metadata the paper adds to classical Datalog tuples
+(Section 4): a creation timestamp, a time-to-live, the asserting principal
+("says"), an optional digital signature, and an optional provenance
+annotation (the condensed provenance expression of Section 4.4).
+
+Identity semantics: two facts are *the same tuple* when their relation and
+values match; metadata (timestamps, signatures, provenance) does not
+participate in equality.  This mirrors set semantics in the relational store
+while still letting the provenance layer track every distinct derivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+
+Value = object
+FactKey = Tuple[str, Tuple[Value, ...]]
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One tuple of a relation plus its stream/security metadata.
+
+    Attributes
+    ----------
+    relation:
+        Relation name.
+    values:
+        Attribute values, in schema order.
+    timestamp:
+        Creation (or arrival) time in simulation seconds.
+    ttl:
+        Soft-state time-to-live in seconds; ``None`` means the fact never
+        expires (hard state).
+    asserted_by:
+        The principal that asserted ("says") this fact, or ``None`` for
+        unauthenticated NDlog tuples.
+    signature:
+        The asserting principal's signature over the fact payload, or
+        ``None``.
+    provenance:
+        Serializable provenance annotation travelling with the fact (used for
+        local / condensed provenance); ``None`` when provenance is disabled
+        or maintained only as distributed pointers.
+    origin:
+        Address of the node where the fact was first created or derived.
+    """
+
+    relation: str
+    values: Tuple[Value, ...]
+    timestamp: float = 0.0
+    ttl: Optional[float] = None
+    asserted_by: Optional[str] = None
+    signature: Optional[bytes] = None
+    provenance: Optional[object] = None
+    origin: Optional[str] = None
+
+    # -- identity ------------------------------------------------------------
+
+    def key(self) -> FactKey:
+        """The identity of the tuple: relation name plus values."""
+        return (self.relation, self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fact):
+            return NotImplemented
+        return self.relation == other.relation and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.values))
+
+    # -- soft state -----------------------------------------------------------
+
+    def expires_at(self) -> Optional[float]:
+        """Absolute expiry time, or ``None`` for hard state."""
+        if self.ttl is None:
+            return None
+        return self.timestamp + self.ttl
+
+    def is_expired(self, now: float) -> bool:
+        expiry = self.expires_at()
+        return expiry is not None and now >= expiry
+
+    # -- convenience ----------------------------------------------------------
+
+    def payload(self) -> bytes:
+        """Canonical byte serialization of the tuple identity.
+
+        This is what gets signed by the asserting principal, and what the
+        bandwidth model charges for.
+        """
+        rendered = ",".join(_render_value(v) for v in self.values)
+        return f"{self.relation}({rendered})".encode("utf-8")
+
+    def payload_size(self) -> int:
+        """Number of payload bytes (used by the bandwidth model)."""
+        return len(self.payload())
+
+    def with_metadata(
+        self,
+        *,
+        timestamp: Optional[float] = None,
+        ttl: Optional[float] = None,
+        asserted_by: Optional[str] = None,
+        signature: Optional[bytes] = None,
+        provenance: Optional[object] = None,
+        origin: Optional[str] = None,
+    ) -> "Fact":
+        """Return a copy with selected metadata fields replaced."""
+        updates = {}
+        if timestamp is not None:
+            updates["timestamp"] = timestamp
+        if ttl is not None:
+            updates["ttl"] = ttl
+        if asserted_by is not None:
+            updates["asserted_by"] = asserted_by
+        if signature is not None:
+            updates["signature"] = signature
+        if provenance is not None:
+            updates["provenance"] = provenance
+        if origin is not None:
+            updates["origin"] = origin
+        return replace(self, **updates)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(_render_value(v) for v in self.values)
+        prefix = f"{self.asserted_by} says " if self.asserted_by else ""
+        return f"{prefix}{self.relation}({rendered})"
+
+
+def fact_key(relation: str, values: Sequence[Value]) -> FactKey:
+    """Build a :data:`FactKey` without constructing a full :class:`Fact`."""
+    return (relation, tuple(values))
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A single application of a rule that produced a fact.
+
+    This is the unit the provenance layer consumes: the derived fact, the
+    rule label, the node where the rule fired, and the antecedent facts that
+    were joined (in body order).  Base facts are represented as derivations
+    with an empty antecedent tuple and ``rule_label="base"``.
+    """
+
+    fact: Fact
+    rule_label: str
+    node: Optional[str]
+    antecedents: Tuple[Fact, ...] = ()
+    timestamp: float = 0.0
+
+    @property
+    def is_base(self) -> bool:
+        return not self.antecedents
+
+    def __str__(self) -> str:
+        if self.is_base:
+            return f"{self.fact} [base @ {self.node}]"
+        children = "; ".join(str(a) for a in self.antecedents)
+        return f"{self.fact} <-[{self.rule_label} @ {self.node}]- {children}"
+
+
+def _render_value(value: Value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    if isinstance(value, (list, tuple)):
+        return "[" + "|".join(_render_value(v) for v in value) + "]"
+    return str(value)

@@ -1,0 +1,30 @@
+"""Experiment harness reproducing the paper's evaluation (Section 6)."""
+
+from repro.harness.workload import best_path_workload, evaluation_topology
+from repro.harness.runner import (
+    CONFIGURATIONS,
+    ExperimentRow,
+    run_best_path,
+    run_configuration,
+)
+from repro.harness.experiments import (
+    figure3_series,
+    figure4_series,
+    overhead_table,
+    render_series,
+    sweep,
+)
+
+__all__ = [
+    "CONFIGURATIONS",
+    "ExperimentRow",
+    "best_path_workload",
+    "evaluation_topology",
+    "figure3_series",
+    "figure4_series",
+    "overhead_table",
+    "render_series",
+    "run_best_path",
+    "run_configuration",
+    "sweep",
+]

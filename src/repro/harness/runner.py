@@ -1,0 +1,133 @@
+"""Running the three evaluated configurations.
+
+The paper's Section 6 compares:
+
+* **NDlog** — no authentication, no provenance;
+* **SeNDlog** — per-tuple RSA authentication, no provenance;
+* **SeNDlogProv** — authentication plus condensed (BDD) provenance.
+
+:func:`run_configuration` executes the Best-Path query over one topology in
+one of these configurations and returns an :class:`ExperimentRow` holding the
+two headline metrics (query completion time, bandwidth) plus the breakdown
+counters used by the overhead analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.datalog.planner import CompiledProgram
+from repro.engine.node_engine import EngineConfig, ProvenanceMode
+from repro.net.simulator import CostModel, SimulationResult, Simulator
+from repro.net.topology import Topology
+from repro.queries.best_path import compile_best_path
+from repro.security.says import SaysMode
+from repro.harness.workload import best_path_workload, evaluation_topology
+
+#: The three configurations of the paper's evaluation, by name.
+CONFIGURATIONS: Dict[str, Callable[[], EngineConfig]] = {
+    "NDLog": lambda: EngineConfig(
+        says_mode=SaysMode.NONE, provenance_mode=ProvenanceMode.NONE
+    ),
+    "SeNDLog": lambda: EngineConfig(
+        says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.NONE
+    ),
+    "SeNDLogProv": lambda: EngineConfig(
+        says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.CONDENSED
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One data point of the evaluation sweep."""
+
+    configuration: str
+    node_count: int
+    seed: int
+    completion_time_s: float
+    bandwidth_mb: float
+    total_messages: int
+    total_bytes: int
+    security_bytes: int
+    provenance_bytes: int
+    facts_derived: int
+    best_paths: int
+    converged: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "configuration": self.configuration,
+            "node_count": self.node_count,
+            "seed": self.seed,
+            "completion_time_s": self.completion_time_s,
+            "bandwidth_mb": self.bandwidth_mb,
+            "total_messages": self.total_messages,
+            "total_bytes": self.total_bytes,
+            "security_bytes": self.security_bytes,
+            "provenance_bytes": self.provenance_bytes,
+            "facts_derived": self.facts_derived,
+            "best_paths": self.best_paths,
+            "converged": self.converged,
+        }
+
+
+def engine_config(configuration: str) -> EngineConfig:
+    """Build the :class:`EngineConfig` for a named configuration."""
+    try:
+        factory = CONFIGURATIONS[configuration]
+    except KeyError:
+        raise ValueError(
+            f"unknown configuration {configuration!r}; "
+            f"expected one of {sorted(CONFIGURATIONS)}"
+        ) from None
+    return factory()
+
+
+def run_best_path(
+    topology: Topology,
+    configuration: str,
+    compiled: Optional[CompiledProgram] = None,
+    cost_model: Optional[CostModel] = None,
+    key_bits: int = 256,
+) -> SimulationResult:
+    """Run the Best-Path query over *topology* in the named configuration."""
+    compiled = compiled or compile_best_path()
+    simulator = Simulator(
+        topology=topology,
+        compiled=compiled,
+        config=engine_config(configuration),
+        cost_model=cost_model,
+        key_bits=key_bits,
+    )
+    return simulator.run(best_path_workload(topology))
+
+
+def run_configuration(
+    configuration: str,
+    node_count: int,
+    seed: int = 0,
+    compiled: Optional[CompiledProgram] = None,
+    cost_model: Optional[CostModel] = None,
+) -> ExperimentRow:
+    """One sweep point: N nodes, one seed, one configuration."""
+    topology = evaluation_topology(node_count, seed=seed)
+    result = run_best_path(
+        topology, configuration, compiled=compiled, cost_model=cost_model
+    )
+    stats = result.stats
+    return ExperimentRow(
+        configuration=configuration,
+        node_count=node_count,
+        seed=seed,
+        completion_time_s=stats.completion_time,
+        bandwidth_mb=stats.total_bandwidth_mb(),
+        total_messages=stats.total_messages,
+        total_bytes=stats.total_bytes(),
+        security_bytes=stats.security_overhead_bytes(),
+        provenance_bytes=stats.provenance_overhead_bytes(),
+        facts_derived=stats.total_facts_derived(),
+        best_paths=len(result.all_facts("bestPath")),
+        converged=result.converged,
+    )

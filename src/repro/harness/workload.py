@@ -1,0 +1,37 @@
+"""The evaluation workload of Section 6.
+
+"As input, we insert link tables for N nodes with average outdegree of
+three, and vary the size of N from 10 to 100."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.engine.tuples import Fact
+from repro.net.address import Address
+from repro.net.topology import Topology, random_topology
+
+#: The paper's sweep: N from 10 to 100.
+PAPER_NODE_COUNTS: Tuple[int, ...] = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+#: Average out-degree used throughout the evaluation.
+PAPER_AVERAGE_OUTDEGREE = 3.0
+
+
+def evaluation_topology(node_count: int, seed: int = 0) -> Topology:
+    """A random topology matching the paper's workload parameters."""
+    return random_topology(
+        node_count=node_count,
+        average_outdegree=PAPER_AVERAGE_OUTDEGREE,
+        seed=seed,
+    )
+
+
+def best_path_workload(topology: Topology) -> Dict[Address, List[Fact]]:
+    """The ``link(@S, D, C)`` base tuples for the Best-Path query, per node."""
+    per_node: Dict[Address, List[Fact]] = {address: [] for address in topology.nodes}
+    for link in topology.links:
+        per_node[link.source].append(
+            Fact(relation="link", values=(link.source, link.destination, link.cost))
+        )
+    return per_node

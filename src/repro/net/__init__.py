@@ -1,0 +1,34 @@
+"""Simulated distributed substrate.
+
+The paper's evaluation ran up to 100 P2 processes on one machine; this
+package provides the equivalent: a deterministic discrete-event simulator in
+which every node runs a full NDlog/SeNDlog engine, messages carry serialized
+tuples (plus their security envelope and provenance annotations), and the
+harness measures the two metrics of Section 6 — distributed-fixpoint
+completion time under a per-node CPU cost model, and total bandwidth across
+all nodes.
+"""
+
+from repro.net.address import Address, node_name
+from repro.net.message import Message
+from repro.net.link import Link
+from repro.net.topology import Topology, grid_topology, line_topology, random_topology, ring_topology
+from repro.net.stats import NetworkStats, NodeStats
+from repro.net.simulator import CostModel, Simulator, SimulationResult
+
+__all__ = [
+    "Address",
+    "CostModel",
+    "Link",
+    "Message",
+    "NetworkStats",
+    "NodeStats",
+    "SimulationResult",
+    "Simulator",
+    "Topology",
+    "grid_topology",
+    "line_topology",
+    "node_name",
+    "random_topology",
+    "ring_topology",
+]

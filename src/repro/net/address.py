@@ -1,0 +1,24 @@
+"""Node addresses.
+
+Addresses are plain strings (``"n3"`` or ``"10.0.0.3:5000"``); this module
+centralises how they are generated so topologies, engines and provenance all
+agree on naming.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+Address = str
+
+
+def node_name(index: int, prefix: str = "n") -> Address:
+    """Canonical address of the *index*-th node (``n0``, ``n1``, ...)."""
+    if index < 0:
+        raise ValueError("node index must be non-negative")
+    return f"{prefix}{index}"
+
+
+def node_names(count: int, prefix: str = "n") -> Tuple[Address, ...]:
+    """Addresses of the first *count* nodes."""
+    return tuple(node_name(i, prefix) for i in range(count))

@@ -1,0 +1,47 @@
+"""Network links.
+
+A :class:`Link` is a unidirectional edge of the simulated topology with a
+cost (used by the Best-Path query), a propagation latency and a transmission
+bandwidth (used by the simulator to compute message delivery times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.address import Address
+
+#: Default propagation latency between co-located processes (seconds).
+DEFAULT_LATENCY = 0.001
+#: Default link bandwidth in bytes per second (100 Mbit/s).
+DEFAULT_BANDWIDTH = 100_000_000 / 8
+
+
+@dataclass(frozen=True)
+class Link:
+    """A unidirectional link ``source -> destination``."""
+
+    source: Address
+    destination: Address
+    cost: float = 1.0
+    latency: float = DEFAULT_LATENCY
+    bandwidth: float = DEFAULT_BANDWIDTH
+
+    def transmission_delay(self, size_bytes: int) -> float:
+        """Time to push *size_bytes* onto the wire plus propagation latency."""
+        if self.bandwidth <= 0:
+            return self.latency
+        return self.latency + size_bytes / self.bandwidth
+
+    def reversed(self) -> "Link":
+        """The same link in the opposite direction."""
+        return Link(
+            source=self.destination,
+            destination=self.source,
+            cost=self.cost,
+            latency=self.latency,
+            bandwidth=self.bandwidth,
+        )
+
+    def __str__(self) -> str:
+        return f"link({self.source}, {self.destination}, cost={self.cost})"

@@ -1,0 +1,64 @@
+"""Wire messages and their size accounting.
+
+A message carries exactly one exported tuple between two nodes, matching the
+paper's per-tuple signing ("generating a signature for each tuple").  The
+message size is what the bandwidth metric of Figure 4 accumulates:
+
+    header + tuple payload + security envelope + provenance annotation
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Optional
+
+from repro.engine.tuples import Fact
+from repro.net.address import Address
+
+#: Fixed per-message framing overhead: UDP/IP headers plus P2's verbose tuple
+#: framing (relation name, per-field type tags, location specifier).
+MESSAGE_HEADER_BYTES = 80
+
+_sequence = count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """One tuple in flight from ``source`` to ``destination``.
+
+    ``security_bytes`` and ``provenance_bytes`` record how much the security
+    envelope (principal attribution + signature) and the piggy-backed
+    provenance annotation add to the payload; they are kept separate so the
+    harness can attribute bandwidth overhead to each mechanism.
+    """
+
+    source: Address
+    destination: Address
+    fact: Fact
+    security_bytes: int = 0
+    provenance_bytes: int = 0
+    sent_at: float = 0.0
+    sequence: int = 0
+
+    @staticmethod
+    def next_sequence() -> int:
+        return next(_sequence)
+
+    def payload_bytes(self) -> int:
+        return self.fact.payload_size()
+
+    def size_bytes(self) -> int:
+        """Total wire size of the message."""
+        return (
+            MESSAGE_HEADER_BYTES
+            + self.payload_bytes()
+            + self.security_bytes
+            + self.provenance_bytes
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.source} -> {self.destination}: {self.fact} "
+            f"({self.size_bytes()} bytes)"
+        )

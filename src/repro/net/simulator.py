@@ -1,0 +1,235 @@
+"""Discrete-event network simulator.
+
+The simulator plays the role of the testbed in the paper's evaluation: it
+hosts one :class:`~repro.engine.node_engine.NodeEngine` per node of a
+topology, delivers exported tuples as timestamped messages, charges per-node
+CPU time for the work each delta causes (via :class:`CostModel`), and runs
+until the distributed fixpoint — no messages in flight and every node idle.
+
+Determinism: given the same topology, program and configuration the event
+order is fully deterministic (ties broken by sequence numbers), so completion
+time and bandwidth are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.datalog.planner import CompiledProgram
+from repro.engine.node_engine import EngineConfig, NodeEngine, OutgoingFact, ProcessingReport
+from repro.engine.tuples import Fact
+from repro.net.address import Address
+from repro.net.link import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, Link
+from repro.net.message import Message
+from repro.net.stats import NetworkStats, NodeStats
+from repro.net.topology import Topology
+from repro.security.keystore import KeyStore
+from repro.security.principal import PrincipalRegistry
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Converts a node's operation counters into simulated CPU seconds.
+
+    The constants model a 2008-era interpreted dataflow engine (P2) running
+    many processes on one machine.  Absolute values are not meant to match
+    the paper's testbed; what matters for the reproduction is the *structure*:
+    per-tuple relational work scales with tuple size, signing adds a fixed
+    per-tuple cost, verification is much cheaper than signing (small public
+    exponent), and provenance adds per-annotation plus per-byte costs.
+    """
+
+    seconds_per_fact_received: float = 0.8e-3
+    seconds_per_rule_firing: float = 1.2e-3
+    seconds_per_fact_derived: float = 0.8e-3
+    seconds_per_fact_inserted: float = 0.4e-3
+    seconds_per_payload_byte: float = 3.0e-5
+    seconds_per_signature: float = 4.0e-3
+    seconds_per_verification: float = 0.6e-3
+    seconds_per_provenance_annotation: float = 1.0e-3
+    seconds_per_provenance_byte: float = 2.5e-5
+
+    def cpu_seconds(self, report: ProcessingReport) -> float:
+        """Simulated CPU time for the work summarised in *report*."""
+        return (
+            report.facts_received * self.seconds_per_fact_received
+            + report.rule_firings * self.seconds_per_rule_firing
+            + report.facts_derived * self.seconds_per_fact_derived
+            + report.facts_inserted * self.seconds_per_fact_inserted
+            + report.payload_bytes_processed * self.seconds_per_payload_byte
+            + report.signatures_created * self.seconds_per_signature
+            + report.facts_verified * self.seconds_per_verification
+            + report.provenance_annotations * self.seconds_per_provenance_annotation
+            + report.provenance_bytes_computed * self.seconds_per_provenance_byte
+            + report.provenance_signatures * self.seconds_per_signature
+            + report.provenance_verifications * self.seconds_per_verification
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    stats: NetworkStats
+    engines: Dict[Address, NodeEngine]
+    converged: bool
+    events_processed: int
+
+    def facts(self, relation: str) -> Dict[Address, Tuple[Fact, ...]]:
+        """All stored facts of *relation*, per node."""
+        return {address: engine.facts(relation) for address, engine in self.engines.items()}
+
+    def all_facts(self, relation: str) -> Tuple[Fact, ...]:
+        collected: List[Fact] = []
+        for engine in self.engines.values():
+            collected.extend(engine.facts(relation))
+        return tuple(collected)
+
+
+class Simulator:
+    """Runs one program over one topology under one engine configuration."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        compiled: CompiledProgram,
+        config: EngineConfig,
+        cost_model: Optional[CostModel] = None,
+        keystore: Optional[KeyStore] = None,
+        registry: Optional[PrincipalRegistry] = None,
+        key_bits: int = 256,
+        max_events: int = 5_000_000,
+        default_latency: float = DEFAULT_LATENCY,
+        default_bandwidth: float = DEFAULT_BANDWIDTH,
+    ) -> None:
+        self.topology = topology
+        self.compiled = compiled
+        self.config = config
+        self.cost_model = cost_model or CostModel()
+        self.max_events = max_events
+        self.default_latency = default_latency
+        self.default_bandwidth = default_bandwidth
+
+        self.registry = registry or PrincipalRegistry()
+        self.keystore = keystore or KeyStore(key_bits=key_bits, seed=7)
+        if config.says_mode.requires_signature:
+            self.keystore.create_all(topology.nodes)
+
+        self.engines: Dict[Address, NodeEngine] = {}
+        for address in topology.nodes:
+            self.registry.register(address)
+            self.engines[address] = NodeEngine(
+                address=address,
+                compiled=compiled,
+                config=config,
+                keystore=self.keystore,
+                registry=self.registry,
+            )
+
+        self.stats = NetworkStats()
+        self._queue: List[Tuple[float, int, Message]] = []
+        self._sequence = 0
+
+    # -- base facts -------------------------------------------------------------
+
+    def link_facts(self) -> Dict[Address, List[Fact]]:
+        """The ``link(@S, D, C)`` base tuples implied by the topology."""
+        per_node: Dict[Address, List[Fact]] = {address: [] for address in self.topology.nodes}
+        for link in self.topology.links:
+            per_node[link.source].append(
+                Fact(relation="link", values=(link.source, link.destination, link.cost))
+            )
+        return per_node
+
+    # -- running ----------------------------------------------------------------
+
+    def run(
+        self,
+        base_facts: Optional[Dict[Address, Iterable[Fact]]] = None,
+        start_time: float = 0.0,
+    ) -> SimulationResult:
+        """Inject base facts at time zero and run to the distributed fixpoint."""
+        injected = base_facts if base_facts is not None else self.link_facts()
+
+        for address, facts in injected.items():
+            engine = self.engines[address]
+            node_stats = self.stats.node(address)
+            for fact in facts:
+                start = max(start_time, node_stats.busy_until)
+                result = engine.insert_base(fact, now=start)
+                self._account_processing(address, start, result.report, node_stats)
+                self._dispatch_outgoing(address, result.outgoing, node_stats)
+
+        events = 0
+        converged = True
+        while self._queue:
+            events += 1
+            if events > self.max_events:
+                converged = False
+                break
+            deliver_at, _, message = heapq.heappop(self._queue)
+            self._deliver(message, deliver_at)
+
+        self.stats.total_events = events
+        self.stats.completion_time = max(
+            [stats.busy_until for stats in self.stats.nodes.values()] or [0.0]
+        )
+        return SimulationResult(
+            stats=self.stats,
+            engines=self.engines,
+            converged=converged,
+            events_processed=events,
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _deliver(self, message: Message, deliver_at: float) -> None:
+        destination = message.destination
+        engine = self.engines.get(destination)
+        node_stats = self.stats.node(destination)
+        node_stats.record_receive(message)
+        if engine is None:
+            return
+        start = max(deliver_at, node_stats.busy_until)
+        result = engine.receive(message.fact, now=start, provenance=message.fact.provenance)
+        self._account_processing(destination, start, result.report, node_stats)
+        self._dispatch_outgoing(destination, result.outgoing, node_stats)
+
+    def _account_processing(
+        self,
+        address: Address,
+        start: float,
+        report: ProcessingReport,
+        node_stats: NodeStats,
+    ) -> None:
+        cpu = self.cost_model.cpu_seconds(report)
+        node_stats.cpu_seconds += cpu
+        node_stats.busy_until = start + cpu
+        node_stats.facts_derived += report.facts_derived
+        node_stats.facts_stored += report.facts_inserted
+
+    def _dispatch_outgoing(
+        self, source: Address, outgoing: List[OutgoingFact], node_stats: NodeStats
+    ) -> None:
+        send_time = node_stats.busy_until
+        for item in outgoing:
+            message = Message(
+                source=source,
+                destination=item.destination,
+                fact=item.fact,
+                security_bytes=item.security_bytes,
+                provenance_bytes=item.provenance_bytes,
+                sent_at=send_time,
+                sequence=Message.next_sequence(),
+            )
+            node_stats.record_send(message)
+            self.stats.total_messages += 1
+            link = self.topology.link_between(source, item.destination)
+            if link is not None:
+                delay = link.transmission_delay(message.size_bytes())
+            else:
+                delay = self.default_latency + message.size_bytes() / self.default_bandwidth
+            self._sequence += 1
+            heapq.heappush(self._queue, (send_time + delay, self._sequence, message))

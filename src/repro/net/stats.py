@@ -1,0 +1,101 @@
+"""Simulation statistics: the metrics of the paper's evaluation.
+
+Two headline metrics (Section 6):
+
+* **query completion time** — the simulated time at which the distributed
+  fixpoint is reached (no messages in flight, every node idle);
+* **bandwidth usage** — "the total combined bandwidth usage across all
+  nodes", i.e. the sum of the sizes of every message sent.
+
+Per-node statistics additionally break down CPU time, message counts and the
+bytes attributable to security envelopes and provenance annotations, which
+the harness uses to explain *where* the SeNDlog / SeNDlogProv overheads come
+from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.net.address import Address
+from repro.net.message import Message
+
+
+@dataclass
+class NodeStats:
+    """Counters for one node."""
+
+    address: Address
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    security_bytes_sent: int = 0
+    provenance_bytes_sent: int = 0
+    facts_derived: int = 0
+    facts_stored: int = 0
+    cpu_seconds: float = 0.0
+    busy_until: float = 0.0
+
+    def record_send(self, message: Message) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += message.size_bytes()
+        self.security_bytes_sent += message.security_bytes
+        self.provenance_bytes_sent += message.provenance_bytes
+
+    def record_receive(self, message: Message) -> None:
+        self.messages_received += 1
+        self.bytes_received += message.size_bytes()
+
+
+@dataclass
+class NetworkStats:
+    """Aggregated statistics for one simulation run."""
+
+    nodes: Dict[Address, NodeStats] = field(default_factory=dict)
+    completion_time: float = 0.0
+    total_messages: int = 0
+    total_events: int = 0
+
+    def node(self, address: Address) -> NodeStats:
+        stats = self.nodes.get(address)
+        if stats is None:
+            stats = NodeStats(address=address)
+            self.nodes[address] = stats
+        return stats
+
+    # -- headline metrics -------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Total combined bandwidth usage across all nodes, in bytes."""
+        return sum(stats.bytes_sent for stats in self.nodes.values())
+
+    def total_bandwidth_mb(self) -> float:
+        """Figure 4's metric: total bandwidth in megabytes."""
+        return self.total_bytes() / 1_000_000.0
+
+    def total_cpu_seconds(self) -> float:
+        return sum(stats.cpu_seconds for stats in self.nodes.values())
+
+    def total_facts_derived(self) -> int:
+        return sum(stats.facts_derived for stats in self.nodes.values())
+
+    def security_overhead_bytes(self) -> int:
+        return sum(stats.security_bytes_sent for stats in self.nodes.values())
+
+    def provenance_overhead_bytes(self) -> int:
+        return sum(stats.provenance_bytes_sent for stats in self.nodes.values())
+
+    def summary(self) -> Dict[str, float]:
+        """A flat summary dictionary, convenient for tables and benchmarks."""
+        return {
+            "completion_time_s": self.completion_time,
+            "bandwidth_mb": self.total_bandwidth_mb(),
+            "total_messages": float(self.total_messages),
+            "total_bytes": float(self.total_bytes()),
+            "security_bytes": float(self.security_overhead_bytes()),
+            "provenance_bytes": float(self.provenance_overhead_bytes()),
+            "facts_derived": float(self.total_facts_derived()),
+            "cpu_seconds": self.total_cpu_seconds(),
+        }

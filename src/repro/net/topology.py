@@ -1,0 +1,194 @@
+"""Topology generation.
+
+The evaluation workload inserts "link tables for N nodes with average
+outdegree of three" (Section 6).  :func:`random_topology` reproduces that
+workload deterministically from a seed; ring, line and grid topologies are
+provided for tests, examples and the use-case scenarios.
+
+Generated topologies are always strongly connected (a Hamiltonian-cycle
+backbone is laid down before the random extra edges) so that recursive
+queries reach a well-defined global fixpoint.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.net.address import Address, node_names
+from repro.net.link import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, Link
+
+
+@dataclass
+class Topology:
+    """A directed network graph of nodes and links."""
+
+    nodes: Tuple[Address, ...]
+    links: Tuple[Link, ...]
+
+    def __post_init__(self) -> None:
+        self._out: Dict[Address, List[Link]] = {}
+        self._index: Dict[Tuple[Address, Address], Link] = {}
+        for link in self.links:
+            self._out.setdefault(link.source, []).append(link)
+            self._index[(link.source, link.destination)] = link
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def link_count(self) -> int:
+        return len(self.links)
+
+    def outgoing(self, node: Address) -> Tuple[Link, ...]:
+        return tuple(self._out.get(node, ()))
+
+    def link_between(self, source: Address, destination: Address) -> Optional[Link]:
+        return self._index.get((source, destination))
+
+    def neighbors(self, node: Address) -> Tuple[Address, ...]:
+        return tuple(link.destination for link in self.outgoing(node))
+
+    def average_outdegree(self) -> float:
+        if not self.nodes:
+            return 0.0
+        return len(self.links) / len(self.nodes)
+
+    def is_strongly_connected(self) -> bool:
+        """True when every node can reach every other node."""
+        if not self.nodes:
+            return True
+
+        def reachable(start: Address, forward: bool) -> FrozenSet[Address]:
+            seen = {start}
+            stack = [start]
+            while stack:
+                current = stack.pop()
+                if forward:
+                    successors = self.neighbors(current)
+                else:
+                    successors = tuple(
+                        link.source for link in self.links if link.destination == current
+                    )
+                for nxt in successors:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            return frozenset(seen)
+
+        start = self.nodes[0]
+        everyone = frozenset(self.nodes)
+        return reachable(start, True) == everyone and reachable(start, False) == everyone
+
+    def with_extra_links(self, links: Iterable[Link]) -> "Topology":
+        return Topology(nodes=self.nodes, links=self.links + tuple(links))
+
+
+def random_topology(
+    node_count: int,
+    average_outdegree: float = 3.0,
+    seed: int = 0,
+    cost_range: Tuple[float, float] = (1.0, 10.0),
+    latency: float = DEFAULT_LATENCY,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    prefix: str = "n",
+) -> Topology:
+    """The paper's evaluation workload: N nodes with a target average outdegree.
+
+    A directed ring backbone guarantees strong connectivity; the remaining
+    edge budget is spent on uniformly random extra edges with random integer
+    costs drawn from *cost_range*.  Deterministic in *seed*.
+    """
+    if node_count < 2:
+        raise ValueError("a topology needs at least two nodes")
+    rng = random.Random(seed)
+    nodes = node_names(node_count, prefix)
+    links: Dict[Tuple[Address, Address], Link] = {}
+
+    def add(source: Address, destination: Address) -> None:
+        cost = float(rng.randint(int(cost_range[0]), int(cost_range[1])))
+        links[(source, destination)] = Link(
+            source=source,
+            destination=destination,
+            cost=cost,
+            latency=latency,
+            bandwidth=bandwidth,
+        )
+
+    # Ring backbone for strong connectivity.
+    for i, source in enumerate(nodes):
+        add(source, nodes[(i + 1) % node_count])
+
+    target_links = int(round(average_outdegree * node_count))
+    attempts = 0
+    while len(links) < target_links and attempts < 50 * target_links:
+        attempts += 1
+        source = rng.choice(nodes)
+        destination = rng.choice(nodes)
+        if source == destination or (source, destination) in links:
+            continue
+        add(source, destination)
+
+    return Topology(nodes=nodes, links=tuple(links.values()))
+
+
+def ring_topology(
+    node_count: int, cost: float = 1.0, bidirectional: bool = True, prefix: str = "n"
+) -> Topology:
+    """A simple ring, optionally bidirectional."""
+    nodes = node_names(node_count, prefix)
+    links: List[Link] = []
+    for i, source in enumerate(nodes):
+        destination = nodes[(i + 1) % node_count]
+        links.append(Link(source=source, destination=destination, cost=cost))
+        if bidirectional:
+            links.append(Link(source=destination, destination=source, cost=cost))
+    return Topology(nodes=nodes, links=tuple(links))
+
+
+def line_topology(node_count: int, cost: float = 1.0, prefix: str = "n") -> Topology:
+    """A bidirectional chain ``n0 - n1 - ... - n(k-1)``."""
+    nodes = node_names(node_count, prefix)
+    links: List[Link] = []
+    for i in range(node_count - 1):
+        links.append(Link(source=nodes[i], destination=nodes[i + 1], cost=cost))
+        links.append(Link(source=nodes[i + 1], destination=nodes[i], cost=cost))
+    return Topology(nodes=nodes, links=tuple(links))
+
+
+def grid_topology(rows: int, columns: int, cost: float = 1.0, prefix: str = "n") -> Topology:
+    """A bidirectional rows x columns grid."""
+    nodes = node_names(rows * columns, prefix)
+    links: List[Link] = []
+
+    def index(r: int, c: int) -> int:
+        return r * columns + c
+
+    for r in range(rows):
+        for c in range(columns):
+            here = nodes[index(r, c)]
+            if c + 1 < columns:
+                right = nodes[index(r, c + 1)]
+                links.append(Link(source=here, destination=right, cost=cost))
+                links.append(Link(source=right, destination=here, cost=cost))
+            if r + 1 < rows:
+                down = nodes[index(r + 1, c)]
+                links.append(Link(source=here, destination=down, cost=cost))
+                links.append(Link(source=down, destination=here, cost=cost))
+    return Topology(nodes=nodes, links=tuple(links))
+
+
+def paper_example_topology() -> Topology:
+    """The three-node example of Section 4: links a->b, a->c and b->c."""
+    return Topology(
+        nodes=("a", "b", "c"),
+        links=(
+            Link(source="a", destination="b", cost=1.0),
+            Link(source="a", destination="c", cost=1.0),
+            Link(source="b", destination="c", cost=1.0),
+        ),
+    )

@@ -1,0 +1,110 @@
+"""Network provenance: the paper's core contribution.
+
+This package implements the full taxonomy of Section 4:
+
+* **provenance semirings** (:mod:`semiring`, :mod:`polynomial`) — derivations
+  are annotated with polynomial expressions over base-tuple / principal
+  variables, following Green et al.;
+* **condensed provenance** (:mod:`bdd`, :mod:`condensed`) — polynomials are
+  canonicalised through reduced ordered BDDs and minimised by absorption
+  (``a + a*b -> a``), Section 4.4;
+* **derivation graphs** (:mod:`graph`) — the explicit derivation trees of
+  Figures 1 and 2, annotated with locations, rules, timestamps and ``says``
+  principals;
+* **local vs distributed provenance** (:mod:`local`, :mod:`distributed`) —
+  piggy-backed full provenance versus per-node pointers reconstructed by a
+  recursive traceback query, Section 4.1;
+* **online vs offline provenance** (:mod:`store`) — provenance tied to live
+  soft state versus an append-only archive that survives expiry, Section 4.2;
+* **authenticated provenance** (:mod:`authenticated`) — per-derivation-node
+  signatures, Section 4.3;
+* **quantifiable provenance** (:mod:`quantify`) — trust levels, counts and
+  votes evaluated over provenance expressions, Section 4.5;
+* **optimizations** (:mod:`pruning`) — proactive vs reactive maintenance,
+  sampling, and AS-granularity aggregation, Section 5.
+"""
+
+from repro.provenance.semiring import (
+    BOOLEAN,
+    COUNTING,
+    TRUST,
+    Semiring,
+    TrustSemiring,
+)
+from repro.provenance.polynomial import (
+    ProvenanceExpression,
+    p_one,
+    p_product,
+    p_sum,
+    p_var,
+    p_zero,
+)
+from repro.provenance.bdd import BDD, BDDManager
+from repro.provenance.condensed import CondensedProvenance, condense_expression
+from repro.provenance.graph import DerivationGraph, DerivationNode, OperatorNode
+from repro.provenance.local import LocalProvenanceStore
+from repro.provenance.distributed import (
+    DistributedProvenanceStore,
+    ProvenancePointer,
+    TracebackResult,
+)
+from repro.provenance.store import OfflineProvenanceArchive, OnlineProvenanceStore
+from repro.provenance.authenticated import (
+    AuthenticatedProvenance,
+    ProvenanceVerificationError,
+    SignedAnnotation,
+    sign_annotation,
+    verify_annotation,
+)
+from repro.provenance.quantify import (
+    count_derivations,
+    trust_level,
+    vote_principals,
+)
+from repro.provenance.taxonomy import ProvenanceAxes, UseCase, recommend_provenance
+from repro.provenance.pruning import (
+    ASAggregator,
+    MaintenanceMode,
+    ProvenanceSampler,
+)
+
+__all__ = [
+    "ASAggregator",
+    "AuthenticatedProvenance",
+    "BDD",
+    "BDDManager",
+    "BOOLEAN",
+    "COUNTING",
+    "CondensedProvenance",
+    "DerivationGraph",
+    "DerivationNode",
+    "DistributedProvenanceStore",
+    "LocalProvenanceStore",
+    "MaintenanceMode",
+    "OfflineProvenanceArchive",
+    "OnlineProvenanceStore",
+    "OperatorNode",
+    "ProvenanceAxes",
+    "ProvenanceExpression",
+    "ProvenancePointer",
+    "ProvenanceSampler",
+    "ProvenanceVerificationError",
+    "Semiring",
+    "SignedAnnotation",
+    "sign_annotation",
+    "verify_annotation",
+    "TRUST",
+    "TracebackResult",
+    "TrustSemiring",
+    "UseCase",
+    "condense_expression",
+    "count_derivations",
+    "p_one",
+    "p_product",
+    "p_sum",
+    "p_var",
+    "p_zero",
+    "recommend_provenance",
+    "trust_level",
+    "vote_principals",
+]

@@ -1,0 +1,348 @@
+"""Reduced Ordered Binary Decision Diagrams (ROBDDs).
+
+The paper condenses provenance expressions by encoding them "in boolean
+expressions stored in Binary Decision Diagrams" (Section 4.4), using the
+BuDDy library.  This module is a from-scratch replacement providing exactly
+the operations condensation needs:
+
+* a shared :class:`BDDManager` with a unique table (structural hashing) so
+  equivalent boolean functions are represented by the same node — equality of
+  BDD references is semantic equivalence;
+* ``apply`` with memoisation for AND / OR / NOT;
+* restriction (cofactors), satisfiability, model counting and enumeration of
+  satisfying assignments;
+* conversion from :class:`~repro.provenance.polynomial.ProvenanceExpression`
+  and extraction of the minimal monotone DNF (prime implicants), which is the
+  condensed provenance shipped on the wire.
+
+Variables are ordered by their registration order in the manager; provenance
+callers register base-tuple / principal identifiers as variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.provenance.polynomial import ProvenanceExpression
+
+
+@dataclass(frozen=True)
+class BDD:
+    """A handle to one node in a :class:`BDDManager`.
+
+    Handles are only meaningful together with the manager that created them;
+    two handles from the same manager denote the same boolean function iff
+    they are equal.
+    """
+
+    manager: "BDDManager"
+    node: int
+
+    # -- boolean structure ----------------------------------------------------
+
+    @property
+    def is_true(self) -> bool:
+        return self.node == BDDManager.TRUE
+
+    @property
+    def is_false(self) -> bool:
+        return self.node == BDDManager.FALSE
+
+    def __and__(self, other: "BDD") -> "BDD":
+        return self.manager.apply_and(self, other)
+
+    def __or__(self, other: "BDD") -> "BDD":
+        return self.manager.apply_or(self, other)
+
+    def __invert__(self) -> "BDD":
+        return self.manager.apply_not(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BDD):
+            return NotImplemented
+        return self.manager is other.manager and self.node == other.node
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.node))
+
+    # -- queries --------------------------------------------------------------
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return self.manager.evaluate(self, assignment)
+
+    def satisfying_assignments(self) -> Iterator[Dict[str, bool]]:
+        return self.manager.satisfying_assignments(self)
+
+    def count_solutions(self) -> int:
+        return self.manager.count_solutions(self)
+
+    def support(self) -> FrozenSet[str]:
+        return self.manager.support(self)
+
+    def node_count(self) -> int:
+        return self.manager.node_count(self)
+
+    def prime_implicants(self) -> Tuple[FrozenSet[str], ...]:
+        return self.manager.prime_implicants(self)
+
+
+class BDDManager:
+    """Shared node storage for a family of ROBDDs."""
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self) -> None:
+        # node id -> (level, low, high); terminals use level = +inf sentinel.
+        self._nodes: List[Tuple[int, int, int]] = [
+            (1 << 30, 0, 0),  # FALSE
+            (1 << 30, 1, 1),  # TRUE
+        ]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._apply_cache: Dict[Tuple[str, int, int], int] = {}
+        self._variables: List[str] = []
+        self._variable_levels: Dict[str, int] = {}
+
+    # -- variables ------------------------------------------------------------
+
+    def declare(self, name: str) -> "BDD":
+        """Declare (or fetch) the variable *name* and return its BDD."""
+        if name not in self._variable_levels:
+            self._variable_levels[name] = len(self._variables)
+            self._variables.append(name)
+        level = self._variable_levels[name]
+        node = self._make_node(level, BDDManager.FALSE, BDDManager.TRUE)
+        return BDD(self, node)
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(self._variables)
+
+    @property
+    def true(self) -> "BDD":
+        return BDD(self, BDDManager.TRUE)
+
+    @property
+    def false(self) -> "BDD":
+        return BDD(self, BDDManager.FALSE)
+
+    # -- node construction ----------------------------------------------------
+
+    def _make_node(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        existing = self._unique.get(key)
+        if existing is not None:
+            return existing
+        node = len(self._nodes)
+        self._nodes.append(key)
+        self._unique[key] = node
+        return node
+
+    def _level(self, node: int) -> int:
+        return self._nodes[node][0]
+
+    def _low(self, node: int) -> int:
+        return self._nodes[node][1]
+
+    def _high(self, node: int) -> int:
+        return self._nodes[node][2]
+
+    # -- apply ----------------------------------------------------------------
+
+    def apply_and(self, left: "BDD", right: "BDD") -> "BDD":
+        return BDD(self, self._apply("and", left.node, right.node))
+
+    def apply_or(self, left: "BDD", right: "BDD") -> "BDD":
+        return BDD(self, self._apply("or", left.node, right.node))
+
+    def apply_not(self, operand: "BDD") -> "BDD":
+        return BDD(self, self._negate(operand.node))
+
+    def _apply(self, op: str, left: int, right: int) -> int:
+        terminal = self._apply_terminal(op, left, right)
+        if terminal is not None:
+            return terminal
+        key = (op, left, right) if left <= right else (op, right, left)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        left_level = self._level(left)
+        right_level = self._level(right)
+        level = min(left_level, right_level)
+        left_low, left_high = (
+            (self._low(left), self._high(left)) if left_level == level else (left, left)
+        )
+        right_low, right_high = (
+            (self._low(right), self._high(right))
+            if right_level == level
+            else (right, right)
+        )
+        low = self._apply(op, left_low, right_low)
+        high = self._apply(op, left_high, right_high)
+        result = self._make_node(level, low, high)
+        self._apply_cache[key] = result
+        return result
+
+    @staticmethod
+    def _apply_terminal(op: str, left: int, right: int) -> Optional[int]:
+        if op == "and":
+            if left == BDDManager.FALSE or right == BDDManager.FALSE:
+                return BDDManager.FALSE
+            if left == BDDManager.TRUE:
+                return right
+            if right == BDDManager.TRUE:
+                return left
+            if left == right:
+                return left
+        elif op == "or":
+            if left == BDDManager.TRUE or right == BDDManager.TRUE:
+                return BDDManager.TRUE
+            if left == BDDManager.FALSE:
+                return right
+            if right == BDDManager.FALSE:
+                return left
+            if left == right:
+                return left
+        return None
+
+    def _negate(self, node: int) -> int:
+        if node == BDDManager.TRUE:
+            return BDDManager.FALSE
+        if node == BDDManager.FALSE:
+            return BDDManager.TRUE
+        key = ("not", node, node)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        level, low, high = self._nodes[node]
+        result = self._make_node(level, self._negate(low), self._negate(high))
+        self._apply_cache[key] = result
+        return result
+
+    # -- queries --------------------------------------------------------------
+
+    def evaluate(self, bdd: "BDD", assignment: Dict[str, bool]) -> bool:
+        node = bdd.node
+        while node not in (BDDManager.TRUE, BDDManager.FALSE):
+            level, low, high = self._nodes[node]
+            name = self._variables[level]
+            node = high if assignment.get(name, False) else low
+        return node == BDDManager.TRUE
+
+    def support(self, bdd: "BDD") -> FrozenSet[str]:
+        seen: set = set()
+        names: set = set()
+        stack = [bdd.node]
+        while stack:
+            node = stack.pop()
+            if node in seen or node in (BDDManager.TRUE, BDDManager.FALSE):
+                continue
+            seen.add(node)
+            level, low, high = self._nodes[node]
+            names.add(self._variables[level])
+            stack.extend((low, high))
+        return frozenset(names)
+
+    def node_count(self, bdd: "BDD") -> int:
+        """Number of internal nodes reachable from *bdd* (its memory size)."""
+        seen: set = set()
+        stack = [bdd.node]
+        while stack:
+            node = stack.pop()
+            if node in seen or node in (BDDManager.TRUE, BDDManager.FALSE):
+                continue
+            seen.add(node)
+            stack.extend((self._low(node), self._high(node)))
+        return len(seen)
+
+    def count_solutions(self, bdd: "BDD") -> int:
+        """Number of satisfying assignments over the declared variables."""
+        total_vars = len(self._variables)
+        cache: Dict[int, int] = {}
+
+        def count(node: int) -> int:
+            if node == BDDManager.FALSE:
+                return 0
+            if node == BDDManager.TRUE:
+                return 1 << total_vars
+            if node in cache:
+                return cache[node]
+            level, low, high = self._nodes[node]
+            result = (count(low) + count(high)) // 2
+            cache[node] = result
+            return result
+
+        return count(bdd.node)
+
+    def satisfying_assignments(self, bdd: "BDD") -> Iterator[Dict[str, bool]]:
+        """Yield partial assignments (over the BDD's support) that satisfy it."""
+
+        def walk(node: int, partial: Dict[str, bool]) -> Iterator[Dict[str, bool]]:
+            if node == BDDManager.FALSE:
+                return
+            if node == BDDManager.TRUE:
+                yield dict(partial)
+                return
+            level, low, high = self._nodes[node]
+            name = self._variables[level]
+            partial[name] = False
+            yield from walk(low, partial)
+            partial[name] = True
+            yield from walk(high, partial)
+            del partial[name]
+
+        yield from walk(bdd.node, {})
+
+    # -- provenance-specific operations ---------------------------------------
+
+    def from_expression(self, expression: ProvenanceExpression) -> "BDD":
+        """Encode a provenance polynomial as the BDD of its boolean projection."""
+        result = self.false
+        for support in expression.monomial_supports():
+            term = self.true
+            for name in sorted(support):
+                term = term & self.declare(name)
+            result = result | term
+        return result
+
+    def prime_implicants(self, bdd: "BDD") -> Tuple[FrozenSet[str], ...]:
+        """Prime implicants of a *monotone* function as variable sets.
+
+        Provenance functions are monotone (no negated base tuples), so the
+        prime implicants are exactly the minimal monomials of the condensed
+        provenance expression.  Computed by enumerating the supports of
+        satisfying assignments restricted to positive literals and keeping
+        the minimal ones; cubes never exceed the BDD's support size.
+        """
+        supports = set()
+        for assignment in self.satisfying_assignments(bdd):
+            positives = frozenset(name for name, value in assignment.items() if value)
+            supports.add(positives)
+        # For monotone functions any superset of a satisfying positive set is
+        # satisfying; keep only the minimal sets.
+        minimal = [
+            candidate
+            for candidate in supports
+            if not any(other < candidate for other in supports)
+        ]
+        return tuple(sorted(minimal, key=lambda s: (len(s), sorted(s))))
+
+    def to_expression(self, bdd: "BDD") -> ProvenanceExpression:
+        """Convert back to the condensed provenance polynomial (minimal DNF)."""
+        if bdd.is_false:
+            return ProvenanceExpression.zero()
+        if bdd.is_true:
+            return ProvenanceExpression.one()
+        result = ProvenanceExpression.zero()
+        for implicant in self.prime_implicants(bdd):
+            term = ProvenanceExpression.one()
+            for name in sorted(implicant):
+                term = term * ProvenanceExpression.var(name)
+            result = result + term
+        return result.condense()
+
+    def size(self) -> int:
+        """Total number of nodes allocated by this manager."""
+        return len(self._nodes)

@@ -1,0 +1,223 @@
+"""Provenance polynomials.
+
+A provenance expression annotates one tuple with how it was derived from
+base tuples (or, in the paper's condensed form, from the *principals* that
+asserted the base tuples): ``+`` separates alternative derivations and ``*``
+combines the inputs joined within one derivation.  The expression
+``<a + a*b>`` from Figure 2 reads "derivable from ``a`` alone, or from ``a``
+joined with ``b``".
+
+Internally an expression is kept in a normal form as a set of *monomials*
+(each monomial a frozen multiset of variables).  Under the idempotent,
+absorptive semirings relevant for trust (Section 4.4) the canonical minimal
+form is obtained by absorption — ``a + a*b == a`` — implemented in
+:meth:`ProvenanceExpression.condense`.  For semirings where multiplicity
+matters (counting), monomial multiplicities are preserved until the caller
+explicitly condenses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from repro.provenance.semiring import Semiring
+
+#: One monomial: the multiset of variables joined in one derivation,
+#: represented as a sorted tuple of (variable, exponent) pairs.
+Monomial = Tuple[Tuple[str, int], ...]
+
+
+def _monomial_from_vars(variables: Iterable[str]) -> Monomial:
+    counts = Counter(variables)
+    return tuple(sorted(counts.items()))
+
+
+def _monomial_times(left: Monomial, right: Monomial) -> Monomial:
+    counts = Counter(dict(left))
+    for name, exponent in right:
+        counts[name] += exponent
+    return tuple(sorted(counts.items()))
+
+
+def _monomial_support(monomial: Monomial) -> FrozenSet[str]:
+    return frozenset(name for name, _ in monomial)
+
+
+@dataclass(frozen=True)
+class ProvenanceExpression:
+    """A provenance polynomial in monomial normal form.
+
+    ``monomials`` maps each monomial to its multiplicity (the number of
+    distinct derivations sharing that exact combination of inputs).
+    The zero polynomial (no derivation) has no monomials; the one polynomial
+    (axiomatically present) has the single empty monomial.
+    """
+
+    monomials: Tuple[Tuple[Monomial, int], ...]
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def zero() -> "ProvenanceExpression":
+        return ProvenanceExpression(monomials=())
+
+    @staticmethod
+    def one() -> "ProvenanceExpression":
+        return ProvenanceExpression(monomials=(((), 1),))
+
+    @staticmethod
+    def var(name: str) -> "ProvenanceExpression":
+        return ProvenanceExpression(monomials=((_monomial_from_vars([name]), 1),))
+
+    @staticmethod
+    def from_monomials(monomials: Mapping[Monomial, int]) -> "ProvenanceExpression":
+        cleaned = {m: c for m, c in monomials.items() if c > 0}
+        return ProvenanceExpression(monomials=tuple(sorted(cleaned.items())))
+
+    # -- algebra --------------------------------------------------------------
+
+    def __add__(self, other: "ProvenanceExpression") -> "ProvenanceExpression":
+        combined: Dict[Monomial, int] = dict(self.monomials)
+        for monomial, count in other.monomials:
+            combined[monomial] = combined.get(monomial, 0) + count
+        return ProvenanceExpression.from_monomials(combined)
+
+    def __mul__(self, other: "ProvenanceExpression") -> "ProvenanceExpression":
+        product: Dict[Monomial, int] = {}
+        for left, left_count in self.monomials:
+            for right, right_count in other.monomials:
+                key = _monomial_times(left, right)
+                product[key] = product.get(key, 0) + left_count * right_count
+        return ProvenanceExpression.from_monomials(product)
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.monomials
+
+    @property
+    def is_one(self) -> bool:
+        return self.monomials == (((), 1),)
+
+    def variables(self) -> FrozenSet[str]:
+        """All base-tuple / principal variables mentioned in the expression."""
+        names = set()
+        for monomial, _ in self.monomials:
+            for name, _exp in monomial:
+                names.add(name)
+        return frozenset(names)
+
+    def monomial_supports(self) -> Tuple[FrozenSet[str], ...]:
+        """The variable sets of each monomial (exponents and counts dropped)."""
+        return tuple(_monomial_support(m) for m, _ in self.monomials)
+
+    def degree(self) -> int:
+        """Largest number of variables (with multiplicity) joined in one derivation."""
+        if self.is_zero:
+            return 0
+        return max(sum(exp for _, exp in monomial) for monomial, _ in self.monomials)
+
+    # -- condensation (Section 4.4) -------------------------------------------
+
+    def condense(self) -> "ProvenanceExpression":
+        """Minimise under idempotence and absorption: ``a + a*b -> a``.
+
+        The result is the unique minimal DNF of the (monotone) boolean
+        function the expression denotes: duplicate variables collapse
+        (``a*a -> a``), multiplicities drop, and any monomial whose support is
+        a superset of another monomial's support is absorbed.
+        """
+        supports = {frozenset(support) for support in self.monomial_supports()}
+        minimal = [
+            support
+            for support in supports
+            if not any(other < support for other in supports)
+        ]
+        condensed = {
+            _monomial_from_vars(sorted(support)): 1 for support in minimal
+        }
+        return ProvenanceExpression.from_monomials(condensed)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(self, semiring: Semiring, assignment: Mapping[str, object]) -> object:
+        """Evaluate the polynomial in *semiring* under a variable *assignment*.
+
+        Missing variables evaluate to the semiring ``one`` so that partially
+        specified assignments behave like "assume trusted/present".
+        Multiplicities are folded via repeated addition, so counting semiring
+        evaluation returns the true number of derivations.
+        """
+        total = semiring.zero
+        for monomial, count in self.monomials:
+            factors = []
+            for name, exponent in monomial:
+                value = assignment.get(name, semiring.one)
+                factors.extend([value] * exponent)
+            term = semiring.product(factors)
+            for _ in range(count):
+                total = semiring.plus(total, term)
+        return total
+
+    # -- rendering / wire size ------------------------------------------------
+
+    def to_string(self) -> str:
+        """Human-readable form matching the paper's ``<a+a*b>`` notation."""
+        if self.is_zero:
+            return "0"
+        rendered_terms = []
+        for monomial, count in self.monomials:
+            if not monomial:
+                factor = "1"
+            else:
+                parts = []
+                for name, exponent in monomial:
+                    parts.extend([name] * exponent)
+                factor = "*".join(parts)
+            if count > 1:
+                factor = f"{count}*{factor}"
+            rendered_terms.append(factor)
+        return "+".join(rendered_terms)
+
+    def serialized_size(self) -> int:
+        """Bytes this expression occupies on the wire (UTF-8 of its string form)."""
+        return len(self.to_string().encode("utf-8"))
+
+    def __str__(self) -> str:
+        return f"<{self.to_string()}>"
+
+
+# Convenience constructors used across examples and tests -------------------
+
+def p_zero() -> ProvenanceExpression:
+    """The zero polynomial (no derivation)."""
+    return ProvenanceExpression.zero()
+
+
+def p_one() -> ProvenanceExpression:
+    """The one polynomial (axiomatically present)."""
+    return ProvenanceExpression.one()
+
+
+def p_var(name: str) -> ProvenanceExpression:
+    """A single base-tuple / principal variable."""
+    return ProvenanceExpression.var(name)
+
+
+def p_sum(*expressions: ProvenanceExpression) -> ProvenanceExpression:
+    """Sum (alternative derivations) of *expressions*."""
+    result = ProvenanceExpression.zero()
+    for expression in expressions:
+        result = result + expression
+    return result
+
+
+def p_product(*expressions: ProvenanceExpression) -> ProvenanceExpression:
+    """Product (joint derivation) of *expressions*."""
+    result = ProvenanceExpression.one()
+    for expression in expressions:
+        result = result * expression
+    return result

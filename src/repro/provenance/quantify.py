@@ -1,0 +1,89 @@
+"""Quantifiable provenance (Section 4.5).
+
+The semiring formulation permits quantifiable notions of trust evaluated
+directly over a tuple's provenance expression:
+
+* **trust level** — with principals assigned security levels, the trust of a
+  derivation is the ``min`` of its inputs' levels, and the trust of a tuple
+  is the ``max`` over its alternative derivations.  The paper's example:
+  ``<a + a*b>`` with ``level(a)=2, level(b)=1`` yields
+  ``max(2, min(2,1)) = 2``.
+* **count** — the number of distinct ways the tuple can be derived.
+* **vote** — the number of distinct principals that (jointly) support at
+  least one derivation; e.g. "accept an update only if over K principals
+  assert it".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from repro.provenance.condensed import CondensedProvenance
+from repro.provenance.polynomial import ProvenanceExpression
+from repro.provenance.semiring import COUNTING, TRUST
+from repro.security.principal import PrincipalRegistry
+
+ExpressionLike = Union[ProvenanceExpression, CondensedProvenance]
+
+
+def _expression(value: ExpressionLike) -> ProvenanceExpression:
+    if isinstance(value, CondensedProvenance):
+        return value.expression
+    return value
+
+
+def trust_level(
+    provenance: ExpressionLike,
+    levels: Union[Mapping[str, int], PrincipalRegistry],
+    default_level: Optional[int] = None,
+) -> float:
+    """Security level of a tuple given per-principal levels.
+
+    ``levels`` is either a plain mapping from principal name to level or a
+    :class:`PrincipalRegistry`.  Principals missing from the mapping get
+    ``default_level`` when provided, otherwise the semiring identity
+    (fully trusted) — matching the paper's "assume trusted unless stated"
+    reading of partially specified policies.
+    """
+    expression = _expression(provenance)
+    if isinstance(levels, PrincipalRegistry):
+        assignment = {name: levels.security_level(name) for name in expression.variables()}
+    else:
+        assignment = dict(levels)
+        if default_level is not None:
+            for name in expression.variables():
+                assignment.setdefault(name, default_level)
+    return expression.evaluate(TRUST, assignment)
+
+
+def count_derivations(provenance: ExpressionLike) -> int:
+    """Number of distinct derivations of the tuple (counting semiring).
+
+    Every base variable counts as one way of being present, so the count of
+    ``a + a*b`` is 2: one derivation through ``a`` alone and one through
+    ``a`` joined with ``b``.
+    """
+    expression = _expression(provenance)
+    assignment = {name: 1 for name in expression.variables()}
+    return expression.evaluate(COUNTING, assignment)
+
+
+def vote_principals(provenance: ExpressionLike) -> int:
+    """Number of distinct principals participating in any derivation."""
+    expression = _expression(provenance)
+    return len(expression.variables())
+
+
+def accept_by_vote(provenance: ExpressionLike, threshold: int) -> bool:
+    """Quantified trust policy: accept only if over *threshold* principals assert it."""
+    return vote_principals(provenance) >= threshold
+
+
+def accept_by_trust_level(
+    provenance: ExpressionLike,
+    levels: Union[Mapping[str, int], PrincipalRegistry],
+    minimum_level: int,
+    default_level: Optional[int] = None,
+) -> bool:
+    """Trust policy: accept when the derivation's trust level reaches *minimum_level*."""
+    return trust_level(provenance, levels, default_level=default_level) >= minimum_level

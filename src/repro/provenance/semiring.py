@@ -1,0 +1,106 @@
+"""Provenance semirings.
+
+Following Green, Karvounarakis and Tannen ("Provenance semirings", PODS
+2007), a derivation annotated with a polynomial over base-tuple variables can
+be *evaluated* in any commutative semiring by mapping each variable to a
+semiring element and interpreting ``+`` as the semiring sum (alternative
+derivations) and ``*`` as the semiring product (joint use in one derivation).
+
+The semirings provided here are the ones the paper needs:
+
+* :data:`BOOLEAN` — does the tuple exist at all (trust decisions in
+  Section 4.4: is some trusted set of base tuples sufficient)?
+* :data:`COUNTING` — "the count of the number of ways each derivation is
+  achievable" (Section 4.5);
+* :data:`TRUST` — the security-level semiring of Section 4.5: the trust level
+  of a derivation is ``max`` over alternative derivations of the ``min`` over
+  the principals joined in each derivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Semiring(Generic[T]):
+    """A commutative semiring ``(domain, plus, times, zero, one)``.
+
+    ``plus`` combines alternative derivations, ``times`` combines the inputs
+    joined within one derivation.  ``zero`` annotates absent tuples and is
+    absorbing for ``times``; ``one`` annotates "free" facts.
+    """
+
+    name: str
+    plus: Callable[[T, T], T]
+    times: Callable[[T, T], T]
+    zero: T
+    one: T
+
+    def sum(self, values) -> T:
+        """Fold ``plus`` over *values*, starting from ``zero``."""
+        result = self.zero
+        for value in values:
+            result = self.plus(result, value)
+        return result
+
+    def product(self, values) -> T:
+        """Fold ``times`` over *values*, starting from ``one``."""
+        result = self.one
+        for value in values:
+            result = self.times(result, value)
+        return result
+
+
+BOOLEAN: Semiring[bool] = Semiring(
+    name="boolean",
+    plus=lambda a, b: a or b,
+    times=lambda a, b: a and b,
+    zero=False,
+    one=True,
+)
+"""Existence: a tuple exists iff at least one derivation's inputs all exist."""
+
+
+COUNTING: Semiring[int] = Semiring(
+    name="counting",
+    plus=lambda a, b: a + b,
+    times=lambda a, b: a * b,
+    zero=0,
+    one=1,
+)
+"""Number of distinct derivations (bag semantics / Section 4.5 'count')."""
+
+
+class TrustSemiring(Semiring[float]):
+    """The security-level semiring of Section 4.5.
+
+    The trust of a derivation that joins facts asserted by principals with
+    levels ``l1 .. lk`` is ``min(l1, .., lk)`` (a chain is only as strong as
+    its weakest link); the trust of a tuple with several alternative
+    derivations is the ``max`` over them (use the best-supported one).
+
+    The paper's example: ``<a + a*b>`` with ``level(a)=2, level(b)=1``
+    evaluates to ``max(2, min(2, 1)) = 2``.
+    """
+
+    #: Level assigned to an absent derivation (identity of ``max``).
+    UNTRUSTED = float("-inf")
+    #: Level assigned to the empty join (identity of ``min``).
+    FULLY_TRUSTED = float("inf")
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="trust",
+            plus=max,
+            times=min,
+            zero=TrustSemiring.UNTRUSTED,
+            one=TrustSemiring.FULLY_TRUSTED,
+        )
+
+
+TRUST = TrustSemiring()
+"""Singleton instance of the security-level semiring."""

@@ -1,0 +1,201 @@
+"""Online and offline provenance stores (Section 4.2).
+
+*Online* provenance is maintained only for network state that is currently
+valid: when a derived tuple's soft-state TTL lapses (or the tuple is deleted,
+e.g. because a malicious node's routes are purged), its online provenance
+entry goes with it.  *Offline* provenance is an append-only archive that
+retains entries after the underlying state has expired, which is what
+forensics and accountability need; because it can grow without bound it
+supports aging (drop entries older than a horizon) unless they are explicitly
+pinned as evidence of an anomaly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.engine.tuples import Derivation, Fact, FactKey
+from repro.provenance.condensed import CondensedProvenance
+from repro.provenance.graph import DerivationGraph
+
+
+@dataclass(frozen=True)
+class ProvenanceEntry:
+    """One archived derivation record."""
+
+    key: FactKey
+    rule_label: str
+    node: Optional[str]
+    antecedent_keys: Tuple[FactKey, ...]
+    timestamp: float
+    expires_at: Optional[float]
+    annotation: Optional[CondensedProvenance] = None
+
+
+class OnlineProvenanceStore:
+    """Provenance for currently-valid state only.
+
+    Entries are indexed by the derived tuple's key and expire in lock-step
+    with the tuple (same timestamp + TTL); :meth:`expire` must be called with
+    the advancing clock, exactly like the soft-state tables.  Deleting a
+    tuple (e.g. when reacting to a detected anomaly) drops its provenance and
+    reports which other tuples depended on it, enabling cascade invalidation.
+    """
+
+    def __init__(self, node: str) -> None:
+        self.node = node
+        self._entries: Dict[FactKey, List[ProvenanceEntry]] = {}
+        self._dependents: Dict[FactKey, Set[FactKey]] = {}
+
+    def record(self, derivation: Derivation, annotation: Optional[CondensedProvenance] = None) -> None:
+        fact = derivation.fact
+        entry = ProvenanceEntry(
+            key=fact.key(),
+            rule_label=derivation.rule_label,
+            node=derivation.node or self.node,
+            antecedent_keys=tuple(a.key() for a in derivation.antecedents),
+            timestamp=derivation.timestamp,
+            expires_at=fact.expires_at(),
+            annotation=annotation,
+        )
+        self._entries.setdefault(entry.key, []).append(entry)
+        for antecedent in entry.antecedent_keys:
+            self._dependents.setdefault(antecedent, set()).add(entry.key)
+
+    def entries(self, key: FactKey) -> Tuple[ProvenanceEntry, ...]:
+        return tuple(self._entries.get(key, ()))
+
+    def __contains__(self, key: FactKey) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._entries.values())
+
+    def dependents_of(self, key: FactKey) -> frozenset:
+        """Tuples whose derivations used *key* (candidates for cascade deletion)."""
+        return frozenset(self._dependents.get(key, set()))
+
+    def delete(self, key: FactKey) -> frozenset:
+        """Remove *key*'s provenance; return its dependents for cascading."""
+        self._entries.pop(key, None)
+        return self.dependents_of(key)
+
+    def expire(self, now: float) -> List[ProvenanceEntry]:
+        """Drop entries whose underlying tuple has expired at time *now*."""
+        dropped: List[ProvenanceEntry] = []
+        for key in list(self._entries):
+            remaining = []
+            for entry in self._entries[key]:
+                if entry.expires_at is not None and now >= entry.expires_at:
+                    dropped.append(entry)
+                else:
+                    remaining.append(entry)
+            if remaining:
+                self._entries[key] = remaining
+            else:
+                del self._entries[key]
+        return dropped
+
+
+class OfflineProvenanceArchive:
+    """Append-only provenance archive that survives soft-state expiry.
+
+    Supports the forensics and accountability use cases: entries remain
+    queryable after the network state they describe has long expired, can be
+    *pinned* (marked to persist, e.g. when an anomaly was detected), and can
+    be aged out beyond a retention horizon to bound storage (Section 5).
+    """
+
+    def __init__(self, node: str, retention: Optional[float] = None) -> None:
+        self.node = node
+        self.retention = retention
+        self._entries: List[ProvenanceEntry] = []
+        self._pinned: Set[int] = set()
+
+    def record(self, derivation: Derivation, annotation: Optional[CondensedProvenance] = None) -> int:
+        fact = derivation.fact
+        entry = ProvenanceEntry(
+            key=fact.key(),
+            rule_label=derivation.rule_label,
+            node=derivation.node or self.node,
+            antecedent_keys=tuple(a.key() for a in derivation.antecedents),
+            timestamp=derivation.timestamp,
+            expires_at=fact.expires_at(),
+            annotation=annotation,
+        )
+        self._entries.append(entry)
+        return len(self._entries) - 1
+
+    def pin(self, index: int) -> None:
+        """Mark an entry to persist through aging (anomaly evidence)."""
+        if 0 <= index < len(self._entries):
+            self._pinned.add(index)
+
+    def entries(self, key: Optional[FactKey] = None) -> Tuple[ProvenanceEntry, ...]:
+        if key is None:
+            return tuple(self._entries)
+        return tuple(e for e in self._entries if e.key == key)
+
+    def entries_between(self, start: float, end: float) -> Tuple[ProvenanceEntry, ...]:
+        """Entries recorded in the time window [start, end] (forensic queries)."""
+        return tuple(e for e in self._entries if start <= e.timestamp <= end)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def storage_bytes(self) -> int:
+        """Approximate storage footprint, for the Section 5 storage discussion."""
+        total = 0
+        for entry in self._entries:
+            total += len(str(entry.key)) + len(entry.rule_label)
+            total += sum(len(str(k)) for k in entry.antecedent_keys)
+            if entry.annotation is not None:
+                total += entry.annotation.serialized_size()
+        return total
+
+    def age_out(self, now: float) -> int:
+        """Drop unpinned entries older than the retention horizon; return count dropped."""
+        if self.retention is None:
+            return 0
+        keep: List[ProvenanceEntry] = []
+        new_pinned: Set[int] = set()
+        dropped = 0
+        for index, entry in enumerate(self._entries):
+            pinned = index in self._pinned
+            if not pinned and now - entry.timestamp > self.retention:
+                dropped += 1
+                continue
+            if pinned:
+                new_pinned.add(len(keep))
+            keep.append(entry)
+        self._entries = keep
+        self._pinned = new_pinned
+        return dropped
+
+    def reconstruct_graph(self, root: FactKey) -> DerivationGraph:
+        """Rebuild the derivation graph of *root* from archived entries."""
+        graph = DerivationGraph()
+        by_key: Dict[FactKey, List[ProvenanceEntry]] = {}
+        for entry in self._entries:
+            by_key.setdefault(entry.key, []).append(entry)
+
+        seen: Set[FactKey] = set()
+        stack = [root]
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            for entry in by_key.get(key, ()):
+                graph.add_derivation(
+                    output=Fact(relation=key[0], values=key[1]),
+                    rule_label=entry.rule_label,
+                    antecedents=[
+                        Fact(relation=k[0], values=k[1]) for k in entry.antecedent_keys
+                    ],
+                    location=entry.node,
+                    timestamp=entry.timestamp,
+                )
+                stack.extend(entry.antecedent_keys)
+        return graph

@@ -1,0 +1,110 @@
+"""The provenance taxonomy and its mapping to use cases (Sections 4 and 4.6).
+
+The paper classifies network provenance along several axes and summarises
+which combination fits each networking use case.  This module encodes that
+mapping as data so that applications (and the use-case modules in
+:mod:`repro.usecases`) can ask for a recommended provenance configuration
+instead of hard-coding one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Tuple
+
+
+class StorageAxis(Enum):
+    """Local vs distributed provenance (Section 4.1)."""
+
+    LOCAL = "local"
+    DISTRIBUTED = "distributed"
+
+
+class LifetimeAxis(Enum):
+    """Online vs offline provenance (Section 4.2)."""
+
+    ONLINE = "online"
+    OFFLINE = "offline"
+
+
+class UseCase(Enum):
+    """The networking use cases surveyed in Section 3."""
+
+    REAL_TIME_DIAGNOSTICS = "real_time_diagnostics"
+    FORENSICS = "forensics"
+    ACCOUNTABILITY = "accountability"
+    TRUST_MANAGEMENT = "trust_management"
+
+
+@dataclass(frozen=True)
+class ProvenanceAxes:
+    """One point in the taxonomy: which kind of provenance to maintain.
+
+    ``storage_options`` lists the storage axes that work for the use case
+    (diagnostics can use either local or distributed provenance);
+    ``lifetimes`` lists the lifetime axes required; the boolean flags mark
+    whether authentication, condensation and quantification apply.
+    """
+
+    storage_options: Tuple[StorageAxis, ...]
+    lifetimes: Tuple[LifetimeAxis, ...]
+    authenticated: bool
+    condensed: bool
+    quantifiable: bool
+
+    def describe(self) -> str:
+        storage = " or ".join(axis.value for axis in self.storage_options)
+        lifetime = " + ".join(axis.value for axis in self.lifetimes)
+        extras = []
+        if self.authenticated:
+            extras.append("authenticated")
+        if self.condensed:
+            extras.append("condensed")
+        if self.quantifiable:
+            extras.append("quantifiable")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        return f"{lifetime} provenance, stored {storage}{suffix}"
+
+
+#: Section 4.6's summary table, encoded.
+_RECOMMENDATIONS: Dict[UseCase, ProvenanceAxes] = {
+    UseCase.REAL_TIME_DIAGNOSTICS: ProvenanceAxes(
+        storage_options=(StorageAxis.LOCAL, StorageAxis.DISTRIBUTED),
+        lifetimes=(LifetimeAxis.ONLINE,),
+        authenticated=True,
+        condensed=False,
+        quantifiable=False,
+    ),
+    UseCase.FORENSICS: ProvenanceAxes(
+        storage_options=(StorageAxis.LOCAL, StorageAxis.DISTRIBUTED),
+        lifetimes=(LifetimeAxis.OFFLINE, LifetimeAxis.ONLINE),
+        authenticated=True,
+        condensed=False,
+        quantifiable=False,
+    ),
+    UseCase.ACCOUNTABILITY: ProvenanceAxes(
+        storage_options=(StorageAxis.LOCAL, StorageAxis.DISTRIBUTED),
+        lifetimes=(LifetimeAxis.OFFLINE, LifetimeAxis.ONLINE),
+        authenticated=True,
+        condensed=False,
+        quantifiable=False,
+    ),
+    UseCase.TRUST_MANAGEMENT: ProvenanceAxes(
+        storage_options=(StorageAxis.LOCAL,),
+        lifetimes=(LifetimeAxis.ONLINE,),
+        authenticated=True,
+        condensed=True,
+        quantifiable=True,
+    ),
+}
+
+
+def recommend_provenance(use_case: UseCase) -> ProvenanceAxes:
+    """The provenance configuration Section 4.6 recommends for *use_case*."""
+    return _RECOMMENDATIONS[use_case]
+
+
+def all_recommendations() -> Dict[UseCase, ProvenanceAxes]:
+    """The full Section 4.6 summary table."""
+    return dict(_RECOMMENDATIONS)

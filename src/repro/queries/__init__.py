@@ -1,0 +1,26 @@
+"""Library of NDlog / SeNDlog programs used by the paper and the use cases."""
+
+from repro.queries.reachable import (
+    REACHABLE_NDLOG,
+    REACHABLE_SENDLOG,
+    reachable_program,
+)
+from repro.queries.best_path import (
+    BEST_PATH_NDLOG,
+    best_path_program,
+    compile_best_path,
+)
+from repro.queries.path_vector import DISTANCE_VECTOR_NDLOG, PATH_VECTOR_NDLOG
+from repro.queries.monitoring import ROUTE_FLAP_MONITOR_NDLOG
+
+__all__ = [
+    "BEST_PATH_NDLOG",
+    "DISTANCE_VECTOR_NDLOG",
+    "PATH_VECTOR_NDLOG",
+    "REACHABLE_NDLOG",
+    "REACHABLE_SENDLOG",
+    "ROUTE_FLAP_MONITOR_NDLOG",
+    "best_path_program",
+    "compile_best_path",
+    "reachable_program",
+]

@@ -1,0 +1,50 @@
+"""The Best-Path query used by the paper's evaluation (Section 6).
+
+"We utilize the Best-Path recursive query that computes the shortest paths
+between all pairs of nodes.  This query is obtained from the NDlog all-pairs
+reachability query presented in Section 2, with additional predicates to
+compute the actual path, cost of the path, and two extra rules for computing
+the best paths."
+
+Rules:
+
+* ``p1`` — one-hop paths directly from links;
+* ``p2`` — extend a neighbour's best path by one link (propagating only best
+  paths keeps the recursion convergent);
+* ``p3`` — the ``min<C>`` aggregate keeping the cheapest cost per
+  (source, destination) pair;
+* ``p4`` — the best path itself: the path whose cost equals the minimum.
+
+Rule ``p2`` joins ``link`` stored at ``S`` with ``bestPath`` stored at ``Z``,
+so the program must pass through the localization rewrite before compilation;
+:func:`compile_best_path` does both steps.
+"""
+
+from __future__ import annotations
+
+from repro.datalog import Program, localize_program, parse_program
+from repro.datalog.planner import CompiledProgram, compile_program
+
+BEST_PATH_NDLOG = """
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(path, infinity, infinity, keys(1,2,3)).
+    materialize(bestPathCost, infinity, infinity, keys(1,2)).
+    materialize(bestPath, infinity, infinity, keys(1,2)).
+
+    p1 path(@S, D, P, C) :- link(@S, D, C), P := f_init(S, D).
+    p2 path(@S, D, P, C) :- link(@S, Z, C1), bestPath(@Z, D, P2, C2),
+                            S != D, f_member(P2, S) == 0,
+                            C := C1 + C2, P := f_concat(S, P2).
+    p3 bestPathCost(@S, D, min<C>) :- path(@S, D, P, C).
+    p4 bestPath(@S, D, P, C) :- bestPathCost(@S, D, C), path(@S, D, P, C).
+"""
+
+
+def best_path_program() -> Program:
+    """Parse the Best-Path query (pre-localization form)."""
+    return parse_program(BEST_PATH_NDLOG)
+
+
+def compile_best_path() -> CompiledProgram:
+    """Localize and compile the Best-Path query for the distributed engine."""
+    return compile_program(localize_program(best_path_program()))

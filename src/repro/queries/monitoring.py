@@ -1,0 +1,37 @@
+"""Real-time diagnostics queries (Section 3, "Real-time Diagnostics").
+
+The paper sketches a continuous SeNDlog query that counts the changes to a
+routing-table entry over the past ``T`` seconds and raises an alarm when the
+count exceeds a threshold, as an indication of possible divergence or
+malicious activity.  ``ROUTE_FLAP_MONITOR_NDLOG`` is that query: route
+updates become soft-state ``routeEvent`` tuples with a ``T``-second lifetime
+(the sliding window), a ``count`` aggregate tallies the live events per
+destination, and an alarm fires when the count crosses the threshold.
+
+The actual anomaly reaction — querying the provenance of the flapping route
+and purging state derived from the offending node — is implemented in
+:mod:`repro.usecases.diagnostics`.
+"""
+
+from __future__ import annotations
+
+from repro.datalog import Program, parse_program
+
+#: Window length (soft-state lifetime of one route-change event), seconds.
+DEFAULT_WINDOW_SECONDS = 30.0
+#: Number of changes within the window that triggers an alarm.
+DEFAULT_FLAP_THRESHOLD = 3
+
+ROUTE_FLAP_MONITOR_NDLOG = """
+    materialize(routeEvent, 30, infinity, keys(1,2,3)).
+    materialize(flapCount, infinity, infinity, keys(1,2)).
+    materialize(flapAlarm, infinity, infinity, keys(1,2)).
+
+    m1 flapCount(@S, D, count<E>) :- routeEvent(@S, D, E).
+    m2 flapAlarm(@S, D, N) :- flapCount(@S, D, N), N >= 3.
+"""
+
+
+def route_flap_monitor_program() -> Program:
+    """Parse the route-flap monitoring query."""
+    return parse_program(ROUTE_FLAP_MONITOR_NDLOG)

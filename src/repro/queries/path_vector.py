@@ -1,0 +1,58 @@
+"""Path-vector and distance-vector routing protocols in NDlog.
+
+Section 2.1 notes that "by modifying this simple example, we can construct
+more complex routing protocols, such as the distance vector and path vector
+routing protocols"; Section 3 uses the path-vector protocol (BGP-style) as
+the canonical trust-management example, since carrying the full path is
+itself a form of provenance that lets ASes enforce policies on route
+announcements.
+"""
+
+from __future__ import annotations
+
+from repro.datalog import Program, localize_program, parse_program
+from repro.datalog.planner import CompiledProgram, compile_program
+
+#: Path-vector protocol: every advertisement carries the full AS path, and a
+#: node refuses routes that already contain itself (loop avoidance — the
+#: policy enforcement hook).
+PATH_VECTOR_NDLOG = """
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(route, infinity, infinity, keys(1,2,3)).
+
+    v1 route(@S, D, P) :- link(@S, D, C), P := f_init(S, D).
+    v2 route(@S, D, P) :- link(@S, Z, C), route(@Z, D, P2),
+                          f_member(P2, S) == 0, P := f_concat(S, P2).
+"""
+
+#: Distance-vector protocol: only the cost is advertised, with the classic
+#: min-cost aggregate selecting the best distance per destination.
+DISTANCE_VECTOR_NDLOG = """
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(hop, infinity, infinity, keys(1,2,3)).
+    materialize(distance, infinity, infinity, keys(1,2)).
+
+    d1 hop(@S, D, D, C) :- link(@S, D, C).
+    d2 hop(@S, D, Z, C) :- link(@S, Z, C1), distance(@Z, D, C2), S != D, C := C1 + C2.
+    d3 distance(@S, D, min<C>) :- hop(@S, D, Z, C).
+"""
+
+
+def path_vector_program() -> Program:
+    """Parse the path-vector protocol."""
+    return parse_program(PATH_VECTOR_NDLOG)
+
+
+def distance_vector_program() -> Program:
+    """Parse the distance-vector protocol."""
+    return parse_program(DISTANCE_VECTOR_NDLOG)
+
+
+def compile_path_vector() -> CompiledProgram:
+    """Localize and compile the path-vector protocol."""
+    return compile_program(localize_program(path_vector_program()))
+
+
+def compile_distance_vector() -> CompiledProgram:
+    """Localize and compile the distance-vector protocol."""
+    return compile_program(localize_program(distance_vector_program()))

@@ -1,0 +1,58 @@
+"""The all-pairs reachability programs of Section 2.
+
+``REACHABLE_NDLOG`` is the two-rule NDlog query of Section 2.1 (a distributed
+transitive closure); ``REACHABLE_SENDLOG`` is the SeNDlog variant of
+Section 2.2 written within a principal's context with ``says`` imports.
+"""
+
+from __future__ import annotations
+
+from repro.datalog import Program, parse_program
+
+REACHABLE_NDLOG = """
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(reachable, infinity, infinity, keys(1,2)).
+
+    r1 reachable(@S, D) :- link(@S, D).
+    r2 reachable(@S, D) :- link(@S, Z), reachable(@Z, D).
+"""
+
+REACHABLE_SENDLOG = """
+    At S:
+    s1 reachable(S, D) :- link(S, D).
+    s2 linkD(D, S)@D :- link(S, D).
+    s3 reachable(Z, Y)@Z :- Z says linkD(S, Z), W says reachable(S, Y).
+"""
+
+#: A localized reachability program executable directly by the distributed
+#: engine: links are first advertised to their destination, and reachability
+#: propagates backwards along them.  Equivalent fixpoint to REACHABLE_NDLOG.
+REACHABLE_LOCALIZED = """
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(linkd, infinity, infinity, keys(1,2)).
+    materialize(reachable, infinity, infinity, keys(1,2)).
+
+    l1 reachable(@S, D) :- link(@S, D).
+    l2 linkd(@D, S) :- link(@S, D).
+    l3 reachable(@S, D) :- linkd(@Z, S), reachable(@Z, D).
+"""
+
+
+def reachable_program(dialect: str = "ndlog") -> Program:
+    """Parse and return the reachability program for *dialect*.
+
+    ``dialect`` is one of ``"ndlog"`` (Section 2.1), ``"sendlog"``
+    (Section 2.2) or ``"localized"`` (directly executable form).
+    """
+    sources = {
+        "ndlog": REACHABLE_NDLOG,
+        "sendlog": REACHABLE_SENDLOG,
+        "localized": REACHABLE_LOCALIZED,
+    }
+    try:
+        source = sources[dialect]
+    except KeyError:
+        raise ValueError(
+            f"unknown dialect {dialect!r}; expected one of {sorted(sources)}"
+        ) from None
+    return parse_program(source)

@@ -1,0 +1,127 @@
+"""Tuple signing and verification pipeline.
+
+The :class:`Authenticator` is what a node engine uses when exporting a
+derived tuple to another principal (sign it under the local principal's key)
+and when importing a tuple from the network (verify the signature against the
+claimed principal's public key).  It implements the three ``says`` modes of
+:class:`~repro.security.says.SaysMode` and records counters that feed the
+evaluation's cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.engine.tuples import Fact
+from repro.security.keystore import KeyStore
+from repro.security.rsa import sign, verify
+from repro.security.says import SaysMode
+
+
+class AuthenticationError(Exception):
+    """Raised when an imported tuple fails authentication."""
+
+
+@dataclass(frozen=True)
+class SignedPayload:
+    """The wire form of an exported tuple's security envelope."""
+
+    principal: Optional[str]
+    signature: Optional[bytes]
+
+    def size(self) -> int:
+        size = 0
+        if self.principal is not None:
+            size += len(self.principal.encode("utf-8"))
+        if self.signature is not None:
+            size += len(self.signature)
+        return size
+
+
+@dataclass
+class AuthenticatorStats:
+    """Counters for signing / verification work performed by one node."""
+
+    tuples_signed: int = 0
+    tuples_verified: int = 0
+    verification_failures: int = 0
+
+
+class Authenticator:
+    """Per-node implementation of ``says`` export / import."""
+
+    def __init__(self, principal: str, keystore: KeyStore, mode: SaysMode) -> None:
+        self.principal = principal
+        self.keystore = keystore
+        self.mode = mode
+        self.stats = AuthenticatorStats()
+        if mode.requires_signature and not keystore.has_private_key(principal):
+            keystore.create_keypair(principal)
+
+    # -- export ---------------------------------------------------------------
+
+    def export_fact(self, fact: Fact) -> Fact:
+        """Attribute (and under SIGNED mode, sign) *fact* as this principal.
+
+        Returns a copy of the fact carrying the ``asserted_by`` attribution
+        and, in signed mode, the signature bytes.
+        """
+        if self.mode is SaysMode.NONE:
+            return fact
+        if self.mode is SaysMode.CLEARTEXT:
+            return fact.with_metadata(asserted_by=self.principal)
+        signature = sign(fact.payload(), self.keystore.private_key(self.principal))
+        self.stats.tuples_signed += 1
+        return fact.with_metadata(asserted_by=self.principal, signature=signature)
+
+    def envelope(self, fact: Fact) -> SignedPayload:
+        """The security envelope carried on the wire for *fact*."""
+        if self.mode is SaysMode.NONE:
+            return SignedPayload(principal=None, signature=None)
+        return SignedPayload(principal=fact.asserted_by, signature=fact.signature)
+
+    # -- import ---------------------------------------------------------------
+
+    def import_fact(self, fact: Fact) -> Fact:
+        """Verify an incoming fact according to the configured mode.
+
+        Raises :class:`AuthenticationError` when the attribution is missing
+        or the signature does not verify.  Under ``NONE`` the fact passes
+        through untouched.
+        """
+        if self.mode is SaysMode.NONE:
+            return fact
+        if fact.asserted_by is None:
+            self.stats.verification_failures += 1
+            raise AuthenticationError(
+                f"{self.principal}: imported tuple {fact} has no asserting principal"
+            )
+        if self.mode is SaysMode.CLEARTEXT:
+            return fact
+        if fact.signature is None:
+            self.stats.verification_failures += 1
+            raise AuthenticationError(
+                f"{self.principal}: imported tuple {fact} is unsigned"
+            )
+        if not self.keystore.has_public_key(fact.asserted_by):
+            self.stats.verification_failures += 1
+            raise AuthenticationError(
+                f"{self.principal}: no public key for principal {fact.asserted_by!r}"
+            )
+        self.stats.tuples_verified += 1
+        if not verify(
+            fact.payload(), fact.signature, self.keystore.public_key(fact.asserted_by)
+        ):
+            self.stats.verification_failures += 1
+            raise AuthenticationError(
+                f"{self.principal}: signature check failed for {fact} "
+                f"claimed by {fact.asserted_by!r}"
+            )
+        return fact
+
+    # -- cost model -----------------------------------------------------------
+
+    def wire_overhead(self, fact: Fact) -> int:
+        """Bytes the security envelope adds to one exported tuple."""
+        return self.mode.header_bytes(self.principal, self.keystore.signature_bytes())

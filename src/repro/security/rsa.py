@@ -1,0 +1,109 @@
+"""Textbook RSA signatures over SHA-256 digests.
+
+This stands in for the OpenSSL RSA signing used by the paper's modified P2
+system.  Signatures are computed as ``digest ** d mod n`` and verified as
+``signature ** e mod n == digest``; digests are SHA-256 (via :mod:`hashlib`)
+reduced modulo *n*.  Key sizes are configurable so that tests run with small
+fast keys while examples can use larger ones.
+
+This is *simulation-grade* cryptography: it exercises the same code path and
+cost structure (per-tuple signing, constant-size signatures added to each
+message) as the paper's implementation, but no padding scheme is applied and
+it must not be used to protect real data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.security.primes import generate_prime
+
+DEFAULT_KEY_BITS = 512
+DEFAULT_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """An RSA key pair.
+
+    ``n`` and ``e`` form the public key, ``d`` the private exponent.
+    ``signature_bytes`` is the wire size of one signature, which the
+    bandwidth model charges per signed tuple.
+    """
+
+    n: int
+    e: int
+    d: int
+    bits: int
+
+    @property
+    def public_key(self) -> Tuple[int, int]:
+        return (self.n, self.e)
+
+    @property
+    def signature_bytes(self) -> int:
+        return (self.bits + 7) // 8
+
+
+def _egcd(a: int, b: int) -> Tuple[int, int, int]:
+    if a == 0:
+        return (b, 0, 1)
+    g, y, x = _egcd(b % a, a)
+    return (g, x - (b // a) * y, y)
+
+
+def _modinv(a: int, modulus: int) -> int:
+    g, x, _ = _egcd(a % modulus, modulus)
+    if g != 1:
+        raise ValueError("modular inverse does not exist")
+    return x % modulus
+
+
+def generate_keypair(
+    bits: int = DEFAULT_KEY_BITS,
+    rng: Optional[random.Random] = None,
+    public_exponent: int = DEFAULT_PUBLIC_EXPONENT,
+) -> RSAKeyPair:
+    """Generate an RSA key pair with a modulus of roughly *bits* bits."""
+    if bits < 64:
+        raise ValueError("key size below 64 bits cannot hold a SHA-256-derived digest securely")
+    rng = rng or random.Random()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % public_exponent == 0:
+            continue
+        try:
+            d = _modinv(public_exponent, phi)
+        except ValueError:
+            continue
+        return RSAKeyPair(n=n, e=public_exponent, d=d, bits=bits)
+
+
+def _digest(message: bytes, n: int) -> int:
+    return int.from_bytes(hashlib.sha256(message).digest(), "big") % n
+
+
+def sign(message: bytes, key: RSAKeyPair) -> bytes:
+    """Sign *message* with the private exponent of *key*."""
+    digest = _digest(message, key.n)
+    signature = pow(digest, key.d, key.n)
+    return signature.to_bytes(key.signature_bytes, "big")
+
+
+def verify(message: bytes, signature: bytes, public_key: Tuple[int, int]) -> bool:
+    """Verify a signature produced by :func:`sign` against ``(n, e)``."""
+    n, e = public_key
+    value = int.from_bytes(signature, "big")
+    if value >= n:
+        return False
+    recovered = pow(value, e, n)
+    return recovered == _digest(message, n)

@@ -1,0 +1,32 @@
+"""The four networking use cases of Section 3, as library APIs.
+
+Each module turns one of the paper's motivating scenarios into a concrete,
+testable component built on the provenance substrate:
+
+* :mod:`diagnostics` — real-time route-flap detection and reaction over
+  online provenance;
+* :mod:`forensics` — after-the-fact traceback over offline provenance
+  archives (the IP-traceback analogue);
+* :mod:`accountability` — PlanetFlow-style per-principal traffic auditing;
+* :mod:`trust` — Orchestra-style acceptance of updates based on the trust
+  placed in their provenance.
+"""
+
+from repro.usecases.diagnostics import FlapEvent, RouteFlapDetector, DiagnosticsReport
+from repro.usecases.forensics import ForensicInvestigator, TracebackReport
+from repro.usecases.accountability import AccountabilityAuditor, AuditRecord, UsagePolicy
+from repro.usecases.trust import TrustDecision, TrustManager, TrustPolicy
+
+__all__ = [
+    "AccountabilityAuditor",
+    "AuditRecord",
+    "DiagnosticsReport",
+    "FlapEvent",
+    "ForensicInvestigator",
+    "RouteFlapDetector",
+    "TracebackReport",
+    "TrustDecision",
+    "TrustManager",
+    "TrustPolicy",
+    "UsagePolicy",
+]

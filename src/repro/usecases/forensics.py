@@ -1,0 +1,151 @@
+"""Network forensics over offline provenance (Section 3).
+
+Forensics needs *historical* data: the paper frames traceback — determining
+where packets or updates originated without trusting unauthenticated headers
+— as a provenance query over state that may have long expired, which is what
+the offline archive retains.
+
+:class:`ForensicInvestigator` answers the questions that the traceback
+literature (IP traceback, ForNet, Time Machine) asks, over one or more
+nodes' offline archives: where did this tuple originate, which nodes did it
+traverse, what did a given principal inject during a time window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.engine.tuples import FactKey
+from repro.provenance.graph import DerivationGraph
+from repro.provenance.store import OfflineProvenanceArchive, ProvenanceEntry
+
+
+@dataclass(frozen=True)
+class TracebackReport:
+    """The answer to one forensic traceback query."""
+
+    target: FactKey
+    origins: Tuple[FactKey, ...]
+    nodes_traversed: Tuple[str, ...]
+    rules_applied: Tuple[str, ...]
+    derivation_depth: int
+    graph: DerivationGraph
+
+    @property
+    def found(self) -> bool:
+        return bool(self.nodes_traversed) or bool(self.origins)
+
+
+class ForensicInvestigator:
+    """Cross-node forensic queries over offline provenance archives."""
+
+    def __init__(self, archives: Mapping[str, OfflineProvenanceArchive]) -> None:
+        self._archives = dict(archives)
+
+    # -- construction helpers -------------------------------------------------------
+
+    @classmethod
+    def from_engines(cls, engines: Mapping[str, object]) -> "ForensicInvestigator":
+        """Build an investigator from a simulation's node engines."""
+        archives = {
+            address: engine.offline_provenance for address, engine in engines.items()
+        }
+        return cls(archives)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def _all_entries(self) -> List[ProvenanceEntry]:
+        entries: List[ProvenanceEntry] = []
+        for archive in self._archives.values():
+            entries.extend(archive.entries())
+        return entries
+
+    def traceback(self, target: FactKey) -> TracebackReport:
+        """Reconstruct where *target* came from, across all archives."""
+        by_key: Dict[FactKey, List[ProvenanceEntry]] = {}
+        for entry in self._all_entries():
+            by_key.setdefault(entry.key, []).append(entry)
+
+        graph = DerivationGraph()
+        origins: List[FactKey] = []
+        nodes: List[str] = []
+        rules: List[str] = []
+        depth = 0
+
+        seen: set = set()
+        frontier: List[Tuple[FactKey, int]] = [(target, 0)]
+        while frontier:
+            key, level = frontier.pop(0)
+            if key in seen:
+                continue
+            seen.add(key)
+            depth = max(depth, level)
+            entries = by_key.get(key)
+            if not entries:
+                origins.append(key)
+                continue
+            for entry in entries:
+                if entry.node and entry.node not in nodes:
+                    nodes.append(entry.node)
+                if entry.rule_label not in rules:
+                    rules.append(entry.rule_label)
+                from repro.engine.tuples import Fact
+
+                graph.add_derivation(
+                    output=Fact(relation=key[0], values=key[1]),
+                    rule_label=entry.rule_label,
+                    antecedents=[
+                        Fact(relation=k[0], values=k[1]) for k in entry.antecedent_keys
+                    ],
+                    location=entry.node,
+                    timestamp=entry.timestamp,
+                )
+                for antecedent in entry.antecedent_keys:
+                    frontier.append((antecedent, level + 1))
+
+        return TracebackReport(
+            target=target,
+            origins=tuple(sorted(origins)),
+            nodes_traversed=tuple(nodes),
+            rules_applied=tuple(rules),
+            derivation_depth=depth,
+            graph=graph,
+        )
+
+    def activity_of(self, principal: str, start: float, end: float) -> Tuple[ProvenanceEntry, ...]:
+        """Everything derived at *principal* within [start, end] (call-detail style)."""
+        archive = self._archives.get(principal)
+        if archive is None:
+            return ()
+        return archive.entries_between(start, end)
+
+    def tuples_depending_on(self, base: FactKey) -> Tuple[FactKey, ...]:
+        """Every archived tuple whose derivation (transitively) used *base*.
+
+        This is the "which routes did the compromised link influence"
+        question: a forward traversal of the archived derivations.
+        """
+        forward: Dict[FactKey, List[FactKey]] = {}
+        for entry in self._all_entries():
+            for antecedent in entry.antecedent_keys:
+                forward.setdefault(antecedent, []).append(entry.key)
+
+        affected: List[FactKey] = []
+        seen: set = set()
+        frontier = [base]
+        while frontier:
+            key = frontier.pop(0)
+            for dependent in forward.get(key, ()):
+                if dependent in seen:
+                    continue
+                seen.add(dependent)
+                affected.append(dependent)
+                frontier.append(dependent)
+        return tuple(affected)
+
+    def storage_footprint(self) -> Dict[str, int]:
+        """Approximate archive size per node (Section 5's storage concern)."""
+        return {
+            address: archive.storage_bytes() for address, archive in self._archives.items()
+        }

@@ -1,0 +1,160 @@
+"""Trust management over provenance (Section 3, Section 4.4 / 4.5).
+
+The Orchestra scenario: a node receiving an update examines the update's
+provenance and the trust it places in the principals that appear there, and
+accepts or rejects the update accordingly.  Three policy families from the
+paper are supported:
+
+* **source-set policies** — accept iff some derivation rests entirely on
+  trusted principals (this is exactly what condensed provenance preserves);
+* **security-level policies** — accept iff the derivation's trust level
+  (max-over-alternatives of min-over-joins of principal levels) reaches a
+  threshold;
+* **vote policies** — accept iff at least ``K`` distinct principals assert
+  the update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.engine.tuples import Fact
+from repro.provenance.condensed import CondensedProvenance
+from repro.provenance.polynomial import ProvenanceExpression
+from repro.provenance.quantify import count_derivations, trust_level, vote_principals
+from repro.security.principal import PrincipalRegistry
+
+ProvenanceLike = Union[CondensedProvenance, ProvenanceExpression]
+
+
+@dataclass(frozen=True)
+class TrustPolicy:
+    """A trust-management policy.
+
+    Any combination of the three criteria may be set; an update is accepted
+    only when every configured criterion passes.
+    """
+
+    trusted_principals: Optional[FrozenSet[str]] = None
+    minimum_level: Optional[int] = None
+    minimum_votes: Optional[int] = None
+
+    @staticmethod
+    def trust_sources(*principals: str) -> "TrustPolicy":
+        return TrustPolicy(trusted_principals=frozenset(principals))
+
+    @staticmethod
+    def require_level(minimum_level: int) -> "TrustPolicy":
+        return TrustPolicy(minimum_level=minimum_level)
+
+    @staticmethod
+    def require_votes(minimum_votes: int) -> "TrustPolicy":
+        return TrustPolicy(minimum_votes=minimum_votes)
+
+
+@dataclass(frozen=True)
+class TrustDecision:
+    """The outcome of evaluating one update against a policy."""
+
+    accepted: bool
+    reasons: Tuple[str, ...]
+    trust_level: Optional[float] = None
+    votes: Optional[int] = None
+    derivations: Optional[int] = None
+
+
+class TrustManager:
+    """Evaluates incoming updates against trust policies using their provenance."""
+
+    def __init__(
+        self,
+        policy: TrustPolicy,
+        registry: Optional[PrincipalRegistry] = None,
+        default_level: int = 0,
+    ) -> None:
+        self.policy = policy
+        self.registry = registry or PrincipalRegistry()
+        self.default_level = default_level
+        self.accepted = 0
+        self.rejected = 0
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self, provenance: ProvenanceLike) -> TrustDecision:
+        """Decide whether an update with *provenance* should be accepted."""
+        # The raw (uncondensed) expression is kept: condensation does not
+        # change source-set acceptability, but absorbed monomials still name
+        # principals that count towards votes and levels.
+        annotation = (
+            provenance
+            if isinstance(provenance, CondensedProvenance)
+            else CondensedProvenance(expression=provenance)
+        )
+        reasons: list[str] = []
+        accepted = True
+
+        level: Optional[float] = None
+        votes: Optional[int] = None
+
+        if self.policy.trusted_principals is not None:
+            if annotation.acceptable(self.policy.trusted_principals):
+                reasons.append("a derivation rests entirely on trusted principals")
+            else:
+                accepted = False
+                reasons.append(
+                    "no derivation is supported by the trusted principal set "
+                    f"{sorted(self.policy.trusted_principals)}"
+                )
+
+        if self.policy.minimum_level is not None:
+            level = trust_level(
+                annotation,
+                {name: self.registry.security_level(name) for name in annotation.sources()},
+                default_level=self.default_level,
+            )
+            if level >= self.policy.minimum_level:
+                reasons.append(
+                    f"trust level {level} meets the minimum {self.policy.minimum_level}"
+                )
+            else:
+                accepted = False
+                reasons.append(
+                    f"trust level {level} is below the minimum {self.policy.minimum_level}"
+                )
+
+        if self.policy.minimum_votes is not None:
+            votes = vote_principals(annotation)
+            if votes >= self.policy.minimum_votes:
+                reasons.append(
+                    f"{votes} principals assert the update (minimum {self.policy.minimum_votes})"
+                )
+            else:
+                accepted = False
+                reasons.append(
+                    f"only {votes} principals assert the update "
+                    f"(minimum {self.policy.minimum_votes})"
+                )
+
+        decision = TrustDecision(
+            accepted=accepted,
+            reasons=tuple(reasons),
+            trust_level=level,
+            votes=votes,
+            derivations=count_derivations(annotation),
+        )
+        if accepted:
+            self.accepted += 1
+        else:
+            self.rejected += 1
+        return decision
+
+    def filter_updates(
+        self, updates: Iterable[Tuple[Fact, ProvenanceLike]]
+    ) -> Tuple[Tuple[Fact, TrustDecision], ...]:
+        """Evaluate a stream of (update, provenance) pairs; return all decisions."""
+        return tuple((fact, self.evaluate(provenance)) for fact, provenance in updates)
+
+    def acceptance_rate(self) -> float:
+        total = self.accepted + self.rejected
+        return self.accepted / total if total else 0.0

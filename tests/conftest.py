@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.planner import CompiledProgram
+from repro.engine.node_engine import EngineConfig, ProvenanceMode
+from repro.net.topology import (
+    Topology,
+    line_topology,
+    paper_example_topology,
+    random_topology,
+)
+from repro.queries.best_path import compile_best_path
+from repro.security.keystore import KeyStore
+from repro.security.says import SaysMode
+
+
+@pytest.fixture(scope="session")
+def compiled_best_path() -> CompiledProgram:
+    """The localized, compiled Best-Path query (shared; it is immutable)."""
+    return compile_best_path()
+
+
+@pytest.fixture(scope="session")
+def small_topology() -> Topology:
+    """A small random topology matching the paper's workload parameters."""
+    return random_topology(node_count=8, average_outdegree=3.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def chain_topology() -> Topology:
+    """A 5-node bidirectional chain, convenient for multi-hop assertions."""
+    return line_topology(5)
+
+
+@pytest.fixture(scope="session")
+def three_node_topology() -> Topology:
+    """The paper's Section 4 example: nodes a, b, c with three links."""
+    return paper_example_topology()
+
+
+@pytest.fixture(scope="session")
+def shared_keystore() -> KeyStore:
+    """A keystore with small keys so signing-heavy tests stay fast."""
+    store = KeyStore(key_bits=128, seed=3)
+    store.create_all(["alice", "bob", "carol", "n0", "n1", "n2", "n3", "n4"])
+    return store
+
+
+@pytest.fixture
+def ndlog_config() -> EngineConfig:
+    return EngineConfig(says_mode=SaysMode.NONE, provenance_mode=ProvenanceMode.NONE)
+
+
+@pytest.fixture
+def sendlog_config() -> EngineConfig:
+    return EngineConfig(says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.NONE)
+
+
+@pytest.fixture
+def sendlogprov_config() -> EngineConfig:
+    return EngineConfig(
+        says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.CONDENSED
+    )

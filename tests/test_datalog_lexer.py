@@ -1,0 +1,120 @@
+"""Tests for the NDlog / SeNDlog tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.errors import ParseError
+from repro.datalog.lexer import EOF, IDENT, KEYWORD, NUMBER, STRING, SYMBOL, VARIABLE, tokenize
+
+
+def kinds(source: str):
+    return [token.kind for token in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source: str):
+    return [token.text for token in tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == EOF
+
+    def test_lowercase_identifier(self):
+        assert kinds("link") == [IDENT]
+
+    def test_uppercase_identifier_is_variable(self):
+        assert kinds("Source") == [VARIABLE]
+
+    def test_underscore_identifier(self):
+        assert kinds("f_concat") == [IDENT]
+
+    def test_integer_number(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind == NUMBER
+        assert tokens[0].text == "42"
+
+    def test_float_number(self):
+        tokens = tokenize("3.25")
+        assert tokens[0].kind == NUMBER
+        assert tokens[0].text == "3.25"
+
+    def test_double_quoted_string(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind == STRING
+        assert tokens[0].text == "hello world"
+
+    def test_single_quoted_string(self):
+        tokens = tokenize("'alice'")
+        assert tokens[0].kind == STRING
+        assert tokens[0].text == "alice"
+
+    def test_keywords_are_case_insensitive(self):
+        assert kinds("says At MATERIALIZE keys infinity") == [KEYWORD] * 5
+
+    def test_keyword_text_is_lowercased(self):
+        assert texts("At") == ["at"]
+
+
+class TestSymbols:
+    def test_rule_arrow(self):
+        assert texts("p :- q.") == ["p", ":-", "q", "."]
+
+    def test_assignment_symbol_not_split(self):
+        assert ":=" in texts("C := 1")
+
+    def test_comparison_operators(self):
+        assert texts("<= >= == != < >") == ["<=", ">=", "==", "!=", "<", ">"]
+
+    def test_location_specifier(self):
+        assert texts("link(@S, D)") == ["link", "(", "@", "S", ",", "D", ")"]
+
+    def test_arithmetic_symbols(self):
+        assert texts("1 + 2 * 3") == ["1", "+", "2", "*", "3"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("p :- q & r.")
+
+
+class TestCommentsAndPositions:
+    def test_hash_comment_skipped(self):
+        assert texts("p. # this is a comment\nq.") == ["p", ".", "q", "."]
+
+    def test_slash_slash_comment_skipped(self):
+        assert texts("p. // also a comment\nq.") == ["p", ".", "q", "."]
+
+    def test_line_numbers_advance(self):
+        tokens = tokenize("p.\nq.")
+        q_token = [t for t in tokens if t.text == "q"][0]
+        assert q_token.line == 2
+
+    def test_column_positions(self):
+        tokens = tokenize("abc def")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 5
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            tokenize('"never closed')
+
+    def test_unterminated_string_across_newline_raises(self):
+        with pytest.raises(ParseError):
+            tokenize('"broken\nstring"')
+
+
+class TestRealisticRules:
+    def test_reachable_rule_token_count(self):
+        tokens = tokenize("r1 reachable(@S, D) :- link(@S, D).")
+        assert tokens[-1].kind == EOF
+        assert len(tokens) == 18
+
+    def test_says_rule(self):
+        result = texts("s3 reachable(Z, Y)@Z :- Z says linkD(S, Z).")
+        assert "says" in result
+        assert result.count("@") == 1
+
+    def test_aggregate_tokens(self):
+        assert texts("min<C>") == ["min", "<", "C", ">"]

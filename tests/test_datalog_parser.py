@@ -1,0 +1,222 @@
+"""Tests for the NDlog / SeNDlog parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.ast import (
+    Aggregate,
+    Assignment,
+    Atom,
+    Comparison,
+    Constant,
+    FunctionCall,
+    SaysAtom,
+    Variable,
+)
+from repro.datalog.errors import ParseError
+from repro.datalog.parser import parse_program, parse_rule
+from repro.queries.best_path import BEST_PATH_NDLOG
+from repro.queries.reachable import REACHABLE_NDLOG, REACHABLE_SENDLOG
+
+
+class TestBasicRules:
+    def test_single_rule_with_label(self):
+        rule = parse_rule("r1 reachable(@S, D) :- link(@S, D).")
+        assert rule.label == "r1"
+        assert rule.head.name == "reachable"
+        assert len(rule.body) == 1
+
+    def test_rule_without_label_gets_generated_one(self):
+        rule = parse_rule("reachable(@S, D) :- link(@S, D).")
+        assert rule.label.startswith("rule")
+
+    def test_head_location_specifier_index(self):
+        rule = parse_rule("r1 reachable(@S, D) :- link(@S, D).")
+        assert rule.head.location_index == 0
+        assert rule.head.location_term == Variable("S")
+
+    def test_location_specifier_on_second_attribute(self):
+        rule = parse_rule("r x(A, @B) :- y(A, @B).")
+        assert rule.head.location_index == 1
+
+    def test_fact_rule_has_empty_body(self):
+        rule = parse_rule("f1 link(a, b, 3).")
+        assert rule.is_fact()
+        assert rule.head.terms == (Constant("a"), Constant("b"), Constant(3))
+
+    def test_constants_and_variables_distinguished(self):
+        rule = parse_rule("r p(X, alice, 7) :- q(X).")
+        assert rule.head.terms[0] == Variable("X")
+        assert rule.head.terms[1] == Constant("alice")
+        assert rule.head.terms[2] == Constant(7)
+
+    def test_float_constant(self):
+        rule = parse_rule("r p(1.5) :- q(1.5).")
+        assert rule.head.terms[0] == Constant(1.5)
+
+    def test_string_constant(self):
+        rule = parse_rule('r p("hello") :- q(X).')
+        assert rule.head.terms[0] == Constant("hello")
+
+    def test_multiple_body_literals(self):
+        rule = parse_rule("r2 reachable(@S, D) :- link(@S, Z), reachable(@Z, D).")
+        assert [a.name for a in rule.body_atoms()] == ["link", "reachable"]
+
+
+class TestExpressions:
+    def test_assignment(self):
+        rule = parse_rule("r p(S, C) :- q(S, C1), C := C1 + 1.")
+        assignment = rule.body[1]
+        assert isinstance(assignment, Assignment)
+        assert assignment.target == Variable("C")
+        assert isinstance(assignment.expression, FunctionCall)
+        assert assignment.expression.name == "+"
+
+    def test_comparison(self):
+        rule = parse_rule("r p(S) :- q(S, C), C < 10.")
+        comparison = rule.body[1]
+        assert isinstance(comparison, Comparison)
+        assert comparison.operator == "<"
+
+    def test_function_call_comparison(self):
+        rule = parse_rule("r p(S) :- q(S, P), f_member(P, S) == 0.")
+        comparison = rule.body[1]
+        assert isinstance(comparison, Comparison)
+        assert isinstance(comparison.left, FunctionCall)
+        assert comparison.left.name == "f_member"
+
+    def test_function_call_in_assignment(self):
+        rule = parse_rule("r p(S, P) :- q(S, P2), P := f_concat(S, P2).")
+        assignment = rule.body[1]
+        assert isinstance(assignment.expression, FunctionCall)
+        assert assignment.expression.name == "f_concat"
+
+    def test_arithmetic_precedence(self):
+        rule = parse_rule("r p(X) :- q(A, B, C), X := A + B * C.")
+        expression = rule.body[1].expression
+        assert expression.name == "+"
+        assert expression.args[1].name == "*"
+
+    def test_parenthesised_arithmetic(self):
+        rule = parse_rule("r p(X) :- q(A, B, C), X := (A + B) * C.")
+        expression = rule.body[1].expression
+        assert expression.name == "*"
+
+    def test_negated_atom(self):
+        rule = parse_rule("r p(S) :- q(S), !blocked(S).")
+        negated = list(rule.body_atoms())[1]
+        assert negated.negated
+
+
+class TestAggregates:
+    def test_min_aggregate_in_head(self):
+        rule = parse_rule("p3 bestPathCost(@S, D, min<C>) :- path(@S, D, P, C).")
+        aggregate = rule.head.terms[2]
+        assert isinstance(aggregate, Aggregate)
+        assert aggregate.function == "min"
+        assert aggregate.variable == Variable("C")
+
+    def test_count_aggregate(self):
+        rule = parse_rule("m1 flapCount(@S, D, count<E>) :- routeEvent(@S, D, E).")
+        assert rule.head.terms[2].function == "count"
+
+    def test_aggregate_not_allowed_as_comparison_confusion(self):
+        # "C < 10" in a body must stay a comparison even though "min<C>" exists.
+        rule = parse_rule("r p(S) :- q(S, C), C < 10.")
+        assert isinstance(rule.body[1], Comparison)
+
+
+class TestSeNDlog:
+    def test_says_literal_with_variable_principal(self):
+        rule = parse_rule("s3 reachable(Z, Y)@Z :- Z says linkD(S, Z), W says reachable(S, Y).")
+        says = rule.body[0]
+        assert isinstance(says, SaysAtom)
+        assert says.principal == Variable("Z")
+        assert says.atom.name == "linkD"
+
+    def test_says_literal_with_constant_principal(self):
+        rule = parse_rule("s p(X) :- alice says q(X).")
+        says = rule.body[0]
+        assert says.principal == Constant("alice")
+
+    def test_ship_to_annotation(self):
+        rule = parse_rule("s2 linkD(D, S)@D :- link(S, D).")
+        assert rule.head.ship_to == Variable("D")
+
+    def test_at_context_block(self):
+        program = parse_program(REACHABLE_SENDLOG)
+        assert program.dialect == "sendlog"
+        assert all(rule.context == Variable("S") for rule in program.rules)
+
+    def test_ndlog_program_dialect(self):
+        program = parse_program(REACHABLE_NDLOG)
+        assert program.dialect == "ndlog"
+
+
+class TestMaterialize:
+    def test_materialize_declaration(self):
+        program = parse_program("materialize(link, infinity, infinity, keys(1,2)).")
+        decl = program.materialized[0]
+        assert decl.name == "link"
+        assert decl.lifetime is None
+        assert decl.max_size is None
+        assert decl.keys == (1, 2)
+
+    def test_materialize_with_finite_lifetime(self):
+        program = parse_program("materialize(routeEvent, 30, 1000, keys(1,2,3)).")
+        decl = program.materialized[0]
+        assert decl.lifetime == 30.0
+        assert decl.max_size == 1000
+
+    def test_materialize_round_trips_via_str(self):
+        program = parse_program("materialize(link, infinity, infinity, keys(1,2)).")
+        assert "materialize(link" in str(program)
+
+
+class TestPrograms:
+    def test_reachable_program_structure(self):
+        program = parse_program(REACHABLE_NDLOG)
+        assert len(program.rules) == 2
+        assert program.derived_predicates() == ("reachable",)
+        assert program.base_predicates() == ("link",)
+
+    def test_best_path_program_structure(self):
+        program = parse_program(BEST_PATH_NDLOG)
+        assert {rule.label for rule in program.rules} == {"p1", "p2", "p3", "p4"}
+        assert "link" in program.base_predicates()
+        assert set(program.derived_predicates()) == {"path", "bestPathCost", "bestPath"}
+
+    def test_rules_for_lookup(self):
+        program = parse_program(REACHABLE_NDLOG)
+        assert len(program.rules_for("reachable")) == 2
+        assert program.rules_for("nonexistent") == ()
+
+    def test_program_str_round_trips_through_parser(self):
+        program = parse_program(REACHABLE_NDLOG)
+        reparsed = parse_program(str(program))
+        assert [r.label for r in reparsed.rules] == [r.label for r in program.rules]
+        assert [r.head.name for r in reparsed.rules] == [r.head.name for r in program.rules]
+
+
+class TestErrors:
+    def test_missing_terminating_dot(self):
+        with pytest.raises(ParseError):
+            parse_rule("r p(X) :- q(X)")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse_rule("r p(X :- q(X).")
+
+    def test_trailing_garbage_in_single_rule(self):
+        with pytest.raises(ParseError):
+            parse_rule("r p(X) :- q(X). extra")
+
+    def test_two_location_specifiers_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("r p(@X, @Y) :- q(X, Y).")
+
+    def test_error_carries_line_information(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("r1 p(X) :- q(X).\nr2 broken(X :- q(X).")
+        assert excinfo.value.line >= 2

@@ -1,0 +1,99 @@
+"""Tests for rule compilation into executable plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.ast import Variable
+from repro.datalog.errors import PlanError
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.planner import compile_program, compile_rule
+from repro.datalog.rewrite import localize_program
+from repro.queries.best_path import BEST_PATH_NDLOG, compile_best_path
+
+
+class TestCompileRule:
+    def test_simple_rule_plan(self):
+        plan = compile_rule(parse_rule("r1 reachable(@S, D) :- link(@S, D)."))
+        assert plan.label == "r1"
+        assert plan.head.predicate == "reachable"
+        assert [b.predicate for b in plan.body_atoms] == ["link"]
+        assert plan.expressions == ()
+
+    def test_unlocalized_rule_rejected(self):
+        rule = parse_rule("r2 reachable(@S, D) :- link(@S, Z), reachable(@Z, D).")
+        with pytest.raises(PlanError):
+            compile_rule(rule)
+
+    def test_destination_from_head_location(self):
+        plan = compile_rule(parse_rule("r1 reachable(@S, D) :- link(@S, D)."))
+        assert plan.head.destination == Variable("S")
+
+    def test_destination_from_ship_to(self):
+        plan = compile_rule(parse_rule("s2 linkD(D, S)@D :- link(S, D)."))
+        assert plan.head.destination == Variable("D")
+
+    def test_no_destination_when_unlocated(self):
+        plan = compile_rule(parse_rule("s1 reachable(S, D) :- link(S, D)."))
+        assert plan.head.destination is None
+
+    def test_aggregate_metadata(self):
+        plan = compile_rule(
+            parse_rule("p3 bestPathCost(@S, D, min<C>) :- path(@S, D, P, C).")
+        )
+        assert plan.head.has_aggregate
+        assert plan.head.aggregate_index == 2
+        assert plan.head.aggregate.function == "min"
+        assert plan.head.group_by_indexes == (0, 1)
+
+    def test_two_aggregates_rejected(self):
+        rule = parse_rule("p x(@S, min<C>, max<C>) :- path(@S, D, P, C).")
+        with pytest.raises(PlanError):
+            compile_rule(rule)
+
+    def test_says_principal_recorded(self):
+        plan = compile_rule(parse_rule("s p(X) :- alice says q(X)."))
+        assert plan.body_atoms[0].says_principal is not None
+
+    def test_expressions_separated_from_atoms(self):
+        plan = compile_rule(
+            parse_rule("p1 path(@S, D, P, C) :- link(@S, D, C), P := f_init(S, D).")
+        )
+        assert len(plan.body_atoms) == 1
+        assert len(plan.expressions) == 1
+
+    def test_negated_atoms_not_triggers(self):
+        plan = compile_rule(parse_rule("r p(@S) :- q(@S), !blocked(@S)."))
+        assert plan.trigger_indexes("blocked") == ()
+        assert plan.trigger_indexes("q") == (0,)
+        assert len(plan.negative_atoms()) == 1
+
+
+class TestCompileProgram:
+    def test_facts_are_not_compiled_into_plans(self):
+        program = parse_program("f1 link(a, b, 1).\nr1 reachable(@S, D) :- link(@S, D, C).")
+        compiled = compile_program(program)
+        assert len(compiled.plans) == 1
+
+    def test_trigger_index_covers_every_body_predicate(self):
+        compiled = compile_best_path()
+        assert compiled.plans_triggered_by("link")
+        assert compiled.plans_triggered_by("bestPath")
+        assert compiled.plans_triggered_by("path")
+        assert compiled.plans_triggered_by("unknown") == ()
+
+    def test_plans_for_head(self):
+        compiled = compile_best_path()
+        assert len(compiled.plans_for_head("path")) == 2
+        assert len(compiled.plans_for_head("bestPathCost")) == 1
+
+    def test_self_join_rule_triggers_twice(self):
+        program = localize_program(
+            parse_program("r twohop(@S, D) :- link(@S, Z, C1), link(@S, D, C2).")
+        )
+        compiled = compile_program(program)
+        plan = compiled.plans[0]
+        assert plan.trigger_indexes("link") == (0, 1)
+
+    def test_best_path_plan_count(self, compiled_best_path):
+        assert len(compiled_best_path.plans) == 5

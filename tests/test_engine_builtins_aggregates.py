@@ -1,0 +1,146 @@
+"""Tests for built-in function symbols and aggregate evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.errors import EvaluationError
+from repro.engine.aggregates import AggregateState, aggregate_better, aggregate_init
+from repro.engine.builtins import (
+    call_builtin,
+    f_append,
+    f_concat,
+    f_first,
+    f_init,
+    f_last,
+    f_member,
+    f_size,
+)
+
+
+class TestPathBuiltins:
+    def test_f_init(self):
+        assert f_init("a", "b") == ("a", "b")
+        assert f_init("a") == ("a",)
+
+    def test_f_concat_prepends(self):
+        assert f_concat("s", ("z", "d")) == ("s", "z", "d")
+
+    def test_f_concat_requires_path(self):
+        with pytest.raises(EvaluationError):
+            f_concat("s", "not-a-path")
+
+    def test_f_append(self):
+        assert f_append(("a", "b"), "c") == ("a", "b", "c")
+
+    def test_f_member_positive_and_negative(self):
+        assert f_member(("a", "b", "c"), "b") == 1
+        assert f_member(("a", "b", "c"), "z") == 0
+
+    def test_f_size(self):
+        assert f_size(()) == 0
+        assert f_size(("a", "b", "c")) == 3
+
+    def test_f_first_and_last(self):
+        assert f_first(("a", "b", "c")) == "a"
+        assert f_last(("a", "b", "c")) == "c"
+
+    def test_f_first_of_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            f_first(())
+
+
+class TestArithmeticBuiltins:
+    def test_addition(self):
+        assert call_builtin("+", [2, 3]) == 5
+
+    def test_subtraction_multiplication_division(self):
+        assert call_builtin("-", [7, 3]) == 4
+        assert call_builtin("*", [4, 3]) == 12
+        assert call_builtin("/", [9, 3]) == 3
+
+    def test_float_arithmetic(self):
+        assert call_builtin("+", [1.5, 2.5]) == 4.0
+
+    def test_type_errors_become_evaluation_errors(self):
+        with pytest.raises(EvaluationError):
+            call_builtin("+", [1, ("a",)])
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(EvaluationError):
+            call_builtin("f_unknown", [1])
+
+    def test_call_builtin_dispatches_path_functions(self):
+        assert call_builtin("f_concat", ["s", ("d",)]) == ("s", "d")
+
+
+class TestAggregateHelpers:
+    def test_init_values(self):
+        assert aggregate_init("count") == 0
+        assert aggregate_init("sum") == 0
+        assert aggregate_init("min") is None
+        assert aggregate_init("max") is None
+
+    def test_init_rejects_unknown(self):
+        with pytest.raises(EvaluationError):
+            aggregate_init("median")
+
+    def test_better_for_min(self):
+        assert aggregate_better("min", None, 5)
+        assert aggregate_better("min", 5, 3)
+        assert not aggregate_better("min", 3, 5)
+        assert not aggregate_better("min", 3, 3)
+
+    def test_better_for_max(self):
+        assert aggregate_better("max", 3, 5)
+        assert not aggregate_better("max", 5, 3)
+
+    def test_better_rejects_count(self):
+        with pytest.raises(EvaluationError):
+            aggregate_better("count", 1, 2)
+
+
+class TestAggregateState:
+    def test_min_reports_only_improvements(self):
+        state = AggregateState("min")
+        assert state.update(("a", "b"), 10) == 10
+        assert state.update(("a", "b"), 12) is None
+        assert state.update(("a", "b"), 7) == 7
+        assert state.value(("a", "b")) == 7
+
+    def test_min_groups_are_independent(self):
+        state = AggregateState("min")
+        state.update(("a", "b"), 10)
+        assert state.update(("a", "c"), 20) == 20
+        assert state.value(("a", "b")) == 10
+
+    def test_max(self):
+        state = AggregateState("max")
+        assert state.update(("g",), 1) == 1
+        assert state.update(("g",), 5) == 5
+        assert state.update(("g",), 3) is None
+
+    def test_count_deduplicates_contributions(self):
+        state = AggregateState("count")
+        assert state.update(("g",), "e1", contribution_key=("e1",)) == 1
+        assert state.update(("g",), "e2", contribution_key=("e2",)) == 2
+        assert state.update(("g",), "e1", contribution_key=("e1",)) is None
+        assert state.value(("g",)) == 2
+
+    def test_sum(self):
+        state = AggregateState("sum")
+        assert state.update(("g",), 5, contribution_key=("x",)) == 5
+        assert state.update(("g",), 7, contribution_key=("y",)) == 12
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(EvaluationError):
+            AggregateState("stddev")
+
+    def test_groups_listing(self):
+        state = AggregateState("min")
+        state.update(("a",), 1)
+        state.update(("b",), 2)
+        assert set(state.groups()) == {("a",), ("b",)}
+
+    def test_value_of_unknown_group_is_none(self):
+        assert AggregateState("min").value(("missing",)) is None

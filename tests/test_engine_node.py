@@ -1,0 +1,217 @@
+"""Tests for the per-node engine (authentication, provenance, shipping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.node_engine import EngineConfig, NodeEngine, ProvenanceMode
+from repro.engine.tuples import Fact
+from repro.provenance.authenticated import SignedAnnotation, sign_annotation
+from repro.provenance.condensed import CondensedProvenance
+from repro.provenance.pruning import ProvenanceSampler
+from repro.security.keystore import KeyStore
+from repro.security.says import SaysMode
+
+
+@pytest.fixture(scope="module")
+def keystore() -> KeyStore:
+    store = KeyStore(key_bits=128, seed=9)
+    store.create_all(["a", "b", "c", "mallory"])
+    return store
+
+
+def make_engine(address, compiled, config, keystore) -> NodeEngine:
+    return NodeEngine(address=address, compiled=compiled, config=config, keystore=keystore)
+
+
+class TestBaseProcessing:
+    def test_insert_base_derives_and_ships(self, compiled_best_path, keystore):
+        engine = make_engine("a", compiled_best_path, EngineConfig(), keystore)
+        result = engine.insert_base(Fact("link", ("a", "b", 1.0)))
+        # p1 derives a one-hop path locally; the localized p2a ships a mid
+        # tuple to node b.
+        assert any(o.destination == "b" for o in result.outgoing)
+        assert engine.facts("path")
+        assert engine.facts("bestPath")
+
+    def test_report_counts_insertions_and_firings(self, compiled_best_path, keystore):
+        engine = make_engine("a", compiled_best_path, EngineConfig(), keystore)
+        result = engine.insert_base(Fact("link", ("a", "b", 1.0)))
+        assert result.report.facts_inserted >= 3  # link, path, bestPathCost/bestPath
+        assert result.report.rule_firings >= 3
+
+    def test_duplicate_base_fact_is_idempotent(self, compiled_best_path, keystore):
+        engine = make_engine("a", compiled_best_path, EngineConfig(), keystore)
+        engine.insert_base(Fact("link", ("a", "b", 1.0)))
+        second = engine.insert_base(Fact("link", ("a", "b", 1.0)))
+        assert second.report.facts_inserted == 0
+        assert second.outgoing == []
+
+
+class TestAuthentication:
+    def test_ndlog_mode_ships_unsigned(self, compiled_best_path, keystore):
+        engine = make_engine("a", compiled_best_path, EngineConfig(), keystore)
+        result = engine.insert_base(Fact("link", ("a", "b", 1.0)))
+        exported = result.outgoing[0].fact
+        assert exported.signature is None
+        assert result.outgoing[0].security_bytes == 0
+
+    def test_signed_mode_ships_signed(self, compiled_best_path, keystore):
+        config = EngineConfig(says_mode=SaysMode.SIGNED)
+        engine = make_engine("a", compiled_best_path, config, keystore)
+        result = engine.insert_base(Fact("link", ("a", "b", 1.0)))
+        exported = result.outgoing[0].fact
+        assert exported.asserted_by == "a"
+        assert exported.signature is not None
+        assert result.outgoing[0].security_bytes > 0
+        assert result.report.signatures_created == len(result.outgoing)
+
+    def test_cleartext_mode_attributes_without_signature(self, compiled_best_path, keystore):
+        config = EngineConfig(says_mode=SaysMode.CLEARTEXT)
+        engine = make_engine("a", compiled_best_path, config, keystore)
+        result = engine.insert_base(Fact("link", ("a", "b", 1.0)))
+        exported = result.outgoing[0].fact
+        assert exported.asserted_by == "a"
+        assert exported.signature is None
+
+    def test_receiver_accepts_valid_signature(self, compiled_best_path, keystore):
+        config = EngineConfig(says_mode=SaysMode.SIGNED)
+        sender = make_engine("a", compiled_best_path, config, keystore)
+        receiver = make_engine("b", compiled_best_path, config, keystore)
+        outgoing = sender.insert_base(Fact("link", ("a", "b", 1.0))).outgoing
+        to_b = [o for o in outgoing if o.destination == "b"][0]
+        result = receiver.receive(to_b.fact, now=1.0)
+        assert result.report.facts_verified == 1
+        assert result.report.facts_rejected == 0
+        assert result.report.facts_inserted >= 1
+
+    def test_receiver_rejects_tampered_tuple(self, compiled_best_path, keystore):
+        config = EngineConfig(says_mode=SaysMode.SIGNED)
+        sender = make_engine("a", compiled_best_path, config, keystore)
+        receiver = make_engine("b", compiled_best_path, config, keystore)
+        outgoing = sender.insert_base(Fact("link", ("a", "b", 1.0))).outgoing
+        genuine = [o for o in outgoing if o.destination == "b"][0].fact
+        tampered = Fact(
+            relation=genuine.relation,
+            values=genuine.values[:-1] + (999.0,),
+            asserted_by=genuine.asserted_by,
+            signature=genuine.signature,
+        )
+        result = receiver.receive(tampered, now=1.0)
+        assert result.report.facts_rejected == 1
+        assert result.report.facts_inserted == 0
+
+    def test_receiver_rejects_unsigned_tuple_in_signed_mode(self, compiled_best_path, keystore):
+        config = EngineConfig(says_mode=SaysMode.SIGNED)
+        receiver = make_engine("b", compiled_best_path, config, keystore)
+        result = receiver.receive(Fact("link", ("a", "b", 1.0)), now=0.0)
+        assert result.report.facts_rejected == 1
+
+    def test_receiver_rejects_spoofed_principal(self, compiled_best_path, keystore):
+        config = EngineConfig(says_mode=SaysMode.SIGNED)
+        mallory = make_engine("mallory", compiled_best_path, config, keystore)
+        receiver = make_engine("b", compiled_best_path, config, keystore)
+        outgoing = mallory.insert_base(Fact("link", ("mallory", "b", 1.0))).outgoing
+        fact = outgoing[0].fact
+        spoofed = fact.with_metadata(asserted_by="a")  # claim it came from a
+        result = receiver.receive(spoofed, now=0.0)
+        assert result.report.facts_rejected == 1
+
+
+class TestProvenanceModes:
+    def test_condensed_mode_ships_signed_annotation(self, compiled_best_path, keystore):
+        config = EngineConfig(
+            says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.CONDENSED
+        )
+        engine = make_engine("a", compiled_best_path, config, keystore)
+        result = engine.insert_base(Fact("link", ("a", "b", 1.0)))
+        shipped = result.outgoing[0]
+        assert shipped.provenance_bytes > 0
+        assert isinstance(shipped.fact.provenance, SignedAnnotation)
+        assert result.report.provenance_signatures == len(result.outgoing)
+
+    def test_unsigned_condensed_mode_ships_plain_annotation(self, compiled_best_path, keystore):
+        config = EngineConfig(
+            says_mode=SaysMode.NONE, provenance_mode=ProvenanceMode.CONDENSED
+        )
+        engine = make_engine("a", compiled_best_path, config, keystore)
+        result = engine.insert_base(Fact("link", ("a", "b", 1.0)))
+        shipped = result.outgoing[0]
+        assert isinstance(shipped.fact.provenance, CondensedProvenance)
+        assert shipped.provenance_bytes == shipped.fact.provenance.serialized_size()
+
+    def test_none_mode_ships_nothing_extra(self, compiled_best_path, keystore):
+        engine = make_engine("a", compiled_best_path, EngineConfig(), keystore)
+        result = engine.insert_base(Fact("link", ("a", "b", 1.0)))
+        assert all(o.provenance_bytes == 0 for o in result.outgoing)
+
+    def test_distributed_mode_keeps_pointers_but_ships_nothing(self, compiled_best_path, keystore):
+        config = EngineConfig(provenance_mode=ProvenanceMode.DISTRIBUTED)
+        engine = make_engine("a", compiled_best_path, config, keystore)
+        result = engine.insert_base(Fact("link", ("a", "b", 1.0)))
+        assert all(o.provenance_bytes == 0 for o in result.outgoing)
+        assert engine.distributed_provenance.storage_overhead() > 0
+
+    def test_receiver_verifies_provenance_signature(self, compiled_best_path, keystore):
+        config = EngineConfig(
+            says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.CONDENSED
+        )
+        sender = make_engine("a", compiled_best_path, config, keystore)
+        receiver = make_engine("b", compiled_best_path, config, keystore)
+        outgoing = sender.insert_base(Fact("link", ("a", "b", 1.0))).outgoing
+        to_b = [o for o in outgoing if o.destination == "b"][0]
+        result = receiver.receive(to_b.fact, now=0.5, provenance=to_b.fact.provenance)
+        assert result.report.provenance_verifications == 1
+        assert result.report.facts_rejected == 0
+
+    def test_receiver_rejects_forged_provenance(self, compiled_best_path, keystore):
+        config = EngineConfig(
+            says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.CONDENSED
+        )
+        receiver = make_engine("b", compiled_best_path, config, keystore)
+        annotation = CondensedProvenance.from_source("a")
+        forged = SignedAnnotation(annotation=annotation, principal="a", signature=b"\x00" * 16)
+        sender = make_engine("a", compiled_best_path, config, keystore)
+        fact = sender.insert_base(Fact("link", ("a", "b", 1.0))).outgoing[0].fact
+        fact = fact.with_metadata(provenance=forged)
+        result = receiver.receive(fact, now=0.5, provenance=forged)
+        assert result.report.facts_rejected == 1
+
+    def test_provenance_of_local_fact(self, compiled_best_path, keystore):
+        config = EngineConfig(
+            says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.CONDENSED
+        )
+        engine = make_engine("a", compiled_best_path, config, keystore)
+        engine.insert_base(Fact("link", ("a", "b", 1.0)))
+        best = engine.facts("bestPath")[0]
+        annotation = engine.provenance_of(best)
+        assert "a" in annotation.sources()
+
+    def test_sampling_skips_some_provenance(self, compiled_best_path, keystore):
+        config = EngineConfig(
+            provenance_mode=ProvenanceMode.CONDENSED,
+            sampler=ProvenanceSampler(rate=0.0),
+        )
+        engine = make_engine("a", compiled_best_path, config, keystore)
+        result = engine.insert_base(Fact("link", ("a", "b", 1.0)))
+        assert result.report.provenance_annotations == 0
+
+    def test_online_and_offline_stores_populated(self, compiled_best_path, keystore):
+        config = EngineConfig(
+            provenance_mode=ProvenanceMode.CONDENSED,
+            keep_online_provenance=True,
+            keep_offline_provenance=True,
+        )
+        engine = make_engine("a", compiled_best_path, config, keystore)
+        engine.insert_base(Fact("link", ("a", "b", 1.0)))
+        assert len(engine.online_provenance) > 0
+        assert len(engine.offline_provenance) > 0
+
+
+class TestSoftState:
+    def test_default_ttl_applied_to_base_facts(self, compiled_best_path, keystore):
+        config = EngineConfig(default_ttl=30.0)
+        engine = make_engine("a", compiled_best_path, config, keystore)
+        engine.insert_base(Fact("link", ("a", "b", 1.0)), now=0.0)
+        stored = engine.facts("link")[0]
+        assert stored.ttl == 30.0

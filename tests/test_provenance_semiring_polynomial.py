@@ -1,0 +1,173 @@
+"""Tests for provenance semirings and polynomials."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.provenance.polynomial import (
+    ProvenanceExpression,
+    p_one,
+    p_product,
+    p_sum,
+    p_var,
+    p_zero,
+)
+from repro.provenance.semiring import BOOLEAN, COUNTING, TRUST, TrustSemiring
+
+
+class TestSemirings:
+    def test_boolean_sum_and_product(self):
+        assert BOOLEAN.sum([False, True]) is True
+        assert BOOLEAN.sum([]) is False
+        assert BOOLEAN.product([True, True]) is True
+        assert BOOLEAN.product([True, False]) is False
+        assert BOOLEAN.product([]) is True
+
+    def test_counting_semiring(self):
+        assert COUNTING.sum([1, 2, 3]) == 6
+        assert COUNTING.product([2, 3]) == 6
+        assert COUNTING.zero == 0 and COUNTING.one == 1
+
+    def test_trust_semiring_max_min(self):
+        assert TRUST.plus(2, 1) == 2
+        assert TRUST.times(2, 1) == 1
+        assert TRUST.sum([]) == TrustSemiring.UNTRUSTED
+        assert TRUST.product([]) == TrustSemiring.FULLY_TRUSTED
+
+    def test_paper_trust_example(self):
+        # max(2, min(2, 1)) == 2
+        value = TRUST.sum([2, TRUST.product([2, 1])])
+        assert value == 2
+
+
+class TestPolynomialAlgebra:
+    def test_var_and_str(self):
+        assert str(p_var("a")) == "<a>"
+
+    def test_sum_renders_with_plus(self):
+        assert p_sum(p_var("a"), p_var("b")).to_string() == "a+b"
+
+    def test_product_renders_with_star(self):
+        assert p_product(p_var("a"), p_var("b")).to_string() == "a*b"
+
+    def test_zero_is_additive_identity(self):
+        a = p_var("a")
+        assert p_sum(a, p_zero()) == a
+
+    def test_one_is_multiplicative_identity(self):
+        a = p_var("a")
+        assert p_product(a, p_one()) == a
+
+    def test_zero_annihilates_product(self):
+        assert p_product(p_var("a"), p_zero()).is_zero
+
+    def test_addition_commutes(self):
+        assert p_sum(p_var("a"), p_var("b")) == p_sum(p_var("b"), p_var("a"))
+
+    def test_multiplication_commutes(self):
+        assert p_product(p_var("a"), p_var("b")) == p_product(p_var("b"), p_var("a"))
+
+    def test_distributivity(self):
+        a, b, c = p_var("a"), p_var("b"), p_var("c")
+        assert p_product(a, p_sum(b, c)) == p_sum(p_product(a, b), p_product(a, c))
+
+    def test_multiplicities_tracked(self):
+        doubled = p_sum(p_var("a"), p_var("a"))
+        assert doubled.monomials[0][1] == 2
+
+    def test_variables(self):
+        expr = p_sum(p_var("a"), p_product(p_var("a"), p_var("b")))
+        assert expr.variables() == frozenset({"a", "b"})
+
+    def test_degree(self):
+        expr = p_sum(p_var("a"), p_product(p_var("a"), p_var("b"), p_var("c")))
+        assert expr.degree() == 3
+        assert p_zero().degree() == 0
+
+
+class TestCondensation:
+    def test_paper_example_a_plus_ab_condenses_to_a(self):
+        expr = p_sum(p_var("a"), p_product(p_var("a"), p_var("b")))
+        assert expr.condense() == p_var("a")
+
+    def test_idempotent_power_collapses(self):
+        expr = p_product(p_var("a"), p_var("a"))
+        assert expr.condense() == p_var("a")
+
+    def test_duplicate_monomials_collapse(self):
+        expr = p_sum(p_var("a"), p_var("a"))
+        assert expr.condense() == p_var("a")
+
+    def test_incomparable_monomials_kept(self):
+        expr = p_sum(p_product(p_var("a"), p_var("b")), p_product(p_var("a"), p_var("c")))
+        condensed = expr.condense()
+        assert len(condensed.monomials) == 2
+
+    def test_condense_is_idempotent(self):
+        expr = p_sum(p_var("a"), p_product(p_var("a"), p_var("b")), p_var("c"))
+        assert expr.condense().condense() == expr.condense()
+
+    def test_condensation_never_grows_serialized_size(self):
+        expr = p_sum(
+            p_var("a"),
+            p_product(p_var("a"), p_var("b")),
+            p_product(p_var("a"), p_var("b"), p_var("c")),
+        )
+        assert expr.condense().serialized_size() <= expr.serialized_size()
+
+
+class TestEvaluation:
+    def test_boolean_evaluation(self):
+        expr = p_sum(p_var("a"), p_product(p_var("a"), p_var("b")))
+        assert expr.evaluate(BOOLEAN, {"a": True, "b": False}) is True
+        assert expr.evaluate(BOOLEAN, {"a": False, "b": True}) is False
+
+    def test_counting_evaluation_counts_derivations(self):
+        expr = p_sum(p_var("a"), p_product(p_var("a"), p_var("b")))
+        assert expr.evaluate(COUNTING, {"a": 1, "b": 1}) == 2
+
+    def test_counting_evaluation_respects_multiplicity(self):
+        expr = p_sum(p_var("a"), p_var("a"))
+        assert expr.evaluate(COUNTING, {"a": 1}) == 2
+
+    def test_trust_evaluation_matches_paper(self):
+        expr = p_sum(p_var("a"), p_product(p_var("a"), p_var("b")))
+        assert expr.evaluate(TRUST, {"a": 2, "b": 1}) == 2
+
+    def test_missing_variables_treated_as_one(self):
+        expr = p_product(p_var("a"), p_var("b"))
+        assert expr.evaluate(BOOLEAN, {"a": True}) is True
+
+    def test_zero_polynomial_evaluates_to_zero(self):
+        assert p_zero().evaluate(COUNTING, {}) == 0
+        assert p_zero().evaluate(BOOLEAN, {}) is False
+
+    def test_condensation_preserves_boolean_semantics(self):
+        expr = p_sum(
+            p_product(p_var("a"), p_var("b")),
+            p_var("c"),
+            p_product(p_var("c"), p_var("a")),
+        )
+        condensed = expr.condense()
+        for a in (False, True):
+            for b in (False, True):
+                for c in (False, True):
+                    assignment = {"a": a, "b": b, "c": c}
+                    assert expr.evaluate(BOOLEAN, assignment) == condensed.evaluate(
+                        BOOLEAN, assignment
+                    )
+
+
+class TestSerialization:
+    def test_serialized_size_is_utf8_length(self):
+        expr = p_sum(p_var("node1"), p_var("node2"))
+        assert expr.serialized_size() == len("node1+node2")
+
+    def test_zero_renders_as_zero(self):
+        assert p_zero().to_string() == "0"
+
+    def test_one_renders_as_one(self):
+        assert p_one().to_string() == "1"
+
+    def test_multiplicity_rendered(self):
+        assert p_sum(p_var("a"), p_var("a")).to_string() == "2*a"

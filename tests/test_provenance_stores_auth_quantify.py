@@ -1,0 +1,298 @@
+"""Tests for online/offline stores, authenticated provenance, quantification,
+taxonomy and the Section 5 optimizations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.tuples import Derivation, Fact
+from repro.provenance.authenticated import (
+    AuthenticatedProvenance,
+    ProvenanceVerificationError,
+    SignedAnnotation,
+    sign_annotation,
+    verify_annotation,
+)
+from repro.provenance.condensed import CondensedProvenance
+from repro.provenance.graph import DerivationGraph
+from repro.provenance.polynomial import p_product, p_sum, p_var
+from repro.provenance.pruning import (
+    ASAggregator,
+    MaintenanceMode,
+    ProvenanceSampler,
+    ReactiveProvenanceBuffer,
+    grouped_by_as,
+)
+from repro.provenance.quantify import (
+    accept_by_trust_level,
+    accept_by_vote,
+    count_derivations,
+    trust_level,
+    vote_principals,
+)
+from repro.provenance.store import OfflineProvenanceArchive, OnlineProvenanceStore
+from repro.provenance.taxonomy import (
+    LifetimeAxis,
+    ProvenanceAxes,
+    StorageAxis,
+    UseCase,
+    all_recommendations,
+    recommend_provenance,
+)
+from repro.security.keystore import KeyStore
+from repro.security.principal import PrincipalRegistry
+
+
+ROUTE = Fact("bestPath", ("a", "c", ("a", "b", "c"), 2.0), timestamp=0.0, ttl=10.0)
+LINK = Fact("link", ("a", "b"), asserted_by="a")
+DERIVATION = Derivation(fact=ROUTE, rule_label="p4", node="a", antecedents=(LINK,), timestamp=0.0)
+
+
+class TestOnlineStore:
+    def test_record_and_lookup(self):
+        store = OnlineProvenanceStore("a")
+        store.record(DERIVATION)
+        assert ROUTE.key() in store
+        assert len(store.entries(ROUTE.key())) == 1
+
+    def test_expire_follows_tuple_ttl(self):
+        store = OnlineProvenanceStore("a")
+        store.record(DERIVATION)
+        assert store.expire(now=5.0) == []
+        dropped = store.expire(now=10.0)
+        assert len(dropped) == 1
+        assert ROUTE.key() not in store
+
+    def test_dependents_and_cascade_delete(self):
+        store = OnlineProvenanceStore("a")
+        store.record(DERIVATION)
+        downstream = Fact("forwarding", ("a", "c"))
+        store.record(Derivation(fact=downstream, rule_label="f", node="a", antecedents=(ROUTE,)))
+        assert downstream.key() in store.dependents_of(ROUTE.key())
+        dependents = store.delete(ROUTE.key())
+        assert downstream.key() in dependents
+        assert ROUTE.key() not in store
+
+    def test_len(self):
+        store = OnlineProvenanceStore("a")
+        store.record(DERIVATION)
+        store.record(DERIVATION)
+        assert len(store) == 2
+
+
+class TestOfflineArchive:
+    def test_entries_survive_expiry(self):
+        archive = OfflineProvenanceArchive("a")
+        archive.record(DERIVATION)
+        # The archive has no notion of tuple expiry: entries stay queryable.
+        assert len(archive.entries(ROUTE.key())) == 1
+
+    def test_time_window_query(self):
+        archive = OfflineProvenanceArchive("a")
+        early = Derivation(fact=ROUTE, rule_label="p4", node="a", timestamp=1.0)
+        late = Derivation(fact=ROUTE, rule_label="p4", node="a", timestamp=100.0)
+        archive.record(early)
+        archive.record(late)
+        assert len(archive.entries_between(0.0, 10.0)) == 1
+        assert len(archive.entries_between(0.0, 200.0)) == 2
+
+    def test_age_out_respects_retention_and_pins(self):
+        archive = OfflineProvenanceArchive("a", retention=50.0)
+        index_old = archive.record(Derivation(fact=ROUTE, rule_label="p4", node="a", timestamp=0.0))
+        archive.record(Derivation(fact=ROUTE, rule_label="p4", node="a", timestamp=90.0))
+        pinned = archive.record(Derivation(fact=LINK, rule_label="base", node="a", timestamp=1.0))
+        archive.pin(pinned)
+        dropped = archive.age_out(now=100.0)
+        assert dropped == 1  # the old unpinned entry
+        assert len(archive) == 2
+
+    def test_no_retention_never_ages(self):
+        archive = OfflineProvenanceArchive("a")
+        archive.record(DERIVATION)
+        assert archive.age_out(now=1e9) == 0
+
+    def test_storage_bytes_positive_and_grows(self):
+        archive = OfflineProvenanceArchive("a")
+        archive.record(DERIVATION)
+        first = archive.storage_bytes()
+        archive.record(DERIVATION, annotation=CondensedProvenance.from_source("a"))
+        assert archive.storage_bytes() > first
+
+    def test_reconstruct_graph(self):
+        archive = OfflineProvenanceArchive("a")
+        archive.record(DERIVATION)
+        graph = archive.reconstruct_graph(ROUTE.key())
+        assert graph.base_tuples(ROUTE.key()) == frozenset({LINK.key()})
+
+
+class TestAuthenticatedProvenance:
+    @pytest.fixture(scope="class")
+    def keystore(self):
+        store = KeyStore(key_bits=128, seed=21)
+        store.create_all(["a", "b"])
+        return store
+
+    def figure_graph(self) -> DerivationGraph:
+        graph = DerivationGraph()
+        reach_bc = Fact("reachable", ("b", "c"), asserted_by="b")
+        link_ab = Fact("link", ("a", "b"), asserted_by="a")
+        reach_ac = Fact("reachable", ("a", "c"), asserted_by="a")
+        graph.add_derivation(reach_ac, "r2", [link_ab, reach_bc], location="a")
+        return graph
+
+    def test_sign_and_verify_graph(self, keystore):
+        signed = AuthenticatedProvenance.sign_graph(self.figure_graph(), keystore)
+        assert signed.verify(keystore)
+        assert signed.signature_overhead_bytes() > 0
+
+    def test_tampered_node_detected(self, keystore):
+        signed = AuthenticatedProvenance.sign_graph(self.figure_graph(), keystore)
+        key = ("reachable", ("a", "c"))
+        signed.tamper_with_node(key, b"\x00" * 16)
+        with pytest.raises(ProvenanceVerificationError):
+            signed.verify(keystore)
+
+    def test_missing_signature_detected_when_complete_required(self, keystore):
+        signed = AuthenticatedProvenance.sign_graph(self.figure_graph(), keystore)
+        signed.signatures.pop(("link", ("a", "b")))
+        with pytest.raises(ProvenanceVerificationError):
+            signed.verify(keystore, require_complete=True)
+        assert signed.verify(keystore, require_complete=False)
+
+    def test_signed_annotation_round_trip(self, keystore):
+        annotation = CondensedProvenance.from_source("a")
+        signed = sign_annotation(annotation, "a", keystore)
+        assert verify_annotation(signed, keystore)
+        assert signed.wire_size() >= annotation.serialized_size() + 1
+
+    def test_signed_annotation_forgery_detected(self, keystore):
+        annotation = CondensedProvenance.from_source("a")
+        forged = SignedAnnotation(annotation=annotation, principal="a", signature=b"\x01" * 16)
+        assert not verify_annotation(forged, keystore)
+
+    def test_signed_annotation_unknown_principal(self, keystore):
+        annotation = CondensedProvenance.from_source("zz")
+        forged = SignedAnnotation(annotation=annotation, principal="zz", signature=b"\x01" * 16)
+        with pytest.raises(ProvenanceVerificationError):
+            verify_annotation(forged, keystore)
+
+
+class TestQuantify:
+    PAPER = p_sum(p_var("a"), p_product(p_var("a"), p_var("b")))
+
+    def test_trust_level_paper_example(self):
+        assert trust_level(self.PAPER, {"a": 2, "b": 1}) == 2
+
+    def test_trust_level_with_registry(self):
+        registry = PrincipalRegistry()
+        registry.register("a", security_level=2)
+        registry.register("b", security_level=1)
+        assert trust_level(self.PAPER, registry) == 2
+
+    def test_trust_level_default(self):
+        assert trust_level(p_product(p_var("a"), p_var("b")), {"a": 3}, default_level=1) == 1
+
+    def test_count_derivations(self):
+        assert count_derivations(self.PAPER) == 2
+        assert count_derivations(p_var("a")) == 1
+
+    def test_vote_principals(self):
+        assert vote_principals(self.PAPER) == 2
+        assert vote_principals(p_sum(p_var("a"), p_var("b"), p_var("c"))) == 3
+
+    def test_accept_by_vote(self):
+        assert accept_by_vote(self.PAPER, 2)
+        assert not accept_by_vote(self.PAPER, 3)
+
+    def test_accept_by_trust_level(self):
+        assert accept_by_trust_level(self.PAPER, {"a": 2, "b": 1}, minimum_level=2)
+        assert not accept_by_trust_level(self.PAPER, {"a": 1, "b": 1}, minimum_level=2)
+
+    def test_accepts_condensed_annotations(self):
+        annotation = CondensedProvenance(expression=self.PAPER)
+        assert trust_level(annotation, {"a": 2, "b": 1}) == 2
+        assert count_derivations(annotation) == 2
+
+
+class TestTaxonomy:
+    def test_trust_management_recommendation(self):
+        axes = recommend_provenance(UseCase.TRUST_MANAGEMENT)
+        assert axes.condensed and axes.quantifiable
+        assert axes.storage_options == (StorageAxis.LOCAL,)
+
+    def test_forensics_requires_offline(self):
+        axes = recommend_provenance(UseCase.FORENSICS)
+        assert LifetimeAxis.OFFLINE in axes.lifetimes
+
+    def test_diagnostics_is_online(self):
+        axes = recommend_provenance(UseCase.REAL_TIME_DIAGNOSTICS)
+        assert axes.lifetimes == (LifetimeAxis.ONLINE,)
+
+    def test_all_use_cases_covered(self):
+        assert set(all_recommendations()) == set(UseCase)
+
+    def test_describe_is_readable(self):
+        text = recommend_provenance(UseCase.TRUST_MANAGEMENT).describe()
+        assert "local" in text and "condensed" in text
+
+
+class TestOptimizations:
+    def test_sampler_rates(self):
+        always = ProvenanceSampler(rate=1.0)
+        never = ProvenanceSampler(rate=0.0)
+        assert always.should_record(("t", ("a",)))
+        assert not never.should_record(("t", ("a",)))
+
+    def test_sampler_is_deterministic(self):
+        a = ProvenanceSampler(rate=0.5, salt="x")
+        b = ProvenanceSampler(rate=0.5, salt="x")
+        keys = [("t", (i,)) for i in range(100)]
+        assert [a.should_record(k) for k in keys] == [b.should_record(k) for k in keys]
+
+    def test_sampler_observed_rate_roughly_matches(self):
+        sampler = ProvenanceSampler(rate=0.3)
+        for i in range(2000):
+            sampler.should_record(("t", (i,)))
+        assert 0.2 < sampler.observed_rate() < 0.4
+
+    def test_sampler_rejects_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ProvenanceSampler(rate=1.5)
+
+    def test_reactive_buffer_defers_until_trigger(self):
+        materialised = []
+        buffer = ReactiveProvenanceBuffer(sink=materialised.append)
+        buffer.observe(DERIVATION)
+        buffer.observe(DERIVATION)
+        assert materialised == []
+        assert buffer.trigger() == 2
+        assert len(materialised) == 2
+        # After triggering, new derivations flow straight through.
+        buffer.observe(DERIVATION)
+        assert len(materialised) == 3
+        buffer.reset()
+        buffer.observe(DERIVATION)
+        assert len(materialised) == 3
+
+    def test_maintenance_mode_enum(self):
+        assert MaintenanceMode.PROACTIVE.value == "proactive"
+        assert MaintenanceMode.REACTIVE.value == "reactive"
+
+    def test_as_aggregation_shrinks_expression(self):
+        aggregator = ASAggregator({"n1": "AS1", "n2": "AS1", "n3": "AS2"})
+        annotation = CondensedProvenance(
+            expression=p_product(p_var("n1"), p_var("n2"), p_var("n3"))
+        )
+        aggregated = aggregator.aggregate(annotation)
+        assert aggregated.sources() == frozenset({"AS1", "AS2"})
+        assert aggregated.serialized_size() < annotation.serialized_size()
+        assert aggregator.compression_ratio(annotation) < 1.0
+
+    def test_as_aggregation_default_as(self):
+        aggregator = ASAggregator({}, default_as="AS-unknown")
+        assert aggregator.as_of("n77") == "AS-unknown"
+
+    def test_grouped_by_as(self):
+        aggregator = ASAggregator({"n1": "AS1", "n2": "AS1", "n3": "AS2"})
+        groups = grouped_by_as(aggregator, ["n1", "n2", "n3"])
+        assert groups == {"AS1": ("n1", "n2"), "AS2": ("n3",)}
