@@ -1,0 +1,25 @@
+# Local verification targets.
+#
+#   make check       - tier-1 unit/integration tests plus a fast benchmark
+#                      smoke run (small node counts), catching functional and
+#                      benchmark-harness regressions in a couple of minutes.
+#   make tier1       - the exact tier-1 command from ROADMAP.md (runs the
+#                      benchmarks at their default sizes; slow).
+#   make test        - unit/integration tests only (fastest loop).
+#   make bench-smoke - the full benchmark suite at smoke sizes.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check tier1 test bench-smoke
+
+check: test bench-smoke
+
+tier1:
+	$(PYTHON) -m pytest -x -q
+
+test:
+	$(PYTHON) -m pytest -x -q tests
+
+bench-smoke:
+	REPRO_BENCH_SIZES=10 REPRO_SCALE_N=24 $(PYTHON) -m pytest -x -q benchmarks

@@ -10,18 +10,28 @@ The engine evaluates plans in a delta-driven (semi-naive) fashion: whenever a
 new tuple of predicate *p* appears, every plan containing *p* in its body is
 triggered once per occurrence of *p*, with the new tuple bound to that
 occurrence and the remaining atoms joined against the stored tables.
+
+For each (rule, delta position) pair the compiler also builds a
+:class:`DeltaPlan`: the remaining body atoms greedily ordered by
+bound-variable coverage (most-bound-first, constants counted), a
+:class:`ProbeSpec` per atom giving the statically bound columns its table
+probe can use, and a static schedule of which expression literals to apply
+after each join step.  The evaluator executes these plans directly instead
+of re-deriving bound columns and expression readiness per candidate tuple.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.datalog.ast import (
     Aggregate,
     Assignment,
     Atom,
     Comparison,
+    Constant,
+    FunctionCall,
     Program,
     Rule,
     SaysAtom,
@@ -90,6 +100,64 @@ class HeadPlan:
 
 
 @dataclass(frozen=True)
+class ProbeSpec:
+    """Precomputed bound-column probe for one body atom at one join position.
+
+    ``columns`` are the atom argument positions that are statically guaranteed
+    to be bound when the atom is probed (constants, plus variables bound by
+    the delta, by earlier atoms in the join order, or by assignments whose
+    inputs are bound by then).  ``terms`` holds the :class:`Constant` or
+    :class:`Variable` at each such column, so the evaluator can build the
+    lookup key with one pass over the bindings instead of re-deriving the
+    bound columns per candidate probe.
+    """
+
+    columns: Tuple[int, ...]
+    terms: Tuple[Term, ...]
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One atom of an optimized join order, with its probe spec."""
+
+    body_index: int
+    atom_plan: BodyAtomPlan
+    probe: ProbeSpec
+
+
+@dataclass(frozen=True)
+class DeltaPlan:
+    """The optimized join pipeline for one (rule, delta position) pair.
+
+    ``steps`` are the remaining positive body atoms, greedily reordered
+    most-bound-first; ``negated`` are the negated atoms (always checked last,
+    stratified semantics) with probe specs computed from the full bound set.
+
+    ``expression_batches`` has ``len(steps) + 1`` entries: batch ``i`` holds
+    the expression literals (in dependency order) that first become fully
+    bound after unifying the delta (``i == 0``) or join step ``i - 1``.
+    Which variables are bound at each position is static, so the evaluator
+    applies exactly these batches instead of re-scanning every expression
+    for readiness at every position.  ``safe`` is False when some expression
+    never becomes evaluable — the rule can produce no firing from this delta
+    position.
+
+    ``body_order`` maps step positions back to body order (``steps[i]`` is
+    the ``body_order.index(i)``-th non-delta atom of the original body), so
+    the evaluator can report antecedents in body order — making provenance
+    structure independent of the join order the optimizer picked — without
+    re-sorting per firing.
+    """
+
+    delta_index: int
+    steps: Tuple[JoinStep, ...]
+    negated: Tuple[JoinStep, ...]
+    expression_batches: Tuple[Tuple[object, ...], ...]
+    safe: bool
+    body_order: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
 class RulePlan:
     """A fully compiled, localized rule ready for delta evaluation."""
 
@@ -97,6 +165,18 @@ class RulePlan:
     head: HeadPlan
     body_atoms: Tuple[BodyAtomPlan, ...]
     expressions: Tuple[object, ...]  # Comparison | Assignment, in source order
+    delta_plans: Dict[int, DeltaPlan] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    #: Per head term: ("var", name) | ("const", value) | ("term", Term) —
+    #: lets the evaluator build head tuples without re-dispatching on term
+    #: type per firing.  ("term", ...) falls back to full term evaluation.
+    head_getters: Tuple[Tuple[str, object], ...] = field(
+        default=(), compare=False, repr=False
+    )
+    destination_getter: Optional[Tuple[str, object]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def label(self) -> str:
@@ -120,6 +200,18 @@ class RulePlan:
             if b.predicate == predicate and not b.negated
         )
 
+    def delta_plan(self, delta_index: int) -> DeltaPlan:
+        """The optimized join order for *delta_index*, computed on first use."""
+        plan = self.delta_plans.get(delta_index)
+        if plan is None:
+            plan = build_delta_plan(self.body_atoms, self.expressions, delta_index)
+            self.delta_plans[delta_index] = plan
+        return plan
+
+
+#: (relation, arity, columns) — a hash index a delta batch will probe.
+IndexSpec = Tuple[str, int, Tuple[int, ...]]
+
 
 @dataclass(frozen=True)
 class CompiledProgram:
@@ -128,12 +220,61 @@ class CompiledProgram:
     program: Program
     plans: Tuple[RulePlan, ...]
     triggers: Dict[str, Tuple[RulePlan, ...]] = field(default_factory=dict)
+    _index_specs: Dict[str, Tuple[IndexSpec, ...]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    _trigger_pairs: Dict[str, Tuple[Tuple[RulePlan, Tuple[int, ...]], ...]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     def plans_for_head(self, predicate: str) -> Tuple[RulePlan, ...]:
         return tuple(p for p in self.plans if p.head.predicate == predicate)
 
     def plans_triggered_by(self, predicate: str) -> Tuple[RulePlan, ...]:
         return self.triggers.get(predicate, ())
+
+    def trigger_pairs(
+        self, predicate: str
+    ) -> Tuple[Tuple[RulePlan, Tuple[int, ...]], ...]:
+        """``(plan, delta positions)`` pairs for *predicate*, cached.
+
+        The delta loop consults this per delta; recomputing the positions
+        each time was measurable on large runs.
+        """
+        cached = self._trigger_pairs.get(predicate)
+        if cached is None:
+            cached = tuple(
+                (plan, plan.trigger_indexes(predicate))
+                for plan in self.plans_triggered_by(predicate)
+            )
+            self._trigger_pairs[predicate] = cached
+        return cached
+
+    def index_specs_for(self, relation: str) -> Tuple[IndexSpec, ...]:
+        """Every hash index a delta of *relation* can probe, deduplicated.
+
+        The engine warms these once per same-relation delta batch instead of
+        letting the first probe of each rule build them lazily mid-join.
+        """
+        cached = self._index_specs.get(relation)
+        if cached is not None:
+            return cached
+        specs: List[IndexSpec] = []
+        seen: Set[IndexSpec] = set()
+        for plan in self.plans_triggered_by(relation):
+            for delta_index in plan.trigger_indexes(relation):
+                delta_plan = plan.delta_plan(delta_index)
+                for step in delta_plan.steps + delta_plan.negated:
+                    if not step.probe.columns:
+                        continue
+                    atom = step.atom_plan.atom
+                    spec = (atom.name, atom.arity, step.probe.columns)
+                    if spec not in seen:
+                        seen.add(spec)
+                        specs.append(spec)
+        result = tuple(specs)
+        self._index_specs[relation] = result
+        return result
 
 
 def compile_rule(rule: Rule) -> RulePlan:
@@ -158,12 +299,32 @@ def compile_rule(rule: Rule) -> RulePlan:
             raise PlanError(f"rule {rule.label}: unsupported literal {literal!r}")
 
     head = _compile_head(rule)
+    atoms = tuple(body_atoms)
+    exprs = tuple(expressions)
+    delta_plans = {
+        index: build_delta_plan(atoms, exprs, index)
+        for index, atom_plan in enumerate(atoms)
+        if not atom_plan.negated
+    }
     return RulePlan(
         rule=rule,
         head=head,
-        body_atoms=tuple(body_atoms),
-        expressions=tuple(expressions),
+        body_atoms=atoms,
+        expressions=exprs,
+        delta_plans=delta_plans,
+        head_getters=tuple(_term_getter(term) for term in head.atom.terms),
+        destination_getter=(
+            _term_getter(head.destination) if head.destination is not None else None
+        ),
     )
+
+
+def _term_getter(term: Term) -> Tuple[str, object]:
+    if isinstance(term, Variable):
+        return ("var", term.name)
+    if isinstance(term, Constant):
+        return ("const", term.value)
+    return ("term", term)
 
 
 def compile_program(program: Program) -> CompiledProgram:
@@ -180,6 +341,156 @@ def compile_program(program: Program) -> CompiledProgram:
         plans=plans,
         triggers={name: tuple(plans_) for name, plans_ in triggers.items()},
     )
+
+
+# ---------------------------------------------------------------------------
+# Bound-aware join ordering
+# ---------------------------------------------------------------------------
+
+def build_delta_plan(
+    body_atoms: Tuple[BodyAtomPlan, ...],
+    expressions: Tuple[object, ...],
+    delta_index: int,
+) -> DeltaPlan:
+    """Order the non-delta body atoms greedily by bound-variable coverage.
+
+    Starting from the variables the delta occurrence binds, repeatedly pick
+    the remaining positive atom with the most bound argument positions
+    (constants count as bound; ties broken by body order, keeping the
+    optimizer deterministic).  After each pick, the atom's variables — plus
+    any assignment targets that become computable — join the bound set, and
+    each atom's :class:`ProbeSpec` records the columns bound at its probe
+    time so the evaluator can hit :meth:`Table.lookup` directly.
+    """
+    if not (0 <= delta_index < len(body_atoms)):
+        raise PlanError(f"delta index {delta_index} out of range")
+    delta_atom = body_atoms[delta_index]
+    if delta_atom.negated:
+        raise PlanError("cannot use a negated atom as the delta")
+
+    bound = _atom_bound_variables(delta_atom)
+    applied: Set[int] = set()
+    batches: List[Tuple[object, ...]] = [_ready_batch(expressions, applied, bound)]
+    remaining = [
+        (index, atom_plan)
+        for index, atom_plan in enumerate(body_atoms)
+        if index != delta_index and not atom_plan.negated
+    ]
+
+    steps: List[JoinStep] = []
+    while remaining:
+        index, atom_plan = max(
+            remaining,
+            key=lambda item: (_bound_column_count(item[1].atom, bound), -item[0]),
+        )
+        remaining.remove((index, atom_plan))
+        steps.append(
+            JoinStep(
+                body_index=index,
+                atom_plan=atom_plan,
+                probe=_probe_spec(atom_plan.atom, bound),
+            )
+        )
+        bound |= _atom_bound_variables(atom_plan)
+        batches.append(_ready_batch(expressions, applied, bound))
+
+    negated = tuple(
+        JoinStep(
+            body_index=index,
+            atom_plan=atom_plan,
+            probe=_probe_spec(atom_plan.atom, bound),
+        )
+        for index, atom_plan in enumerate(body_atoms)
+        if atom_plan.negated
+    )
+    return DeltaPlan(
+        delta_index=delta_index,
+        steps=tuple(steps),
+        negated=negated,
+        expression_batches=tuple(batches),
+        safe=len(applied) == len(expressions),
+        body_order=tuple(
+            sorted(range(len(steps)), key=lambda i: steps[i].body_index)
+        ),
+    )
+
+
+def _atom_bound_variables(atom_plan: BodyAtomPlan) -> Set[str]:
+    """Variables a successful unification against *atom_plan* binds."""
+    names = {
+        term.name for term in atom_plan.atom.terms if isinstance(term, Variable)
+    }
+    if isinstance(atom_plan.says_principal, Variable):
+        names.add(atom_plan.says_principal.name)
+    return names
+
+
+def _term_variables(term: Term) -> Set[str]:
+    if isinstance(term, Variable):
+        return {term.name}
+    if isinstance(term, FunctionCall):
+        names: Set[str] = set()
+        for arg in term.args:
+            names |= _term_variables(arg)
+        return names
+    if isinstance(term, Aggregate):
+        return {term.variable.name}
+    return set()
+
+
+def _ready_batch(
+    expressions: Sequence[object], applied: Set[int], bound: Set[str]
+) -> Tuple[object, ...]:
+    """Expressions that first become fully bound under *bound*, in order.
+
+    Mutates *applied* (indexes scheduled so far) and *bound* (assignment
+    targets become bound), cascading until no further expression is ready —
+    the static mirror of the evaluator's old per-binding readiness scan.
+    """
+    batch: List[object] = []
+    progress = True
+    while progress:
+        progress = False
+        for index, expression in enumerate(expressions):
+            if index in applied:
+                continue
+            if isinstance(expression, Assignment):
+                if _term_variables(expression.expression) <= bound:
+                    applied.add(index)
+                    bound.add(expression.target.name)
+                    batch.append(expression)
+                    progress = True
+            elif isinstance(expression, Comparison):
+                if (
+                    _term_variables(expression.left) | _term_variables(expression.right)
+                ) <= bound:
+                    applied.add(index)
+                    batch.append(expression)
+                    progress = True
+    return tuple(batch)
+
+
+def _bound_column_count(atom: Atom, bound: Set[str]) -> int:
+    """Argument positions of *atom* bound under *bound* (constants count)."""
+    count = 0
+    for term in atom.terms:
+        if isinstance(term, Constant):
+            count += 1
+        elif isinstance(term, Variable) and term.name in bound:
+            count += 1
+    return count
+
+
+def _probe_spec(atom: Atom, bound: Set[str]) -> ProbeSpec:
+    columns: List[int] = []
+    terms: List[Term] = []
+    for index, term in enumerate(atom.terms):
+        if isinstance(term, Constant) or (
+            isinstance(term, Variable) and term.name in bound
+        ):
+            columns.append(index)
+            terms.append(term)
+    return ProbeSpec(columns=tuple(columns), terms=tuple(terms))
 
 
 def _compile_head(rule: Rule) -> HeadPlan:

@@ -14,14 +14,20 @@ into simulated CPU time.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, MutableSequence, Optional, Tuple
 
 from repro.datalog.planner import CompiledProgram, RulePlan
 from repro.engine.aggregates import AggregateState
 from repro.engine.database import Database
-from repro.engine.seminaive import RuleFiring, evaluate_plan_with_delta
+from repro.engine.seminaive import (
+    RuleFiring,
+    drain_delta_batches,
+    evaluate_plan_with_delta,
+    warm_probe_indexes,
+)
 from repro.engine.tuples import Derivation, Fact
 from repro.provenance.authenticated import (
     ProvenanceVerificationError,
@@ -158,6 +164,7 @@ class NodeEngine:
         self.database = Database(Catalog.from_program(compiled.program))
         self.authenticator = Authenticator(address, self.keystore, config.says_mode)
         self.aggregates: Dict[str, AggregateState] = {}
+        self._ttl_cache: Dict[str, Optional[float]] = {}
 
         self.local_provenance = LocalProvenanceStore(address)
         self.distributed_provenance = DistributedProvenanceStore(address)
@@ -242,11 +249,15 @@ class NodeEngine:
         return prepared
 
     def _ttl_for(self, relation: str) -> Optional[float]:
+        if relation in self._ttl_cache:
+            return self._ttl_cache[relation]
+        ttl = self.config.default_ttl
         if relation in self.database.catalog:
             lifetime = self.database.catalog.schema(relation).lifetime
             if lifetime is not None:
-                return lifetime
-        return self.config.default_ttl
+                ttl = lifetime
+        self._ttl_cache[relation] = ttl
+        return ttl
 
     def _should_record(self, fact: Fact) -> bool:
         sampler = self.config.sampler
@@ -268,21 +279,29 @@ class NodeEngine:
         self.distributed_provenance.record_remote(fact, fact.origin)
 
     def _process_local(self, fact: Fact, now: float, result: ProcessingResult) -> None:
-        """Insert *fact* and run the local delta fixpoint it triggers."""
-        queue: List[Fact] = []
+        """Insert *fact* and run the local delta fixpoint it triggers.
+
+        Deltas are drained as batches of consecutive same-relation tuples
+        (exact FIFO order preserved), so the hash indexes a batch probes are
+        warmed once per batch rather than once per delta.
+        """
+        queue: Deque[Fact] = deque()
         if self._store(fact, now, result):
             queue.append(fact)
 
-        while queue:
-            delta = queue.pop(0)
-            for plan in self.compiled.plans_triggered_by(delta.relation):
-                for delta_index in plan.trigger_indexes(delta.relation):
-                    firings = evaluate_plan_with_delta(
-                        plan, self.database, delta, delta_index, now=now
-                    )
-                    for firing in firings:
-                        result.report.rule_firings += 1
-                        self._handle_firing(plan, firing, now, result, queue)
+        for relation, batch, pairs in drain_delta_batches(queue, self.compiled):
+            if not pairs:
+                continue
+            warm_probe_indexes(self.compiled, relation, self.database)
+            for delta in batch:
+                for plan, delta_indexes in pairs:
+                    for delta_index in delta_indexes:
+                        firings = evaluate_plan_with_delta(
+                            plan, self.database, delta, delta_index, now=now
+                        )
+                        for firing in firings:
+                            result.report.rule_firings += 1
+                            self._handle_firing(plan, firing, now, result, queue)
 
     def _handle_firing(
         self,
@@ -290,7 +309,7 @@ class NodeEngine:
         firing: RuleFiring,
         now: float,
         result: ProcessingResult,
-        queue: List[Fact],
+        queue: MutableSequence[Fact],
     ) -> None:
         derived_values = firing.head_values
         head = plan.head

@@ -16,8 +16,9 @@ Two entry points:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.datalog.ast import (
     Aggregate,
@@ -30,7 +31,7 @@ from repro.datalog.ast import (
     Variable,
 )
 from repro.datalog.errors import EvaluationError
-from repro.datalog.planner import BodyAtomPlan, CompiledProgram, RulePlan
+from repro.datalog.planner import BodyAtomPlan, CompiledProgram, JoinStep, RulePlan
 from repro.engine.aggregates import AggregateState
 from repro.engine.builtins import call_builtin
 from repro.engine.database import Database
@@ -45,13 +46,13 @@ Bindings = Dict[str, object]
 
 def evaluate_term(term: Term, bindings: Bindings) -> object:
     """Evaluate *term* to a value under *bindings*."""
-    if isinstance(term, Constant):
-        return term.value
     if isinstance(term, Variable):
         try:
             return bindings[term.name]
         except KeyError:
             raise EvaluationError(f"unbound variable {term.name}") from None
+    if isinstance(term, Constant):
+        return term.value
     if isinstance(term, FunctionCall):
         args = [evaluate_term(arg, bindings) for arg in term.args]
         return call_builtin(term.name, args)
@@ -92,14 +93,33 @@ def unify_term(term: Term, value: object, bindings: Bindings) -> Optional[Bindin
 
 
 def unify_atom(atom: Atom, fact: Fact, bindings: Bindings) -> Optional[Bindings]:
-    """Unify every term of *atom* against the values of *fact*."""
+    """Unify every term of *atom* against the values of *fact*.
+
+    Copies *bindings* at most once regardless of how many variables the atom
+    binds (this is the innermost loop of every join probe).
+    """
     if atom.name != fact.relation or atom.arity != len(fact.values):
         return None
     current = bindings
+    copied = False
     for term, value in zip(atom.terms, fact.values):
-        current = unify_term(term, value, current)
-        if current is None:
-            return None
+        if isinstance(term, Variable):
+            existing = current.get(term.name, _UNSET)
+            if existing is _UNSET:
+                if not copied:
+                    current = dict(current)
+                    copied = True
+                current[term.name] = value
+            elif existing != value:
+                return None
+        elif isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            result = unify_term(term, value, current)
+            if result is None:
+                return None
+            current = result
     return current
 
 
@@ -162,52 +182,92 @@ def _says_matches(
     return unify_term(body_atom.says_principal, fact.asserted_by, bindings)
 
 
-def _candidate_facts(
-    atom_plan: BodyAtomPlan, database: Database, bindings: Bindings, now: Optional[float]
+def _probe_step(
+    step: JoinStep, database: Database, bindings: Bindings, now: Optional[float]
 ) -> Tuple[Fact, ...]:
-    """Facts that could match *atom_plan* given the columns already bound."""
-    atom = atom_plan.atom
+    """Probe the table of *step* using its precomputed bound-column spec.
+
+    The planner guarantees every variable in the spec is bound whenever the
+    step is reached, so the lookup key is built in a single pass instead of
+    re-deriving the bound columns from the bindings on every probe.
+    """
+    atom = step.atom_plan.atom
     table = database.table(atom.name, arity=atom.arity)
     if now is not None:
         table.expire(now)
-    bound_columns: List[int] = []
-    bound_values: List[object] = []
-    for index, term in enumerate(atom.terms):
-        if isinstance(term, Constant):
-            bound_columns.append(index)
-            bound_values.append(term.value)
-        elif isinstance(term, Variable) and term.name in bindings:
-            bound_columns.append(index)
-            bound_values.append(bindings[term.name])
-    if bound_columns:
-        return table.lookup(bound_columns, bound_values)
-    return table.facts()
+    columns = step.probe.columns
+    if not columns:
+        return table.facts()
+    values = [
+        term.value if isinstance(term, Constant) else bindings[term.name]
+        for term in step.probe.terms
+    ]
+    return table.lookup(columns, values)
 
 
-def _apply_ready_expressions(
-    expressions: Sequence[object], applied: set, bindings: Bindings
+def warm_probe_indexes(
+    compiled: CompiledProgram, relation: str, database: Database
+) -> None:
+    """Build every hash index deltas of *relation* will probe, once.
+
+    Called per same-relation delta batch so index construction is amortized
+    across the batch instead of happening lazily inside the first join.
+    """
+    for name, arity, columns in compiled.index_specs_for(relation):
+        database.table(name, arity=arity).ensure_index(columns)
+
+
+def drain_delta_batches(queue: Deque[Fact], compiled: CompiledProgram):
+    """Yield ``(relation, batch, trigger_pairs)`` runs from a delta queue.
+
+    Each batch is the run of consecutive same-relation deltas at the queue
+    front, so FIFO order is preserved exactly — within a batch, across
+    batches, and for facts the caller appends while processing one (they are
+    seen when the generator resumes).  Shared by the per-node engine and the
+    single-site fixpoint evaluator so the batching semantics cannot drift
+    apart.
+    """
+    while queue:
+        relation = queue[0].relation
+        batch: List[Fact] = [queue.popleft()]
+        while queue and queue[0].relation == relation:
+            batch.append(queue.popleft())
+        yield relation, batch, compiled.trigger_pairs(relation)
+
+
+def _apply_expression_batch(
+    batch: Sequence[object], bindings: Bindings
 ) -> Optional[Bindings]:
-    """Apply every not-yet-applied expression whose variables are all bound."""
+    """Apply a planner-scheduled batch of expressions to *bindings*.
+
+    The planner guarantees every expression in the batch is fully bound here,
+    so no readiness scan is needed; the bindings dict is copied at most once.
+    """
     current = bindings
-    progress = True
-    while progress:
-        progress = False
-        for index, expression in enumerate(expressions):
-            if index in applied:
-                continue
-            if isinstance(expression, Assignment):
-                ready = term_is_bound(expression.expression, current)
-            else:
-                ready = term_is_bound(expression.left, current) and term_is_bound(
-                    expression.right, current
+    copied = False
+    for expression in batch:
+        if isinstance(expression, Comparison):
+            comparator = _COMPARATORS.get(expression.operator)
+            if comparator is None:
+                raise EvaluationError(
+                    f"unknown comparison operator {expression.operator!r}"
                 )
-            if not ready:
-                continue
-            current = apply_expression(expression, current)
-            applied.add(index)
-            progress = True
-            if current is None:
+            if not comparator(
+                evaluate_term(expression.left, current),
+                evaluate_term(expression.right, current),
+            ):
                 return None
+        else:
+            value = evaluate_term(expression.expression, current)
+            existing = current.get(expression.target.name, _UNSET)
+            if existing is not _UNSET:
+                if existing != value:
+                    return None
+            else:
+                if not copied:
+                    current = dict(current)
+                    copied = True
+                current[expression.target.name] = value
     return current
 
 
@@ -221,9 +281,11 @@ def evaluate_plan_with_delta(
     """Evaluate *plan* with *delta* bound to body position *delta_index*.
 
     Returns every rule firing produced by joining the delta against the
-    node's stored tables.  Negated atoms are checked last (stratified
-    semantics), and expression literals are applied as soon as their
-    variables are bound.
+    node's stored tables.  The remaining atoms are visited in the planner's
+    bound-aware join order (most-bound-first), each probed through its
+    precomputed :class:`~repro.datalog.planner.ProbeSpec`.  Negated atoms
+    are checked last (stratified semantics), and expression literals are
+    applied as soon as their variables are bound.
     """
     body = plan.body_atoms
     if delta_index < 0 or delta_index >= len(body):
@@ -243,57 +305,67 @@ def evaluate_plan_with_delta(
     if initial is None:
         return []
 
+    delta_plan = plan.delta_plan(delta_index)
+    if not delta_plan.safe:
+        # Some expression never becomes evaluable from this delta position:
+        # the rule is unsafe for every binding; no firing is possible.
+        return []
+
     firings: List[RuleFiring] = []
-    remaining = [
-        (index, atom_plan)
-        for index, atom_plan in enumerate(body)
-        if index != delta_index and not atom_plan.negated
-    ]
-    negated = [atom_plan for atom_plan in body if atom_plan.negated]
+    steps = delta_plan.steps
+    batches = delta_plan.expression_batches
+    body_order = delta_plan.body_order
 
     def extend(
         position: int,
         bindings: Bindings,
         antecedents: Tuple[Fact, ...],
-        applied: set,
     ) -> None:
-        bindings = _apply_ready_expressions(plan.expressions, applied, bindings)
-        if bindings is None:
+        batch = batches[position]
+        if batch:
+            bindings = _apply_expression_batch(batch, bindings)
+            if bindings is None:
+                return
+        if position == len(steps):
+            _finish(bindings, antecedents)
             return
-        if position == len(remaining):
-            _finish(bindings, antecedents, applied)
-            return
-        _, atom_plan = remaining[position]
-        for fact in _candidate_facts(atom_plan, database, bindings, now):
+        step = steps[position]
+        atom_plan = step.atom_plan
+        for fact in _probe_step(step, database, bindings, now):
             unified = unify_atom(atom_plan.atom, fact, bindings)
             if unified is None:
                 continue
             unified = _says_matches(atom_plan, fact, unified)
             if unified is None:
                 continue
-            extend(position + 1, unified, antecedents + (fact,), set(applied))
+            extend(position + 1, unified, antecedents + (fact,))
 
-    def _finish(bindings: Bindings, antecedents: Tuple[Fact, ...], applied: set) -> None:
-        final = _apply_ready_expressions(plan.expressions, applied, bindings)
-        if final is None:
-            return
-        if len(applied) != len(plan.expressions):
-            # Some expression never became evaluable: the rule is unsafe for
-            # this binding; skip rather than guessing.
-            return
-        for atom_plan in negated:
-            matches = _candidate_facts(atom_plan, database, final, now)
+    def _finish(final: Bindings, antecedents: Tuple[Fact, ...]) -> None:
+        for negated_step in delta_plan.negated:
+            matches = _probe_step(negated_step, database, final, now)
+            atom_plan = negated_step.atom_plan
             if any(unify_atom(atom_plan.atom, fact, final) is not None for fact in matches):
                 return
-        head_values = tuple(
-            evaluate_term(term, final) for term in plan.head.atom.terms
-        )
-        destination = (
-            evaluate_term(plan.head.destination, final)
-            if plan.head.destination is not None
-            else None
-        )
-        ordered = (delta,) + antecedents
+        try:
+            head_values = tuple(
+                final[payload]
+                if kind == "var"
+                else (payload if kind == "const" else evaluate_term(payload, final))
+                for kind, payload in plan.head_getters
+            )
+            destination_getter = plan.destination_getter
+            if destination_getter is None:
+                destination = None
+            else:
+                kind, payload = destination_getter
+                destination = (
+                    final[payload]
+                    if kind == "var"
+                    else (payload if kind == "const" else evaluate_term(payload, final))
+                )
+        except KeyError as exc:
+            raise EvaluationError(f"unbound variable {exc.args[0]}") from None
+        ordered = (delta,) + tuple(antecedents[i] for i in body_order)
         firings.append(
             RuleFiring(
                 plan=plan,
@@ -304,7 +376,7 @@ def evaluate_plan_with_delta(
             )
         )
 
-    extend(0, initial, (), set())
+    extend(0, initial, ())
     return firings
 
 
@@ -339,7 +411,7 @@ def evaluate_program(
     """
     aggregates: Dict[str, AggregateState] = {}
     derivations: List[Derivation] = []
-    queue: List[Fact] = []
+    queue: Deque[Fact] = deque()
 
     for fact in base_facts:
         result = database.insert(fact, now=now)
@@ -350,27 +422,29 @@ def evaluate_program(
             queue.append(fact)
 
     iterations = 0
-    while queue:
-        iterations += 1
-        delta = queue.pop(0)
-        for plan in compiled.plans_triggered_by(delta.relation):
-            for delta_index in plan.trigger_indexes(delta.relation):
-                for firing in evaluate_plan_with_delta(
-                    plan, database, delta, delta_index, now=now
-                ):
-                    derived = _make_fact(plan, firing, now)
-                    accepted = _accept_firing(plan, firing, derived, database, aggregates, now)
-                    if accepted is not None:
-                        derivations.append(
-                            Derivation(
-                                fact=accepted,
-                                rule_label=plan.label,
-                                node=accepted.origin,
-                                antecedents=firing.antecedents,
-                                timestamp=now,
+    for relation, batch, pairs in drain_delta_batches(queue, compiled):
+        if pairs:
+            warm_probe_indexes(compiled, relation, database)
+        for delta in batch:
+            iterations += 1
+            for plan, delta_indexes in pairs:
+                for delta_index in delta_indexes:
+                    for firing in evaluate_plan_with_delta(
+                        plan, database, delta, delta_index, now=now
+                    ):
+                        derived = _make_fact(plan, firing, now)
+                        accepted = _accept_firing(plan, firing, derived, database, aggregates, now)
+                        if accepted is not None:
+                            derivations.append(
+                                Derivation(
+                                    fact=accepted,
+                                    rule_label=plan.label,
+                                    node=accepted.origin,
+                                    antecedents=firing.antecedents,
+                                    timestamp=now,
+                                )
                             )
-                        )
-                        queue.append(accepted)
+                            queue.append(accepted)
 
     return FixpointResult(database=database, derivations=derivations, iterations=iterations)
 

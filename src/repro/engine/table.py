@@ -48,6 +48,9 @@ class Table:
         self.schema = schema
         self._rows: "OrderedDict[Tuple[Value, ...], Fact]" = OrderedDict()
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Value, ...], List[Fact]]] = {}
+        #: Number of stored facts carrying a TTL; expiry scans are skipped
+        #: entirely while this is zero (hard-state tables never pay for them).
+        self._soft_count = 0
 
     # -- basic protocol -------------------------------------------------------
 
@@ -82,6 +85,7 @@ class Table:
             # Same tuple: refresh soft-state metadata in place.
             self._rows[key] = fact
             self._reindex_replace(existing, fact)
+            self._soft_count += (fact.ttl is not None) - (existing.ttl is not None)
             return InsertResult(inserted=False, refreshed=True)
 
         if existing is not None:
@@ -103,15 +107,26 @@ class Table:
         return True
 
     def expire(self, now: float) -> List[Fact]:
-        """Remove and return every fact whose TTL has elapsed at time *now*."""
+        """Remove and return every fact whose TTL has elapsed at time *now*.
+
+        O(1) when no stored fact carries a TTL (the common hard-state case).
+        """
+        if not self._soft_count:
+            return []
         expired = [fact for fact in self._rows.values() if fact.is_expired(now)]
         for fact in expired:
             self._remove_fact(self._primary_key(fact.values), fact)
         return expired
 
+    @property
+    def has_soft_state(self) -> bool:
+        """True when at least one stored fact can expire."""
+        return self._soft_count > 0
+
     def clear(self) -> None:
         self._rows.clear()
         self._indexes.clear()
+        self._soft_count = 0
 
     # -- lookups --------------------------------------------------------------
 
@@ -129,6 +144,16 @@ class Table:
         if index is None:
             index = self._build_index(columns_key)
         return tuple(index.get(tuple(values), ()))
+
+    def ensure_index(self, columns: Sequence[int]) -> None:
+        """Build (if absent) the hash index over *columns*.
+
+        Used by the batched delta pipeline to warm every index a batch will
+        probe before the joins start.
+        """
+        columns_key = tuple(columns)
+        if columns_key and columns_key not in self._indexes:
+            self._build_index(columns_key)
 
     def get_by_values(self, values: Sequence[Value]) -> Optional[Fact]:
         stored = self._rows.get(self._primary_key(tuple(values)))
@@ -149,20 +174,29 @@ class Table:
 
     def _store(self, key: Tuple[Value, ...], fact: Fact) -> None:
         self._rows[key] = fact
+        if fact.ttl is not None:
+            self._soft_count += 1
         for columns, index in self._indexes.items():
             index.setdefault(tuple(fact.values[c] for c in columns), []).append(fact)
 
     def _remove_fact(self, key: Tuple[Value, ...], fact: Fact) -> None:
         self._rows.pop(key, None)
+        if fact.ttl is not None:
+            self._soft_count -= 1
         for columns, index in self._indexes.items():
-            bucket = index.get(tuple(fact.values[c] for c in columns))
-            if bucket is not None:
-                try:
-                    bucket.remove(fact)
-                except ValueError:
-                    pass
-                if not bucket:
-                    index.pop(tuple(fact.values[c] for c in columns), None)
+            bucket_key = tuple(fact.values[c] for c in columns)
+            bucket = index.get(bucket_key)
+            if bucket is None:
+                continue
+            # Remove by identity: Fact equality ignores metadata, so removing
+            # by value could evict a different-but-equal fact and leave this
+            # one as a stale reference in the bucket.
+            for position, stored in enumerate(bucket):
+                if stored is fact:
+                    del bucket[position]
+                    break
+            if not bucket:
+                del index[bucket_key]
 
     def _reindex_replace(self, old: Fact, new: Fact) -> None:
         for columns, index in self._indexes.items():

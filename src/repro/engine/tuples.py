@@ -92,10 +92,16 @@ class Fact:
         """Canonical byte serialization of the tuple identity.
 
         This is what gets signed by the asserting principal, and what the
-        bandwidth model charges for.
+        bandwidth model charges for.  The serialization depends only on the
+        immutable relation/values pair, so it is computed once and cached
+        (signing, verification and the bandwidth model all re-read it).
         """
-        rendered = ",".join(_render_value(v) for v in self.values)
-        return f"{self.relation}({rendered})".encode("utf-8")
+        cached = self.__dict__.get("_payload_cache")
+        if cached is None:
+            rendered = ",".join(_render_value(v) for v in self.values)
+            cached = f"{self.relation}({rendered})".encode("utf-8")
+            object.__setattr__(self, "_payload_cache", cached)
+        return cached
 
     def payload_size(self) -> int:
         """Number of payload bytes (used by the bandwidth model)."""
@@ -125,7 +131,13 @@ class Fact:
             updates["provenance"] = provenance
         if origin is not None:
             updates["origin"] = origin
-        return replace(self, **updates)
+        copy = replace(self, **updates)
+        cached = self.__dict__.get("_payload_cache")
+        if cached is not None:
+            # The payload depends only on relation/values, which replace()
+            # never changes here — share the serialization.
+            object.__setattr__(copy, "_payload_cache", cached)
+        return copy
 
     def __str__(self) -> str:
         rendered = ", ".join(_render_value(v) for v in self.values)

@@ -10,8 +10,6 @@ message size is what the bandwidth metric of Figure 4 accumulates:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import count
-from typing import Optional
 
 from repro.engine.tuples import Fact
 from repro.net.address import Address
@@ -19,8 +17,6 @@ from repro.net.address import Address
 #: Fixed per-message framing overhead: UDP/IP headers plus P2's verbose tuple
 #: framing (relation name, per-field type tags, location specifier).
 MESSAGE_HEADER_BYTES = 80
-
-_sequence = count()
 
 
 @dataclass(frozen=True)
@@ -31,6 +27,10 @@ class Message:
     envelope (principal attribution + signature) and the piggy-backed
     provenance annotation add to the payload; they are kept separate so the
     harness can attribute bandwidth overhead to each mechanism.
+
+    ``sequence`` is assigned by the sending :class:`~repro.net.simulator.Simulator`
+    from its own per-run counter, so identical runs number their messages
+    identically (a process-global counter here would leak state between runs).
     """
 
     source: Address
@@ -40,10 +40,6 @@ class Message:
     provenance_bytes: int = 0
     sent_at: float = 0.0
     sequence: int = 0
-
-    @staticmethod
-    def next_sequence() -> int:
-        return next(_sequence)
 
     def payload_bytes(self) -> int:
         return self.fact.payload_size()

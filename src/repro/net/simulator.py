@@ -210,11 +210,17 @@ class Simulator:
         node_stats.facts_derived += report.facts_derived
         node_stats.facts_stored += report.facts_inserted
 
+    def _next_sequence(self) -> int:
+        """Per-run message sequence counter (identical runs number identically)."""
+        self._sequence += 1
+        return self._sequence
+
     def _dispatch_outgoing(
         self, source: Address, outgoing: List[OutgoingFact], node_stats: NodeStats
     ) -> None:
         send_time = node_stats.busy_until
         for item in outgoing:
+            sequence = self._next_sequence()
             message = Message(
                 source=source,
                 destination=item.destination,
@@ -222,7 +228,7 @@ class Simulator:
                 security_bytes=item.security_bytes,
                 provenance_bytes=item.provenance_bytes,
                 sent_at=send_time,
-                sequence=Message.next_sequence(),
+                sequence=sequence,
             )
             node_stats.record_send(message)
             self.stats.total_messages += 1
@@ -231,5 +237,4 @@ class Simulator:
                 delay = link.transmission_delay(message.size_bytes())
             else:
                 delay = self.default_latency + message.size_bytes() / self.default_bandwidth
-            self._sequence += 1
-            heapq.heappush(self._queue, (send_time + delay, self._sequence, message))
+            heapq.heappush(self._queue, (send_time + delay, sequence, message))

@@ -32,12 +32,24 @@ class RSAKeyPair:
     ``n`` and ``e`` form the public key, ``d`` the private exponent.
     ``signature_bytes`` is the wire size of one signature, which the
     bandwidth model charges per signed tuple.
+
+    ``dp``, ``dq`` and ``qinv`` are the precomputed CRT parameters
+    (``d mod p-1``, ``d mod q-1``, ``q^-1 mod p``); when present, signing
+    uses the Chinese-Remainder shortcut, producing byte-identical signatures
+    with two half-size modular exponentiations instead of one full-size one.
+    They are optional so externally constructed ``(n, e, d)`` keys keep
+    working through the plain path.
     """
 
     n: int
     e: int
     d: int
     bits: int
+    p: Optional[int] = None
+    q: Optional[int] = None
+    dp: Optional[int] = None
+    dq: Optional[int] = None
+    qinv: Optional[int] = None
 
     @property
     def public_key(self) -> Tuple[int, int]:
@@ -85,7 +97,17 @@ def generate_keypair(
             d = _modinv(public_exponent, phi)
         except ValueError:
             continue
-        return RSAKeyPair(n=n, e=public_exponent, d=d, bits=bits)
+        return RSAKeyPair(
+            n=n,
+            e=public_exponent,
+            d=d,
+            bits=bits,
+            p=p,
+            q=q,
+            dp=d % (p - 1),
+            dq=d % (q - 1),
+            qinv=_modinv(q, p),
+        )
 
 
 def _digest(message: bytes, n: int) -> int:
@@ -95,7 +117,13 @@ def _digest(message: bytes, n: int) -> int:
 def sign(message: bytes, key: RSAKeyPair) -> bytes:
     """Sign *message* with the private exponent of *key*."""
     digest = _digest(message, key.n)
-    signature = pow(digest, key.d, key.n)
+    if key.qinv is not None:
+        # CRT shortcut: identical output, two half-size exponentiations.
+        m1 = pow(digest % key.p, key.dp, key.p)
+        m2 = pow(digest % key.q, key.dq, key.q)
+        signature = m2 + ((m1 - m2) * key.qinv % key.p) * key.q
+    else:
+        signature = pow(digest, key.d, key.n)
     return signature.to_bytes(key.signature_bytes, "big")
 
 

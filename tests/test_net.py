@@ -45,8 +45,13 @@ class TestMessage:
         message = Message(source="a", destination="b", fact=fact)
         assert message.size_bytes() == MESSAGE_HEADER_BYTES + fact.payload_size()
 
-    def test_sequence_numbers_increase(self):
-        assert Message.next_sequence() < Message.next_sequence()
+    def test_sequence_is_caller_assigned(self):
+        # Sequence numbers come from the sending simulator's per-run counter,
+        # not a process-global source.
+        fact = Fact("link", ("a", "b"))
+        message = Message(source="a", destination="b", fact=fact, sequence=7)
+        assert message.sequence == 7
+        assert Message(source="a", destination="b", fact=fact).sequence == 0
 
     def test_str_mentions_endpoints(self):
         message = Message(source="a", destination="b", fact=Fact("link", ("a", "b")))
