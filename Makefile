@@ -7,11 +7,14 @@
 #                      benchmarks at their default sizes; slow).
 #   make test        - unit/integration tests only (fastest loop).
 #   make bench-smoke - the full benchmark suite at smoke sizes.
+#   make ci          - what the GitHub Actions workflow runs: tier-1 tests,
+#                      the benchmark smoke suite, and a bytecode compile of
+#                      the whole source tree.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check tier1 test bench-smoke
+.PHONY: check tier1 test bench-smoke compileall ci
 
 check: test bench-smoke
 
@@ -23,3 +26,8 @@ test:
 
 bench-smoke:
 	REPRO_BENCH_SIZES=10 REPRO_SCALE_N=24 $(PYTHON) -m pytest -x -q benchmarks
+
+compileall:
+	$(PYTHON) -m compileall -q src
+
+ci: tier1 bench-smoke compileall

@@ -23,7 +23,8 @@ of re-deriving bound columns and expression readiness per candidate tuple.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from functools import cached_property
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.datalog.ast import (
     Aggregate,
@@ -38,8 +39,20 @@ from repro.datalog.ast import (
     Term,
     Variable,
 )
-from repro.datalog.errors import PlanError
+from repro.datalog.errors import EvaluationError, PlanError
 from repro.datalog.rewrite import is_localized
+
+#: Comparison operators shared by the planner's compiled expression closures
+#: and the evaluator's generic ``apply_expression`` fallback.
+COMPARATORS: Dict[str, Callable[[object, object], bool]] = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
 
 
 @dataclass(frozen=True)
@@ -61,6 +74,20 @@ class BodyAtomPlan:
     @property
     def negated(self) -> bool:
         return self.atom.negated
+
+    @cached_property
+    def unifier(self) -> "Unifier":
+        """Compiled unification closure for this atom (see :func:`compile_unifier`)."""
+        return compile_unifier(self.atom, self.says_principal)
+
+    @cached_property
+    def probe_unifier(self) -> "Unifier":
+        """Like :attr:`unifier` but without the relation/arity guard.
+
+        Only for facts probed from this atom's own table, which match the
+        relation and arity by construction.
+        """
+        return compile_unifier(self.atom, self.says_principal, check_relation=False)
 
 
 @dataclass(frozen=True)
@@ -156,6 +183,14 @@ class DeltaPlan:
     safe: bool
     body_order: Tuple[int, ...]
 
+    @cached_property
+    def compiled_batches(self) -> Tuple[Tuple[CompiledExpression, ...], ...]:
+        """The expression batches in compiled (closure) form."""
+        return tuple(
+            tuple(compile_expression(expression) for expression in batch)
+            for batch in self.expression_batches
+        )
+
 
 @dataclass(frozen=True)
 class RulePlan:
@@ -168,15 +203,6 @@ class RulePlan:
     delta_plans: Dict[int, DeltaPlan] = field(
         default_factory=dict, compare=False, repr=False
     )
-    #: Per head term: ("var", name) | ("const", value) | ("term", Term) —
-    #: lets the evaluator build head tuples without re-dispatching on term
-    #: type per firing.  ("term", ...) falls back to full term evaluation.
-    head_getters: Tuple[Tuple[str, object], ...] = field(
-        default=(), compare=False, repr=False
-    )
-    destination_getter: Optional[Tuple[str, object]] = field(
-        default=None, compare=False, repr=False
-    )
 
     @property
     def label(self) -> str:
@@ -185,6 +211,23 @@ class RulePlan:
     @property
     def context(self) -> Optional[Term]:
         return self.rule.context
+
+    @cached_property
+    def aggregate_key(self) -> str:
+        """Stable key for this rule's aggregate state (hot path: per firing)."""
+        return f"{self.label}:{self.head.predicate}"
+
+    @cached_property
+    def head_builder(self) -> Callable[[Dict[str, object]], Tuple[object, ...]]:
+        """Compiled closure building the head value tuple from final bindings."""
+        return compile_tuple_builder(self.head.atom.terms)
+
+    @cached_property
+    def destination_builder(self) -> Optional[TermEvaluator]:
+        """Compiled evaluator for the shipping destination, if any."""
+        if self.head.destination is None:
+            return None
+        return compile_term_evaluator(self.head.destination)
 
     def positive_atoms(self) -> Tuple[BodyAtomPlan, ...]:
         return tuple(b for b in self.body_atoms if not b.negated)
@@ -209,6 +252,215 @@ class RulePlan:
         return plan
 
 
+#: A compiled unification closure: ``unifier(fact, bindings)`` returns the
+#: (possibly extended) bindings on success or ``None`` on mismatch.  The input
+#: bindings dict is never mutated; it is copied at most once per call.
+Unifier = Callable[[object, Dict[str, object]], Optional[Dict[str, object]]]
+
+#: A compiled term evaluator: ``evaluator(bindings)`` returns the term value.
+TermEvaluator = Callable[[Dict[str, object]], object]
+
+#: A compiled expression literal, scheduled by the planner:
+#: ``("cmp", check, None)`` where ``check(bindings)`` returns a bool, or
+#: ``("assign", evaluate, target_name)``.
+CompiledExpression = Tuple[str, TermEvaluator, Optional[str]]
+
+_UNSET = object()
+
+
+def compile_term_evaluator(term: Term) -> TermEvaluator:
+    """Compile *term* into a closure evaluating it under a bindings dict.
+
+    Replaces the evaluator's per-call ``isinstance`` dispatch (the profiled
+    ``evaluate_term`` hot spot): variable lookups, constants, builtin
+    resolution and argument shapes are all decided once at plan time.
+    """
+    if isinstance(term, Variable):
+        name = term.name
+
+        def evaluate_variable(bindings):
+            try:
+                return bindings[name]
+            except KeyError:
+                raise EvaluationError(f"unbound variable {name}") from None
+
+        return evaluate_variable
+    if isinstance(term, Constant):
+        value = term.value
+        return lambda bindings: value
+    if isinstance(term, FunctionCall):
+        # Imported lazily: the builtins module belongs to the engine layer.
+        from repro.engine.builtins import BUILTIN_FUNCTIONS
+
+        function = BUILTIN_FUNCTIONS.get(term.name)
+        if function is None:
+            symbol = term.name
+
+            def evaluate_unknown(bindings):
+                raise EvaluationError(f"unknown function symbol {symbol!r}")
+
+            return evaluate_unknown
+        argument_evaluators = tuple(compile_term_evaluator(arg) for arg in term.args)
+        if len(argument_evaluators) == 1:
+            only = argument_evaluators[0]
+            return lambda bindings: function(only(bindings))
+        if len(argument_evaluators) == 2:
+            first, second = argument_evaluators
+            return lambda bindings: function(first(bindings), second(bindings))
+        return lambda bindings: function(
+            *[evaluate(bindings) for evaluate in argument_evaluators]
+        )
+    if isinstance(term, Aggregate):
+        return compile_term_evaluator(term.variable)
+
+    def evaluate_unsupported(bindings):
+        raise EvaluationError(f"cannot evaluate term {term!r}")
+
+    return evaluate_unsupported
+
+
+def compile_expression(expression: object) -> CompiledExpression:
+    """Compile a comparison or assignment literal into closure form."""
+    if isinstance(expression, Comparison):
+        comparator = COMPARATORS.get(expression.operator)
+        if comparator is None:
+            raise EvaluationError(
+                f"unknown comparison operator {expression.operator!r}"
+            )
+        left = compile_term_evaluator(expression.left)
+        right = compile_term_evaluator(expression.right)
+
+        def check(bindings):
+            return comparator(left(bindings), right(bindings))
+
+        return ("cmp", check, None)
+    if isinstance(expression, Assignment):
+        return (
+            "assign",
+            compile_term_evaluator(expression.expression),
+            expression.target.name,
+        )
+    raise EvaluationError(f"unsupported expression literal {expression!r}")
+
+
+def compile_tuple_builder(
+    terms: Sequence[Term],
+) -> Callable[[Dict[str, object]], Tuple[object, ...]]:
+    """Compile *terms* into a closure building their value tuple.
+
+    The common all-variables head gets a C-level ``map`` over the bindings
+    dict; mixed heads fall back to one compiled evaluator per term.
+    """
+    if all(isinstance(term, Variable) for term in terms):
+        names = tuple(term.name for term in terms)
+
+        def build_from_variables(bindings):
+            try:
+                return tuple(map(bindings.__getitem__, names))
+            except KeyError as exc:
+                raise EvaluationError(f"unbound variable {exc.args[0]}") from None
+
+        return build_from_variables
+    evaluators = tuple(compile_term_evaluator(term) for term in terms)
+    return lambda bindings: tuple(evaluate(bindings) for evaluate in evaluators)
+
+
+def compile_unifier(
+    atom: Atom, says_principal: Optional[Term] = None, check_relation: bool = True
+) -> Unifier:
+    """Compile *atom* into a specialized unification closure.
+
+    The closure replaces the per-term ``isinstance`` dispatch of the generic
+    ``unify_atom`` loop with lists precomputed once per atom: constant checks
+    (column, expected value), variable slots (column, name), and — rarely —
+    general terms (function calls / aggregates) that fall back to full term
+    unification.  The ``says`` principal requirement is folded in, so the
+    evaluator needs a single call per candidate fact on the join hot path.
+
+    ``check_relation=False`` omits the relation-name/arity guard: safe only
+    for facts probed out of the atom's own table, which match by
+    construction (the evaluator's inner join loop uses this variant).
+    """
+    name = atom.name
+    arity = len(atom.terms)
+    const_checks: List[Tuple[int, object]] = []
+    var_slots: List[Tuple[int, str]] = []
+    general_slots: List[Tuple[int, Term]] = []
+    for index, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            const_checks.append((index, term.value))
+        elif isinstance(term, Variable):
+            var_slots.append((index, term.name))
+        else:
+            general_slots.append((index, term))
+    consts = tuple(const_checks)
+    slots = tuple(var_slots)
+    generals = tuple(general_slots)
+
+    says_var = says_principal.name if isinstance(says_principal, Variable) else None
+    says_const = (
+        says_principal.value if isinstance(says_principal, Constant) else None
+    )
+    says_general = (
+        says_principal
+        if says_principal is not None and says_var is None and says_const is None
+        else None
+    )
+
+    unify_term = None
+    if generals or says_general is not None:
+        # Imported lazily: the evaluator module imports this one at load time.
+        from repro.engine.seminaive import unify_term
+
+    def unify(fact, bindings):
+        values = fact.values
+        if check_relation and (fact.relation != name or len(values) != arity):
+            return None
+        for index, expected in consts:
+            if values[index] != expected:
+                return None
+        current = bindings
+        copied = False
+        if says_var is not None:
+            asserted = fact.asserted_by
+            if asserted is None:
+                return None
+            existing = current.get(says_var, _UNSET)
+            if existing is _UNSET:
+                current = dict(current)
+                copied = True
+                current[says_var] = asserted
+            elif existing != asserted:
+                return None
+        elif says_const is not None:
+            if fact.asserted_by != says_const:
+                return None
+        elif says_general is not None:
+            if fact.asserted_by is None:
+                return None
+            current = unify_term(says_general, fact.asserted_by, current)
+            if current is None:
+                return None
+            copied = current is not bindings
+        for index, var_name in slots:
+            value = values[index]
+            existing = current.get(var_name, _UNSET)
+            if existing is _UNSET:
+                if not copied:
+                    current = dict(current)
+                    copied = True
+                current[var_name] = value
+            elif existing != value:
+                return None
+        for index, term in generals:
+            current = unify_term(term, values[index], current)
+            if current is None:
+                return None
+        return current
+
+    return unify
+
+
 #: (relation, arity, columns) — a hash index a delta batch will probe.
 IndexSpec = Tuple[str, int, Tuple[int, ...]]
 
@@ -224,6 +476,9 @@ class CompiledProgram:
         default_factory=dict, compare=False, repr=False
     )
     _trigger_pairs: Dict[str, Tuple[Tuple[RulePlan, Tuple[int, ...]], ...]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    _probe_relations: Dict[str, Tuple[Tuple[str, int], ...]] = field(
         default_factory=dict, compare=False, repr=False
     )
 
@@ -276,6 +531,31 @@ class CompiledProgram:
         self._index_specs[relation] = result
         return result
 
+    def probe_relations_for(self, relation: str) -> Tuple[Tuple[str, int], ...]:
+        """Every ``(relation, arity)`` table deltas of *relation* will probe.
+
+        This is the soft-state expiry set: the engine expires these tables
+        once per same-relation delta batch (next to the index warm-up)
+        instead of on every probe of every binding inside the join loops.
+        """
+        cached = self._probe_relations.get(relation)
+        if cached is not None:
+            return cached
+        tables: List[Tuple[str, int]] = []
+        seen: Set[Tuple[str, int]] = set()
+        for plan in self.plans_triggered_by(relation):
+            for delta_index in plan.trigger_indexes(relation):
+                delta_plan = plan.delta_plan(delta_index)
+                for step in delta_plan.steps + delta_plan.negated:
+                    atom = step.atom_plan.atom
+                    key = (atom.name, atom.arity)
+                    if key not in seen:
+                        seen.add(key)
+                        tables.append(key)
+        result = tuple(tables)
+        self._probe_relations[relation] = result
+        return result
+
 
 def compile_rule(rule: Rule) -> RulePlan:
     """Compile a single localized rule into a :class:`RulePlan`."""
@@ -312,19 +592,7 @@ def compile_rule(rule: Rule) -> RulePlan:
         body_atoms=atoms,
         expressions=exprs,
         delta_plans=delta_plans,
-        head_getters=tuple(_term_getter(term) for term in head.atom.terms),
-        destination_getter=(
-            _term_getter(head.destination) if head.destination is not None else None
-        ),
     )
-
-
-def _term_getter(term: Term) -> Tuple[str, object]:
-    if isinstance(term, Variable):
-        return ("var", term.name)
-    if isinstance(term, Constant):
-        return ("const", term.value)
-    return ("term", term)
 
 
 def compile_program(program: Program) -> CompiledProgram:

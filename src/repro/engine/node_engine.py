@@ -26,6 +26,7 @@ from repro.engine.seminaive import (
     RuleFiring,
     drain_delta_batches,
     evaluate_plan_with_delta,
+    expire_probe_tables,
     warm_probe_indexes,
 )
 from repro.engine.tuples import Derivation, Fact
@@ -88,7 +89,7 @@ class EngineConfig:
     default_ttl: Optional[float] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessingReport:
     """Operation counters produced while processing one delta."""
 
@@ -122,7 +123,7 @@ class ProcessingReport:
         self.provenance_verifications += other.provenance_verifications
 
 
-@dataclass(frozen=True)
+@dataclass(eq=False, slots=True)
 class OutgoingFact:
     """A derived tuple that must be shipped to another node."""
 
@@ -132,13 +133,33 @@ class OutgoingFact:
     provenance_bytes: int
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessingResult:
     """Everything one call to :meth:`NodeEngine.process` produced."""
 
     outgoing: List[OutgoingFact] = field(default_factory=list)
     report: ProcessingReport = field(default_factory=ProcessingReport)
     new_facts: List[Fact] = field(default_factory=list)
+
+
+def group_outgoing(outgoing: List[OutgoingFact]) -> Dict[str, List[OutgoingFact]]:
+    """Group one delta round's outgoing tuples by destination.
+
+    Destinations appear in first-send order and each group preserves the
+    engine's FIFO derivation order, so batching the groups onto the wire
+    keeps per-destination delivery order identical to the per-tuple path.
+    """
+    grouped: Dict[str, List[OutgoingFact]] = {}
+    for item in outgoing:
+        bucket = grouped.get(item.destination)
+        if bucket is None:
+            grouped[item.destination] = [item]
+        else:
+            bucket.append(item)
+    return grouped
+
+
+_TTL_MISS = object()
 
 
 class NodeEngine:
@@ -165,6 +186,11 @@ class NodeEngine:
         self.authenticator = Authenticator(address, self.keystore, config.says_mode)
         self.aggregates: Dict[str, AggregateState] = {}
         self._ttl_cache: Dict[str, Optional[float]] = {}
+        # Per-firing hot-path flags, hoisted out of the enum properties.
+        self._authenticates = config.says_mode.authenticates
+        self._requires_signature = config.says_mode.requires_signature
+        self._maintains_provenance = config.provenance_mode.maintains_provenance
+        self._ships_provenance = config.provenance_mode.ships_provenance
 
         self.local_provenance = LocalProvenanceStore(address)
         self.distributed_provenance = DistributedProvenanceStore(address)
@@ -179,7 +205,7 @@ class NodeEngine:
         """Insert a base (application-provided) fact at this node."""
         result = ProcessingResult()
         prepared = self._attribute_local(fact, now)
-        if self.config.provenance_mode.maintains_provenance:
+        if self._maintains_provenance:
             if self._should_record(prepared):
                 self.local_provenance.record_base(prepared, source=self.address)
                 self.distributed_provenance.record_base(prepared)
@@ -195,14 +221,14 @@ class NodeEngine:
         result.report.payload_bytes_processed += fact.payload_size()
         try:
             verified = self.authenticator.import_fact(fact)
-            if self.config.says_mode.requires_signature:
+            if self._requires_signature:
                 result.report.facts_verified += 1
         except AuthenticationError:
             result.report.verification_failures += 1
             result.report.facts_rejected += 1
             return result
 
-        if self.config.provenance_mode.maintains_provenance:
+        if self._maintains_provenance:
             incoming = provenance if provenance is not None else verified.provenance
             if isinstance(incoming, SignedAnnotation):
                 try:
@@ -217,7 +243,11 @@ class NodeEngine:
                     return result
                 incoming = incoming.annotation
                 verified = verified.with_metadata(provenance=incoming)
-            self._record_remote_provenance(verified, incoming)
+            # Sampled provenance (Section 5): received tuples obey the same
+            # sampler as base facts and local derivations — verification above
+            # is a security decision and is never sampled away.
+            if self._should_record(verified):
+                self._record_remote_provenance(verified, incoming)
 
         self._process_local(verified, now, result)
         return result
@@ -241,7 +271,7 @@ class NodeEngine:
             timestamp=now,
             ttl=ttl,
             asserted_by=(
-                self.address if self.config.says_mode.authenticates else fact.asserted_by
+                self.address if self._authenticates else fact.asserted_by
             ),
             origin=self.address,
             provenance=fact.provenance,
@@ -249,8 +279,9 @@ class NodeEngine:
         return prepared
 
     def _ttl_for(self, relation: str) -> Optional[float]:
-        if relation in self._ttl_cache:
-            return self._ttl_cache[relation]
+        cached = self._ttl_cache.get(relation, _TTL_MISS)
+        if cached is not _TTL_MISS:
+            return cached
         ttl = self.config.default_ttl
         if relation in self.database.catalog:
             lifetime = self.database.catalog.schema(relation).lifetime
@@ -293,11 +324,12 @@ class NodeEngine:
             if not pairs:
                 continue
             warm_probe_indexes(self.compiled, relation, self.database)
+            expire_probe_tables(self.compiled, relation, self.database, now)
             for delta in batch:
                 for plan, delta_indexes in pairs:
                     for delta_index in delta_indexes:
                         firings = evaluate_plan_with_delta(
-                            plan, self.database, delta, delta_index, now=now
+                            plan, self.database, delta, delta_index
                         )
                         for firing in firings:
                             result.report.rule_firings += 1
@@ -314,11 +346,12 @@ class NodeEngine:
         derived_values = firing.head_values
         head = plan.head
 
-        if head.has_aggregate:
-            state = self.aggregates.setdefault(
-                f"{plan.label}:{head.predicate}",
-                AggregateState(head.aggregate.function),
-            )
+        if head.aggregate is not None:
+            state = self.aggregates.get(plan.aggregate_key)
+            if state is None:
+                state = self.aggregates[plan.aggregate_key] = AggregateState(
+                    head.aggregate.function
+                )
             group = tuple(derived_values[i] for i in head.group_by_indexes)
             value = derived_values[head.aggregate_index]
             changed = state.update(group, value, contribution_key=derived_values)
@@ -346,7 +379,7 @@ class NodeEngine:
         if destination == self.address:
             local_fact = (
                 derived.with_metadata(asserted_by=self.address)
-                if self.config.says_mode.authenticates
+                if self._authenticates
                 else derived
             )
             if annotation is not None:
@@ -356,12 +389,12 @@ class NodeEngine:
             return
 
         exported = self.authenticator.export_fact(derived)
-        if self.config.says_mode.requires_signature:
+        if self._requires_signature:
             result.report.signatures_created += 1
         provenance_bytes = 0
-        if annotation is not None and self.config.provenance_mode.ships_provenance:
+        if annotation is not None and self._ships_provenance:
             shipped_annotation: object = annotation
-            if self.config.says_mode.requires_signature:
+            if self._requires_signature:
                 # Authenticated provenance (Section 4.3): the exporting
                 # principal signs the condensed annotation it asserts.
                 shipped_annotation = sign_annotation(
@@ -396,7 +429,7 @@ class NodeEngine:
         now: float,
         result: ProcessingResult,
     ) -> Optional[CondensedProvenance]:
-        if not self.config.provenance_mode.maintains_provenance:
+        if not self._maintains_provenance:
             return None
         if not self._should_record(derived):
             return None

@@ -31,7 +31,7 @@ from repro.datalog.ast import (
     Variable,
 )
 from repro.datalog.errors import EvaluationError
-from repro.datalog.planner import BodyAtomPlan, CompiledProgram, JoinStep, RulePlan
+from repro.datalog.planner import COMPARATORS, CompiledProgram, JoinStep, RulePlan
 from repro.engine.aggregates import AggregateState
 from repro.engine.builtins import call_builtin
 from repro.engine.database import Database
@@ -125,15 +125,9 @@ def unify_atom(atom: Atom, fact: Fact, bindings: Bindings) -> Optional[Bindings]
 
 _UNSET = object()
 
-_COMPARATORS = {
-    "<": lambda a, b: a < b,
-    ">": lambda a, b: a > b,
-    "<=": lambda a, b: a <= b,
-    ">=": lambda a, b: a >= b,
-    "==": lambda a, b: a == b,
-    "=": lambda a, b: a == b,
-    "!=": lambda a, b: a != b,
-}
+#: Shared with the planner's compiled expression closures so the generic
+#: fallback below and the compiled hot path cannot diverge.
+_COMPARATORS = COMPARATORS
 
 
 def apply_expression(expression: object, bindings: Bindings) -> Optional[Bindings]:
@@ -160,9 +154,14 @@ def apply_expression(expression: object, bindings: Bindings) -> Optional[Binding
 # Join evaluation
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(eq=False, slots=True)
 class RuleFiring:
-    """One successful rule firing: the head values plus the joined antecedents."""
+    """One successful rule firing: the head values plus the joined antecedents.
+
+    Created once per firing on the hottest derivation path, so it is a plain
+    slotted dataclass rather than a frozen one (frozen construction pays an
+    ``object.__setattr__`` call per field).
+    """
 
     plan: RulePlan
     head_values: Tuple[object, ...]
@@ -171,30 +170,20 @@ class RuleFiring:
     bindings: Bindings
 
 
-def _says_matches(
-    body_atom: BodyAtomPlan, fact: Fact, bindings: Bindings
-) -> Optional[Bindings]:
-    """Check (and bind) the ``says`` principal requirement of a body atom."""
-    if body_atom.says_principal is None:
-        return bindings
-    if fact.asserted_by is None:
-        return None
-    return unify_term(body_atom.says_principal, fact.asserted_by, bindings)
-
-
 def _probe_step(
-    step: JoinStep, database: Database, bindings: Bindings, now: Optional[float]
+    step: JoinStep, database: Database, bindings: Bindings
 ) -> Tuple[Fact, ...]:
     """Probe the table of *step* using its precomputed bound-column spec.
 
     The planner guarantees every variable in the spec is bound whenever the
     step is reached, so the lookup key is built in a single pass instead of
-    re-deriving the bound columns from the bindings on every probe.
+    re-deriving the bound columns from the bindings on every probe.  Expiry
+    is the caller's responsibility (once per delta batch, or once per
+    evaluation for direct callers) — it used to run here, inside the
+    innermost join loop, on every probe of every binding.
     """
     atom = step.atom_plan.atom
     table = database.table(atom.name, arity=atom.arity)
-    if now is not None:
-        table.expire(now)
     columns = step.probe.columns
     if not columns:
         return table.facts()
@@ -217,6 +206,20 @@ def warm_probe_indexes(
         database.table(name, arity=arity).ensure_index(columns)
 
 
+def expire_probe_tables(
+    compiled: CompiledProgram, relation: str, database: Database, now: float
+) -> None:
+    """Expire every table deltas of *relation* will probe, once.
+
+    Called per same-relation delta batch (next to :func:`warm_probe_indexes`)
+    so soft-state expiry runs once per batch instead of inside the innermost
+    join loop on every probe of every binding.  ``now`` is constant across a
+    batch, so batch-level expiry sees exactly the facts per-probe expiry saw.
+    """
+    for name, arity in compiled.probe_relations_for(relation):
+        database.table(name, arity=arity).expire(now)
+
+
 def drain_delta_batches(queue: Deque[Fact], compiled: CompiledProgram):
     """Yield ``(relation, batch, trigger_pairs)`` runs from a delta queue.
 
@@ -236,30 +239,24 @@ def drain_delta_batches(queue: Deque[Fact], compiled: CompiledProgram):
 
 
 def _apply_expression_batch(
-    batch: Sequence[object], bindings: Bindings
+    batch: Sequence[Tuple[str, object, Optional[str]]], bindings: Bindings
 ) -> Optional[Bindings]:
-    """Apply a planner-scheduled batch of expressions to *bindings*.
+    """Apply a planner-compiled batch of expression closures to *bindings*.
 
     The planner guarantees every expression in the batch is fully bound here,
     so no readiness scan is needed; the bindings dict is copied at most once.
+    Entries are ``("cmp", check, None)`` or ``("assign", evaluate, target)``
+    (see :func:`repro.datalog.planner.compile_expression`).
     """
     current = bindings
     copied = False
-    for expression in batch:
-        if isinstance(expression, Comparison):
-            comparator = _COMPARATORS.get(expression.operator)
-            if comparator is None:
-                raise EvaluationError(
-                    f"unknown comparison operator {expression.operator!r}"
-                )
-            if not comparator(
-                evaluate_term(expression.left, current),
-                evaluate_term(expression.right, current),
-            ):
+    for kind, evaluate, target in batch:
+        if kind == "cmp":
+            if not evaluate(current):
                 return None
         else:
-            value = evaluate_term(expression.expression, current)
-            existing = current.get(expression.target.name, _UNSET)
+            value = evaluate(current)
+            existing = current.get(target, _UNSET)
             if existing is not _UNSET:
                 if existing != value:
                     return None
@@ -267,7 +264,7 @@ def _apply_expression_batch(
                 if not copied:
                     current = dict(current)
                     copied = True
-                current[expression.target.name] = value
+                current[target] = value
     return current
 
 
@@ -283,9 +280,14 @@ def evaluate_plan_with_delta(
     Returns every rule firing produced by joining the delta against the
     node's stored tables.  The remaining atoms are visited in the planner's
     bound-aware join order (most-bound-first), each probed through its
-    precomputed :class:`~repro.datalog.planner.ProbeSpec`.  Negated atoms
-    are checked last (stratified semantics), and expression literals are
-    applied as soon as their variables are bound.
+    precomputed :class:`~repro.datalog.planner.ProbeSpec` and unified via its
+    compiled per-atom closure (``BodyAtomPlan.unifier``).  Negated atoms are
+    checked last (stratified semantics), and expression literals are applied
+    as soon as their variables are bound.
+
+    ``now`` expires the probed tables once, up front.  Callers that drain
+    delta batches (the node engine, :func:`evaluate_program`) expire per
+    batch via :func:`expire_probe_tables` instead and pass ``None`` here.
     """
     body = plan.body_atoms
     if delta_index < 0 or delta_index >= len(body):
@@ -298,10 +300,7 @@ def evaluate_plan_with_delta(
             f"rule {plan.label}: cannot use a negated atom as the delta"
         )
 
-    initial = unify_atom(delta_atom.atom, delta, {})
-    if initial is None:
-        return []
-    initial = _says_matches(delta_atom, delta, initial)
+    initial = delta_atom.unifier(delta, {})
     if initial is None:
         return []
 
@@ -311,9 +310,14 @@ def evaluate_plan_with_delta(
         # the rule is unsafe for every binding; no firing is possible.
         return []
 
+    if now is not None:
+        for step in delta_plan.steps + delta_plan.negated:
+            atom = step.atom_plan.atom
+            database.table(atom.name, arity=atom.arity).expire(now)
+
     firings: List[RuleFiring] = []
     steps = delta_plan.steps
-    batches = delta_plan.expression_batches
+    batches = delta_plan.compiled_batches
     body_order = delta_plan.body_order
 
     def extend(
@@ -330,42 +334,27 @@ def evaluate_plan_with_delta(
             _finish(bindings, antecedents)
             return
         step = steps[position]
-        atom_plan = step.atom_plan
-        for fact in _probe_step(step, database, bindings, now):
-            unified = unify_atom(atom_plan.atom, fact, bindings)
-            if unified is None:
-                continue
-            unified = _says_matches(atom_plan, fact, unified)
+        unifier = step.atom_plan.probe_unifier
+        for fact in _probe_step(step, database, bindings):
+            unified = unifier(fact, bindings)
             if unified is None:
                 continue
             extend(position + 1, unified, antecedents + (fact,))
 
     def _finish(final: Bindings, antecedents: Tuple[Fact, ...]) -> None:
         for negated_step in delta_plan.negated:
-            matches = _probe_step(negated_step, database, final, now)
-            atom_plan = negated_step.atom_plan
-            if any(unify_atom(atom_plan.atom, fact, final) is not None for fact in matches):
+            matches = _probe_step(negated_step, database, final)
+            unifier = negated_step.atom_plan.probe_unifier
+            if any(unifier(fact, final) is not None for fact in matches):
                 return
-        try:
-            head_values = tuple(
-                final[payload]
-                if kind == "var"
-                else (payload if kind == "const" else evaluate_term(payload, final))
-                for kind, payload in plan.head_getters
-            )
-            destination_getter = plan.destination_getter
-            if destination_getter is None:
-                destination = None
-            else:
-                kind, payload = destination_getter
-                destination = (
-                    final[payload]
-                    if kind == "var"
-                    else (payload if kind == "const" else evaluate_term(payload, final))
-                )
-        except KeyError as exc:
-            raise EvaluationError(f"unbound variable {exc.args[0]}") from None
-        ordered = (delta,) + tuple(antecedents[i] for i in body_order)
+        # The compiled builders convert unbound-variable KeyError into
+        # EvaluationError themselves.
+        head_values = plan.head_builder(final)
+        destination_builder = plan.destination_builder
+        destination = (
+            destination_builder(final) if destination_builder is not None else None
+        )
+        ordered = (delta,) + tuple(map(antecedents.__getitem__, body_order))
         firings.append(
             RuleFiring(
                 plan=plan,
@@ -401,6 +390,7 @@ def evaluate_program(
     database: Database,
     base_facts: Iterable[Fact],
     now: float = 0.0,
+    default_ttl: Optional[float] = None,
 ) -> FixpointResult:
     """Run *compiled* to fixpoint over *database* seeded with *base_facts*.
 
@@ -408,12 +398,33 @@ def evaluate_program(
     replaces the stored one when it improves the aggregate (e.g. a cheaper
     path for ``min``), which guarantees termination of recursive aggregate
     programs such as Best-Path.
+
+    Soft-state semantics match the distributed path this is the reference
+    implementation for: base and derived facts without an explicit TTL pick
+    up their relation's ``materialize`` lifetime, falling back to
+    *default_ttl*.
     """
     aggregates: Dict[str, AggregateState] = {}
     derivations: List[Derivation] = []
     queue: Deque[Fact] = deque()
+    ttl_cache: Dict[str, Optional[float]] = {}
+
+    def ttl_for(relation: str) -> Optional[float]:
+        if relation in ttl_cache:
+            return ttl_cache[relation]
+        ttl = default_ttl
+        if relation in database.catalog:
+            lifetime = database.catalog.schema(relation).lifetime
+            if lifetime is not None:
+                ttl = lifetime
+        ttl_cache[relation] = ttl
+        return ttl
 
     for fact in base_facts:
+        if fact.ttl is None:
+            ttl = ttl_for(fact.relation)
+            if ttl is not None:
+                fact = fact.with_metadata(ttl=ttl)
         result = database.insert(fact, now=now)
         if result.inserted:
             derivations.append(
@@ -425,14 +436,15 @@ def evaluate_program(
     for relation, batch, pairs in drain_delta_batches(queue, compiled):
         if pairs:
             warm_probe_indexes(compiled, relation, database)
+            expire_probe_tables(compiled, relation, database, now)
         for delta in batch:
             iterations += 1
             for plan, delta_indexes in pairs:
                 for delta_index in delta_indexes:
                     for firing in evaluate_plan_with_delta(
-                        plan, database, delta, delta_index, now=now
+                        plan, database, delta, delta_index
                     ):
-                        derived = _make_fact(plan, firing, now)
+                        derived = _make_fact(plan, firing, now, ttl_for(plan.head.predicate))
                         accepted = _accept_firing(plan, firing, derived, database, aggregates, now)
                         if accepted is not None:
                             derivations.append(
@@ -449,12 +461,15 @@ def evaluate_program(
     return FixpointResult(database=database, derivations=derivations, iterations=iterations)
 
 
-def _make_fact(plan: RulePlan, firing: RuleFiring, now: float) -> Fact:
+def _make_fact(
+    plan: RulePlan, firing: RuleFiring, now: float, ttl: Optional[float] = None
+) -> Fact:
     origin = str(firing.destination) if firing.destination is not None else None
     return Fact(
         relation=plan.head.predicate,
         values=firing.head_values,
         timestamp=now,
+        ttl=ttl,
         origin=origin,
     )
 
@@ -489,6 +504,7 @@ def _accept_firing(
             relation=derived.relation,
             values=tuple(updated_values),
             timestamp=now,
+            ttl=derived.ttl,
             origin=derived.origin,
         )
     result = database.insert(derived, now=now)

@@ -19,10 +19,22 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datalog.catalog import RelationSchema
 from repro.engine.tuples import Fact, FactKey, Value
+
+
+def _columns_getter(columns: Sequence[int]) -> Callable[[Tuple[Value, ...]], Tuple[Value, ...]]:
+    """A C-level extractor for *columns* that always returns a tuple."""
+    if not columns:
+        return lambda values: ()
+    if len(columns) == 1:
+        only = columns[0]
+        return lambda values: (values[only],)
+    from operator import itemgetter
+
+    return itemgetter(*columns)
 
 
 @dataclass(frozen=True)
@@ -41,6 +53,12 @@ class InsertResult:
     refreshed: bool = False
 
 
+#: Shared results for the two overwhelmingly common outcomes; only a
+#: key-replacement insert carries per-call state (the displaced fact).
+_INSERTED = InsertResult(inserted=True)
+_REFRESHED = InsertResult(inserted=False, refreshed=True)
+
+
 class Table:
     """Facts of one relation at one node, with soft-state semantics."""
 
@@ -48,6 +66,8 @@ class Table:
         self.schema = schema
         self._rows: "OrderedDict[Tuple[Value, ...], Fact]" = OrderedDict()
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Value, ...], List[Fact]]] = {}
+        self._index_getters: Dict[Tuple[int, ...], Callable] = {}
+        self._primary_key = _columns_getter(schema.key_columns)
         #: Number of stored facts carrying a TTL; expiry scans are skipped
         #: entirely while this is zero (hard-state tables never pay for them).
         self._soft_count = 0
@@ -86,7 +106,7 @@ class Table:
             self._rows[key] = fact
             self._reindex_replace(existing, fact)
             self._soft_count += (fact.ttl is not None) - (existing.ttl is not None)
-            return InsertResult(inserted=False, refreshed=True)
+            return _REFRESHED
 
         if existing is not None:
             self._remove_fact(key, existing)
@@ -95,7 +115,7 @@ class Table:
 
         self._store(key, fact)
         self._enforce_max_size()
-        return InsertResult(inserted=True)
+        return _INSERTED
 
     def delete(self, fact: Fact) -> bool:
         """Delete the stored fact matching *fact*'s values; return True if removed."""
@@ -126,6 +146,7 @@ class Table:
     def clear(self) -> None:
         self._rows.clear()
         self._indexes.clear()
+        self._index_getters.clear()
         self._soft_count = 0
 
     # -- lookups --------------------------------------------------------------
@@ -169,22 +190,20 @@ class Table:
 
     # -- internals ------------------------------------------------------------
 
-    def _primary_key(self, values: Tuple[Value, ...]) -> Tuple[Value, ...]:
-        return tuple(values[i] for i in self.schema.key_columns)
-
     def _store(self, key: Tuple[Value, ...], fact: Fact) -> None:
         self._rows[key] = fact
         if fact.ttl is not None:
             self._soft_count += 1
         for columns, index in self._indexes.items():
-            index.setdefault(tuple(fact.values[c] for c in columns), []).append(fact)
+            bucket_key = self._index_getters[columns](fact.values)
+            index.setdefault(bucket_key, []).append(fact)
 
     def _remove_fact(self, key: Tuple[Value, ...], fact: Fact) -> None:
         self._rows.pop(key, None)
         if fact.ttl is not None:
             self._soft_count -= 1
         for columns, index in self._indexes.items():
-            bucket_key = tuple(fact.values[c] for c in columns)
+            bucket_key = self._index_getters[columns](fact.values)
             bucket = index.get(bucket_key)
             if bucket is None:
                 continue
@@ -200,7 +219,7 @@ class Table:
 
     def _reindex_replace(self, old: Fact, new: Fact) -> None:
         for columns, index in self._indexes.items():
-            bucket = index.get(tuple(old.values[c] for c in columns))
+            bucket = index.get(self._index_getters[columns](old.values))
             if bucket is None:
                 continue
             for i, stored in enumerate(bucket):
@@ -211,9 +230,12 @@ class Table:
     def _build_index(
         self, columns: Tuple[int, ...]
     ) -> Dict[Tuple[Value, ...], List[Fact]]:
+        getter = self._index_getters.get(columns)
+        if getter is None:
+            getter = self._index_getters[columns] = _columns_getter(columns)
         index: Dict[Tuple[Value, ...], List[Fact]] = {}
         for fact in self._rows.values():
-            index.setdefault(tuple(fact.values[c] for c in columns), []).append(fact)
+            index.setdefault(getter(fact.values), []).append(fact)
         self._indexes[columns] = index
         return index
 

@@ -15,6 +15,7 @@ while still letting the provenance layer track every distinct derivation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Optional, Sequence, Tuple
 
 
@@ -22,9 +23,16 @@ Value = object
 FactKey = Tuple[str, Tuple[Value, ...]]
 
 
-@dataclass(frozen=True)
+@dataclass(eq=False)
 class Fact:
     """One tuple of a relation plus its stream/security metadata.
+
+    Facts are logically immutable: nothing in the engine mutates one after
+    construction (``with_metadata`` copies), and identity/hashing depend only
+    on the immutable relation/values pair.  The class is deliberately not a
+    frozen dataclass — frozen ``__init__`` goes through ``object.__setattr__``
+    per field, and fact construction is one of the hottest allocation sites
+    in the evaluator.
 
     Attributes
     ----------
@@ -98,9 +106,9 @@ class Fact:
         """
         cached = self.__dict__.get("_payload_cache")
         if cached is None:
-            rendered = ",".join(_render_value(v) for v in self.values)
+            rendered = ",".join(map(_render_value, self.values))
             cached = f"{self.relation}({rendered})".encode("utf-8")
-            object.__setattr__(self, "_payload_cache", cached)
+            self._payload_cache = cached
         return cached
 
     def payload_size(self) -> int:
@@ -136,7 +144,7 @@ class Fact:
         if cached is not None:
             # The payload depends only on relation/values, which replace()
             # never changes here — share the serialization.
-            object.__setattr__(copy, "_payload_cache", cached)
+            copy._payload_cache = cached
         return copy
 
     def __str__(self) -> str:
@@ -180,6 +188,27 @@ class Derivation:
 def _render_value(value: Value) -> str:
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
-    if isinstance(value, (list, tuple)):
+    if isinstance(value, tuple):
+        for element in value:
+            if type(element) is not str:
+                break
+        else:
+            return _render_str_tuple(value)
+        return "[" + "|".join(_render_value(v) for v in value) + "]"
+    if isinstance(value, list):
         return "[" + "|".join(_render_value(v) for v in value) + "]"
     return str(value)
+
+
+@lru_cache(maxsize=65536)
+def _render_str_tuple(value: tuple) -> str:
+    """Render an all-string tuple value, memoized.
+
+    Path values (tuples of node names) recur heavily across derived tuples —
+    every ``mid`` / ``path`` / ``bestPath`` fact re-ships its hop list — so
+    each distinct path renders once.  Only all-``str`` tuples are cached:
+    among equal values only those render identically (e.g. ``True`` and ``1``
+    are equal keys but render differently, so mixed tuples must not share
+    cache entries).
+    """
+    return "[" + "|".join(value) + "]"

@@ -82,8 +82,15 @@ def sweep(
     seeds: Sequence[int] = DEFAULT_SEEDS,
     configurations: Sequence[str] = CONFIGURATION_ORDER,
     progress: bool = False,
+    batching: bool = False,
 ) -> SweepResult:
-    """Run the Best-Path evaluation sweep and collect every data point."""
+    """Run the Best-Path evaluation sweep and collect every data point.
+
+    The sweep reproduces the paper's Figures 3/4, whose bandwidth metric
+    charges a full header per shipped tuple — so it defaults to the per-tuple
+    wire format (``batching=False``) rather than the simulator's batched
+    default.  Pass ``batching=True`` to measure the amortized wire path.
+    """
     compiled = compile_best_path()
     result = SweepResult()
     for node_count in node_counts:
@@ -96,7 +103,11 @@ def sweep(
                         flush=True,
                     )
                 row = run_configuration(
-                    configuration, node_count, seed=seed, compiled=compiled
+                    configuration,
+                    node_count,
+                    seed=seed,
+                    compiled=compiled,
+                    batching=batching,
                 )
                 result.add(row)
     return result

@@ -55,6 +55,8 @@ class ExperimentRow:
     facts_derived: int
     best_paths: int
     converged: bool
+    batches_sent: int = 0
+    tuples_sent: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -67,6 +69,8 @@ class ExperimentRow:
             "total_bytes": self.total_bytes,
             "security_bytes": self.security_bytes,
             "provenance_bytes": self.provenance_bytes,
+            "batches_sent": self.batches_sent,
+            "tuples_sent": self.tuples_sent,
             "facts_derived": self.facts_derived,
             "best_paths": self.best_paths,
             "converged": self.converged,
@@ -91,6 +95,7 @@ def run_best_path(
     compiled: Optional[CompiledProgram] = None,
     cost_model: Optional[CostModel] = None,
     key_bits: int = 256,
+    batching: bool = True,
 ) -> SimulationResult:
     """Run the Best-Path query over *topology* in the named configuration."""
     compiled = compiled or compile_best_path()
@@ -100,6 +105,7 @@ def run_best_path(
         config=engine_config(configuration),
         cost_model=cost_model,
         key_bits=key_bits,
+        batching=batching,
     )
     return simulator.run(best_path_workload(topology))
 
@@ -110,11 +116,13 @@ def run_configuration(
     seed: int = 0,
     compiled: Optional[CompiledProgram] = None,
     cost_model: Optional[CostModel] = None,
+    batching: bool = True,
 ) -> ExperimentRow:
     """One sweep point: N nodes, one seed, one configuration."""
     topology = evaluation_topology(node_count, seed=seed)
     result = run_best_path(
-        topology, configuration, compiled=compiled, cost_model=cost_model
+        topology, configuration, compiled=compiled, cost_model=cost_model,
+        batching=batching,
     )
     stats = result.stats
     return ExperimentRow(
@@ -130,4 +138,6 @@ def run_configuration(
         facts_derived=stats.total_facts_derived(),
         best_paths=len(result.all_facts("bestPath")),
         converged=result.converged,
+        batches_sent=stats.total_batches(),
+        tuples_sent=stats.total_tuples_sent(),
     )

@@ -6,6 +6,13 @@ topology, delivers exported tuples as timestamped messages, charges per-node
 CPU time for the work each delta causes (via :class:`CostModel`), and runs
 until the distributed fixpoint — no messages in flight and every node idle.
 
+By default all tuples one node ships to one destination in one delta round
+travel as a single :class:`~repro.net.message.MessageBatch` (one message
+header, per-tuple security/provenance bytes still itemized), the way real P2
+amortizes per-packet overhead; ``batching=False`` restores the per-tuple
+wire format.  Transmissions on one directed link serialize: a message starts
+only after the link's previous transmission has left the wire.
+
 Determinism: given the same topology, program and configuration the event
 order is fully deterministic (ties broken by sequence numbers), so completion
 time and bandwidth are exactly reproducible.
@@ -18,12 +25,18 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.datalog.planner import CompiledProgram
-from repro.engine.node_engine import EngineConfig, NodeEngine, OutgoingFact, ProcessingReport
+from repro.engine.node_engine import (
+    EngineConfig,
+    NodeEngine,
+    OutgoingFact,
+    ProcessingReport,
+    group_outgoing,
+)
 from repro.engine.tuples import Fact
 from repro.net.address import Address
 from repro.net.link import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, Link
-from repro.net.message import Message
-from repro.net.stats import NetworkStats, NodeStats
+from repro.net.message import BatchItem, Message, MessageBatch
+from repro.net.stats import NetworkStats, NodeStats, WireMessage
 from repro.net.topology import Topology
 from repro.security.keystore import KeyStore
 from repro.security.principal import PrincipalRegistry
@@ -103,6 +116,7 @@ class Simulator:
         max_events: int = 5_000_000,
         default_latency: float = DEFAULT_LATENCY,
         default_bandwidth: float = DEFAULT_BANDWIDTH,
+        batching: bool = True,
     ) -> None:
         self.topology = topology
         self.compiled = compiled
@@ -111,6 +125,11 @@ class Simulator:
         self.max_events = max_events
         self.default_latency = default_latency
         self.default_bandwidth = default_bandwidth
+        #: When True (the default, matching real P2), all tuples bound for
+        #: one destination in one delta round ship as a single MessageBatch
+        #: under one message header.  When False, every tuple pays its own
+        #: header (the paper's Figure 4 accounting).
+        self.batching = batching
 
         self.registry = registry or PrincipalRegistry()
         self.keystore = keystore or KeyStore(key_bits=key_bits, seed=7)
@@ -129,8 +148,12 @@ class Simulator:
             )
 
         self.stats = NetworkStats()
-        self._queue: List[Tuple[float, int, Message]] = []
+        self._queue: List[Tuple[float, int, WireMessage]] = []
         self._sequence = 0
+        #: Per directed link: the time its wire is busy until.  Transmissions
+        #: on one link serialize; a message starts only after the previous
+        #: one has left the sender's interface.
+        self._link_busy_until: Dict[Tuple[Address, Address], float] = {}
 
     # -- base facts -------------------------------------------------------------
 
@@ -156,11 +179,15 @@ class Simulator:
         for address, facts in injected.items():
             engine = self.engines[address]
             node_stats = self.stats.node(address)
+            pending: List[OutgoingFact] = []
             for fact in facts:
                 start = max(start_time, node_stats.busy_until)
                 result = engine.insert_base(fact, now=start)
                 self._account_processing(address, start, result.report, node_stats)
-                self._dispatch_outgoing(address, result.outgoing, node_stats)
+                pending.extend(result.outgoing)
+            # One delta round per node: everything the injected facts caused
+            # ships together (one batch per destination when batching).
+            self._dispatch_outgoing(address, pending, node_stats)
 
         events = 0
         converged = True
@@ -185,17 +212,26 @@ class Simulator:
 
     # -- internals ----------------------------------------------------------------
 
-    def _deliver(self, message: Message, deliver_at: float) -> None:
+    def _deliver(self, message: WireMessage, deliver_at: float) -> None:
         destination = message.destination
         engine = self.engines.get(destination)
+        if engine is None:
+            # A message to a nonexistent address must not fabricate a phantom
+            # NodeStats entry (which would inflate receive counters and join
+            # the completion-time max); it is dropped and counted globally.
+            self.stats.messages_dropped += 1
+            return
         node_stats = self.stats.node(destination)
         node_stats.record_receive(message)
-        if engine is None:
-            return
-        start = max(deliver_at, node_stats.busy_until)
-        result = engine.receive(message.fact, now=start, provenance=message.fact.provenance)
-        self._account_processing(destination, start, result.report, node_stats)
-        self._dispatch_outgoing(destination, result.outgoing, node_stats)
+        pending: List[OutgoingFact] = []
+        for fact in message.facts():
+            start = max(deliver_at, node_stats.busy_until)
+            result = engine.receive(fact, now=start, provenance=fact.provenance)
+            self._account_processing(destination, start, result.report, node_stats)
+            pending.extend(result.outgoing)
+        # One delta round per delivered message: the whole round's output
+        # ships together (one batch per destination when batching).
+        self._dispatch_outgoing(destination, pending, node_stats)
 
     def _account_processing(
         self,
@@ -218,23 +254,59 @@ class Simulator:
     def _dispatch_outgoing(
         self, source: Address, outgoing: List[OutgoingFact], node_stats: NodeStats
     ) -> None:
+        if not outgoing:
+            return
         send_time = node_stats.busy_until
-        for item in outgoing:
-            sequence = self._next_sequence()
-            message = Message(
-                source=source,
-                destination=item.destination,
-                fact=item.fact,
-                security_bytes=item.security_bytes,
-                provenance_bytes=item.provenance_bytes,
-                sent_at=send_time,
-                sequence=sequence,
-            )
-            node_stats.record_send(message)
-            self.stats.total_messages += 1
-            link = self.topology.link_between(source, item.destination)
-            if link is not None:
-                delay = link.transmission_delay(message.size_bytes())
-            else:
-                delay = self.default_latency + message.size_bytes() / self.default_bandwidth
-            heapq.heappush(self._queue, (send_time + delay, sequence, message))
+        if self.batching:
+            for destination, items in group_outgoing(outgoing).items():
+                batch = MessageBatch(
+                    source=source,
+                    destination=destination,
+                    items=tuple(
+                        BatchItem(
+                            fact=item.fact,
+                            security_bytes=item.security_bytes,
+                            provenance_bytes=item.provenance_bytes,
+                        )
+                        for item in items
+                    ),
+                    sent_at=send_time,
+                    sequence=self._next_sequence(),
+                )
+                self._ship(source, destination, batch, send_time, node_stats)
+        else:
+            for item in outgoing:
+                message = Message(
+                    source=source,
+                    destination=item.destination,
+                    fact=item.fact,
+                    security_bytes=item.security_bytes,
+                    provenance_bytes=item.provenance_bytes,
+                    sent_at=send_time,
+                    sequence=self._next_sequence(),
+                )
+                self._ship(source, item.destination, message, send_time, node_stats)
+
+    def _ship(
+        self,
+        source: Address,
+        destination: Address,
+        message: WireMessage,
+        send_time: float,
+        node_stats: NodeStats,
+    ) -> None:
+        """Charge the send and enqueue delivery with link-serialized timing."""
+        node_stats.record_send(message)
+        self.stats.total_messages += 1
+        size = message.size_bytes()
+        link = self.topology.link_between(source, destination)
+        if link is not None:
+            latency, bandwidth = link.latency, link.bandwidth
+        else:
+            latency, bandwidth = self.default_latency, self.default_bandwidth
+        wire_seconds = size / bandwidth if bandwidth > 0 else 0.0
+        key = (source, destination)
+        transmit_at = max(send_time, self._link_busy_until.get(key, 0.0))
+        self._link_busy_until[key] = transmit_at + wire_seconds
+        deliver_at = transmit_at + wire_seconds + latency
+        heapq.heappush(self._queue, (deliver_at, message.sequence, message))

@@ -16,15 +16,22 @@ from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from repro.net.address import Address
-from repro.net.message import Message
+from repro.net.message import Message, MessageBatch
+
+WireMessage = Union[Message, MessageBatch]
 
 
 @dataclass
 class NodeStats:
-    """Counters for one node."""
+    """Counters for one node.
+
+    ``messages_sent`` counts wire messages (a batch is one message);
+    ``tuples_sent`` counts the tuples they carried.  ``batch_sizes`` is the
+    tuples-per-batch histogram for batched sends (size -> batch count).
+    """
 
     address: Address
     messages_sent: int = 0
@@ -33,20 +40,30 @@ class NodeStats:
     bytes_received: int = 0
     security_bytes_sent: int = 0
     provenance_bytes_sent: int = 0
+    batches_sent: int = 0
+    tuples_sent: int = 0
+    tuples_received: int = 0
     facts_derived: int = 0
     facts_stored: int = 0
     cpu_seconds: float = 0.0
     busy_until: float = 0.0
+    batch_sizes: Dict[int, int] = field(default_factory=dict)
 
-    def record_send(self, message: Message) -> None:
+    def record_send(self, message: WireMessage) -> None:
         self.messages_sent += 1
         self.bytes_sent += message.size_bytes()
         self.security_bytes_sent += message.security_bytes
         self.provenance_bytes_sent += message.provenance_bytes
+        count = message.tuple_count
+        self.tuples_sent += count
+        if isinstance(message, MessageBatch):
+            self.batches_sent += 1
+            self.batch_sizes[count] = self.batch_sizes.get(count, 0) + 1
 
-    def record_receive(self, message: Message) -> None:
+    def record_receive(self, message: WireMessage) -> None:
         self.messages_received += 1
         self.bytes_received += message.size_bytes()
+        self.tuples_received += message.tuple_count
 
 
 @dataclass
@@ -57,6 +74,9 @@ class NetworkStats:
     completion_time: float = 0.0
     total_messages: int = 0
     total_events: int = 0
+    #: Messages addressed to a node that does not exist; they are dropped
+    #: without fabricating per-node statistics for the phantom address.
+    messages_dropped: int = 0
 
     def node(self, address: Address) -> NodeStats:
         stats = self.nodes.get(address)
@@ -87,6 +107,31 @@ class NetworkStats:
     def provenance_overhead_bytes(self) -> int:
         return sum(stats.provenance_bytes_sent for stats in self.nodes.values())
 
+    # -- batching metrics -------------------------------------------------------
+
+    def total_batches(self) -> int:
+        return sum(stats.batches_sent for stats in self.nodes.values())
+
+    def total_tuples_sent(self) -> int:
+        return sum(stats.tuples_sent for stats in self.nodes.values())
+
+    def tuples_per_batch_histogram(self) -> Dict[int, int]:
+        """Aggregated tuples-per-batch histogram (batch size -> batch count)."""
+        histogram: Dict[int, int] = {}
+        for stats in self.nodes.values():
+            for size, count in stats.batch_sizes.items():
+                histogram[size] = histogram.get(size, 0) + count
+        return dict(sorted(histogram.items()))
+
+    def mean_tuples_per_batch(self) -> float:
+        batches = self.total_batches()
+        if batches == 0:
+            return 0.0
+        batched_tuples = sum(
+            size * count for size, count in self.tuples_per_batch_histogram().items()
+        )
+        return batched_tuples / batches
+
     def summary(self) -> Dict[str, float]:
         """A flat summary dictionary, convenient for tables and benchmarks."""
         return {
@@ -96,6 +141,10 @@ class NetworkStats:
             "total_bytes": float(self.total_bytes()),
             "security_bytes": float(self.security_overhead_bytes()),
             "provenance_bytes": float(self.provenance_overhead_bytes()),
+            "batches_sent": float(self.total_batches()),
+            "tuples_sent": float(self.total_tuples_sent()),
+            "mean_tuples_per_batch": self.mean_tuples_per_batch(),
+            "messages_dropped": float(self.messages_dropped),
             "facts_derived": float(self.total_facts_derived()),
             "cpu_seconds": self.total_cpu_seconds(),
         }

@@ -65,7 +65,7 @@ class RecordingSimulator(Simulator):
                 message.sequence,
                 str(message.source),
                 str(message.destination),
-                message.fact.key(),
+                tuple(fact.key() for fact in message.facts()),
             )
         )
         super()._deliver(message, deliver_at)

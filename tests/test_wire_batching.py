@@ -1,0 +1,376 @@
+"""Tests for the batched wire path and the accounting fixes that rode along.
+
+Covers the `MessageBatch` size model, byte-identical security/provenance
+attribution vs. the per-tuple path, FIFO unpack order, cross-run determinism
+with batching on, the phantom-`NodeStats` fix, the provenance-sampler fix for
+received tuples, and soft-state TTLs on the single-site evaluator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import localize_program, parse_program
+from repro.datalog.catalog import Catalog
+from repro.datalog.planner import compile_program
+from repro.engine.database import Database
+from repro.engine.node_engine import (
+    EngineConfig,
+    NodeEngine,
+    OutgoingFact,
+    ProvenanceMode,
+    group_outgoing,
+)
+from repro.engine.seminaive import evaluate_program
+from repro.engine.tuples import Fact
+from repro.net.message import MESSAGE_HEADER_BYTES, BatchItem, Message, MessageBatch
+from repro.net.simulator import Simulator
+from repro.net.topology import line_topology, paper_example_topology, random_topology
+from repro.provenance.pruning import ProvenanceSampler
+from repro.queries.reachable import REACHABLE_LOCALIZED
+from repro.security.says import SaysMode
+
+
+@pytest.fixture(scope="module")
+def compiled_reachable():
+    return compile_program(localize_program(parse_program(REACHABLE_LOCALIZED)))
+
+
+def reachable_base(topology):
+    return {
+        node: [
+            Fact("link", (link.source, link.destination))
+            for link in topology.outgoing(node)
+        ]
+        for node in topology.nodes
+    }
+
+
+def run_reachable(topology, config, batching, compiled):
+    simulator = Simulator(
+        topology, compiled, config, key_bits=128, batching=batching
+    )
+    return simulator.run(reachable_base(topology))
+
+
+class TestMessageBatchFormat:
+    def _batch(self):
+        items = (
+            BatchItem(fact=Fact("link", ("a", "b")), security_bytes=40, provenance_bytes=10),
+            BatchItem(fact=Fact("link", ("a", "c")), security_bytes=40, provenance_bytes=20),
+        )
+        return MessageBatch(source="a", destination="b", items=items)
+
+    def test_header_charged_once(self):
+        batch = self._batch()
+        payload = sum(item.fact.payload_size() for item in batch.items)
+        assert batch.size_bytes() == MESSAGE_HEADER_BYTES + payload + 80 + 30
+
+    def test_overheads_stay_itemized(self):
+        batch = self._batch()
+        assert batch.security_bytes == 80
+        assert batch.provenance_bytes == 30
+
+    def test_facts_in_item_order(self):
+        batch = self._batch()
+        assert [fact.values for fact in batch.facts()] == [("a", "b"), ("a", "c")]
+        assert batch.tuple_count == 2
+
+    def test_batch_vs_individual_messages_differ_only_by_framing(self):
+        batch = self._batch()
+        individual = sum(
+            Message(
+                source="a",
+                destination="b",
+                fact=item.fact,
+                security_bytes=item.security_bytes,
+                provenance_bytes=item.provenance_bytes,
+            ).size_bytes()
+            for item in batch.items
+        )
+        assert individual - batch.size_bytes() == MESSAGE_HEADER_BYTES * (
+            batch.tuple_count - 1
+        )
+
+
+class TestGrouping:
+    def test_group_outgoing_preserves_fifo_per_destination(self):
+        outgoing = [
+            OutgoingFact("b", Fact("r", (1,)), 0, 0),
+            OutgoingFact("c", Fact("r", (2,)), 0, 0),
+            OutgoingFact("b", Fact("r", (3,)), 0, 0),
+            OutgoingFact("b", Fact("r", (4,)), 0, 0),
+        ]
+        grouped = group_outgoing(outgoing)
+        assert list(grouped) == ["b", "c"]  # first-send order
+        assert [o.fact.values[0] for o in grouped["b"]] == [1, 3, 4]
+
+
+class TestDispatchAttribution:
+    """The same outgoing tuples, dispatched batched vs. per-tuple."""
+
+    OUTGOING = [
+        OutgoingFact("b", Fact("r", ("x", 1)), security_bytes=34, provenance_bytes=7),
+        OutgoingFact("b", Fact("r", ("x", 2)), security_bytes=34, provenance_bytes=9),
+        OutgoingFact("c", Fact("r", ("x", 3)), security_bytes=34, provenance_bytes=0),
+    ]
+
+    def _dispatch(self, batching, compiled_reachable):
+        simulator = Simulator(
+            paper_example_topology(),
+            compiled_reachable,
+            EngineConfig(),
+            batching=batching,
+        )
+        stats = simulator.stats.node("a")
+        simulator._dispatch_outgoing("a", list(self.OUTGOING), stats)
+        return simulator, stats
+
+    def test_attribution_is_byte_identical(self, compiled_reachable):
+        _, batched = self._dispatch(True, compiled_reachable)
+        _, per_tuple = self._dispatch(False, compiled_reachable)
+        assert batched.security_bytes_sent == per_tuple.security_bytes_sent == 102
+        assert batched.provenance_bytes_sent == per_tuple.provenance_bytes_sent == 16
+        assert batched.tuples_sent == per_tuple.tuples_sent == 3
+
+    def test_only_framing_bytes_are_saved(self, compiled_reachable):
+        _, batched = self._dispatch(True, compiled_reachable)
+        _, per_tuple = self._dispatch(False, compiled_reachable)
+        saved_headers = per_tuple.messages_sent - batched.messages_sent
+        assert saved_headers == 1  # (b, b, c) -> two batches instead of three
+        assert per_tuple.bytes_sent - batched.bytes_sent == (
+            MESSAGE_HEADER_BYTES * saved_headers
+        )
+
+    def test_one_batch_per_destination(self, compiled_reachable):
+        simulator, stats = self._dispatch(True, compiled_reachable)
+        assert stats.messages_sent == 2
+        assert stats.batches_sent == 2
+        assert stats.batch_sizes == {2: 1, 1: 1}
+        destinations = [message.destination for _, _, message in simulator._queue]
+        assert sorted(destinations) == ["b", "c"]
+
+
+class TestFullRunAttribution:
+    """Reachability derivations are order-independent, so a full distributed
+    run must attribute exactly the same security bytes either way."""
+
+    def test_security_attribution_matches_per_tuple_path(self, compiled_reachable):
+        topology = random_topology(8, seed=11)
+        config = EngineConfig(says_mode=SaysMode.SIGNED)
+        batched = run_reachable(topology, config, True, compiled_reachable).stats
+        per_tuple = run_reachable(topology, config, False, compiled_reachable).stats
+        assert (
+            batched.security_overhead_bytes()
+            == per_tuple.security_overhead_bytes()
+            > 0
+        )
+        assert batched.total_tuples_sent() == per_tuple.total_tuples_sent()
+        # All saved bytes are per-tuple framing, nothing else.
+        saved = per_tuple.total_bytes() - batched.total_bytes()
+        assert saved == MESSAGE_HEADER_BYTES * (
+            per_tuple.total_messages - batched.total_messages
+        )
+
+    def test_batching_halves_wire_messages(self, compiled_reachable):
+        topology = random_topology(8, seed=11)
+        config = EngineConfig(says_mode=SaysMode.SIGNED)
+        batched = run_reachable(topology, config, True, compiled_reachable).stats
+        per_tuple = run_reachable(topology, config, False, compiled_reachable).stats
+        assert batched.total_messages * 3 <= per_tuple.total_messages * 2
+        assert batched.mean_tuples_per_batch() > 1.5
+
+    def test_results_identical_across_wire_formats(self, compiled_reachable):
+        topology = random_topology(8, seed=11)
+        config = EngineConfig(says_mode=SaysMode.SIGNED)
+        batched = run_reachable(topology, config, True, compiled_reachable)
+        per_tuple = run_reachable(topology, config, False, compiled_reachable)
+        for address, engine in batched.engines.items():
+            assert engine.database.snapshot() == (
+                per_tuple.engines[address].database.snapshot()
+            )
+
+    def test_single_path_provenance_attribution_matches(self, compiled_reachable):
+        # On a line there is one derivation per reachable pair, so condensed
+        # annotations cannot depend on arrival order and the provenance bytes
+        # must match exactly too.
+        topology = line_topology(4)
+        config = EngineConfig(
+            says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.CONDENSED
+        )
+        batched = run_reachable(topology, config, True, compiled_reachable).stats
+        per_tuple = run_reachable(topology, config, False, compiled_reachable).stats
+        assert (
+            batched.provenance_overhead_bytes()
+            == per_tuple.provenance_overhead_bytes()
+            > 0
+        )
+
+
+class TestFifoUnpack:
+    def test_batch_delivers_tuples_in_item_order(self, compiled_reachable):
+        simulator = Simulator(
+            paper_example_topology(), compiled_reachable, EngineConfig()
+        )
+        received = []
+        engine = simulator.engines["b"]
+        original = engine.receive
+
+        def recording_receive(fact, now, provenance=None):
+            received.append(fact.values)
+            return original(fact, now=now, provenance=provenance)
+
+        engine.receive = recording_receive
+        batch = MessageBatch(
+            source="a",
+            destination="b",
+            items=tuple(
+                BatchItem(fact=Fact("link", ("b", str(i)))) for i in range(5)
+            ),
+            sequence=1,
+        )
+        simulator._deliver(batch, deliver_at=0.0)
+        assert received == [("b", str(i)) for i in range(5)]
+
+
+class TestBatchedDeterminism:
+    def _run(self, compiled_reachable):
+        topology = random_topology(9, seed=4)
+        delivered = []
+
+        class Recording(Simulator):
+            def _deliver(self, message, deliver_at):
+                delivered.append(
+                    (
+                        message.sequence,
+                        str(message.source),
+                        str(message.destination),
+                        tuple(fact.key() for fact in message.facts()),
+                    )
+                )
+                super()._deliver(message, deliver_at)
+
+        simulator = Recording(
+            topology,
+            compiled_reachable,
+            EngineConfig(says_mode=SaysMode.SIGNED),
+            key_bits=128,
+            batching=True,
+        )
+        result = simulator.run(reachable_base(topology))
+        assert result.converged
+        return result.stats.summary(), delivered
+
+    def test_sequence_numbers_and_stats_are_reproducible(self, compiled_reachable):
+        first_summary, first_delivered = self._run(compiled_reachable)
+        second_summary, second_delivered = self._run(compiled_reachable)
+        assert first_summary == second_summary
+        assert first_delivered == second_delivered
+
+
+class TestPhantomNodeStatsFix:
+    def test_message_to_unknown_address_fabricates_no_stats(self, compiled_reachable):
+        simulator = Simulator(
+            paper_example_topology(), compiled_reachable, EngineConfig()
+        )
+        ghost = Message(
+            source="a", destination="zz", fact=Fact("link", ("zz", "a")), sequence=9
+        )
+        simulator._deliver(ghost, deliver_at=1.0)
+        assert "zz" not in simulator.stats.nodes
+        assert simulator.stats.messages_dropped == 1
+
+    def test_unroutable_tuple_does_not_skew_completion_time(self, compiled_reachable):
+        # A program shipping to a destination derived from data can address a
+        # node outside the topology; the run must not let the phantom's
+        # receive-side counters join the completion-time max.
+        simulator = Simulator(
+            paper_example_topology(), compiled_reachable, EngineConfig()
+        )
+        ghost = Message(
+            source="a", destination="zz", fact=Fact("link", ("zz", "a")), sequence=9
+        )
+        simulator._deliver(ghost, deliver_at=1e6)
+        assert all(stats.busy_until < 1e6 for stats in simulator.stats.nodes.values())
+
+
+class TestReceivedProvenanceSampling:
+    def _engines(self, compiled_reachable, rate):
+        config = EngineConfig(
+            provenance_mode=ProvenanceMode.CONDENSED,
+            sampler=ProvenanceSampler(rate=rate),
+        )
+        sender = NodeEngine("a", compiled_reachable, EngineConfig(
+            provenance_mode=ProvenanceMode.CONDENSED
+        ))
+        receiver = NodeEngine("b", compiled_reachable, config)
+        return sender, receiver
+
+    def test_sampler_rate_zero_records_no_received_provenance(self, compiled_reachable):
+        sender, receiver = self._engines(compiled_reachable, rate=0.0)
+        outgoing = sender.insert_base(Fact("link", ("a", "b"))).outgoing
+        shipped = [o for o in outgoing if o.destination == "b"][0].fact
+        before = set(receiver.local_provenance.keys())
+        receiver.receive(shipped, now=1.0, provenance=shipped.provenance)
+        # The tuple itself is stored, but no provenance was recorded for it.
+        assert receiver.facts(shipped.relation)
+        assert shipped.key() not in set(receiver.local_provenance.keys()) - before
+
+    def test_sampler_rate_one_still_records(self, compiled_reachable):
+        sender, receiver = self._engines(compiled_reachable, rate=1.0)
+        outgoing = sender.insert_base(Fact("link", ("a", "b"))).outgoing
+        shipped = [o for o in outgoing if o.destination == "b"][0].fact
+        receiver.receive(shipped, now=1.0, provenance=shipped.provenance)
+        assert shipped.key() in receiver.local_provenance.keys()
+
+
+SOFT_REACH = """
+    materialize(edge, infinity, infinity, keys(1,2)).
+    materialize(reach, 30, infinity, keys(1)).
+
+    r1 reach(@X) :- edge(@Y, X), reach(@Y).
+"""
+
+
+class TestSingleSiteSoftState:
+    def _fixpoint(self, default_ttl=None):
+        compiled = compile_program(localize_program(parse_program(SOFT_REACH)))
+        database = Database(Catalog.from_program(compiled.program))
+        base = [
+            Fact("edge", ("a", "b")),
+            Fact("edge", ("b", "c")),
+            Fact("reach", ("a",)),
+        ]
+        return evaluate_program(
+            compiled, database, base, default_ttl=default_ttl
+        )
+
+    def test_derived_facts_inherit_schema_lifetime(self):
+        result = self._fixpoint()
+        for fact in result.facts("reach"):
+            assert fact.ttl == 30.0
+
+    def test_base_facts_inherit_schema_lifetime(self):
+        result = self._fixpoint()
+        reach_a = [f for f in result.facts("reach") if f.values == ("a",)][0]
+        assert reach_a.ttl == 30.0
+
+    def test_hard_state_relations_stay_hard(self):
+        result = self._fixpoint()
+        for fact in result.facts("edge"):
+            assert fact.ttl is None
+
+    def test_default_ttl_fills_undeclared_lifetimes(self):
+        result = self._fixpoint(default_ttl=7.0)
+        # Matching NodeEngine._ttl_for: an infinite declared lifetime leaves
+        # the relation on the configured default; an explicit finite lifetime
+        # (reach's 30s) wins over the default.
+        assert all(f.ttl == 7.0 for f in result.facts("edge"))
+        assert all(f.ttl == 30.0 for f in result.facts("reach"))
+
+    def test_derived_soft_state_expires_like_distributed_path(self):
+        result = self._fixpoint()
+        database = result.database
+        expired = database.expire(now=31.0)
+        assert {fact.relation for fact in expired} == {"reach"}
+        assert database.facts("reach") == ()
