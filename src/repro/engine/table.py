@@ -71,6 +71,11 @@ class Table:
         #: Number of stored facts carrying a TTL; expiry scans are skipped
         #: entirely while this is zero (hard-state tables never pay for them).
         self._soft_count = 0
+        #: Optional observer called with the batch of facts each expiry
+        #: sweep removed.  The node engine hooks aggregate-head tables here
+        #: so expired aggregate groups can be re-established by later
+        #: (possibly worse) contributions.
+        self.on_expire: Optional[Callable[[List[Fact]], None]] = None
 
     # -- basic protocol -------------------------------------------------------
 
@@ -102,7 +107,12 @@ class Table:
         existing = self._rows.get(key)
 
         if existing is not None and existing.values == fact.values:
-            # Same tuple: refresh soft-state metadata in place.
+            # Same tuple: refresh soft-state metadata in place.  The payload
+            # depends only on relation/values, so an already rendered
+            # serialization is handed to the refreshing copy — immediately
+            # deduplicated derivations never pay the rendering twice.
+            if fact._payload_cache is None and existing._payload_cache is not None:
+                fact._payload_cache = existing._payload_cache
             self._rows[key] = fact
             self._reindex_replace(existing, fact)
             self._soft_count += (fact.ttl is not None) - (existing.ttl is not None)
@@ -136,6 +146,8 @@ class Table:
         expired = [fact for fact in self._rows.values() if fact.is_expired(now)]
         for fact in expired:
             self._remove_fact(self._primary_key(fact.values), fact)
+        if expired and self.on_expire is not None:
+            self.on_expire(expired)
         return expired
 
     @property

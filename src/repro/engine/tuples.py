@@ -23,16 +23,19 @@ Value = object
 FactKey = Tuple[str, Tuple[Value, ...]]
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Fact:
     """One tuple of a relation plus its stream/security metadata.
 
     Facts are logically immutable: nothing in the engine mutates one after
-    construction (``with_metadata`` copies), and identity/hashing depend only
-    on the immutable relation/values pair.  The class is deliberately not a
+    construction (``with_metadata`` copies; the lazily rendered payload cache
+    is the only mutable slot), and identity/hashing depend only on the
+    immutable relation/values pair.  The class is deliberately not a
     frozen dataclass — frozen ``__init__`` goes through ``object.__setattr__``
     per field, and fact construction is one of the hottest allocation sites
-    in the evaluator.
+    in the evaluator.  It *is* slotted: carrying the payload cache as an
+    explicit slot instead of a dynamic ``__dict__`` entry removes a dict
+    allocation per fact on that same hot path.
 
     Attributes
     ----------
@@ -67,6 +70,11 @@ class Fact:
     signature: Optional[bytes] = None
     provenance: Optional[object] = None
     origin: Optional[str] = None
+    #: Lazily rendered canonical payload; equal facts may share the same
+    #: bytes object (the table hands a stored duplicate's rendering to
+    #: refreshed copies so immediately deduplicated derivations never
+    #: re-render).  Excluded from repr; identity never depends on it.
+    _payload_cache: Optional[bytes] = field(default=None, repr=False)
 
     # -- identity ------------------------------------------------------------
 
@@ -104,7 +112,7 @@ class Fact:
         immutable relation/values pair, so it is computed once and cached
         (signing, verification and the bandwidth model all re-read it).
         """
-        cached = self.__dict__.get("_payload_cache")
+        cached = self._payload_cache
         if cached is None:
             rendered = ",".join(map(_render_value, self.values))
             cached = f"{self.relation}({rendered})".encode("utf-8")
@@ -139,13 +147,10 @@ class Fact:
             updates["provenance"] = provenance
         if origin is not None:
             updates["origin"] = origin
-        copy = replace(self, **updates)
-        cached = self.__dict__.get("_payload_cache")
-        if cached is not None:
-            # The payload depends only on relation/values, which replace()
-            # never changes here — share the serialization.
-            copy._payload_cache = cached
-        return copy
+        # replace() copies every field, including the payload cache — the
+        # payload depends only on relation/values, which never change here,
+        # so the serialization is shared automatically.
+        return replace(self, **updates)
 
     def __str__(self) -> str:
         rendered = ", ".join(_render_value(v) for v in self.values)

@@ -14,17 +14,37 @@ from repro.harness.experiments import (
     render_series,
     sweep,
 )
+from repro.harness.scenarios import (
+    SCENARIOS,
+    PhaseRow,
+    Scenario,
+    ScenarioReport,
+    churn_scenario,
+    link_failure_scenario,
+    render_phase_table,
+    retraction_scenario,
+    run_scenario,
+)
 
 __all__ = [
     "CONFIGURATIONS",
     "ExperimentRow",
+    "PhaseRow",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioReport",
     "best_path_workload",
+    "churn_scenario",
     "evaluation_topology",
     "figure3_series",
     "figure4_series",
+    "link_failure_scenario",
     "overhead_table",
+    "render_phase_table",
     "render_series",
+    "retraction_scenario",
     "run_best_path",
     "run_configuration",
+    "run_scenario",
     "sweep",
 ]

@@ -96,6 +96,7 @@ def run_best_path(
     cost_model: Optional[CostModel] = None,
     key_bits: int = 256,
     batching: bool = True,
+    batch_receive: bool = True,
 ) -> SimulationResult:
     """Run the Best-Path query over *topology* in the named configuration."""
     compiled = compiled or compile_best_path()
@@ -106,6 +107,7 @@ def run_best_path(
         cost_model=cost_model,
         key_bits=key_bits,
         batching=batching,
+        batch_receive=batch_receive,
     )
     return simulator.run(best_path_workload(topology))
 

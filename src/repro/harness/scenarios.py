@@ -1,0 +1,569 @@
+"""Dynamic-network scenario scripts.
+
+The paper's central claim is that network provenance stays correct and
+queryable *while the network changes* — soft-state expiry, churn and
+misbehaving nodes are the reason provenance exists.  This module turns the
+simulator's typed events into declarative, phase-structured **scenario
+scripts**: each phase schedules a batch of network dynamics (link failures,
+node churn, fact retraction, soft-state refresh rounds), runs the network to
+its new distributed fixpoint, and reports one row of convergence and
+overhead metrics.
+
+Three built-in scripts cover the canonical dynamics:
+
+* :func:`link_failure_scenario` — a redundant link fails mid-run; Best-Path
+  traffic reroutes once the stale soft state decays and refresh traffic
+  re-derives alternatives;
+* :func:`churn_scenario` — a node crashes (losing its soft state), the
+  network heals around it, and the node later recovers and re-asserts its
+  base tuples;
+* :func:`retraction_scenario` — a base tuple is withdrawn and everything the
+  node derived from it is invalidated, provenance included; remote copies
+  decay through soft-state expiry.
+
+Every scenario is deterministic: the same seed produces the same event
+order, phase rows and final fixpoint.  Run from the command line::
+
+    python -m repro.harness.scenarios link-failure --nodes 12
+    python -m repro.harness.scenarios all --nodes 8 --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.node_engine import EngineConfig, ProvenanceMode
+from repro.engine.tuples import Fact
+from repro.net.address import Address
+from repro.net.events import (
+    FactInjection,
+    FactRetraction,
+    LinkDown,
+    LinkUp,
+    NodeCrash,
+    NodeRecover,
+    SimulationEvent,
+    SoftStateRefresh,
+)
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology, line_topology, random_topology
+from repro.queries.best_path import compile_best_path
+from repro.queries.reachable import REACHABLE_LOCALIZED
+from repro.security.says import SaysMode
+
+#: Soft-state lifetime used by the built-in scenarios (simulated seconds).
+DEFAULT_SCENARIO_TTL = 30.0
+
+
+# ---------------------------------------------------------------------------
+# Declarative actions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Action:
+    """One declarative network dynamic, expanded into scheduler events."""
+
+    def events(
+        self, simulator: Simulator, at: float
+    ) -> Tuple[SimulationEvent, ...]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FailLink(Action):
+    source: Address
+    destination: Address
+    retract: bool = True
+
+    def events(self, simulator, at):
+        return (
+            LinkDown(
+                time=at,
+                source=self.source,
+                destination=self.destination,
+                retract=self.retract,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class RestoreLink(Action):
+    source: Address
+    destination: Address
+
+    def events(self, simulator, at):
+        return (LinkUp(time=at, source=self.source, destination=self.destination),)
+
+
+@dataclass(frozen=True)
+class Crash(Action):
+    address: Address
+
+    def events(self, simulator, at):
+        return (NodeCrash(time=at, address=self.address),)
+
+
+@dataclass(frozen=True)
+class Recover(Action):
+    address: Address
+    reinject: bool = True
+
+    def events(self, simulator, at):
+        return (
+            NodeRecover(time=at, address=self.address, reinject=self.reinject),
+        )
+
+
+@dataclass(frozen=True)
+class Inject(Action):
+    address: Address
+    facts: Tuple[Fact, ...]
+
+    def events(self, simulator, at):
+        return (FactInjection(time=at, address=self.address, facts=self.facts),)
+
+
+@dataclass(frozen=True)
+class Retract(Action):
+    address: Address
+    facts: Tuple[Fact, ...]
+
+    def events(self, simulator, at):
+        return (FactRetraction(time=at, address=self.address, facts=self.facts),)
+
+
+@dataclass(frozen=True)
+class RefreshSoftState(Action):
+    """Every live node re-asserts its remembered base tuples.
+
+    This is the paper's soft-state repair loop, run as a discrete round:
+    state that lost its support — a failed link, a crashed neighbour, a
+    retracted tuple — stops being refreshed and decays by TTL, and the next
+    round re-derives what the current network still supports.  The
+    expansion happens when the event fires (not at scheduling), so
+    same-phase failures are already in effect.  Re-asserting an unchanged
+    live tuple only refreshes its TTL at the owner; rounds meant to rebuild
+    *remote* state therefore run after the old state decayed (phase gaps
+    beyond the TTL), matching the scripts below.  Continuous sub-TTL
+    refresh timers are future work (ROADMAP).
+    """
+
+    def events(self, simulator, at):
+        return (SoftStateRefresh(time=at),)
+
+
+# ---------------------------------------------------------------------------
+# Scenario structure
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Phase:
+    """One step of a scenario: dynamics applied, then a run to fixpoint.
+
+    ``gap`` is simulated seconds between the previous phase's completion and
+    this phase's events — long gaps let soft state decay before the phase
+    observes the network.
+    """
+
+    name: str
+    actions: Tuple[Action, ...] = ()
+    gap: float = 0.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, declarative scenario script."""
+
+    name: str
+    description: str
+    phases: Tuple[Phase, ...]
+    #: Relation whose per-phase global count the report tracks.
+    probe_relation: str
+    #: Script-specific facts of interest (failed link, crashed node, ...).
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PhaseRow:
+    """Convergence and overhead metrics for one scenario phase."""
+
+    scenario: str
+    phase: str
+    start_time: float
+    completion_time: float
+    converged: bool
+    events: int
+    messages: int
+    kilobytes: float
+    tuples_sent: int
+    messages_lost: int
+    facts_retracted: int
+    probe_facts: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "phase": self.phase,
+            "start_time": self.start_time,
+            "completion_time": self.completion_time,
+            "converged": self.converged,
+            "events": self.events,
+            "messages": self.messages,
+            "kilobytes": self.kilobytes,
+            "tuples_sent": self.tuples_sent,
+            "messages_lost": self.messages_lost,
+            "facts_retracted": self.facts_retracted,
+            "probe_facts": self.probe_facts,
+        }
+
+
+@dataclass
+class ScenarioReport:
+    """All phase rows of one scenario run plus the final simulator."""
+
+    scenario: Scenario
+    rows: List[PhaseRow]
+    simulator: Simulator
+
+    @property
+    def converged(self) -> bool:
+        return all(row.converged for row in self.rows)
+
+    def row(self, phase: str) -> PhaseRow:
+        for row in self.rows:
+            if row.phase == phase:
+                return row
+        raise KeyError(f"no phase {phase!r} in scenario {self.scenario.name!r}")
+
+    def probe_series(self) -> List[Tuple[str, int]]:
+        """Per-phase (phase name, probe relation count) pairs."""
+        return [(row.phase, row.probe_facts) for row in self.rows]
+
+    def render(self) -> str:
+        return render_phase_table(self.rows, title=self.scenario.description)
+
+
+def render_phase_table(rows: Sequence[PhaseRow], title: str = "") -> str:
+    """Aligned text table of phase rows (the sweep-rendering house style)."""
+    header = (
+        f"{'phase':<12s}{'t_start':>9s}{'t_end':>9s}{'conv':>6s}"
+        f"{'events':>8s}{'msgs':>8s}{'kB':>9s}{'lost':>6s}"
+        f"{'retract':>8s}{'probe':>7s}"
+    )
+    lines = [title, header] if title else [header]
+    for row in rows:
+        lines.append(
+            f"{row.phase:<12s}{row.start_time:>9.2f}{row.completion_time:>9.2f}"
+            f"{'yes' if row.converged else 'NO':>6s}{row.events:>8d}"
+            f"{row.messages:>8d}{row.kilobytes:>9.1f}{row.messages_lost:>6d}"
+            f"{row.facts_retracted:>8d}{row.probe_facts:>7d}"
+        )
+    return "\n".join(lines)
+
+
+def run_scenario(scenario: Scenario, simulator: Simulator) -> ScenarioReport:
+    """Play *scenario* on *simulator*: per phase, schedule events, run to
+    fixpoint, sweep residual soft state, and record one metrics row."""
+    rows: List[PhaseRow] = []
+    previous = _counters(simulator)
+    current = 0.0
+    for phase in scenario.phases:
+        start = current + phase.gap
+        for action in phase.actions:
+            for event in action.events(simulator, start):
+                simulator.schedule(event)
+        converged = simulator.run_until_idle()
+        end = max(simulator.current_time(), start)
+        simulator.expire_all(end)
+        counters = _counters(simulator)
+        rows.append(
+            PhaseRow(
+                scenario=scenario.name,
+                phase=phase.name,
+                start_time=start,
+                completion_time=end,
+                converged=converged,
+                events=counters["events"] - previous["events"],
+                messages=counters["messages"] - previous["messages"],
+                kilobytes=(counters["bytes"] - previous["bytes"]) / 1000.0,
+                tuples_sent=counters["tuples"] - previous["tuples"],
+                messages_lost=counters["lost"] - previous["lost"],
+                facts_retracted=counters["retracted"] - previous["retracted"],
+                probe_facts=_probe_count(simulator, scenario.probe_relation),
+            )
+        )
+        previous = counters
+        current = end
+    return ScenarioReport(scenario=scenario, rows=rows, simulator=simulator)
+
+
+def _counters(simulator: Simulator) -> Dict[str, int]:
+    stats = simulator.stats
+    return {
+        "events": simulator.scheduler.events_scheduled,
+        "messages": stats.total_messages,
+        "bytes": stats.total_bytes(),
+        "tuples": stats.total_tuples_sent(),
+        "lost": stats.messages_lost,
+        "retracted": stats.total_facts_retracted(),
+    }
+
+
+def _probe_count(simulator: Simulator, relation: str) -> int:
+    return sum(
+        len(engine.facts(relation)) for engine in simulator.engines.values()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Built-in scenario scripts
+# ---------------------------------------------------------------------------
+
+def _soft_config(ttl: float, **kwargs) -> EngineConfig:
+    """A scenario engine configuration: everything is soft state."""
+    kwargs.setdefault("default_ttl", ttl)
+    kwargs.setdefault("track_dependencies", True)
+    return EngineConfig(**kwargs)
+
+
+def _inject_all(base: Dict[Address, List[Fact]]) -> Tuple[Inject, ...]:
+    return tuple(
+        Inject(address=address, facts=tuple(facts))
+        for address, facts in base.items()
+        if facts
+    )
+
+
+def _reachable_compiled():
+    from repro.datalog import localize_program, parse_program
+    from repro.datalog.planner import compile_program
+
+    return compile_program(localize_program(parse_program(REACHABLE_LOCALIZED)))
+
+
+def _reachable_base(topology: Topology) -> Dict[Address, List[Fact]]:
+    return {
+        node: [
+            Fact("link", (link.source, link.destination))
+            for link in topology.outgoing(node)
+        ]
+        for node in topology.nodes
+    }
+
+
+def link_failure_scenario(
+    node_count: int = 12,
+    seed: int = 0,
+    ttl: float = DEFAULT_SCENARIO_TTL,
+    key_bits: int = 128,
+    **config_kwargs,
+) -> Tuple[Scenario, Simulator]:
+    """Best-Path under a mid-run link failure: decay, refresh, reroute.
+
+    A redundant link (its loss keeps the topology strongly connected) fails
+    after convergence; the source retracts its ``link`` tuple, cascading
+    invalidation through the paths derived from it, while other nodes' stale
+    best paths decay by TTL and the refresh round re-derives alternatives —
+    the repaired fixpoint routes around the failure.
+    """
+    topology = random_topology(node_count, seed=seed)
+    redundant = topology.redundant_links()
+    if not redundant:
+        raise ValueError(
+            f"topology(N={node_count}, seed={seed}) has no redundant link to fail"
+        )
+    failed = redundant[0]
+    config = _soft_config(ttl, **config_kwargs)
+    simulator = Simulator(
+        topology, compile_best_path(), config, key_bits=key_bits
+    )
+    base = simulator.link_facts()
+    scenario = Scenario(
+        name="link-failure",
+        description=(
+            f"Best-Path N={node_count}: link {failed.source}->"
+            f"{failed.destination} fails mid-run, traffic reroutes"
+        ),
+        probe_relation="bestPath",
+        details={"failed_link": (failed.source, failed.destination)},
+        phases=(
+            Phase(name="converge", actions=_inject_all(base)),
+            # The failure strikes *fresh* state: the source retracts its
+            # live link tuple (cascading through the paths it derived) and
+            # the refresh round's traffic on the dead wire is lost.
+            Phase(
+                name="fail",
+                gap=1.0,
+                actions=(
+                    FailLink(source=failed.source, destination=failed.destination),
+                    RefreshSoftState(),
+                ),
+            ),
+            # One TTL later the stale remote best paths have decayed; the
+            # refreshed fixpoint routes around the failure.
+            Phase(name="reroute", gap=ttl + 1.0, actions=(RefreshSoftState(),)),
+        ),
+    )
+    return scenario, simulator
+
+
+def churn_scenario(
+    node_count: int = 10,
+    seed: int = 0,
+    ttl: float = DEFAULT_SCENARIO_TTL,
+    key_bits: int = 128,
+    **config_kwargs,
+) -> Tuple[Scenario, Simulator]:
+    """Reachability under node churn with soft-state repair.
+
+    A node crashes (losing all its soft state); the facts it advertised
+    decay from its neighbours by TTL, so the healed fixpoint excludes routes
+    through it.  When it recovers it re-asserts its base tuples and the next
+    refresh round restores full reachability.
+    """
+    topology = random_topology(node_count, seed=seed)
+    # Crash the highest-degree node: the most interesting loss of transit.
+    victim = max(
+        topology.nodes, key=lambda node: (len(topology.outgoing(node)), node)
+    )
+    config = _soft_config(ttl, **config_kwargs)
+    simulator = Simulator(
+        topology, _reachable_compiled(), config, key_bits=key_bits
+    )
+    base = _reachable_base(topology)
+    scenario = Scenario(
+        name="churn",
+        description=(
+            f"Reachability N={node_count}: node {victim} crashes, "
+            "the network heals, the node recovers"
+        ),
+        probe_relation="reachable",
+        details={"crashed_node": victim},
+        phases=(
+            Phase(name="converge", actions=_inject_all(base)),
+            Phase(name="crash", gap=1.0, actions=(Crash(address=victim),)),
+            Phase(name="heal", gap=ttl + 1.0, actions=(RefreshSoftState(),)),
+            Phase(
+                name="recover",
+                gap=1.0,
+                actions=(Recover(address=victim), RefreshSoftState()),
+            ),
+        ),
+    )
+    return scenario, simulator
+
+
+def retraction_scenario(
+    node_count: int = 6,
+    seed: int = 0,
+    ttl: float = DEFAULT_SCENARIO_TTL,
+    key_bits: int = 128,
+    **config_kwargs,
+) -> Tuple[Scenario, Simulator]:
+    """Fact retraction with provenance invalidation.
+
+    On a line topology the middle link is a bridge: retracting its two base
+    ``link`` tuples splits reachability into the two segments.  The
+    retracting nodes cascade-invalidate everything they derived from the
+    tuples (condensed provenance included), and remote copies decay by TTL —
+    after the refresh round the fixpoint and the provenance stores agree
+    with the smaller network.
+    """
+    if node_count < 4:
+        raise ValueError("retraction scenario needs at least 4 nodes")
+    topology = line_topology(node_count)
+    left = topology.nodes[node_count // 2 - 1]
+    right = topology.nodes[node_count // 2]
+    retracted = (
+        (left, Fact("link", (left, right))),
+        (right, Fact("link", (right, left))),
+    )
+    config = _soft_config(
+        ttl,
+        provenance_mode=ProvenanceMode.CONDENSED,
+        says_mode=SaysMode.NONE,
+        **config_kwargs,
+    )
+    simulator = Simulator(
+        topology, _reachable_compiled(), config, key_bits=key_bits
+    )
+    base = _reachable_base(topology)
+    scenario = Scenario(
+        name="retraction",
+        description=(
+            f"Reachability on a {node_count}-node line: the bridge "
+            f"{left}<->{right} is retracted, provenance is invalidated"
+        ),
+        probe_relation="reachable",
+        details={"retracted": retracted, "bridge": (left, right)},
+        phases=(
+            Phase(name="converge", actions=_inject_all(base)),
+            Phase(
+                name="retract",
+                gap=1.0,
+                actions=tuple(
+                    Retract(address=address, facts=(fact,))
+                    for address, fact in retracted
+                ),
+            ),
+            Phase(name="decay", gap=ttl + 1.0, actions=(RefreshSoftState(),)),
+        ),
+    )
+    return scenario, simulator
+
+
+#: The built-in scenario scripts, by CLI name.
+SCENARIOS: Dict[str, Callable[..., Tuple[Scenario, Simulator]]] = {
+    "link-failure": link_failure_scenario,
+    "churn": churn_scenario,
+    "retraction": retraction_scenario,
+}
+
+
+# ---------------------------------------------------------------------------
+# Command-line entry point
+# ---------------------------------------------------------------------------
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run dynamic-network scenario scripts."
+    )
+    parser.add_argument(
+        "scenario",
+        choices=tuple(SCENARIOS) + ("all",),
+        help="which scenario script to run",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None, help="topology size (script default)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="topology seed")
+    parser.add_argument(
+        "--ttl",
+        type=float,
+        default=DEFAULT_SCENARIO_TTL,
+        help="soft-state lifetime in simulated seconds (default: %(default)s)",
+    )
+    arguments = parser.parse_args(argv)
+
+    names = tuple(SCENARIOS) if arguments.scenario == "all" else (arguments.scenario,)
+    failures = 0
+    for name in names:
+        build = SCENARIOS[name]
+        kwargs: Dict[str, object] = {"seed": arguments.seed, "ttl": arguments.ttl}
+        if arguments.nodes is not None:
+            kwargs["node_count"] = arguments.nodes
+        scenario, simulator = build(**kwargs)
+        print(f"running scenario {name} ...", file=sys.stderr, flush=True)
+        report = run_scenario(scenario, simulator)
+        print(report.render())
+        print()
+        if not report.converged:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

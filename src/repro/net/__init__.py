@@ -10,7 +10,19 @@ all nodes.
 """
 
 from repro.net.address import Address, node_name
-from repro.net.message import Message
+from repro.net.events import (
+    EventScheduler,
+    FactInjection,
+    FactRetraction,
+    LinkDown,
+    LinkUp,
+    MessageDelivery,
+    NodeCrash,
+    NodeRecover,
+    SimulationEvent,
+    SoftStateRefresh,
+)
+from repro.net.message import Message, MessageBatch
 from repro.net.link import Link
 from repro.net.topology import Topology, grid_topology, line_topology, random_topology, ring_topology
 from repro.net.stats import NetworkStats, NodeStats
@@ -19,12 +31,23 @@ from repro.net.simulator import CostModel, Simulator, SimulationResult
 __all__ = [
     "Address",
     "CostModel",
+    "EventScheduler",
+    "FactInjection",
+    "FactRetraction",
     "Link",
+    "LinkDown",
+    "LinkUp",
     "Message",
+    "MessageBatch",
+    "MessageDelivery",
     "NetworkStats",
+    "NodeCrash",
+    "NodeRecover",
     "NodeStats",
+    "SimulationEvent",
     "SimulationResult",
     "Simulator",
+    "SoftStateRefresh",
     "Topology",
     "grid_topology",
     "line_topology",

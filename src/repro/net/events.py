@@ -1,0 +1,190 @@
+"""Typed simulation events and the event scheduler.
+
+The simulator used to keep a bare heap of ``(time, sequence, message)``
+entries, which hard-wired it to one kind of event: message delivery.  The
+scenarios of a provenance-aware *dynamic* network need more — links fail and
+recover, nodes crash and come back, base facts are injected and retracted
+mid-run — so the event loop is factored into an explicit, reusable
+:class:`EventScheduler` over a small algebra of typed events.
+
+Ordering is fully deterministic: events fire in ``(time, priority,
+sequence)`` order, where control events (topology and fact changes) carry a
+lower priority number than message deliveries so that, at equal timestamps,
+the network state changes *before* traffic is processed, and the scheduler
+assigns monotonically increasing sequence numbers at scheduling time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.engine.tuples import Fact
+from repro.net.address import Address
+from repro.net.stats import WireMessage
+
+#: Control events (link / node / fact changes) fire before deliveries that
+#: share their timestamp.
+CONTROL_PRIORITY = 0
+DELIVERY_PRIORITY = 1
+
+
+@dataclass(eq=False, slots=True)
+class SimulationEvent:
+    """Base class: something that happens at one instant of simulated time."""
+
+    time: float
+
+    #: Tie-break rank at equal time; see module docstring.
+    priority = CONTROL_PRIORITY
+
+
+@dataclass(eq=False, slots=True)
+class MessageDelivery(SimulationEvent):
+    """A wire message (single tuple or batch) arriving at its destination."""
+
+    message: WireMessage
+
+    priority = DELIVERY_PRIORITY
+
+
+@dataclass(eq=False, slots=True)
+class LinkDown(SimulationEvent):
+    """A directed link fails.
+
+    Messages shipped on the link after this instant are lost; messages
+    already in flight still arrive (they left the interface before the
+    failure).  When ``retract`` is true the source node also retracts its
+    matching ``link`` base tuples, cascading invalidation through everything
+    locally derived from them.
+    """
+
+    source: Address
+    destination: Address
+    retract: bool = True
+
+
+@dataclass(eq=False, slots=True)
+class LinkUp(SimulationEvent):
+    """A directed link (re)appears.
+
+    ``facts`` are the base tuples to inject at the source; when empty, the
+    tuples retracted by the matching :class:`LinkDown` are re-injected.
+    """
+
+    source: Address
+    destination: Address
+    facts: Tuple[Fact, ...] = ()
+
+
+@dataclass(eq=False, slots=True)
+class NodeCrash(SimulationEvent):
+    """A node fails, losing its soft state.
+
+    While down the node neither processes deliveries nor accepts injections.
+    With ``clear_state`` (the default) its database, aggregate state and
+    in-memory provenance are wiped — only the offline provenance archive,
+    which models a persistent log, survives the crash.
+    """
+
+    address: Address
+    clear_state: bool = True
+
+
+@dataclass(eq=False, slots=True)
+class NodeRecover(SimulationEvent):
+    """A crashed node comes back.
+
+    With ``reinject`` the node's original base facts (minus tuples for links
+    currently down) are re-inserted, modelling the application re-asserting
+    its soft state after a restart.
+    """
+
+    address: Address
+    reinject: bool = True
+
+
+@dataclass(eq=False, slots=True)
+class FactInjection(SimulationEvent):
+    """Base tuples asserted at a node by the local application."""
+
+    address: Address
+    facts: Tuple[Fact, ...]
+    #: Remember the tuples for later re-injection (node recovery, soft-state
+    #: refresh rounds).  Refresh traffic re-injects without re-remembering.
+    remember: bool = True
+
+
+@dataclass(eq=False, slots=True)
+class SoftStateRefresh(SimulationEvent):
+    """Every live node re-asserts its remembered base tuples.
+
+    Expansion happens when the event *fires*, not when it is scheduled, so
+    same-instant link failures, crashes and retractions (control events with
+    earlier sequence numbers) are visible: a dead link's tuple is not
+    re-asserted.  Re-asserting an unchanged tuple only refreshes its TTL at
+    the owner — derived state is re-derived (and re-shipped) when it was
+    lost or decayed, so refresh rounds that should rebuild remote state are
+    spaced beyond the soft-state lifetime.
+    """
+
+
+@dataclass(eq=False, slots=True)
+class FactRetraction(SimulationEvent):
+    """Base tuples withdrawn at a node.
+
+    Retraction deletes the tuple and cascades through everything the node
+    derived from it (provenance invalidation); remote copies are *not*
+    chased — they decay through soft-state expiry, the paper's repair story.
+    """
+
+    address: Address
+    facts: Tuple[Fact, ...]
+
+
+class EventScheduler:
+    """A deterministic priority queue of :class:`SimulationEvent`.
+
+    Events fire in ``(time, priority, sequence)`` order; the sequence number
+    is assigned at scheduling time, so two runs that schedule the same events
+    in the same order replay identically.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, SimulationEvent]] = []
+        self._sequence = 0
+        self.events_scheduled = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, event: SimulationEvent) -> int:
+        """Queue *event*; returns the tie-break sequence number assigned."""
+        self._sequence += 1
+        self.events_scheduled += 1
+        heapq.heappush(
+            self._heap, (event.time, event.priority, self._sequence, event)
+        )
+        return self._sequence
+
+    def pop(self) -> SimulationEvent:
+        """Remove and return the next event in deterministic order."""
+        _, _, _, event = heapq.heappop(self._heap)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next event, or ``None`` when idle."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pending(self) -> Tuple[SimulationEvent, ...]:
+        """The queued events in fire order (non-destructive, for inspection)."""
+        return tuple(entry[3] for entry in sorted(self._heap))
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -4,25 +4,36 @@ The simulator plays the role of the testbed in the paper's evaluation: it
 hosts one :class:`~repro.engine.node_engine.NodeEngine` per node of a
 topology, delivers exported tuples as timestamped messages, charges per-node
 CPU time for the work each delta causes (via :class:`CostModel`), and runs
-until the distributed fixpoint — no messages in flight and every node idle.
+until the distributed fixpoint — no events pending and every node idle.
+
+The event loop is an explicit :class:`~repro.net.events.EventScheduler`
+dispatching typed :class:`~repro.net.events.SimulationEvent` objects, so a
+run is not limited to message deliveries: links can fail and recover, nodes
+can crash and come back, and base facts can be injected or retracted at any
+simulated instant.  The scenario subsystem
+(:mod:`repro.harness.scenarios`) schedules exactly these events mid-run.
 
 By default all tuples one node ships to one destination in one delta round
 travel as a single :class:`~repro.net.message.MessageBatch` (one message
 header, per-tuple security/provenance bytes still itemized), the way real P2
 amortizes per-packet overhead; ``batching=False`` restores the per-tuple
-wire format.  Transmissions on one directed link serialize: a message starts
-only after the link's previous transmission has left the wire.
+wire format.  On the receive side a whole batch drains through one
+:meth:`~repro.engine.node_engine.NodeEngine.receive_batch` call
+(``batch_receive=False`` restores one ``receive`` call per tuple; derived
+facts and stats attribution are identical either way).  Transmissions on one
+directed link serialize: a message starts only after the link's previous
+transmission has left the wire.
 
-Determinism: given the same topology, program and configuration the event
-order is fully deterministic (ties broken by sequence numbers), so completion
-time and bandwidth are exactly reproducible.
+Determinism: given the same topology, program, configuration and scheduled
+events the event order is fully deterministic (ties broken by event class
+priority, then scheduling sequence), so completion time and bandwidth are
+exactly reproducible.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.datalog.planner import CompiledProgram
 from repro.engine.node_engine import (
@@ -32,8 +43,20 @@ from repro.engine.node_engine import (
     ProcessingReport,
     group_outgoing,
 )
-from repro.engine.tuples import Fact
+from repro.engine.tuples import Fact, FactKey
 from repro.net.address import Address
+from repro.net.events import (
+    EventScheduler,
+    FactInjection,
+    FactRetraction,
+    LinkDown,
+    LinkUp,
+    MessageDelivery,
+    NodeCrash,
+    NodeRecover,
+    SimulationEvent,
+    SoftStateRefresh,
+)
 from repro.net.link import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, Link
 from repro.net.message import BatchItem, Message, MessageBatch
 from repro.net.stats import NetworkStats, NodeStats, WireMessage
@@ -52,12 +75,17 @@ class CostModel:
     per-tuple relational work scales with tuple size, signing adds a fixed
     per-tuple cost, verification is much cheaper than signing (small public
     exponent), and provenance adds per-annotation plus per-byte costs.
+
+    Every term is linear in one report counter with no constant per-call
+    overhead, so accounting one merged batch-level report charges exactly the
+    same CPU time as accounting its per-tuple parts separately.
     """
 
     seconds_per_fact_received: float = 0.8e-3
     seconds_per_rule_firing: float = 1.2e-3
     seconds_per_fact_derived: float = 0.8e-3
     seconds_per_fact_inserted: float = 0.4e-3
+    seconds_per_fact_retracted: float = 0.4e-3
     seconds_per_payload_byte: float = 3.0e-5
     seconds_per_signature: float = 4.0e-3
     seconds_per_verification: float = 0.6e-3
@@ -71,6 +99,7 @@ class CostModel:
             + report.rule_firings * self.seconds_per_rule_firing
             + report.facts_derived * self.seconds_per_fact_derived
             + report.facts_inserted * self.seconds_per_fact_inserted
+            + report.facts_retracted * self.seconds_per_fact_retracted
             + report.payload_bytes_processed * self.seconds_per_payload_byte
             + report.signatures_created * self.seconds_per_signature
             + report.facts_verified * self.seconds_per_verification
@@ -117,6 +146,8 @@ class Simulator:
         default_latency: float = DEFAULT_LATENCY,
         default_bandwidth: float = DEFAULT_BANDWIDTH,
         batching: bool = True,
+        batch_receive: bool = True,
+        link_relation: str = "link",
     ) -> None:
         self.topology = topology
         self.compiled = compiled
@@ -130,6 +161,16 @@ class Simulator:
         #: under one message header.  When False, every tuple pays its own
         #: header (the paper's Figure 4 accounting).
         self.batching = batching
+        #: When True (the default), a delivered batch drains through one
+        #: ``NodeEngine.receive_batch`` call — one ProcessingResult/report and
+        #: one warm-up per incoming message instead of N per-tuple calls.
+        #: Tuples are still admitted and fixpointed strictly in arrival
+        #: order, so derived facts and stats attribution are identical to the
+        #: per-tuple path.
+        self.batch_receive = batch_receive
+        #: Name of the base relation whose tuples mirror the topology's
+        #: links; LinkDown retraction and recovery re-injection key off it.
+        self.link_relation = link_relation
 
         self.registry = registry or PrincipalRegistry()
         self.keystore = keystore or KeyStore(key_bits=key_bits, seed=7)
@@ -148,12 +189,33 @@ class Simulator:
             )
 
         self.stats = NetworkStats()
-        self._queue: List[Tuple[float, int, WireMessage]] = []
+        self.scheduler = EventScheduler()
+        self._events_processed = 0
         self._sequence = 0
         #: Per directed link: the time its wire is busy until.  Transmissions
         #: on one link serialize; a message starts only after the previous
         #: one has left the sender's interface.
         self._link_busy_until: Dict[Tuple[Address, Address], float] = {}
+        #: Dynamic network state: directed links currently failed and nodes
+        #: currently crashed.  Consulted at ship / delivery / injection time.
+        self._down_links: set = set()
+        self._down_nodes: set = set()
+        #: Base facts each node has asserted (for recovery re-injection and
+        #: soft-state refresh rounds); retraction removes entries.
+        self._base_facts: Dict[Address, Dict[FactKey, Fact]] = {}
+        #: Link tuples retracted by LinkDown, re-injected by a bare LinkUp.
+        self._failed_link_facts: Dict[Tuple[Address, Address], Tuple[Fact, ...]] = {}
+
+        self._handlers = {
+            MessageDelivery: self._handle_delivery,
+            LinkDown: self._handle_link_down,
+            LinkUp: self._handle_link_up,
+            NodeCrash: self._handle_node_crash,
+            NodeRecover: self._handle_node_recover,
+            FactInjection: self._handle_injection,
+            FactRetraction: self._handle_retraction,
+            SoftStateRefresh: self._handle_refresh,
+        }
 
     # -- base facts -------------------------------------------------------------
 
@@ -162,58 +224,233 @@ class Simulator:
         per_node: Dict[Address, List[Fact]] = {address: [] for address in self.topology.nodes}
         for link in self.topology.links:
             per_node[link.source].append(
-                Fact(relation="link", values=(link.source, link.destination, link.cost))
+                Fact(
+                    relation=self.link_relation,
+                    values=(link.source, link.destination, link.cost),
+                )
             )
         return per_node
 
+    def live_base_facts(self, address: Address) -> Tuple[Fact, ...]:
+        """The node's remembered base tuples, minus links currently down."""
+        remembered = self._base_facts.get(address)
+        if not remembered:
+            return ()
+        return tuple(
+            fact
+            for fact in remembered.values()
+            if not (
+                fact.relation == self.link_relation
+                and len(fact.values) >= 2
+                and (fact.values[0], fact.values[1]) in self._down_links
+            )
+        )
+
+    # -- dynamic state ----------------------------------------------------------
+
+    def link_is_up(self, source: Address, destination: Address) -> bool:
+        return (source, destination) not in self._down_links
+
+    def node_is_up(self, address: Address) -> bool:
+        return address not in self._down_nodes
+
     # -- running ----------------------------------------------------------------
+
+    def schedule(self, event: SimulationEvent) -> None:
+        """Queue a typed event for the next :meth:`run_until_idle` drain."""
+        self.scheduler.schedule(event)
+
+    def run_until_idle(self) -> bool:
+        """Dispatch scheduled events until none remain (a distributed fixpoint).
+
+        Returns False when the cumulative ``max_events`` budget ran out first.
+        """
+        while self.scheduler:
+            if self._events_processed >= self.max_events:
+                return False
+            self._events_processed += 1
+            event = self.scheduler.pop()
+            handler = self._handlers.get(type(event))
+            if handler is None:
+                raise TypeError(
+                    f"no handler for scheduled event {type(event).__name__}; "
+                    f"known events: {sorted(t.__name__ for t in self._handlers)}"
+                )
+            handler(event, event.time)
+        return True
+
+    def current_time(self) -> float:
+        """The latest instant any node has been busy until."""
+        return max(
+            [stats.busy_until for stats in self.stats.nodes.values()] or [0.0]
+        )
+
+    def expire_all(self, now: float) -> None:
+        """Sweep residual soft state out of every node's database at *now*.
+
+        Expiry is otherwise lazy (tables expire when touched), so snapshots
+        taken between phases would include tuples whose TTL already elapsed.
+        """
+        for engine in self.engines.values():
+            engine.database.expire(now)
 
     def run(
         self,
         base_facts: Optional[Dict[Address, Iterable[Fact]]] = None,
         start_time: float = 0.0,
     ) -> SimulationResult:
-        """Inject base facts at time zero and run to the distributed fixpoint."""
+        """Inject base facts at *start_time* and run to the distributed fixpoint."""
         injected = base_facts if base_facts is not None else self.link_facts()
-
         for address, facts in injected.items():
-            engine = self.engines[address]
-            node_stats = self.stats.node(address)
-            pending: List[OutgoingFact] = []
-            for fact in facts:
-                start = max(start_time, node_stats.busy_until)
-                result = engine.insert_base(fact, now=start)
-                self._account_processing(address, start, result.report, node_stats)
-                pending.extend(result.outgoing)
-            # One delta round per node: everything the injected facts caused
-            # ships together (one batch per destination when batching).
-            self._dispatch_outgoing(address, pending, node_stats)
+            self.scheduler.schedule(
+                FactInjection(time=start_time, address=address, facts=tuple(facts))
+            )
+        converged = self.run_until_idle()
+        return self.finish(converged)
 
-        events = 0
-        converged = True
-        while self._queue:
-            events += 1
-            if events > self.max_events:
-                converged = False
-                break
-            deliver_at, _, message = heapq.heappop(self._queue)
-            self._deliver(message, deliver_at)
+    def finish(self, converged: bool = True) -> SimulationResult:
+        """Close the books on a run: final stats plus residual soft-state expiry.
 
-        self.stats.total_events = events
-        self.stats.completion_time = max(
-            [stats.busy_until for stats in self.stats.nodes.values()] or [0.0]
-        )
+        Residual soft state is expired once at the run's completion time, so
+        post-run ``facts()`` snapshots never include tuples whose TTL elapsed
+        before the last event (expiry is otherwise lazy — a tuple nothing
+        touched after its deadline would linger in the snapshot).
+        """
+        self.stats.total_events = self._events_processed
+        self.stats.completion_time = self.current_time()
+        self.expire_all(self.stats.completion_time)
         return SimulationResult(
             stats=self.stats,
             engines=self.engines,
             converged=converged,
-            events_processed=events,
+            events_processed=self._events_processed,
         )
+
+    # -- event handlers ----------------------------------------------------------
+
+    def _handle_delivery(self, event: MessageDelivery, at: float) -> None:
+        self._deliver(event.message, at)
+
+    def _handle_link_down(self, event: LinkDown, at: float) -> None:
+        key = (event.source, event.destination)
+        self._down_links.add(key)
+        if not event.retract:
+            return
+        engine = self.engines.get(event.source)
+        if engine is None:
+            return
+        stored = tuple(
+            fact
+            for fact in engine.facts(self.link_relation)
+            if len(fact.values) >= 2
+            and fact.values[0] == event.source
+            and fact.values[1] == event.destination
+        )
+        if stored:
+            # A repeated LinkDown for an already-retracted link finds no
+            # tuples; keep the earlier remembered ones so a bare LinkUp can
+            # still restore the link.
+            self._failed_link_facts[key] = stored
+            self._retract(event.source, stored, at)
+
+    def _handle_link_up(self, event: LinkUp, at: float) -> None:
+        key = (event.source, event.destination)
+        self._down_links.discard(key)
+        facts = event.facts or self._failed_link_facts.get(key, ())
+        if facts:
+            # Remember before injecting: if the source is crashed right now
+            # the injection is dropped, but NodeRecover re-injects from the
+            # remembered set — the restored link must not be lost with it.
+            remembered = self._base_facts.setdefault(event.source, {})
+            for fact in facts:
+                remembered[fact.key()] = fact
+            self._inject(event.source, facts, at, remember=False)
+
+    def _handle_node_crash(self, event: NodeCrash, at: float) -> None:
+        self._down_nodes.add(event.address)
+        engine = self.engines.get(event.address)
+        if engine is not None and event.clear_state:
+            engine.reset_state()
+
+    def _handle_node_recover(self, event: NodeRecover, at: float) -> None:
+        self._down_nodes.discard(event.address)
+        if event.reinject:
+            facts = self.live_base_facts(event.address)
+            if facts:
+                self._inject(event.address, facts, at, remember=False)
+
+    def _handle_injection(self, event: FactInjection, at: float) -> None:
+        self._inject(event.address, event.facts, at, remember=event.remember)
+
+    def _handle_retraction(self, event: FactRetraction, at: float) -> None:
+        self._retract(event.address, event.facts, at)
+
+    def _handle_refresh(self, event: SoftStateRefresh, at: float) -> None:
+        # Expanded at fire time so control events that share the timestamp
+        # (and were scheduled earlier) are already reflected: a link that
+        # just failed is excluded, a node that just crashed stays silent.
+        for address in self.topology.nodes:
+            if address in self._down_nodes:
+                continue
+            facts = self.live_base_facts(address)
+            if facts:
+                self._inject(address, facts, at, remember=False)
 
     # -- internals ----------------------------------------------------------------
 
+    def _inject(
+        self,
+        address: Address,
+        facts: Iterable[Fact],
+        at: float,
+        remember: bool = True,
+    ) -> None:
+        """Insert base *facts* at *address* and ship what they cause.
+
+        Injections addressed to a crashed or unknown node are ignored — a
+        down node's application is down with it.
+        """
+        if address in self._down_nodes:
+            return
+        engine = self.engines.get(address)
+        if engine is None:
+            return
+        node_stats = self.stats.node(address)
+        remembered = self._base_facts.setdefault(address, {}) if remember else None
+        pending: List[OutgoingFact] = []
+        for fact in facts:
+            start = max(at, node_stats.busy_until)
+            result = engine.insert_base(fact, now=start)
+            self._account_processing(address, start, result.report, node_stats)
+            pending.extend(result.outgoing)
+            if remembered is not None:
+                remembered[fact.key()] = fact
+        # One delta round per injection: everything the injected facts caused
+        # ships together (one batch per destination when batching).
+        self._dispatch_outgoing(address, pending, node_stats)
+
+    def _retract(self, address: Address, facts: Iterable[Fact], at: float) -> None:
+        """Withdraw base *facts* at *address*, cascading local invalidation."""
+        if address in self._down_nodes:
+            return
+        engine = self.engines.get(address)
+        if engine is None:
+            return
+        node_stats = self.stats.node(address)
+        remembered = self._base_facts.get(address)
+        for fact in facts:
+            start = max(at, node_stats.busy_until)
+            result = engine.retract_base(fact, now=start)
+            self._account_processing(address, start, result.report, node_stats)
+            if remembered is not None:
+                remembered.pop(fact.key(), None)
+
     def _deliver(self, message: WireMessage, deliver_at: float) -> None:
         destination = message.destination
+        if destination in self._down_nodes:
+            # The wire was paid for, but nobody is listening.
+            self.stats.messages_lost += 1
+            return
         engine = self.engines.get(destination)
         if engine is None:
             # A message to a nonexistent address must not fabricate a phantom
@@ -223,12 +460,18 @@ class Simulator:
             return
         node_stats = self.stats.node(destination)
         node_stats.record_receive(message)
-        pending: List[OutgoingFact] = []
-        for fact in message.facts():
+        if self.batch_receive:
             start = max(deliver_at, node_stats.busy_until)
-            result = engine.receive(fact, now=start, provenance=fact.provenance)
+            result = engine.receive_batch(message.facts(), now=start)
             self._account_processing(destination, start, result.report, node_stats)
-            pending.extend(result.outgoing)
+            pending = result.outgoing
+        else:
+            pending = []
+            for fact in message.facts():
+                start = max(deliver_at, node_stats.busy_until)
+                result = engine.receive(fact, now=start, provenance=fact.provenance)
+                self._account_processing(destination, start, result.report, node_stats)
+                pending.extend(result.outgoing)
         # One delta round per delivered message: the whole round's output
         # ships together (one batch per destination when batching).
         self._dispatch_outgoing(destination, pending, node_stats)
@@ -245,6 +488,7 @@ class Simulator:
         node_stats.busy_until = start + cpu
         node_stats.facts_derived += report.facts_derived
         node_stats.facts_stored += report.facts_inserted
+        node_stats.facts_retracted += report.facts_retracted
 
     def _next_sequence(self) -> int:
         """Per-run message sequence counter (identical runs number identically)."""
@@ -308,5 +552,10 @@ class Simulator:
         key = (source, destination)
         transmit_at = max(send_time, self._link_busy_until.get(key, 0.0))
         self._link_busy_until[key] = transmit_at + wire_seconds
+        if key in self._down_links:
+            # The sender cannot tell the link is dead: it pays the send and
+            # the message is lost on the wire.
+            self.stats.messages_lost += 1
+            return
         deliver_at = transmit_at + wire_seconds + latency
-        heapq.heappush(self._queue, (deliver_at, message.sequence, message))
+        self.scheduler.schedule(MessageDelivery(time=deliver_at, message=message))

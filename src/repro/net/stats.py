@@ -45,6 +45,7 @@ class NodeStats:
     tuples_received: int = 0
     facts_derived: int = 0
     facts_stored: int = 0
+    facts_retracted: int = 0
     cpu_seconds: float = 0.0
     busy_until: float = 0.0
     batch_sizes: Dict[int, int] = field(default_factory=dict)
@@ -77,6 +78,9 @@ class NetworkStats:
     #: Messages addressed to a node that does not exist; they are dropped
     #: without fabricating per-node statistics for the phantom address.
     messages_dropped: int = 0
+    #: Messages lost to network dynamics: shipped on a failed link, or
+    #: arriving at a crashed node.  The sender still paid for the bytes.
+    messages_lost: int = 0
 
     def node(self, address: Address) -> NodeStats:
         stats = self.nodes.get(address)
@@ -100,6 +104,9 @@ class NetworkStats:
 
     def total_facts_derived(self) -> int:
         return sum(stats.facts_derived for stats in self.nodes.values())
+
+    def total_facts_retracted(self) -> int:
+        return sum(stats.facts_retracted for stats in self.nodes.values())
 
     def security_overhead_bytes(self) -> int:
         return sum(stats.security_bytes_sent for stats in self.nodes.values())
@@ -145,6 +152,8 @@ class NetworkStats:
             "tuples_sent": float(self.total_tuples_sent()),
             "mean_tuples_per_batch": self.mean_tuples_per_batch(),
             "messages_dropped": float(self.messages_dropped),
+            "messages_lost": float(self.messages_lost),
             "facts_derived": float(self.total_facts_derived()),
+            "facts_retracted": float(self.total_facts_retracted()),
             "cpu_seconds": self.total_cpu_seconds(),
         }

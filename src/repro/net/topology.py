@@ -87,6 +87,35 @@ class Topology:
     def with_extra_links(self, links: Iterable[Link]) -> "Topology":
         return Topology(nodes=self.nodes, links=self.links + tuple(links))
 
+    def without_links(
+        self, pairs: Iterable[Tuple[Address, Address]]
+    ) -> "Topology":
+        """The topology minus the directed links in *pairs* (same nodes)."""
+        removed = set(pairs)
+        return Topology(
+            nodes=self.nodes,
+            links=tuple(
+                link
+                for link in self.links
+                if (link.source, link.destination) not in removed
+            ),
+        )
+
+    def redundant_links(self) -> Tuple[Link, ...]:
+        """Links whose individual removal keeps the graph strongly connected.
+
+        The dynamic-network scenarios fail one of these so that a repaired
+        fixpoint still reaches every node (the interesting case: traffic
+        reroutes instead of partitioning).
+        """
+        return tuple(
+            link
+            for link in self.links
+            if self.without_links(
+                [(link.source, link.destination)]
+            ).is_strongly_connected()
+        )
+
 
 def random_topology(
     node_count: int,

@@ -93,6 +93,19 @@ class DistributedProvenanceStore:
         self._pointers.setdefault(pointer.output, []).append(pointer)
         return pointer
 
+    def invalidate(self, key: FactKey) -> bool:
+        """Drop every pointer entry for *key* (its tuple was retracted).
+
+        A later :func:`traceback` through this node reports the key as
+        missing instead of replaying stale derivations.  Returns True when
+        the store had entries for the key.
+        """
+        had_pointers = self._pointers.pop(key, None) is not None
+        was_base = key in self._base
+        self._base.discard(key)
+        self._remote_origin.pop(key, None)
+        return had_pointers or was_base
+
     # -- local queries -----------------------------------------------------------
 
     def pointers(self, key: FactKey) -> Tuple[ProvenancePointer, ...]:

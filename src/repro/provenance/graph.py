@@ -125,9 +125,13 @@ class DerivationGraph:
         for node in other._tuples.values():
             self.add_tuple(node)
         known = {
-            (op.rule_label, op.location, op.output, op.inputs) for op in self._operators
+            (op.rule_label, op.location, op.output, op.inputs)
+            for op in self._operators
+            if op is not None
         }
         for operator in other._operators:
+            if operator is None:
+                continue
             signature = (
                 operator.rule_label,
                 operator.location,
@@ -141,6 +145,26 @@ class DerivationGraph:
             self._operators.append(operator)
             self._producers.setdefault(operator.output, []).append(index)
 
+    def invalidate(self, key: FactKey) -> bool:
+        """Forget *key*: its tuple node and the derivations that produced it.
+
+        Used when a tuple is retracted: every query path rooted at a fact key
+        (``producers``, ``base_tuples``, ``subgraph``, expressions, renders)
+        stops seeing *key*'s derivations.  The producing operators are
+        tombstoned in place (indexes of other keys stay valid) so a later
+        identical re-derivation merges back in instead of being deduplicated
+        against the withdrawn one.  Downstream tuples are the caller's
+        responsibility — the retraction cascade invalidates each one as it
+        is deleted.  Returns True when the graph knew the key.
+        """
+        removed = self._tuples.pop(key, None) is not None
+        indexes = self._producers.pop(key, None)
+        if indexes:
+            removed = True
+            for index in indexes:
+                self._operators[index] = None
+        return removed
+
     # -- structure ------------------------------------------------------------
 
     def tuple_node(self, key: FactKey) -> Optional[DerivationNode]:
@@ -150,7 +174,7 @@ class DerivationGraph:
         return tuple(self._tuples.values())
 
     def operators(self) -> Tuple[OperatorNode, ...]:
-        return tuple(self._operators)
+        return tuple(op for op in self._operators if op is not None)
 
     def producers(self, key: FactKey) -> Tuple[OperatorNode, ...]:
         """The rule applications that derived *key* (one per alternative derivation)."""
@@ -279,7 +303,8 @@ class DerivationGraph:
         return "\n".join(lines)
 
     def __len__(self) -> int:
-        return len(self._tuples) + len(self._operators)
+        live = sum(1 for op in self._operators if op is not None)
+        return len(self._tuples) + live
 
 
 def _default_variable(node: DerivationNode) -> str:

@@ -101,6 +101,17 @@ class LocalProvenanceStore:
         self.graph.add_fact(fact)
         self._merge_condensed(fact.key(), condensed)
 
+    def invalidate(self, key: FactKey) -> bool:
+        """Stop vouching for *key* (its tuple was retracted).
+
+        Drops the condensed annotation and the derivation-graph entry, so
+        ``annotation`` falls back to the identity-of-the-key default and the
+        graph no longer produces the tuple.  Returns True when the store had
+        provenance for the key.
+        """
+        known = self._condensed.pop(key, None) is not None
+        return self.graph.invalidate(key) or known
+
     # -- queries ----------------------------------------------------------------
 
     def annotation(self, key: FactKey) -> CondensedProvenance:

@@ -13,6 +13,7 @@ traverse, what did a given principal inject during a time window.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
@@ -35,6 +36,23 @@ class TracebackReport:
     @property
     def found(self) -> bool:
         return bool(self.nodes_traversed) or bool(self.origins)
+
+
+@dataclass(frozen=True)
+class LinkFailureImpact:
+    """The archived blast radius of one failed directed link."""
+
+    link: Tuple[str, str]
+    #: The archived base ``link`` tuples carried by the failed link.
+    base_keys: Tuple[FactKey, ...]
+    #: Every archived tuple whose derivation (transitively) used them.
+    affected: Tuple[FactKey, ...]
+    #: Affected tuple counts per relation.
+    by_relation: Dict[str, int]
+
+    @property
+    def found(self) -> bool:
+        return bool(self.base_keys)
 
 
 class ForensicInvestigator:
@@ -120,22 +138,23 @@ class ForensicInvestigator:
             return ()
         return archive.entries_between(start, end)
 
-    def tuples_depending_on(self, base: FactKey) -> Tuple[FactKey, ...]:
-        """Every archived tuple whose derivation (transitively) used *base*.
-
-        This is the "which routes did the compromised link influence"
-        question: a forward traversal of the archived derivations.
-        """
+    def _forward_index(self) -> Dict[FactKey, List[FactKey]]:
+        """Antecedent -> derived adjacency over every archived derivation."""
         forward: Dict[FactKey, List[FactKey]] = {}
         for entry in self._all_entries():
             for antecedent in entry.antecedent_keys:
                 forward.setdefault(antecedent, []).append(entry.key)
+        return forward
 
+    @staticmethod
+    def _downstream(
+        forward: Mapping[FactKey, List[FactKey]], roots: Iterable[FactKey]
+    ) -> Tuple[FactKey, ...]:
         affected: List[FactKey] = []
         seen: set = set()
-        frontier = [base]
+        frontier = deque(roots)
         while frontier:
-            key = frontier.pop(0)
+            key = frontier.popleft()
             for dependent in forward.get(key, ()):
                 if dependent in seen:
                     continue
@@ -143,6 +162,50 @@ class ForensicInvestigator:
                 affected.append(dependent)
                 frontier.append(dependent)
         return tuple(affected)
+
+    def tuples_depending_on(self, base: FactKey) -> Tuple[FactKey, ...]:
+        """Every archived tuple whose derivation (transitively) used *base*.
+
+        This is the "which routes did the compromised link influence"
+        question: a forward traversal of the archived derivations.
+        """
+        return self._downstream(self._forward_index(), [base])
+
+    def link_failure_impact(
+        self, source: str, destination: str, link_relation: str = "link"
+    ) -> "LinkFailureImpact":
+        """Post-mortem of a failed link: everything it ever influenced.
+
+        Retraction invalidates the *queryable* provenance of the tuples a
+        failed link supported, but the offline archives keep the historical
+        record — so after a link-failure scenario an operator can still ask
+        which routes the dead link carried, even though the live network has
+        rerouted and no current tuple depends on it any more.
+
+        *link_relation* names the base edge relation (it matches the
+        simulator's ``link_relation`` parameter).  ``found`` on the result
+        means the archives recorded at least one derivation that consumed
+        the link — a link that influenced nothing reports an empty impact.
+        """
+        forward = self._forward_index()
+        base_keys = sorted(
+            key
+            for key in forward
+            if key[0] == link_relation
+            and len(key[1]) >= 2
+            and key[1][0] == source
+            and key[1][1] == destination
+        )
+        affected = self._downstream(forward, base_keys)
+        by_relation: Dict[str, int] = {}
+        for key in affected:
+            by_relation[key[0]] = by_relation.get(key[0], 0) + 1
+        return LinkFailureImpact(
+            link=(source, destination),
+            base_keys=tuple(base_keys),
+            affected=affected,
+            by_relation=by_relation,
+        )
 
     def storage_footprint(self) -> Dict[str, int]:
         """Approximate archive size per node (Section 5's storage concern)."""

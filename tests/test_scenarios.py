@@ -1,0 +1,223 @@
+"""The dynamic-network scenario subsystem.
+
+Each built-in script must run deterministically under the event scheduler,
+converge in every phase, and show the dynamics it claims: rerouting after a
+link failure, healing and recovery around node churn, and provenance-
+invalidating retraction splitting reachability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.scenarios import (
+    DEFAULT_SCENARIO_TTL,
+    SCENARIOS,
+    Phase,
+    RefreshSoftState,
+    churn_scenario,
+    link_failure_scenario,
+    main,
+    render_phase_table,
+    retraction_scenario,
+    run_scenario,
+)
+
+
+def best_path_costs(simulator):
+    costs = {}
+    for engine in simulator.engines.values():
+        for fact in engine.facts("bestPath"):
+            costs[(fact.values[0], fact.values[1])] = fact.values[3]
+    return costs
+
+
+class TestLinkFailureScenario:
+    @pytest.fixture(scope="class")
+    def report(self):
+        scenario, simulator = link_failure_scenario(node_count=10, seed=3)
+        return run_scenario(scenario, simulator), simulator
+
+    def test_converges_in_every_phase(self, report):
+        result, _ = report
+        assert result.converged
+        assert [row.phase for row in result.rows] == [
+            "converge",
+            "fail",
+            "reroute",
+        ]
+
+    def test_traffic_reroutes_around_the_failed_link(self, report):
+        result, simulator = report
+        source, destination = result.scenario.details["failed_link"]
+        # The failed link was redundant, so the pair stays connected ...
+        rerouted = best_path_costs(simulator)
+        assert (source, destination) in rerouted
+        # ... but the direct one-hop route is gone: the repaired best path
+        # is a detour, strictly more expensive than the link itself.
+        failed_cost = next(
+            link.cost
+            for link in simulator.topology.links
+            if (link.source, link.destination) == (source, destination)
+        )
+        assert rerouted[(source, destination)] > failed_cost
+
+    def test_every_pair_remains_routable(self, report):
+        result, _ = report
+        first, last = result.rows[0], result.rows[-1]
+        assert last.probe_facts == first.probe_facts > 0
+
+    def test_failure_phase_retracts_the_link_and_its_dependents(self, report):
+        result, simulator = report
+        fail_row = result.row("fail")
+        assert fail_row.facts_retracted > 0
+        # The refresh expands at fire time, after the LinkDown: the dead
+        # link's tuple must NOT have been re-asserted at the source.
+        source, destination = result.scenario.details["failed_link"]
+        assert not any(
+            f.values[0] == source and f.values[1] == destination
+            for f in simulator.engines[source].facts("link")
+        )
+
+    def test_deterministic_across_runs(self):
+        def rows():
+            scenario, simulator = link_failure_scenario(node_count=10, seed=3)
+            return [
+                row.as_dict() for row in run_scenario(scenario, simulator).rows
+            ]
+
+        assert rows() == rows()
+
+
+class TestChurnScenario:
+    @pytest.fixture(scope="class")
+    def report(self):
+        scenario, simulator = churn_scenario(node_count=8, seed=0)
+        return run_scenario(scenario, simulator), simulator
+
+    def test_converges_in_every_phase(self, report):
+        result, _ = report
+        assert result.converged
+
+    def test_crash_loses_the_victims_state(self, report):
+        result, simulator = report
+        victim = result.scenario.details["crashed_node"]
+        converge, crash = result.row("converge"), result.row("crash")
+        assert crash.probe_facts < converge.probe_facts
+
+    def test_soft_state_repair_restores_reachability(self, report):
+        result, _ = report
+        converge, recover = result.row("converge"), result.row("recover")
+        assert recover.probe_facts == converge.probe_facts
+
+    def test_deterministic_across_runs(self):
+        def rows():
+            scenario, simulator = churn_scenario(node_count=8, seed=0)
+            return [
+                row.as_dict() for row in run_scenario(scenario, simulator).rows
+            ]
+
+        assert rows() == rows()
+
+
+class TestRetractionScenario:
+    @pytest.fixture(scope="class")
+    def report(self):
+        scenario, simulator = retraction_scenario(node_count=8)
+        return run_scenario(scenario, simulator), simulator
+
+    def test_converges_in_every_phase(self, report):
+        result, _ = report
+        assert result.converged
+
+    def test_bridge_retraction_splits_reachability(self, report):
+        result, _ = report
+        converge, decay = result.row("converge"), result.row("decay")
+        # An 8-node bidirectional line has every pair (and, via back-and-
+        # forth cycles, every self-pair) reachable: 64 facts.  Split into
+        # two 4-node halves that is 2 * 16.
+        assert converge.probe_facts == 64
+        assert decay.probe_facts == 32
+
+    def test_retraction_invalidates_provenance_at_the_retractors(self, report):
+        result, simulator = report
+        for address, fact in result.scenario.details["retracted"]:
+            store = simulator.engines[address].local_provenance
+            assert fact.key() not in store.keys()
+            assert not simulator.engines[address].distributed_provenance.knows(
+                fact.key()
+            )
+
+    def test_retraction_phase_reports_the_cascade(self, report):
+        result, _ = report
+        retract_row = result.row("retract")
+        assert retract_row.facts_retracted >= 2
+
+    def test_deterministic_across_runs(self):
+        def rows():
+            scenario, simulator = retraction_scenario(node_count=8)
+            return [
+                row.as_dict() for row in run_scenario(scenario, simulator).rows
+            ]
+
+        assert rows() == rows()
+
+
+class TestScenarioMachinery:
+    def test_registry_lists_the_three_scripts(self):
+        assert set(SCENARIOS) == {"link-failure", "churn", "retraction"}
+
+    def test_refresh_skips_down_nodes(self):
+        scenario, simulator = churn_scenario(node_count=6, seed=0)
+        run_scenario(scenario, simulator)
+        victim = scenario.details["crashed_node"]
+        # After the full scenario the victim recovered; crash it again and
+        # check a refresh round leaves it silent and empty.
+        from repro.net.events import NodeCrash, SoftStateRefresh
+
+        simulator.schedule(NodeCrash(time=1e6, address=victim))
+        simulator.schedule(SoftStateRefresh(time=1e6 + 1))
+        assert simulator.run_until_idle()
+        assert simulator.engines[victim].facts("link") == ()
+        assert simulator.engines[victim].facts("reachable") == ()
+
+    def test_same_instant_failure_is_visible_to_the_refresh(self):
+        # RefreshSoftState expands when the event fires, so a FailLink
+        # scheduled at the same instant (earlier sequence) already holds.
+        scenario, simulator = link_failure_scenario(node_count=10, seed=3)
+        source, destination = scenario.details["failed_link"]
+        run_scenario(scenario, simulator)
+        remembered = simulator.live_base_facts(source)
+        assert not any(
+            f.values[0] == source and f.values[1] == destination
+            for f in remembered
+        )
+
+    def test_phase_gap_advances_simulated_time(self):
+        scenario, simulator = retraction_scenario(node_count=6)
+        report = run_scenario(scenario, simulator)
+        decay = report.row("decay")
+        assert decay.start_time >= DEFAULT_SCENARIO_TTL
+
+    def test_render_phase_table_is_aligned(self):
+        scenario, simulator = retraction_scenario(node_count=6)
+        report = run_scenario(scenario, simulator)
+        rendered = report.render()
+        lines = rendered.splitlines()
+        assert lines[0] == scenario.description
+        assert "phase" in lines[1]
+        assert len(lines) == 2 + len(report.rows)
+        assert len({len(line) for line in lines[2:]}) == 1  # aligned rows
+
+    def test_cli_runs_all_scenarios(self, capsys):
+        assert main(["all", "--nodes", "6"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Best-Path", "Reachability"):
+            assert name in out
+
+    def test_probe_series_matches_rows(self):
+        scenario, simulator = retraction_scenario(node_count=6)
+        report = run_scenario(scenario, simulator)
+        assert report.probe_series() == [
+            (row.phase, row.probe_facts) for row in report.rows
+        ]

@@ -147,7 +147,9 @@ class TestDispatchAttribution:
         assert stats.messages_sent == 2
         assert stats.batches_sent == 2
         assert stats.batch_sizes == {2: 1, 1: 1}
-        destinations = [message.destination for _, _, message in simulator._queue]
+        destinations = [
+            event.message.destination for event in simulator.scheduler.pending()
+        ]
         assert sorted(destinations) == ["b", "c"]
 
 
@@ -208,9 +210,22 @@ class TestFullRunAttribution:
 
 
 class TestFifoUnpack:
-    def test_batch_delivers_tuples_in_item_order(self, compiled_reachable):
+    def _batch(self):
+        return MessageBatch(
+            source="a",
+            destination="b",
+            items=tuple(
+                BatchItem(fact=Fact("link", ("b", str(i)))) for i in range(5)
+            ),
+            sequence=1,
+        )
+
+    def test_per_tuple_receive_sees_tuples_in_item_order(self, compiled_reachable):
         simulator = Simulator(
-            paper_example_topology(), compiled_reachable, EngineConfig()
+            paper_example_topology(),
+            compiled_reachable,
+            EngineConfig(),
+            batch_receive=False,
         )
         received = []
         engine = simulator.engines["b"]
@@ -221,16 +236,24 @@ class TestFifoUnpack:
             return original(fact, now=now, provenance=provenance)
 
         engine.receive = recording_receive
-        batch = MessageBatch(
-            source="a",
-            destination="b",
-            items=tuple(
-                BatchItem(fact=Fact("link", ("b", str(i)))) for i in range(5)
-            ),
-            sequence=1,
-        )
-        simulator._deliver(batch, deliver_at=0.0)
+        simulator._deliver(self._batch(), deliver_at=0.0)
         assert received == [("b", str(i)) for i in range(5)]
+
+    def test_batch_receive_admits_tuples_in_item_order(self, compiled_reachable):
+        simulator = Simulator(
+            paper_example_topology(), compiled_reachable, EngineConfig()
+        )
+        admitted = []
+        engine = simulator.engines["b"]
+        original = engine._admit
+
+        def recording_admit(fact, provenance, result):
+            admitted.append(fact.values)
+            return original(fact, provenance, result)
+
+        engine._admit = recording_admit
+        simulator._deliver(self._batch(), deliver_at=0.0)
+        assert admitted == [("b", str(i)) for i in range(5)]
 
 
 class TestBatchedDeterminism:
