@@ -10,16 +10,20 @@
 #   make scenarios-smoke - small-N run of every dynamic-network scenario
 #                      script (link failure, churn, retraction); fails if
 #                      any phase misses its distributed fixpoint.
+#   make examples-smoke - run every examples/*.py end-to-end (small N),
+#                      failing on the first nonzero exit; keeps the facade
+#                      documentation executable.
 #   make ci          - what the GitHub Actions workflow runs: tier-1 tests,
 #                      the benchmark smoke suite, the scenario smoke run,
-#                      and a bytecode compile of the whole source tree.
+#                      the examples smoke run, and a bytecode compile of
+#                      the whole source tree.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check tier1 test bench-smoke scenarios-smoke compileall ci
+.PHONY: check tier1 test bench-smoke scenarios-smoke examples-smoke compileall ci
 
-check: test bench-smoke scenarios-smoke
+check: test bench-smoke scenarios-smoke examples-smoke
 
 tier1:
 	$(PYTHON) -m pytest -x -q
@@ -34,7 +38,13 @@ bench-smoke:
 scenarios-smoke:
 	$(PYTHON) -m repro.harness.scenarios all --nodes 8
 
+examples-smoke:
+	@set -e; for example in examples/*.py; do \
+		echo "== $$example"; \
+		$(PYTHON) $$example > /dev/null; \
+	done
+
 compileall:
 	$(PYTHON) -m compileall -q src
 
-ci: tier1 bench-smoke scenarios-smoke compileall
+ci: tier1 bench-smoke scenarios-smoke examples-smoke compileall

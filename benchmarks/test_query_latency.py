@@ -1,0 +1,111 @@
+"""Query latency and overhead: the benchmark axis the paper's Section 6 implies.
+
+Distributed provenance defers its cost from *maintenance* time to *query*
+time; until this PR the repo could only measure the maintenance side.  For
+each benchmarked node count this runs Best-Path to the fixpoint over the
+evaluation workload (condensed provenance, offline archives on), then issues
+in-network tracebacks for the longest route at every node, recording
+
+* simulated query latency (issue -> last response),
+* query messages / bytes per traceback,
+* the query-vs-maintenance byte split (``query_bytes`` over
+  ``maintenance_bytes`` — the tabulated comparison the paper motivates).
+
+Knobs: ``REPRO_BENCH_SIZES`` (shared with the figure benchmarks) selects the
+node counts; the report test prints the per-N table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Network
+
+from conftest import bench_sizes
+
+
+def build_and_run(node_count: int) -> Network:
+    network = Network.build(
+        topology=node_count,
+        program="best-path",
+        provenance="condensed",
+        keep_offline_provenance=True,
+        seed=0,
+    )
+    network.run()
+    return network
+
+
+def query_all_nodes(network: Network):
+    """One traceback per node: each asks about its longest best path."""
+    results = []
+    for address in network.topology.nodes:
+        facts = network.node(address).facts("bestPath")
+        if not facts:
+            continue
+        target = max(facts, key=lambda f: len(f.values[2]))
+        results.append(network.query(target, at=address))
+    return results
+
+
+@pytest.mark.parametrize("node_count", bench_sizes())
+def test_query_latency(benchmark, node_count):
+    """Wall-clock of the full query sweep; simulated metrics in extra_info."""
+    network = build_and_run(node_count)
+
+    def run():
+        return query_all_nodes(network)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert results
+    # Re-querying an already-queried network is idempotent in structure, but
+    # only the first sweep's stats matter for the split below.
+    complete = [r for r in results if r.complete]
+    assert len(complete) == len(results), "static-topology queries must complete"
+    latencies = [r.latency for r in results if r.messages]
+    summary = network.stats.summary()
+    benchmark.extra_info["node_count"] = node_count
+    benchmark.extra_info["queries"] = len(results)
+    benchmark.extra_info["mean_latency_ms"] = (
+        1000.0 * sum(latencies) / len(latencies) if latencies else 0.0
+    )
+    benchmark.extra_info["max_latency_ms"] = (
+        1000.0 * max(latencies) if latencies else 0.0
+    )
+    benchmark.extra_info["mean_messages_per_query"] = sum(
+        r.messages for r in results
+    ) / len(results)
+    benchmark.extra_info["query_bytes"] = summary["query_bytes"]
+    benchmark.extra_info["query_overhead_pct"] = (
+        100.0 * summary["query_bytes"] / (summary["total_bytes"] - summary["query_bytes"])
+        if summary["total_bytes"] > summary["query_bytes"]
+        else 0.0
+    )
+
+
+def test_query_latency_report(capsys):
+    """The per-N table: latency, wire cost and query-vs-maintenance split."""
+    lines = [
+        f"{'N':>5s}{'queries':>9s}{'mean ms':>9s}{'max ms':>9s}"
+        f"{'msgs/q':>8s}{'query kB':>10s}{'maint kB':>10s}{'overhead':>10s}"
+    ]
+    for node_count in bench_sizes():
+        network = build_and_run(node_count)
+        results = query_all_nodes(network)
+        assert results and all(r.complete for r in results)
+        latencies = [r.latency for r in results if r.messages]
+        summary = network.stats.summary()
+        maintenance = summary["total_bytes"] - summary["query_bytes"]
+        lines.append(
+            f"{node_count:>5d}{len(results):>9d}"
+            f"{1000.0 * sum(latencies) / max(len(latencies), 1):>9.2f}"
+            f"{1000.0 * max(latencies, default=0.0):>9.2f}"
+            f"{sum(r.messages for r in results) / len(results):>8.1f}"
+            f"{summary['query_bytes'] / 1000.0:>10.1f}"
+            f"{maintenance / 1000.0:>10.1f}"
+            f"{100.0 * summary['query_bytes'] / maintenance:>9.1f}%"
+        )
+    with capsys.disabled():
+        print()
+        print("In-network provenance query latency/overhead (Best-Path, condensed)")
+        print("\n".join(lines))

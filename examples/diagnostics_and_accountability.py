@@ -1,13 +1,15 @@
 """Real-time diagnostics and accountability (Section 3).
 
-Two scenarios in one script:
+Two scenarios in one script, both on the ``Network`` facade:
 
 * **diagnostics** — a route starts flapping (a misbehaving node keeps
   re-advertising different costs); the sliding-window monitor raises an
-  alarm, the provenance of the flapping route points at the culprit, and all
-  online state derived from it is purged;
-* **accountability** — a PlanetFlow-style audit of everything each principal
-  sent during a Best-Path run, with a per-principal usage policy.
+  alarm, and the monitoring node attributes the flap by *querying the
+  network for the route's provenance* — paying query messages — before
+  purging everything derived from the culprit;
+* **accountability** — a PlanetFlow-style audit of everything each
+  principal sent during a Best-Path run, straight from the run's per-node
+  statistics (query traffic billed like any other usage).
 
 Run with::
 
@@ -16,16 +18,11 @@ Run with::
 
 from __future__ import annotations
 
-from repro.engine.node_engine import EngineConfig, ProvenanceMode
+from repro.api import Network
 from repro.engine.tuples import Derivation, Fact
-from repro.net.message import Message
-from repro.net.simulator import Simulator
-from repro.net.topology import random_topology
 from repro.provenance.condensed import CondensedProvenance
 from repro.provenance.polynomial import p_product, p_var
 from repro.provenance.store import OnlineProvenanceStore
-from repro.queries.best_path import compile_best_path
-from repro.security.says import SaysMode
 from repro.usecases.accountability import AccountabilityAuditor, UsagePolicy
 from repro.usecases.diagnostics import FlapEvent, RouteFlapDetector
 
@@ -76,30 +73,54 @@ def diagnostics_scenario() -> None:
     print()
 
 
+def in_network_attribution() -> None:
+    print("== diagnostics, in-band: provenance fetched over the network ==")
+    # A real run: the monitoring node queries the network for a route's
+    # provenance instead of reading a local dictionary — attribution now has
+    # a message cost, reported in the query category.
+    network = Network.build(topology=8, provenance="condensed", seed=3)
+    network.run()
+    monitor = network.topology.nodes[0]
+    route = max(
+        network.node(monitor).facts("bestPath"), key=lambda f: len(f.values[2])
+    )
+    entry = (route.values[0], route.values[1])
+    detector = RouteFlapDetector(window_seconds=30.0, threshold=2)
+    for t in (1.0, 7.0, 13.0):
+        detector.observe_route_change(entry[0], entry[1], t)
+    flapping = detector.flapping_entries(now=13.0)
+    suspects = detector.identify_suspects_over_network(
+        network,
+        flapping,
+        route_key_of={entry: route.key()},
+        at=monitor,
+        trusted=(monitor,),
+    )
+    summary = network.stats.summary()
+    print(f"flapping entries       : {flapping}")
+    print(f"suspects (via queries) : {suspects}")
+    print(f"attribution wire cost  : {summary['query_messages']:.0f} messages, "
+          f"{summary['query_bytes']:.0f} bytes")
+    print()
+
+
 def accountability_scenario() -> None:
     print("== accountability: PlanetFlow-style audit of a Best-Path run ==")
-    topology = random_topology(8, seed=3)
-    config = EngineConfig(says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.CONDENSED)
-    simulator = Simulator(topology, compile_best_path(), config)
-    result = simulator.run()
+    network = Network.build(topology=8, provenance="sendlog-prov", seed=3)
+    network.run()
+    # A couple of tracebacks, so the audit has query traffic to bill too.
+    monitor = network.topology.nodes[0]
+    for fact in network.node(monitor).facts("bestPath")[:2]:
+        network.query(fact, at=monitor)
 
-    # Re-create the audit log from the per-node send counters: in a real
-    # deployment the auditor would tap the message stream itself.
-    auditor = AccountabilityAuditor()
-    for address, engine in result.engines.items():
-        node_stats = result.stats.node(address)
-        # One representative message per node keeps the example output small;
-        # byte totals come from the real counters.
-        sample = Fact(relation="bestPath", values=(address, "*", (), 0.0), asserted_by=address)
-        for _ in range(node_stats.messages_sent):
-            auditor.observe(
-                Message(source=address, destination="*", fact=sample, sent_at=0.0)
-            )
-
+    auditor = AccountabilityAuditor.from_network(network)
     heaviest = auditor.top_talkers(3)
-    print("top talkers (by messages):")
+    print("top talkers (by bytes):")
     for record in heaviest:
-        print(f"   {record.principal}: {record.messages} messages")
+        queries = record.relations.get("query", 0)
+        note = f" ({queries} query messages)" if queries else ""
+        print(f"   {record.principal}: {record.messages} messages, "
+              f"{record.bytes_sent} bytes{note}")
 
     # Flag any node that sent more than twice the average.
     average = sum(r.messages for r in auditor.records()) / max(len(auditor.records()), 1)
@@ -116,6 +137,7 @@ def accountability_scenario() -> None:
 
 def main() -> None:
     diagnostics_scenario()
+    in_network_attribution()
     accountability_scenario()
 
 

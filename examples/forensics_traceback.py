@@ -1,11 +1,17 @@
 """Forensic traceback over offline provenance (Sections 3 and 4.2).
 
-Scenario: a path-vector network runs for a while; afterwards an operator
-wants to know, for a suspicious route installed at some node, where it
-originated and which nodes it traversed — the IP-traceback question — even
-though the routing state itself may have expired.  Offline provenance
-archives answer it; distributed provenance pointers answer the same question
-with a recursive traceback query instead of piggy-backed state.
+Scenario: a network runs for a while; afterwards an operator wants to know,
+for a suspicious route installed at some node, where it originated and which
+nodes it traversed — the IP-traceback question — even though the routing
+state itself may have expired.  Three ways to ask it, compared side by side:
+
+* the **offline-archive investigator** reads every node's persistent log
+  directly (zero simulated messages — the out-of-band baseline);
+* the **zero-cost oracle** ``network.legacy_traceback`` walks the live
+  distributed pointers through direct Python calls;
+* the **in-network query** ``network.query(...)`` asks the same question
+  over the wire: pointer chasing ships real request/response messages whose
+  bytes and latency the statistics attribute to the query category.
 
 Run with::
 
@@ -14,30 +20,26 @@ Run with::
 
 from __future__ import annotations
 
-from repro.engine.node_engine import EngineConfig, ProvenanceMode
-from repro.net.simulator import Simulator
-from repro.net.topology import line_topology
-from repro.provenance.distributed import traceback
-from repro.queries.best_path import compile_best_path
-from repro.security.says import SaysMode
-from repro.usecases.forensics import ForensicInvestigator
+from repro.api import Network
+from repro.usecases.forensics import ForensicInvestigator, traceback_over_network
 
 
 def main() -> None:
     # A 6-node chain makes the multi-hop derivation easy to read.
-    topology = line_topology(6)
-    compiled = compile_best_path()
-    config = EngineConfig(
-        says_mode=SaysMode.SIGNED,
-        provenance_mode=ProvenanceMode.CONDENSED,
+    from repro.net.topology import line_topology
+
+    network = Network.build(
+        topology=line_topology(6),
+        program="best-path",
+        provenance="sendlog-prov",
         keep_offline_provenance=True,
         keep_online_provenance=True,
     )
-    result = Simulator(topology, compiled, config).run()
+    network.run()
 
     # The route we are investigating: the best path from n0 to n5.
     source, destination = "n0", "n5"
-    engine = result.engines[source]
+    engine = network.node(source)
     target = next(
         fact
         for fact in engine.facts("bestPath")
@@ -47,26 +49,40 @@ def main() -> None:
     print(f"condensed provenance at {source}: {engine.provenance_of(target)}\n")
 
     # --- offline provenance: archives survive soft-state expiry --------------------
-    investigator = ForensicInvestigator.from_engines(result.engines)
+    investigator = ForensicInvestigator.from_network(network)
     report = investigator.traceback(target.key())
-    print("offline-archive traceback")
+    print("offline-archive traceback (out-of-band, zero messages)")
     print(f"  nodes traversed : {', '.join(report.nodes_traversed)}")
     print(f"  rules applied   : {', '.join(report.rules_applied)}")
     print(f"  base origins    : {len(report.origins)} link tuples")
-    for origin in report.origins[:6]:
-        print(f"      {origin[0]}{origin[1]}")
     print(f"  derivation depth: {report.derivation_depth}\n")
 
-    # --- distributed provenance: recursive pointer walk ------------------------------
-    stores = {
-        address: node.distributed_provenance for address, node in result.engines.items()
-    }
-    walk = traceback(target.key(), source, resolver=stores.get)
-    print("distributed-pointer traceback (the on-demand alternative)")
+    # --- the zero-cost oracle: pointer walk by direct store access -----------------
+    walk = network.legacy_traceback(target, at=source)
+    print("distributed-pointer oracle (out-of-band, zero messages)")
     print(f"  complete        : {walk.complete}")
     print(f"  nodes visited   : {', '.join(walk.nodes_visited)}")
-    print(f"  remote lookups  : {walk.remote_lookups} "
-          "(the communication cost local provenance avoids)\n")
+    print(f"  remote lookups  : {walk.remote_lookups}\n")
+
+    # --- the same question asked IN the network -------------------------------------
+    answer = network.query(target, at=source)
+    print("in-network provenance query (pays wire costs)")
+    print(f"  complete        : {answer.complete}")
+    print(f"  same graph as oracle: {answer.graph.same_structure(walk.graph)}")
+    print(f"  messages        : {answer.messages} "
+          f"({answer.remote_lookups} remote dereferences)")
+    print(f"  bytes on wire   : {answer.bytes}")
+    print(f"  latency         : {answer.latency * 1000:.1f} ms simulated\n")
+
+    # --- the forensic wrapper: in-band traceback over the archives ------------------
+    forensic_report, forensic_cost = traceback_over_network(
+        network, target, at=source, mode="offline"
+    )
+    print("in-network forensic traceback (offline archives, in-band)")
+    print(f"  nodes traversed : {', '.join(forensic_report.nodes_traversed)}")
+    print(f"  derivation depth: {forensic_report.derivation_depth}")
+    print(f"  wire cost       : {forensic_cost.messages} messages, "
+          f"{forensic_cost.bytes} bytes\n")
 
     # --- which routes did a suspect link influence? -----------------------------------
     suspect_link = ("link", ("n2", "n3", 1.0))
@@ -74,8 +90,7 @@ def main() -> None:
     print(f"tuples whose derivation used link(n2, n3): {len(affected)}")
 
     footprint = investigator.storage_footprint()
-    total = sum(footprint.values())
-    print(f"offline archive footprint across nodes: {total} bytes "
+    print(f"offline archive footprint across nodes: {sum(footprint.values())} bytes "
           f"(max per node {max(footprint.values())})")
 
 

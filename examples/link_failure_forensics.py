@@ -9,7 +9,8 @@ asks the forensic questions the paper motivates:
 * what does the network route *now* (the repaired fixpoint)?
 * which routes did the dead link carry *before* it failed?  The live
   provenance stores no longer vouch for it — that is the point of
-  invalidation — but the offline archives kept the historical record.
+  invalidation — but the offline archives kept the historical record, and
+  an **in-network offline query** retrieves it with real message costs.
 
 Run with::
 
@@ -24,7 +25,7 @@ from repro.usecases.forensics import ForensicInvestigator
 
 
 def main() -> None:
-    scenario, simulator = link_failure_scenario(
+    scenario, network = link_failure_scenario(
         node_count=10,
         seed=3,
         provenance_mode=ProvenanceMode.CONDENSED,
@@ -33,12 +34,12 @@ def main() -> None:
     source, destination = scenario.details["failed_link"]
     print(f"scenario: {scenario.description}\n")
 
-    report = run_scenario(scenario, simulator)
+    report = run_scenario(scenario, network)
     print(report.render())
     print()
 
     # --- the repaired network ------------------------------------------------------
-    engine = simulator.engines[source]
+    engine = network.node(source)
     rerouted = next(
         (
             fact
@@ -56,8 +57,18 @@ def main() -> None:
     print(f"(the failed link {source} -> {destination} is gone; its local "
           "provenance was invalidated by the retraction cascade)\n")
 
+    # --- the live network has forgotten; ask it anyway -------------------------------
+    if rerouted is not None:
+        answer = network.query(rerouted, at=source)
+        print(f"in-network traceback of the repaired route:")
+        print(f"  complete={answer.complete}, {answer.messages} messages, "
+              f"{answer.bytes} bytes, {answer.latency * 1000:.1f} ms")
+        offline = network.query(rerouted, at=source, mode="offline")
+        print(f"offline-archive query of the same route: complete={offline.complete}, "
+              f"{offline.bytes} bytes\n")
+
     # --- the forensic question: what did the dead link influence? -------------------
-    investigator = ForensicInvestigator.from_engines(simulator.engines)
+    investigator = ForensicInvestigator.from_network(network)
     impact = investigator.link_failure_impact(source, destination)
     print(f"offline-archive post-mortem of link {source} -> {destination}:")
     print(f"  archived base tuples : {len(impact.base_keys)}")

@@ -1,12 +1,16 @@
-"""Quickstart: run a secure, provenance-aware declarative network.
+"""Quickstart: build, run and *query* a secure provenance-aware network.
 
-This example walks through the whole pipeline on a small network:
+The whole pipeline through the first-class API:
 
-1. parse the Best-Path NDlog query and localize it for distributed execution;
-2. build a random topology (the paper's workload: average out-degree 3);
-3. run it in the SeNDlogProv configuration — every exchanged tuple is signed
-   by its asserting principal and carries condensed provenance;
-4. inspect the computed best paths and the provenance of one of them.
+1. ``Network.build`` assembles topology + program + provenance preset
+   (here ``"sendlog-prov"``: every exchanged tuple is signed by its
+   asserting principal and carries condensed provenance);
+2. ``network.run()`` drives the network to its distributed fixpoint and
+   returns a unified ``RunResult``;
+3. the computed best paths and their condensed provenance are inspected;
+4. ``network.query(...)`` answers a traceback *in-network* — the pointer
+   chase ships real messages whose bytes and latency appear in the
+   statistics under the dedicated query category.
 
 Run with::
 
@@ -15,51 +19,43 @@ Run with::
 
 from __future__ import annotations
 
-from repro.engine.node_engine import EngineConfig, ProvenanceMode
-from repro.net.simulator import Simulator
-from repro.net.topology import random_topology
+from repro.api import Network
 from repro.provenance.quantify import count_derivations, trust_level, vote_principals
-from repro.queries.best_path import BEST_PATH_NDLOG, compile_best_path
-from repro.security.says import SaysMode
+from repro.queries.best_path import BEST_PATH_NDLOG
 
 
 def main() -> None:
     print("The Best-Path query (Section 6 of the paper):")
     print(BEST_PATH_NDLOG)
 
-    # 1. Compile: parse -> localization rewrite -> delta-join plans.
-    compiled = compile_best_path()
-    print(f"compiled {len(compiled.plans)} rule plans")
-
-    # 2. The evaluation workload: N nodes, average out-degree three.
-    topology = random_topology(node_count=12, average_outdegree=3.0, seed=42)
+    # 1. One call replaces topology/program/config/keystore hand-wiring.
+    network = Network.build(
+        topology=12,                      # the paper's workload: N nodes, out-degree 3
+        program="best-path",
+        provenance="sendlog-prov",        # NDLog / SeNDLog / SeNDLogProv presets
+        seed=42,
+        keep_offline_provenance=True,
+    )
+    topology = network.topology
     print(
         f"topology: {topology.node_count} nodes, {topology.link_count} links, "
         f"average out-degree {topology.average_outdegree():.1f}"
     )
 
-    # 3. SeNDlogProv: authenticated communication plus condensed provenance.
-    config = EngineConfig(
-        says_mode=SaysMode.SIGNED,
-        provenance_mode=ProvenanceMode.CONDENSED,
-        keep_offline_provenance=True,
-    )
-    simulator = Simulator(topology, compiled, config)
-    result = simulator.run()
-
-    stats = result.stats
+    # 2. Run to the distributed fixpoint.
+    result = network.run()
     print(
-        f"\ndistributed fixpoint reached at t={stats.completion_time:.2f}s "
-        f"(simulated); {stats.total_messages} messages, "
-        f"{stats.total_bandwidth_mb():.3f} MB total bandwidth"
+        f"\ndistributed fixpoint reached at t={result.completion_time_s:.2f}s "
+        f"(simulated); {result.total_messages} messages, "
+        f"{result.bandwidth_mb:.3f} MB total bandwidth"
     )
 
-    # 4. Inspect results and provenance at one node.
+    # 3. Inspect results and provenance at one node.
     source = topology.nodes[0]
-    engine = result.engines[source]
+    engine = network.node(source)
     best_paths = engine.facts("bestPath")
     print(f"\nnode {source} computed {len(best_paths)} best paths; a few of them:")
-    for fact in sorted(best_paths, key=lambda f: f.values)[:5]:
+    for fact in sorted(best_paths, key=lambda f: f.values)[:3]:
         annotation = engine.provenance_of(fact)
         print(f"  {fact}")
         print(f"    condensed provenance : {annotation}")
@@ -69,6 +65,22 @@ def main() -> None:
             f"votes={vote_principals(annotation)} "
             f"trust(level 1 everywhere)={trust_level(annotation, {}, default_level=1)}"
         )
+
+    # 4. Ask the network itself where a route came from.  The traceback
+    #    compiles into QueryRequest/QueryResponse events: every remote
+    #    pointer dereference is a real message paying bytes and latency.
+    target = max(best_paths, key=lambda f: len(f.values[2]))
+    answer = network.query(target, at=source)
+    print(f"\nin-network traceback of {target}:")
+    print(f"  complete        : {answer.complete}")
+    print(f"  nodes visited   : {', '.join(answer.nodes_visited)}")
+    print(f"  remote lookups  : {answer.remote_lookups}")
+    print(f"  wire cost       : {answer.messages} messages, {answer.bytes} bytes, "
+          f"{answer.latency * 1000:.1f} ms simulated latency")
+    summary = network.stats.summary()
+    print(f"  ledger          : query_bytes={summary['query_bytes']:.0f} of "
+          f"total_bytes={summary['total_bytes']:.0f} "
+          "(maintenance vs query overhead, same currency)")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,11 @@ Orchestra-style, the node decides which updates to accept:
 * by *trust level*  — the paper's ``<a + a*b>`` example with security levels;
 * by *vote*         — accept only updates asserted by at least K principals.
 
+The last section runs the same policy against a live network built through
+the ``Network`` facade: the deciding node fetches the update's provenance
+with an authenticated in-network query — signed responses, verified at the
+querier, with the wire cost on the books.
+
 Run with::
 
     python examples/trust_management.py
@@ -15,6 +20,7 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import Network
 from repro.provenance.condensed import CondensedProvenance
 from repro.provenance.polynomial import p_product, p_sum, p_var
 from repro.provenance.quantify import count_derivations, trust_level, vote_principals
@@ -67,6 +73,27 @@ def main() -> None:
               f"(votes={decision.votes})")
 
     print(f"\nacceptance rate of the last manager: {manager.acceptance_rate():.0%}")
+
+    # --- the same decision against a live network --------------------------------
+    print("\n-- in-network: provenance fetched by authenticated query --")
+    network = Network.build(topology=8, provenance="sendlog-prov", seed=1)
+    network.run()
+    decider = network.topology.nodes[0]
+    update = max(
+        network.node(decider).facts("bestPath"), key=lambda f: len(f.values[2])
+    )
+    manager = TrustManager(
+        TrustPolicy.trust_sources(*network.topology.nodes), network.registry
+    )
+    decision, cost = manager.evaluate_over_network(
+        network, update, at=decider, authenticated=True
+    )
+    print(f"update                : {update}")
+    print(f"accepted              : {decision.accepted}")
+    print(f"signed responses ok   : {cost.responses_verified} "
+          f"(failures {cost.verification_failures})")
+    print(f"query wire cost       : {cost.messages} messages, {cost.bytes} bytes, "
+          f"{cost.latency * 1000:.1f} ms")
 
 
 if __name__ == "__main__":

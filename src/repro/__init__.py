@@ -18,19 +18,41 @@ The package is organised as the paper is:
 * :mod:`repro.usecases` — diagnostics, forensics, accountability and trust
   management built on provenance;
 * :mod:`repro.harness` — the experiment harness regenerating Figures 3 and 4
-  and the overhead tables of Section 6.
+  and the overhead tables of Section 6;
+* :mod:`repro.api` — the first-class entry point: the :class:`~repro.api.Network`
+  facade and in-network provenance queries.
 
 Quickstart::
 
-    from repro.harness import run_configuration
+    from repro.api import Network
 
-    row = run_configuration("SeNDLogProv", node_count=10)
-    print(row.completion_time_s, row.bandwidth_mb)
+    network = Network.build(topology=10, program="best-path",
+                            provenance="sendlog-prov")
+    result = network.run()                      # -> RunResult
+    print(result.completion_time_s, result.bandwidth_mb)
+
+    # Provenance is network state: query it OVER the network.  The
+    # traceback travels as request/response messages paying bytes and
+    # latency, itemized as query_bytes / query_messages in the stats.
+    route = result.all_facts("bestPath")[0]
+    answer = network.query(route, at=route.origin)
+    print(answer.complete, answer.messages, answer.bytes, answer.latency)
+
+Presets mirror the paper's configurations (``"ndlog"``, ``"sendlog"``,
+``"sendlog-prov"``, plus ``"condensed"`` / ``"distributed"`` /
+``"full-local"``); every other knob lives on a validated
+:class:`~repro.api.NetOptions`.  Dynamic-network scenario scripts return
+``(Scenario, Network)`` pairs — see :mod:`repro.harness.scenarios` — and
+``network.query(..., mode="offline")`` walks the persistent provenance
+archives that survive node crashes.  The legacy entry points
+(``Simulator(...)``, ``run_best_path``, ``run_configuration``) remain as
+thin shims over the facade.
 """
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "datalog",
     "engine",
     "harness",

@@ -1,0 +1,176 @@
+"""Validated options and provenance presets for the :class:`~repro.api.Network` facade.
+
+The facade replaces the kwarg sprawl of assembling ``Topology`` +
+``CompiledProgram`` + ``EngineConfig`` + keystore into a 13-parameter
+``Simulator`` with two arguments: a **provenance preset** naming the paper
+configuration (``"sendlog-prov"`` etc.) and a :class:`NetOptions` record of
+everything else, validated up front with errors that name their field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Optional, Tuple
+
+from repro.engine.node_engine import EngineConfig, ProvenanceMode
+from repro.net.link import DEFAULT_BANDWIDTH, DEFAULT_LATENCY
+from repro.net.query import DEFAULT_QUERY_TIMEOUT
+from repro.net.simulator import CostModel
+from repro.provenance.pruning import MaintenanceMode, ProvenanceSampler
+from repro.security.says import SaysMode
+
+#: Provenance presets: the paper's three evaluated configurations plus the
+#: other maintained representations, keyed by kebab-case name.  Legacy
+#: harness spellings (``NDLog`` / ``SeNDLog`` / ``SeNDLogProv``) resolve to
+#: the same entries case-insensitively.
+PROVENANCE_PRESETS: Dict[str, Tuple[SaysMode, ProvenanceMode]] = {
+    "ndlog": (SaysMode.NONE, ProvenanceMode.NONE),
+    "sendlog": (SaysMode.SIGNED, ProvenanceMode.NONE),
+    "sendlog-prov": (SaysMode.SIGNED, ProvenanceMode.CONDENSED),
+    "condensed": (SaysMode.NONE, ProvenanceMode.CONDENSED),
+    "full-local": (SaysMode.NONE, ProvenanceMode.FULL_LOCAL),
+    "distributed": (SaysMode.NONE, ProvenanceMode.DISTRIBUTED),
+    "sendlog-distributed": (SaysMode.SIGNED, ProvenanceMode.DISTRIBUTED),
+}
+
+#: Legacy configuration names from the Section 6 harness.
+_PRESET_ALIASES: Dict[str, str] = {
+    "ndlog": "ndlog",
+    "sendlog": "sendlog",
+    "sendlogprov": "sendlog-prov",
+}
+
+
+def resolve_preset(name: str) -> str:
+    """Canonicalize a provenance preset name; raise for unknown names."""
+    if name in PROVENANCE_PRESETS:
+        return name
+    folded = name.lower()
+    if folded in PROVENANCE_PRESETS:
+        return folded
+    alias = _PRESET_ALIASES.get(folded.replace("-", "").replace("_", ""))
+    if alias is not None:
+        return alias
+    raise ValueError(
+        f"unknown provenance preset {name!r}; expected one of "
+        f"{sorted(PROVENANCE_PRESETS)} (legacy names NDLog / SeNDLog / "
+        "SeNDLogProv are accepted too)"
+    )
+
+
+@dataclass(frozen=True)
+class NetOptions:
+    """Everything about a network run that is not topology / program / preset.
+
+    ``None`` values for the engine-side fields mean "the preset's default";
+    set them to override what the named configuration would do (for example
+    ``keep_offline_provenance=True`` to archive derivations for forensics).
+    """
+
+    #: Wire format: one batch per destination per delta round (real-P2
+    #: amortization) vs the paper's per-tuple shipping.
+    batching: bool = True
+    #: Engine receive path: one ``receive_batch`` call per incoming wire
+    #: batch vs one ``receive`` per tuple (identical facts and stats).
+    batch_receive: bool = True
+    key_bits: int = 256
+    max_events: int = 5_000_000
+    default_latency: float = DEFAULT_LATENCY
+    default_bandwidth: float = DEFAULT_BANDWIDTH
+    link_relation: str = "link"
+    #: Seconds an in-network provenance query waits on one request.
+    query_timeout: float = DEFAULT_QUERY_TIMEOUT
+    cost_model: Optional[CostModel] = None
+    #: Seed used when the topology is given as a bare node count.
+    seed: int = 0
+    # -- engine configuration overrides (None = preset default) --------------
+    default_ttl: Optional[float] = None
+    track_dependencies: Optional[bool] = None
+    keep_online_provenance: Optional[bool] = None
+    keep_offline_provenance: Optional[bool] = None
+    offline_retention: Optional[float] = None
+    sampler: Optional[ProvenanceSampler] = None
+    maintenance_mode: Optional[MaintenanceMode] = None
+
+    def __post_init__(self) -> None:
+        if self.key_bits < 16:
+            raise ValueError(f"key_bits must be >= 16, got {self.key_bits}")
+        if self.max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {self.max_events}")
+        if self.default_latency < 0:
+            raise ValueError(
+                f"default_latency must be >= 0, got {self.default_latency}"
+            )
+        if self.default_bandwidth <= 0:
+            raise ValueError(
+                f"default_bandwidth must be positive, got {self.default_bandwidth}"
+            )
+        if self.query_timeout <= 0:
+            raise ValueError(
+                f"query_timeout must be positive, got {self.query_timeout}"
+            )
+        if self.default_ttl is not None and self.default_ttl <= 0:
+            raise ValueError(f"default_ttl must be positive, got {self.default_ttl}")
+        if self.offline_retention is not None and self.offline_retention <= 0:
+            raise ValueError(
+                f"offline_retention must be positive, got {self.offline_retention}"
+            )
+        if not self.link_relation:
+            raise ValueError("link_relation must be a non-empty relation name")
+
+    def merged(self, **overrides: object) -> "NetOptions":
+        """A copy with *overrides* applied; unknown names raise with the list
+        of valid fields (this is what catches facade typos early)."""
+        if not overrides:
+            return self
+        valid = {f.name for f in fields(self)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown NetOptions field(s) {unknown}; valid fields: "
+                f"{sorted(valid)}"
+            )
+        return replace(self, **overrides)
+
+    def engine_overrides(self) -> Dict[str, object]:
+        """The engine-side fields that were explicitly set (not None).
+
+        ``Network.build(config=...)`` refuses to proceed when any of these
+        are set: a hand-built :class:`EngineConfig` replaces the preset
+        wholesale, so silently dropping the overrides would contradict the
+        validated-options contract.
+        """
+        fields_ = (
+            "default_ttl",
+            "track_dependencies",
+            "keep_online_provenance",
+            "keep_offline_provenance",
+            "offline_retention",
+            "sampler",
+            "maintenance_mode",
+        )
+        return {
+            name: getattr(self, name)
+            for name in fields_
+            if getattr(self, name) is not None
+        }
+
+    def engine_config(self, provenance: str) -> EngineConfig:
+        """The :class:`EngineConfig` for preset *provenance* plus overrides."""
+        says_mode, provenance_mode = PROVENANCE_PRESETS[resolve_preset(provenance)]
+        config = EngineConfig(says_mode=says_mode, provenance_mode=provenance_mode)
+        if self.default_ttl is not None:
+            config.default_ttl = self.default_ttl
+        if self.track_dependencies is not None:
+            config.track_dependencies = self.track_dependencies
+        if self.keep_online_provenance is not None:
+            config.keep_online_provenance = self.keep_online_provenance
+        if self.keep_offline_provenance is not None:
+            config.keep_offline_provenance = self.keep_offline_provenance
+        if self.offline_retention is not None:
+            config.offline_retention = self.offline_retention
+        if self.sampler is not None:
+            config.sampler = self.sampler
+        if self.maintenance_mode is not None:
+            config.maintenance_mode = self.maintenance_mode
+        return config

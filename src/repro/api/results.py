@@ -1,0 +1,110 @@
+"""Unified result objects shared by the facade, harness, scenarios and benchmarks.
+
+A :class:`RunResult` is what every way of running a network returns — the
+facade's ``network.run()``, the harness sweeps, the benchmark helpers.  It
+carries the raw simulation outcome (stats, per-node engines, convergence)
+plus the sweep coordinates (configuration, node count, seed) and exposes
+every headline metric as a flat attribute, so tables and sweep aggregation
+read ``row.completion_time_s`` regardless of which entry point produced the
+row.  Scenario phases report :class:`~repro.harness.scenarios.PhaseRow`
+objects, re-exported beside this class from :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.engine.node_engine import NodeEngine, collect_facts, facts_by_node
+from repro.engine.tuples import Fact
+from repro.net.address import Address
+from repro.net.stats import NetworkStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of one network run, with its sweep coordinates."""
+
+    stats: NetworkStats
+    engines: Dict[Address, NodeEngine]
+    converged: bool
+    events_processed: int
+    #: Provenance preset (or legacy configuration name) the run used.
+    configuration: str = ""
+    node_count: int = 0
+    seed: int = 0
+
+    # -- stored facts ----------------------------------------------------------
+
+    def facts(self, relation: str) -> Dict[Address, Tuple[Fact, ...]]:
+        """All stored facts of *relation*, per node."""
+        return facts_by_node(self.engines, relation)
+
+    def all_facts(self, relation: str) -> Tuple[Fact, ...]:
+        return collect_facts(self.engines, relation)
+
+    def count(self, relation: str) -> int:
+        """Global stored-tuple count of *relation* across all nodes."""
+        return sum(len(engine.facts(relation)) for engine in self.engines.values())
+
+    # -- headline metrics (flat, for sweep tables) -----------------------------
+
+    @property
+    def completion_time_s(self) -> float:
+        return self.stats.completion_time
+
+    @property
+    def bandwidth_mb(self) -> float:
+        return self.stats.total_bandwidth_mb()
+
+    @property
+    def total_messages(self) -> int:
+        return self.stats.total_messages
+
+    @property
+    def total_bytes(self) -> int:
+        return self.stats.total_bytes()
+
+    @property
+    def security_bytes(self) -> int:
+        return self.stats.security_overhead_bytes()
+
+    @property
+    def provenance_bytes(self) -> int:
+        return self.stats.provenance_overhead_bytes()
+
+    @property
+    def query_bytes(self) -> int:
+        return self.stats.total_query_bytes()
+
+    @property
+    def query_messages(self) -> int:
+        return self.stats.total_query_messages()
+
+    @property
+    def batches_sent(self) -> int:
+        return self.stats.total_batches()
+
+    @property
+    def tuples_sent(self) -> int:
+        return self.stats.total_tuples_sent()
+
+    @property
+    def facts_derived(self) -> int:
+        return self.stats.total_facts_derived()
+
+    def summary(self) -> Dict[str, float]:
+        """The stats summary dictionary (query traffic itemized)."""
+        return self.stats.summary()
+
+    def as_dict(self) -> Dict[str, object]:
+        """One flat row: sweep coordinates plus every summary metric."""
+        row: Dict[str, object] = {
+            "configuration": self.configuration,
+            "node_count": self.node_count,
+            "seed": self.seed,
+            "converged": self.converged,
+            "events": self.events_processed,
+        }
+        row.update(self.stats.summary())
+        return row

@@ -149,6 +149,26 @@ class ProcessingResult:
     new_facts: List[Fact] = field(default_factory=list)
 
 
+def facts_by_node(
+    engines: Dict[str, "NodeEngine"], relation: str
+) -> Dict[str, Tuple[Fact, ...]]:
+    """All stored facts of *relation*, per node — the one snapshot helper
+    behind every result object's ``facts()``."""
+    return {
+        address: engine.facts(relation) for address, engine in engines.items()
+    }
+
+
+def collect_facts(
+    engines: Dict[str, "NodeEngine"], relation: str
+) -> Tuple[Fact, ...]:
+    """All stored facts of *relation* across *engines*, in node order."""
+    collected: List[Fact] = []
+    for engine in engines.values():
+        collected.extend(engine.facts(relation))
+    return tuple(collected)
+
+
 def group_outgoing(outgoing: List[OutgoingFact]) -> Dict[str, List[OutgoingFact]]:
     """Group one delta round's outgoing tuples by destination.
 
@@ -240,6 +260,11 @@ class NodeEngine:
             if self._should_record(prepared):
                 self.local_provenance.record_base(prepared, source=self.address)
                 self.distributed_provenance.record_base(prepared)
+                if self.config.keep_offline_provenance:
+                    # The persistent log keeps the pointer-chasing shape of
+                    # the live store, so offline traceback queries can walk
+                    # it even after a crash wiped the in-memory stores.
+                    self.offline_provenance.record_base(prepared)
         self._process_local(prepared, now, result)
         return result
 
@@ -444,6 +469,8 @@ class NodeEngine:
         else:
             self.local_provenance.record_remote(fact, None)
         self.distributed_provenance.record_remote(fact, fact.origin)
+        if self.config.keep_offline_provenance:
+            self.offline_provenance.record_remote(fact, fact.origin)
 
     def _process_local(self, fact: Fact, now: float, result: ProcessingResult) -> None:
         """Insert *fact* and run the local delta fixpoint it triggers."""

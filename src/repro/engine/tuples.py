@@ -163,6 +163,18 @@ def fact_key(relation: str, values: Sequence[Value]) -> FactKey:
     return (relation, tuple(values))
 
 
+def as_fact_key(value: "Fact | FactKey") -> FactKey:
+    """Normalize a :class:`Fact` or (relation, values) pair to a :data:`FactKey`.
+
+    Every user-facing entry point that accepts "a fact or its key" — the
+    query plane, tracebacks, forensics — funnels through here so the
+    accepted shapes cannot drift apart.
+    """
+    if isinstance(value, Fact):
+        return value.key()
+    return fact_key(*value)
+
+
 @dataclass(frozen=True)
 class Derivation:
     """A single application of a rule that produced a fact.

@@ -6,6 +6,7 @@ from repro.harness.runner import (
     ExperimentRow,
     run_best_path,
     run_configuration,
+    run_network,
 )
 from repro.harness.experiments import (
     figure3_series,
@@ -45,6 +46,7 @@ __all__ = [
     "retraction_scenario",
     "run_best_path",
     "run_configuration",
+    "run_network",
     "run_scenario",
     "sweep",
 ]

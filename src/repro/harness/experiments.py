@@ -25,7 +25,8 @@ import sys
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.harness.runner import CONFIGURATIONS, ExperimentRow, run_configuration
+from repro.api.results import RunResult
+from repro.harness.runner import CONFIGURATIONS, run_network
 from repro.queries.best_path import compile_best_path
 
 #: Default sweep used by the benchmarks: a subset of the paper's 10..100 so a
@@ -38,11 +39,16 @@ CONFIGURATION_ORDER: Tuple[str, ...] = ("NDLog", "SeNDLog", "SeNDLogProv")
 
 @dataclass
 class SweepResult:
-    """All rows of one sweep, indexed by (configuration, node count)."""
+    """All rows of one sweep, indexed by (configuration, node count).
 
-    rows: List[ExperimentRow] = field(default_factory=list)
+    Rows are the unified :class:`~repro.api.results.RunResult` objects the
+    facade returns; legacy :class:`ExperimentRow` instances aggregate the
+    same way (every metric is a flat attribute on both).
+    """
 
-    def add(self, row: ExperimentRow) -> None:
+    rows: List[RunResult] = field(default_factory=list)
+
+    def add(self, row: RunResult) -> None:
         self.rows.append(row)
 
     def configurations(self) -> Tuple[str, ...]:
@@ -83,13 +89,15 @@ def sweep(
     configurations: Sequence[str] = CONFIGURATION_ORDER,
     progress: bool = False,
     batching: bool = False,
+    batch_receive: bool = True,
 ) -> SweepResult:
     """Run the Best-Path evaluation sweep and collect every data point.
 
     The sweep reproduces the paper's Figures 3/4, whose bandwidth metric
     charges a full header per shipped tuple — so it defaults to the per-tuple
     wire format (``batching=False``) rather than the simulator's batched
-    default.  Pass ``batching=True`` to measure the amortized wire path.
+    default.  Pass ``batching=True`` to measure the amortized wire path, and
+    ``batch_receive=False`` to A/B the per-tuple engine receive path.
     """
     compiled = compile_best_path()
     result = SweepResult()
@@ -102,13 +110,18 @@ def sweep(
                         file=sys.stderr,
                         flush=True,
                     )
-                row = run_configuration(
+                row = run_network(
                     configuration,
                     node_count,
                     seed=seed,
                     compiled=compiled,
                     batching=batching,
+                    batch_receive=batch_receive,
                 )
+                # The sweep aggregates scalars only; dropping the per-node
+                # engines frees each finished simulation instead of keeping
+                # every sweep point's full state alive simultaneously.
+                row.engines = {}
                 result.add(row)
     return result
 

@@ -6,24 +6,35 @@ The paper's Section 6 compares:
 * **SeNDlog** — per-tuple RSA authentication, no provenance;
 * **SeNDlogProv** — authentication plus condensed (BDD) provenance.
 
-:func:`run_configuration` executes the Best-Path query over one topology in
-one of these configurations and returns an :class:`ExperimentRow` holding the
-two headline metrics (query completion time, bandwidth) plus the breakdown
-counters used by the overhead analysis.
+:func:`run_network` is the facade-era sweep point: it builds the run through
+:class:`repro.api.Network` and returns the unified
+:class:`~repro.api.results.RunResult` shared by the harness, the scenario
+subsystem and the benchmarks.
+
+:func:`run_best_path` and :func:`run_configuration` are the legacy entry
+points, kept as thin shims over the facade.
+
+.. deprecated::
+    Prefer ``Network.build(topology=N, program="best-path",
+    provenance=<configuration>)`` and ``network.run()``; the shims remain
+    for existing call sites and carry no functionality of their own.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, Optional, Union
 
+from repro.api.network import Network
+from repro.api.options import NetOptions
+from repro.api.results import RunResult
 from repro.datalog.planner import CompiledProgram
 from repro.engine.node_engine import EngineConfig, ProvenanceMode
-from repro.net.simulator import CostModel, SimulationResult, Simulator
+from repro.net.simulator import CostModel
 from repro.net.topology import Topology
 from repro.queries.best_path import compile_best_path
 from repro.security.says import SaysMode
-from repro.harness.workload import best_path_workload, evaluation_topology
+from repro.harness.workload import evaluation_topology
 
 #: The three configurations of the paper's evaluation, by name.
 CONFIGURATIONS: Dict[str, Callable[[], EngineConfig]] = {
@@ -41,7 +52,12 @@ CONFIGURATIONS: Dict[str, Callable[[], EngineConfig]] = {
 
 @dataclass(frozen=True)
 class ExperimentRow:
-    """One data point of the evaluation sweep."""
+    """One data point of the evaluation sweep (legacy flat row).
+
+    .. deprecated::
+        New code reads the same metrics off :class:`RunResult`; this frozen
+        row remains because existing tables and benchmarks index it.
+    """
 
     configuration: str
     node_count: int
@@ -57,6 +73,29 @@ class ExperimentRow:
     converged: bool
     batches_sent: int = 0
     tuples_sent: int = 0
+    query_messages: int = 0
+    query_bytes: int = 0
+
+    @classmethod
+    def from_run(cls, run: RunResult) -> "ExperimentRow":
+        return cls(
+            configuration=run.configuration,
+            node_count=run.node_count,
+            seed=run.seed,
+            completion_time_s=run.completion_time_s,
+            bandwidth_mb=run.bandwidth_mb,
+            total_messages=run.total_messages,
+            total_bytes=run.total_bytes,
+            security_bytes=run.security_bytes,
+            provenance_bytes=run.provenance_bytes,
+            facts_derived=run.facts_derived,
+            best_paths=run.count("bestPath"),
+            converged=run.converged,
+            batches_sent=run.batches_sent,
+            tuples_sent=run.tuples_sent,
+            query_messages=run.query_messages,
+            query_bytes=run.query_bytes,
+        )
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -71,6 +110,8 @@ class ExperimentRow:
             "provenance_bytes": self.provenance_bytes,
             "batches_sent": self.batches_sent,
             "tuples_sent": self.tuples_sent,
+            "query_messages": self.query_messages,
+            "query_bytes": self.query_bytes,
             "facts_derived": self.facts_derived,
             "best_paths": self.best_paths,
             "converged": self.converged,
@@ -89,6 +130,46 @@ def engine_config(configuration: str) -> EngineConfig:
     return factory()
 
 
+def run_network(
+    configuration: str,
+    topology: Union[Topology, int],
+    seed: int = 0,
+    compiled: Optional[CompiledProgram] = None,
+    cost_model: Optional[CostModel] = None,
+    key_bits: int = 256,
+    batching: bool = True,
+    batch_receive: bool = True,
+) -> RunResult:
+    """One facade-built Best-Path run in a named paper configuration.
+
+    *topology* is a :class:`Topology` or a node count (resolved through the
+    paper's random workload).  This is the primitive every sweep point and
+    benchmark goes through; the returned :class:`RunResult` carries the
+    sweep coordinates plus the full statistics, query traffic included.
+    """
+    if isinstance(topology, int):
+        topology = evaluation_topology(topology, seed=seed)
+    network = Network.build(
+        topology=topology,
+        program=compiled if compiled is not None else compile_best_path(),
+        provenance=configuration,
+        options=NetOptions(
+            batching=batching,
+            batch_receive=batch_receive,
+            cost_model=cost_model,
+            key_bits=key_bits,
+            seed=seed,
+        ),
+    )
+    # network.base_facts() shapes the link workload to the program's catalog;
+    # for Best-Path it is exactly best_path_workload(topology).
+    run = network.run()
+    # Report the row under the caller's configuration spelling ("NDLog", not
+    # the canonical preset "ndlog") so sweep tables keep their labels.
+    run.configuration = configuration
+    return run
+
+
 def run_best_path(
     topology: Topology,
     configuration: str,
@@ -97,19 +178,22 @@ def run_best_path(
     key_bits: int = 256,
     batching: bool = True,
     batch_receive: bool = True,
-) -> SimulationResult:
-    """Run the Best-Path query over *topology* in the named configuration."""
-    compiled = compiled or compile_best_path()
-    simulator = Simulator(
-        topology=topology,
+) -> RunResult:
+    """Run the Best-Path query over *topology* in the named configuration.
+
+    .. deprecated:: thin shim over :func:`run_network` / the ``Network``
+        facade; kept because many call sites (benchmarks, notebooks) were
+        written against it.
+    """
+    return run_network(
+        configuration,
+        topology,
         compiled=compiled,
-        config=engine_config(configuration),
         cost_model=cost_model,
         key_bits=key_bits,
         batching=batching,
         batch_receive=batch_receive,
     )
-    return simulator.run(best_path_workload(topology))
 
 
 def run_configuration(
@@ -119,27 +203,22 @@ def run_configuration(
     compiled: Optional[CompiledProgram] = None,
     cost_model: Optional[CostModel] = None,
     batching: bool = True,
+    batch_receive: bool = True,
 ) -> ExperimentRow:
-    """One sweep point: N nodes, one seed, one configuration."""
-    topology = evaluation_topology(node_count, seed=seed)
-    result = run_best_path(
-        topology, configuration, compiled=compiled, cost_model=cost_model,
-        batching=batching,
-    )
-    stats = result.stats
-    return ExperimentRow(
-        configuration=configuration,
-        node_count=node_count,
+    """One sweep point: N nodes, one seed, one configuration.
+
+    .. deprecated:: thin shim over :func:`run_network`; returns the legacy
+        flat :class:`ExperimentRow`.  ``batch_receive`` is threaded through
+        (it used to be dropped silently, so sweeps could not A/B the
+        batch-receive path).
+    """
+    run = run_network(
+        configuration,
+        node_count,
         seed=seed,
-        completion_time_s=stats.completion_time,
-        bandwidth_mb=stats.total_bandwidth_mb(),
-        total_messages=stats.total_messages,
-        total_bytes=stats.total_bytes(),
-        security_bytes=stats.security_overhead_bytes(),
-        provenance_bytes=stats.provenance_overhead_bytes(),
-        facts_derived=stats.total_facts_derived(),
-        best_paths=len(result.all_facts("bestPath")),
-        converged=result.converged,
-        batches_sent=stats.total_batches(),
-        tuples_sent=stats.total_tuples_sent(),
+        compiled=compiled,
+        cost_model=cost_model,
+        batching=batching,
+        batch_receive=batch_receive,
     )
+    return ExperimentRow.from_run(run)

@@ -188,7 +188,12 @@ class Scenario:
 
 @dataclass(frozen=True)
 class PhaseRow:
-    """Convergence and overhead metrics for one scenario phase."""
+    """Convergence and overhead metrics for one scenario phase.
+
+    ``query_messages`` / ``query_kilobytes`` itemize the provenance-query
+    traffic issued during the phase; it is included in ``messages`` /
+    ``kilobytes`` because queries ride the same wire as maintenance.
+    """
 
     scenario: str
     phase: str
@@ -202,6 +207,8 @@ class PhaseRow:
     messages_lost: int
     facts_retracted: int
     probe_facts: int
+    query_messages: int = 0
+    query_kilobytes: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -217,6 +224,8 @@ class PhaseRow:
             "messages_lost": self.messages_lost,
             "facts_retracted": self.facts_retracted,
             "probe_facts": self.probe_facts,
+            "query_messages": self.query_messages,
+            "query_kilobytes": self.query_kilobytes,
         }
 
 
@@ -264,9 +273,14 @@ def render_phase_table(rows: Sequence[PhaseRow], title: str = "") -> str:
     return "\n".join(lines)
 
 
-def run_scenario(scenario: Scenario, simulator: Simulator) -> ScenarioReport:
-    """Play *scenario* on *simulator*: per phase, schedule events, run to
-    fixpoint, sweep residual soft state, and record one metrics row."""
+def run_scenario(scenario: Scenario, network) -> ScenarioReport:
+    """Play *scenario* on *network*: per phase, schedule events, run to
+    fixpoint, sweep residual soft state, and record one metrics row.
+
+    *network* is a :class:`repro.api.Network` (what the scenario builders
+    return) or a bare :class:`Simulator` (the legacy calling convention).
+    """
+    simulator: Simulator = getattr(network, "simulator", network)
     rows: List[PhaseRow] = []
     previous = _counters(simulator)
     current = 0.0
@@ -293,6 +307,12 @@ def run_scenario(scenario: Scenario, simulator: Simulator) -> ScenarioReport:
                 messages_lost=counters["lost"] - previous["lost"],
                 facts_retracted=counters["retracted"] - previous["retracted"],
                 probe_facts=_probe_count(simulator, scenario.probe_relation),
+                query_messages=counters["query_messages"]
+                - previous["query_messages"],
+                query_kilobytes=(
+                    counters["query_bytes"] - previous["query_bytes"]
+                )
+                / 1000.0,
             )
         )
         previous = counters
@@ -309,6 +329,8 @@ def _counters(simulator: Simulator) -> Dict[str, int]:
         "tuples": stats.total_tuples_sent(),
         "lost": stats.messages_lost,
         "retracted": stats.total_facts_retracted(),
+        "query_messages": stats.total_query_messages(),
+        "query_bytes": stats.total_query_bytes(),
     }
 
 
@@ -327,6 +349,24 @@ def _soft_config(ttl: float, **kwargs) -> EngineConfig:
     kwargs.setdefault("default_ttl", ttl)
     kwargs.setdefault("track_dependencies", True)
     return EngineConfig(**kwargs)
+
+
+def _scenario_network(topology: Topology, program, config: EngineConfig, key_bits: int):
+    """Assemble a scenario's network through the facade.
+
+    Imported lazily: the api package depends on nothing in the harness at
+    module level, and the harness only reaches for it when a scenario is
+    actually built.
+    """
+    from repro.api.network import Network
+    from repro.api.options import NetOptions
+
+    return Network.build(
+        topology=topology,
+        program=program,
+        config=config,
+        options=NetOptions(key_bits=key_bits),
+    )
 
 
 def _inject_all(base: Dict[Address, List[Fact]]) -> Tuple[Inject, ...]:
@@ -360,7 +400,7 @@ def link_failure_scenario(
     ttl: float = DEFAULT_SCENARIO_TTL,
     key_bits: int = 128,
     **config_kwargs,
-) -> Tuple[Scenario, Simulator]:
+) -> Tuple[Scenario, "Network"]:
     """Best-Path under a mid-run link failure: decay, refresh, reroute.
 
     A redundant link (its loss keeps the topology strongly connected) fails
@@ -377,10 +417,8 @@ def link_failure_scenario(
         )
     failed = redundant[0]
     config = _soft_config(ttl, **config_kwargs)
-    simulator = Simulator(
-        topology, compile_best_path(), config, key_bits=key_bits
-    )
-    base = simulator.link_facts()
+    network = _scenario_network(topology, compile_best_path(), config, key_bits)
+    base = network.link_facts()
     scenario = Scenario(
         name="link-failure",
         description=(
@@ -407,7 +445,7 @@ def link_failure_scenario(
             Phase(name="reroute", gap=ttl + 1.0, actions=(RefreshSoftState(),)),
         ),
     )
-    return scenario, simulator
+    return scenario, network
 
 
 def churn_scenario(
@@ -416,7 +454,7 @@ def churn_scenario(
     ttl: float = DEFAULT_SCENARIO_TTL,
     key_bits: int = 128,
     **config_kwargs,
-) -> Tuple[Scenario, Simulator]:
+) -> Tuple[Scenario, "Network"]:
     """Reachability under node churn with soft-state repair.
 
     A node crashes (losing all its soft state); the facts it advertised
@@ -430,9 +468,7 @@ def churn_scenario(
         topology.nodes, key=lambda node: (len(topology.outgoing(node)), node)
     )
     config = _soft_config(ttl, **config_kwargs)
-    simulator = Simulator(
-        topology, _reachable_compiled(), config, key_bits=key_bits
-    )
+    network = _scenario_network(topology, _reachable_compiled(), config, key_bits)
     base = _reachable_base(topology)
     scenario = Scenario(
         name="churn",
@@ -453,7 +489,7 @@ def churn_scenario(
             ),
         ),
     )
-    return scenario, simulator
+    return scenario, network
 
 
 def retraction_scenario(
@@ -462,7 +498,7 @@ def retraction_scenario(
     ttl: float = DEFAULT_SCENARIO_TTL,
     key_bits: int = 128,
     **config_kwargs,
-) -> Tuple[Scenario, Simulator]:
+) -> Tuple[Scenario, "Network"]:
     """Fact retraction with provenance invalidation.
 
     On a line topology the middle link is a bridge: retracting its two base
@@ -487,9 +523,7 @@ def retraction_scenario(
         says_mode=SaysMode.NONE,
         **config_kwargs,
     )
-    simulator = Simulator(
-        topology, _reachable_compiled(), config, key_bits=key_bits
-    )
+    network = _scenario_network(topology, _reachable_compiled(), config, key_bits)
     base = _reachable_base(topology)
     scenario = Scenario(
         name="retraction",
@@ -512,11 +546,11 @@ def retraction_scenario(
             Phase(name="decay", gap=ttl + 1.0, actions=(RefreshSoftState(),)),
         ),
     )
-    return scenario, simulator
+    return scenario, network
 
 
 #: The built-in scenario scripts, by CLI name.
-SCENARIOS: Dict[str, Callable[..., Tuple[Scenario, Simulator]]] = {
+SCENARIOS: Dict[str, Callable[..., Tuple[Scenario, "Network"]]] = {
     "link-failure": link_failure_scenario,
     "churn": churn_scenario,
     "retraction": retraction_scenario,

@@ -19,11 +19,18 @@ from repro.net.events import (
     MessageDelivery,
     NodeCrash,
     NodeRecover,
+    QueryTimeout,
     SimulationEvent,
     SoftStateRefresh,
 )
-from repro.net.message import Message, MessageBatch
+from repro.net.message import Message, MessageBatch, QueryRequest, QueryResponse
 from repro.net.link import Link
+from repro.net.query import (
+    PendingQuery,
+    ProvenanceQuery,
+    QueryEngine,
+    QueryResult,
+)
 from repro.net.topology import Topology, grid_topology, line_topology, random_topology, ring_topology
 from repro.net.stats import NetworkStats, NodeStats
 from repro.net.simulator import CostModel, Simulator, SimulationResult
@@ -44,6 +51,13 @@ __all__ = [
     "NodeCrash",
     "NodeRecover",
     "NodeStats",
+    "PendingQuery",
+    "ProvenanceQuery",
+    "QueryEngine",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryResult",
+    "QueryTimeout",
     "SimulationEvent",
     "SimulationResult",
     "Simulator",

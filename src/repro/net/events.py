@@ -131,6 +131,26 @@ class SoftStateRefresh(SimulationEvent):
 
 
 @dataclass(eq=False, slots=True)
+class QueryTimeout(SimulationEvent):
+    """A provenance query gives up on one outstanding request.
+
+    Scheduled when the request is shipped; when the matching
+    :class:`~repro.net.message.QueryResponse` arrives first the query
+    engine sets ``cancelled`` and the scheduler discards the entry without
+    dispatching it (no wasted event-budget).  Otherwise — the request or
+    the response was lost to a failed link or a crashed node — the queried
+    key is reported missing and the query completes with
+    ``complete=False``, which is how in-network provenance queries fail
+    *partially* instead of hanging forever.
+    """
+
+    query_id: int = 0
+    request_id: int = 0
+    #: Lazy cancellation flag honoured by :class:`EventScheduler`.
+    cancelled: bool = False
+
+
+@dataclass(eq=False, slots=True)
 class FactRetraction(SimulationEvent):
     """Base tuples withdrawn at a node.
 
@@ -156,10 +176,21 @@ class EventScheduler:
         self._sequence = 0
         self.events_scheduled = 0
 
+    def _discard_cancelled(self) -> None:
+        # Lazily drop events whose owner cancelled them (e.g. a QueryTimeout
+        # whose response arrived) so they neither fire nor count against the
+        # max_events budget.  Only front-of-heap entries are inspected; a
+        # cancelled event deeper in the heap is discarded when it surfaces.
+        heap = self._heap
+        while heap and getattr(heap[0][3], "cancelled", False):
+            heapq.heappop(heap)
+
     def __len__(self) -> int:
+        self._discard_cancelled()
         return len(self._heap)
 
     def __bool__(self) -> bool:
+        self._discard_cancelled()
         return bool(self._heap)
 
     def schedule(self, event: SimulationEvent) -> int:
@@ -172,19 +203,25 @@ class EventScheduler:
         return self._sequence
 
     def pop(self) -> SimulationEvent:
-        """Remove and return the next event in deterministic order."""
+        """Remove and return the next live event in deterministic order."""
+        self._discard_cancelled()
         _, _, _, event = heapq.heappop(self._heap)
         return event
 
     def peek_time(self) -> Optional[float]:
-        """Timestamp of the next event, or ``None`` when idle."""
+        """Timestamp of the next live event, or ``None`` when idle."""
+        self._discard_cancelled()
         if not self._heap:
             return None
         return self._heap[0][0]
 
     def pending(self) -> Tuple[SimulationEvent, ...]:
-        """The queued events in fire order (non-destructive, for inspection)."""
-        return tuple(entry[3] for entry in sorted(self._heap))
+        """The queued live events in fire order (non-destructive, for inspection)."""
+        return tuple(
+            entry[3]
+            for entry in sorted(self._heap)
+            if not getattr(entry[3], "cancelled", False)
+        )
 
     def clear(self) -> None:
         self._heap.clear()

@@ -1,6 +1,6 @@
 """Wire messages and their size accounting.
 
-Two wire formats share one size model:
+Two data wire formats share one size model:
 
 * :class:`Message` carries exactly one exported tuple, matching the paper's
   per-tuple shipping ("generating a signature for each tuple");
@@ -13,15 +13,23 @@ bytes stay itemized (signatures are still per tuple), so the bandwidth
 metric of Figure 4 keeps attributing overhead to each mechanism:
 
     header + sum over tuples of (payload + security envelope + provenance)
+
+Provenance *queries* are network traffic too (the paper's central framing:
+provenance is network state, queried over the network), so the in-network
+query engine ships two further wire formats — :class:`QueryRequest` /
+:class:`QueryResponse` — that pay the same per-message header, serialized
+payload bytes and link latency as data traffic, and are attributed to a
+separate ``query_bytes`` / ``query_messages`` category by the statistics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
-from repro.engine.tuples import Fact
+from repro.engine.tuples import Fact, FactKey
 from repro.net.address import Address
+from repro.provenance.distributed import ProvenancePointer
 
 #: Fixed per-message framing overhead: UDP/IP headers plus P2's verbose tuple
 #: framing (relation name, per-field type tags, location specifier).
@@ -142,3 +150,186 @@ class MessageBatch:
             f"{self.source} -> {self.destination}: batch of {self.tuple_count} "
             f"({self.size_bytes()} bytes)"
         )
+
+
+# ---------------------------------------------------------------------------
+# Provenance query traffic
+# ---------------------------------------------------------------------------
+
+#: Per-message flag bytes for query traffic (mode, condensed, authenticated).
+QUERY_FLAG_BYTES = 2
+
+
+def key_payload_bytes(key: FactKey) -> int:
+    """Wire size of one serialized tuple key (same rendering as a fact payload)."""
+    return Fact(relation=key[0], values=key[1]).payload_size()
+
+
+@dataclass(frozen=True)
+class QueryClosureEntry:
+    """One (key, node) expansion inside a :class:`QueryResponse`.
+
+    The responding node resolved *key* against its provenance store:
+    ``is_base`` marks an input leaf, ``pointers`` carries the recorded rule
+    firings (each input paired with the node holding its own provenance).
+    """
+
+    key: FactKey
+    node: str
+    is_base: bool
+    pointers: Tuple[ProvenancePointer, ...] = ()
+
+    def serialized_size(self) -> int:
+        total = key_payload_bytes(self.key) + 1  # key + base/derived flag
+        for pointer in self.pointers:
+            total += len(pointer.rule_label.encode("utf-8"))
+            total += len(pointer.node.encode("utf-8"))
+            total += 8  # timestamp
+            for input_key, origin in pointer.inputs:
+                total += key_payload_bytes(input_key) + 1
+                if origin is not None:
+                    total += len(str(origin).encode("utf-8"))
+        return total
+
+
+@dataclass(eq=False)
+class QueryRequest:
+    """One remote pointer dereference in flight: "expand *key* for me".
+
+    A traceback query issues one request per (key, node) pair it must
+    dereference remotely; the request pays the standard message header plus
+    the serialized key, travels over the same links (serialized, with
+    latency) as data traffic, and is lost the same way when the link is down
+    or the destination node has crashed.
+    """
+
+    source: Address
+    destination: Address
+    key: FactKey
+    query_id: int
+    request_id: int
+    mode: str = "online"
+    condensed: bool = False
+    authenticated: bool = False
+    sent_at: float = 0.0
+    sequence: int = 0
+    security_bytes: int = 0
+    provenance_bytes: int = 0
+
+    def payload_bytes(self) -> int:
+        return key_payload_bytes(self.key)
+
+    def size_bytes(self) -> int:
+        return MESSAGE_HEADER_BYTES + self.payload_bytes() + QUERY_FLAG_BYTES
+
+    @property
+    def tuple_count(self) -> int:
+        return 0
+
+    def facts(self) -> Tuple[Fact, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return (
+            f"{self.source} -> {self.destination}: query#{self.query_id} "
+            f"expand {self.key[0]}{self.key[1]} ({self.size_bytes()} bytes)"
+        )
+
+
+@dataclass(eq=False)
+class QueryResponse:
+    """The answer to one :class:`QueryRequest`.
+
+    Carries the local closure of the requested key at the responding node —
+    every (key, node) expansion resolvable without leaving the node — plus
+    the keys the node could not vouch for.  Remote pointer inputs inside the
+    entries are what the querier dereferences next.  ``annotation_bytes``
+    and ``signature_bytes`` itemize the optional condensed annotation and
+    the responder's signature (authenticated queries), both included in the
+    wire size — and mirrored into ``provenance_bytes`` / ``security_bytes``
+    so the per-mechanism bandwidth attribution covers the query plane too.
+    """
+
+    source: Address
+    destination: Address
+    query_id: int
+    request_id: int
+    key: FactKey
+    entries: Tuple[QueryClosureEntry, ...] = ()
+    missing: Tuple[FactKey, ...] = ()
+    annotation: Optional[object] = None
+    annotation_bytes: int = 0
+    signature: Optional[bytes] = None
+    sent_at: float = 0.0
+    sequence: int = 0
+    security_bytes: int = 0
+    provenance_bytes: int = 0
+    _size_bytes: int = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        payload = key_payload_bytes(self.key)
+        for entry in self.entries:
+            payload += entry.serialized_size()
+        for key in self.missing:
+            payload += key_payload_bytes(key)
+        payload += self.annotation_bytes + self.signature_bytes()
+        self._size_bytes = MESSAGE_HEADER_BYTES + payload + QUERY_FLAG_BYTES
+        # The security envelope and provenance annotation of a response are
+        # attributed like their data-plane counterparts.
+        self.security_bytes = self.signature_bytes()
+        self.provenance_bytes = self.annotation_bytes
+
+    def signature_bytes(self) -> int:
+        return len(self.signature) if self.signature is not None else 0
+
+    def payload_bytes(self) -> int:
+        return self._size_bytes - MESSAGE_HEADER_BYTES
+
+    def size_bytes(self) -> int:
+        return self._size_bytes
+
+    @property
+    def tuple_count(self) -> int:
+        return 0
+
+    def facts(self) -> Tuple[Fact, ...]:
+        return ()
+
+    def signed_payload(self) -> bytes:
+        """Canonical bytes the responding principal signs (authenticated mode).
+
+        Binds the answer's full substance — every pointer's rule label,
+        firing node, timestamp and origin-annotated inputs, the missing
+        list, the shipped annotation and both endpoints — so a relay cannot
+        rewrite who derived what from whom without breaking the signature.
+        """
+        def render_pointer(pointer) -> str:
+            inputs = ",".join(
+                f"{k[0]}{k[1]}@{origin or ''}" for k, origin in pointer.inputs
+            )
+            return (
+                f"{pointer.rule_label}@{pointer.node}@{pointer.timestamp!r}"
+                f"({inputs})"
+            )
+
+        entries = ";".join(
+            f"{e.key[0]}{e.key[1]}|{int(e.is_base)}|"
+            + "+".join(render_pointer(p) for p in e.pointers)
+            for e in self.entries
+        )
+        missing = ";".join(f"{k[0]}{k[1]}" for k in self.missing)
+        annotation = "" if self.annotation is None else str(self.annotation)
+        return (
+            f"{self.source}|{self.destination}|{self.query_id}|{self.request_id}|"
+            f"{self.key[0]}{self.key[1]}|{entries}|{missing}|{annotation}"
+        ).encode("utf-8")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.source} -> {self.destination}: query#{self.query_id} "
+            f"{len(self.entries)} entries ({self.size_bytes()} bytes)"
+        )
+
+
+#: Wire messages belonging to the provenance query plane.
+QueryMessage = (QueryRequest, QueryResponse)

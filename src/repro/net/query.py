@@ -1,0 +1,616 @@
+"""In-network provenance queries: traceback as real network traffic.
+
+The paper's core claim is that provenance is *network state*: maintained
+declaratively, and — crucially — **queried over the network**.  The legacy
+:func:`repro.provenance.distributed.traceback` answers a traceback by
+resolving per-node stores through a Python callable, costing zero simulated
+messages; it remains the *zero-cost oracle*.  This module is the paid path:
+a :class:`ProvenanceQuery` compiles into :class:`QueryRequest` /
+:class:`QueryResponse` wire messages dispatched through the simulator's
+:class:`~repro.net.events.EventScheduler`, so pointer chasing across
+:class:`~repro.provenance.distributed.DistributedProvenanceStore`\\ s pays
+serialized bytes, link-serialized transmission and propagation latency, and
+per-node CPU — and is attributed to a distinct ``query_bytes`` /
+``query_messages`` category in :class:`~repro.net.stats.NetworkStats`.
+
+Resolution is querier-driven (iterative, DNS style): the asking node expands
+its own store for free, then issues one request per remote pointer
+dereference.  The responding node returns the *local closure* of the
+requested key — every expansion reachable without leaving the node — and the
+querier keeps dereferencing the remote pointer inputs those entries name.
+On a static topology the reconstructed derivation graph is structurally
+identical to the oracle's (asserted in tests via
+:meth:`~repro.provenance.graph.DerivationGraph.same_structure`).
+
+Failure semantics make the queries *partial* instead of hanging: every
+request schedules a :class:`~repro.net.events.QueryTimeout`; when the
+request or its response is lost — downed link, crashed destination — the
+timeout fires, the key is reported in ``missing`` and the query completes
+with ``complete=False``.  Queries can run ``mode="offline"`` against the
+persistent provenance archives, which survive node crashes; the node must
+still be up to answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.engine.tuples import Fact, FactKey
+from repro.net.address import Address
+from repro.net.events import QueryTimeout
+from repro.net.message import (
+    QueryClosureEntry,
+    QueryRequest,
+    QueryResponse,
+)
+from repro.provenance.distributed import ProvenancePointer
+from repro.provenance.graph import DerivationGraph, DerivationNode
+from repro.security.rsa import sign, verify
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.simulator import Simulator
+
+#: Default seconds a query waits for one outstanding request before
+#: declaring its key missing.  Generous against normal RTTs (link latencies
+#: are milliseconds) so only genuine losses — downed links, crashed nodes —
+#: time out.
+DEFAULT_QUERY_TIMEOUT = 30.0
+
+QUERY_MODES = ("online", "offline")
+
+
+@dataclass(frozen=True)
+class ProvenanceQuery:
+    """One traceback question asked *inside* the network.
+
+    ``root`` is the tuple key under investigation, ``at`` the node asking.
+    ``mode`` selects the store walked: ``"online"`` uses the live
+    distributed pointer tables, ``"offline"`` the persistent provenance
+    archives (forensics over state the live network may have forgotten).
+    ``condensed`` additionally fetches condensed annotations (paying their
+    serialized bytes per response); ``authenticated`` makes every responder
+    sign its response and the querier verify it (Section 4.3 applied to the
+    query plane).
+    """
+
+    root: FactKey
+    at: Address
+    mode: str = "online"
+    condensed: bool = False
+    authenticated: bool = False
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in QUERY_MODES:
+            raise ValueError(
+                f"unknown query mode {self.mode!r}; expected one of {QUERY_MODES}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("query timeout must be positive")
+
+
+@dataclass
+class QueryResult:
+    """The answer to one in-network provenance query, with its price tag."""
+
+    query: ProvenanceQuery
+    graph: DerivationGraph
+    missing: Tuple[FactKey, ...]
+    nodes_visited: Tuple[Address, ...]
+    #: Remote pointer dereferences attempted (one request each).  The legacy
+    #: oracle bills every remote pointer edge; here a response carries the
+    #: responding node's whole local closure, so edges into an
+    #: already-expanded (key, node) pair are amortized away — this count is
+    #: at most the oracle's ``remote_lookups``.
+    remote_lookups: int
+    messages: int
+    bytes: int
+    issued_at: float
+    completed_at: float
+    timeouts: int = 0
+    responses_verified: int = 0
+    verification_failures: int = 0
+    #: Condensed annotation of the root — the querier's own recorded
+    #: annotation when it holds one, otherwise the annotation a responder
+    #: shipped for the root.  ``None`` when nobody vouches for the key.
+    condensed: Optional[object] = None
+    #: Per-key condensed annotations fetched over the wire
+    #: (``condensed=True`` queries); these are the annotations whose
+    #: serialized bytes the responses were billed for.
+    annotations: Dict[FactKey, object] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+    @property
+    def root(self) -> FactKey:
+        return self.query.root
+
+    @property
+    def latency(self) -> float:
+        """Simulated seconds from issue to the last response (or timeout)."""
+        return self.completed_at - self.issued_at
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "root": self.query.root,
+            "at": self.query.at,
+            "mode": self.query.mode,
+            "complete": self.complete,
+            "missing": self.missing,
+            "nodes_visited": self.nodes_visited,
+            "remote_lookups": self.remote_lookups,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "latency": self.latency,
+            "timeouts": self.timeouts,
+        }
+
+
+@dataclass
+class PendingQuery:
+    """Querier-side state of one in-flight :class:`ProvenanceQuery`."""
+
+    query_id: int
+    query: ProvenanceQuery
+    issued_at: float
+    graph: DerivationGraph = field(default_factory=DerivationGraph)
+    #: (key, node) expansions already merged into the graph.
+    seen: Set[Tuple[FactKey, Address]] = field(default_factory=set)
+    #: (key, node) dereferences already requested — kept separate from
+    #: ``seen`` so the response's own root entry still merges, while
+    #: duplicate pointers to the same pair never re-request it.
+    requested: Set[Tuple[FactKey, Address]] = field(default_factory=set)
+    missing: List[FactKey] = field(default_factory=list)
+    nodes_visited: List[Address] = field(default_factory=list)
+    #: request_id -> (key, node, its scheduled QueryTimeout).
+    outstanding: Dict[int, Tuple[FactKey, Address, QueryTimeout]] = field(
+        default_factory=dict
+    )
+    remote_lookups: int = 0
+    messages: int = 0
+    bytes: int = 0
+    timeouts: int = 0
+    responses_verified: int = 0
+    verification_failures: int = 0
+    condensed: Optional[object] = None
+    annotations: Dict[FactKey, object] = field(default_factory=dict)
+    completed_at: float = 0.0
+    done: bool = False
+
+    def result(self) -> QueryResult:
+        """Snapshot the query's answer (partial until ``done``)."""
+        return QueryResult(
+            query=self.query,
+            graph=self.graph,
+            missing=tuple(self.missing),
+            nodes_visited=tuple(self.nodes_visited),
+            remote_lookups=self.remote_lookups,
+            messages=self.messages,
+            bytes=self.bytes,
+            issued_at=self.issued_at,
+            completed_at=self.completed_at,
+            timeouts=self.timeouts,
+            responses_verified=self.responses_verified,
+            verification_failures=self.verification_failures,
+            condensed=self.condensed,
+            annotations=dict(self.annotations),
+        )
+
+
+class _ArchiveAdapter:
+    """Presents an offline provenance archive as a pointer store.
+
+    Archive entries carry the same (rule, antecedents, node) shape as live
+    pointers; per-antecedent origins come from the archive's remembered
+    remote origins, giving offline traceback the same cross-node walk.
+    """
+
+    def __init__(self, archive) -> None:
+        self._archive = archive
+
+    def is_base(self, key: FactKey) -> bool:
+        return self._archive.is_base(key)
+
+    def knows(self, key: FactKey) -> bool:
+        return self._archive.knows(key)
+
+    def pointers(self, key: FactKey) -> Tuple[ProvenancePointer, ...]:
+        pointers = []
+        for entry in self._archive.entries(key):
+            pointers.append(
+                ProvenancePointer(
+                    output=key,
+                    rule_label=entry.rule_label,
+                    node=entry.node or self._archive.node,
+                    inputs=tuple(
+                        (k, self._archive.origin_of(k))
+                        for k in entry.antecedent_keys
+                    ),
+                    timestamp=entry.timestamp,
+                )
+            )
+        return tuple(pointers)
+
+
+def _local_closure(adapter, node: Address, root: FactKey):
+    """Expand *root* at *node* as far as local pointers reach.
+
+    Mirrors the oracle's visit order (preorder, derivation recorded before
+    its inputs are expanded) so the querier can replay the entries into a
+    structurally identical graph.  Returns ``(entries, missing)``: the
+    (key, node) expansions resolvable here, and the keys this node cannot
+    vouch for.  Pointer inputs held on *other* nodes are left inside the
+    entries for the querier to dereference.
+    """
+    entries: List[QueryClosureEntry] = []
+    missing: List[FactKey] = []
+    seen: Set[FactKey] = set()
+    stack: List[FactKey] = [root]
+    # Explicit stack with reversed pushes keeps preorder without recursion
+    # depth limits on long derivation chains.
+    while stack:
+        key = stack.pop()
+        if key in seen:
+            continue
+        seen.add(key)
+        if adapter.is_base(key):
+            entries.append(QueryClosureEntry(key=key, node=node, is_base=True))
+            continue
+        pointers = adapter.pointers(key)
+        if not pointers:
+            missing.append(key)
+            continue
+        entries.append(
+            QueryClosureEntry(key=key, node=node, is_base=False, pointers=pointers)
+        )
+        local_inputs: List[FactKey] = []
+        for pointer in pointers:
+            for input_key, origin in pointer.inputs:
+                if (origin or node) == node:
+                    local_inputs.append(input_key)
+        for input_key in reversed(local_inputs):
+            stack.append(input_key)
+    return tuple(entries), tuple(missing)
+
+
+class QueryEngine:
+    """Executes provenance queries as events on the simulator's scheduler."""
+
+    def __init__(self, simulator: "Simulator") -> None:
+        self.simulator = simulator
+        self._queries: Dict[int, PendingQuery] = {}
+        self._next_query_id = 0
+        self._next_request_id = 0
+
+    # -- issuing ---------------------------------------------------------------
+
+    def issue(self, query: ProvenanceQuery, now: float = 0.0) -> PendingQuery:
+        """Start *query* at simulated instant *now*.
+
+        The querying node expands its own store for free (paying only CPU),
+        then one :class:`QueryRequest` ships per remote pointer dereference.
+        Drain the scheduler (``run_until_idle``) to let responses, follow-up
+        requests and timeouts play out, then read ``pending.result()``.
+        """
+        simulator = self.simulator
+        engine = simulator.engines.get(query.at)
+        if engine is None:
+            raise ValueError(f"cannot issue a query at unknown node {query.at!r}")
+        if not simulator.node_is_up(query.at):
+            raise RuntimeError(f"cannot issue a query at crashed node {query.at!r}")
+        if not simulator.config.provenance_mode.maintains_provenance:
+            # Without a maintaining mode nothing records pointers — not even
+            # into the offline archives — so both query modes would only
+            # ever report the root missing.  Fail loudly instead.
+            raise ValueError(
+                "provenance queries need a provenance-maintaining "
+                "configuration (provenance_mode is NONE: the engines record "
+                "no pointers to chase, online or archived)"
+            )
+        if query.mode == "offline" and not simulator.config.keep_offline_provenance:
+            raise ValueError(
+                "offline queries need keep_offline_provenance=True so nodes "
+                "archive their derivations"
+            )
+        if query.authenticated:
+            # Responders sign their answers; configurations that never signed
+            # data traffic get keys on demand (deterministically seeded).
+            for address in simulator.topology.nodes:
+                if not simulator.keystore.has_private_key(address):
+                    simulator.keystore.create_keypair(address)
+
+        self._next_query_id += 1
+        pending = PendingQuery(
+            query_id=self._next_query_id, query=query, issued_at=now
+        )
+        self._queries[pending.query_id] = pending
+        simulator.stats.node(query.at).queries_issued += 1
+        if query.condensed:
+            pending.condensed = self._annotation_for(engine, query.root, query.mode)
+        self._expand_local(pending, query.root, now)
+        if not pending.outstanding:
+            self._finish(pending, simulator.stats.node(query.at).busy_until)
+        return pending
+
+    # -- delivery dispatch ------------------------------------------------------
+
+    def deliver(self, message, deliver_at: float) -> None:
+        """Entry point for query-plane messages arriving at a live node."""
+        if isinstance(message, QueryRequest):
+            self._handle_request(message, deliver_at)
+        else:
+            self._handle_response(message, deliver_at)
+
+    def handle_timeout(self, event: QueryTimeout, at: float) -> None:
+        """An outstanding request was never answered: its key goes missing."""
+        pending = self._queries.get(event.query_id)
+        if pending is None or pending.done:
+            return
+        entry = pending.outstanding.pop(event.request_id, None)
+        if entry is None:
+            return  # the response arrived first; the timeout is a no-op
+        key, _node, _timeout = entry
+        pending.timeouts += 1
+        if key not in pending.missing:
+            pending.missing.append(key)
+        if not pending.outstanding:
+            self._finish(pending, at)
+
+    # -- responder side ----------------------------------------------------------
+
+    def _handle_request(self, request: QueryRequest, at: float) -> None:
+        simulator = self.simulator
+        engine = simulator.engines.get(request.destination)
+        if engine is None:
+            return
+        adapter = self._adapter(engine, request.mode)
+        entries, missing = _local_closure(adapter, request.destination, request.key)
+        annotation = None
+        annotation_bytes = 0
+        if request.condensed:
+            annotation = self._annotation_for(engine, request.key, request.mode)
+            if annotation is not None:
+                annotation_bytes = annotation.serialized_size()
+        response = QueryResponse(
+            source=request.destination,
+            destination=request.source,
+            query_id=request.query_id,
+            request_id=request.request_id,
+            key=request.key,
+            entries=entries,
+            missing=missing,
+            annotation=annotation,
+            annotation_bytes=annotation_bytes,
+        )
+        signing_cost = 0.0
+        if request.authenticated:
+            signature = sign(
+                response.signed_payload(),
+                simulator.keystore.private_key(request.destination),
+            )
+            # replace() re-runs __post_init__, folding the signature bytes
+            # into the wire size and the security attribution.
+            response = replace(response, signature=signature)
+            signing_cost = simulator.cost_model.seconds_per_signature
+        lookups = len(entries) + len(missing)
+        cpu = (
+            simulator.cost_model.query_cpu_seconds(lookups, response.size_bytes())
+            + signing_cost
+        )
+        send_time = self._charge(request.destination, at, cpu)
+        self._ship(response.query_id, request.destination, response, send_time)
+
+    # -- querier side -------------------------------------------------------------
+
+    def _handle_response(self, response: QueryResponse, at: float) -> None:
+        simulator = self.simulator
+        pending = self._queries.get(response.query_id)
+        if pending is None or pending.done:
+            return
+        if response.request_id not in pending.outstanding:
+            return  # already timed out; the answer arrived too late
+        _key, _node, timeout = pending.outstanding.pop(response.request_id)
+        # The answer is here: its timeout must neither fire nor burn an
+        # event-budget slot when the scheduler reaches it.
+        timeout.cancelled = True
+        verification_cost = 0.0
+        if pending.query.authenticated:
+            verification_cost = simulator.cost_model.seconds_per_verification
+            ok = response.signature is not None and verify(
+                response.signed_payload(),
+                response.signature,
+                simulator.keystore.public_key(response.source),
+            )
+            if ok:
+                pending.responses_verified += 1
+            else:
+                # A spoofed or corrupted answer is discarded: the key stays
+                # unresolved rather than poisoning the graph.
+                pending.verification_failures += 1
+                if response.key not in pending.missing:
+                    pending.missing.append(response.key)
+                self._charge(pending.query.at, at, verification_cost)
+                if not pending.outstanding:
+                    self._finish(
+                        pending,
+                        simulator.stats.node(pending.query.at).busy_until,
+                    )
+                return
+        cpu = (
+            simulator.cost_model.query_cpu_seconds(0, response.size_bytes())
+            + verification_cost
+        )
+        now = self._charge(pending.query.at, at, cpu)
+        if response.source not in pending.nodes_visited:
+            pending.nodes_visited.append(response.source)
+        if response.annotation is not None:
+            # The annotation the responder computed, shipped and billed for.
+            pending.annotations[response.key] = response.annotation
+            if pending.condensed is None and response.key == pending.query.root:
+                pending.condensed = response.annotation
+        self._merge_closure(
+            pending, response.source, response.entries, response.missing, now
+        )
+        if not pending.outstanding:
+            self._finish(
+                pending, simulator.stats.node(pending.query.at).busy_until
+            )
+
+    def _expand_local(self, pending: PendingQuery, key: FactKey, now: float) -> None:
+        """Resolve *key* at the querying node itself: CPU, but no messages."""
+        simulator = self.simulator
+        at_node = pending.query.at
+        engine = simulator.engines[at_node]
+        adapter = self._adapter(engine, pending.query.mode)
+        entries, missing = _local_closure(adapter, at_node, key)
+        cpu = simulator.cost_model.query_cpu_seconds(
+            len(entries) + len(missing), 0
+        )
+        now = self._charge(at_node, now, cpu)
+        if at_node not in pending.nodes_visited:
+            pending.nodes_visited.append(at_node)
+        self._merge_closure(pending, at_node, entries, missing, now)
+
+    def _merge_closure(
+        self,
+        pending: PendingQuery,
+        node: Address,
+        entries,
+        missing,
+        now: float,
+    ) -> None:
+        """Replay closure *entries* into the graph; dereference remote inputs."""
+        graph = pending.graph
+        for entry in entries:
+            pair = (entry.key, entry.node)
+            if pair in pending.seen:
+                continue
+            pending.seen.add(pair)
+            graph.add_tuple(DerivationNode(key=entry.key, location=entry.node))
+            for pointer in entry.pointers:
+                graph.add_derivation(
+                    output=Fact(relation=entry.key[0], values=entry.key[1]),
+                    rule_label=pointer.rule_label,
+                    antecedents=[
+                        Fact(relation=k[0], values=k[1])
+                        for k, _ in pointer.inputs
+                    ],
+                    location=pointer.node,
+                    timestamp=pointer.timestamp,
+                )
+                for input_key, origin in pointer.inputs:
+                    next_node = origin or entry.node
+                    if next_node != entry.node:
+                        self._dereference(pending, input_key, next_node, now)
+        for key in missing:
+            pair = (key, node)
+            if pair in pending.seen:
+                continue
+            pending.seen.add(pair)
+            graph.add_tuple(DerivationNode(key=key, location=node))
+            if key not in pending.missing:
+                pending.missing.append(key)
+
+    def _dereference(
+        self, pending: PendingQuery, key: FactKey, node: Address, now: float
+    ) -> None:
+        """Follow one remote pointer edge: locally when it points home,
+        otherwise as a paid request."""
+        if (key, node) in pending.seen or (key, node) in pending.requested:
+            return
+        if node == pending.query.at:
+            # The pointer leads back to the asker: resolved in memory.
+            self._expand_local(pending, key, now)
+            return
+        pending.requested.add((key, node))
+        pending.remote_lookups += 1
+        simulator = self.simulator
+        self._next_request_id += 1
+        request = QueryRequest(
+            source=pending.query.at,
+            destination=node,
+            key=key,
+            query_id=pending.query_id,
+            request_id=self._next_request_id,
+            mode=pending.query.mode,
+            condensed=pending.query.condensed,
+            authenticated=pending.query.authenticated,
+        )
+        send_time = self._charge(
+            pending.query.at,
+            now,
+            simulator.cost_model.query_cpu_seconds(0, request.size_bytes()),
+        )
+        self._ship(pending.query_id, pending.query.at, request, send_time)
+        timeout_after = pending.query.timeout or simulator.query_timeout
+        timeout = QueryTimeout(
+            time=send_time + timeout_after,
+            query_id=pending.query_id,
+            request_id=request.request_id,
+        )
+        pending.outstanding[request.request_id] = (key, node, timeout)
+        simulator.scheduler.schedule(timeout)
+
+    def _finish(self, pending: PendingQuery, at_time: float) -> None:
+        pending.done = True
+        pending.completed_at = max(at_time, pending.issued_at)
+        # The engine's own bookkeeping for the query is over; dropping the
+        # entry keeps memory flat over many queries and makes any late
+        # response a true no-op instead of mutating a snapshot result.
+        self._queries.pop(pending.query_id, None)
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def _adapter(self, engine, mode: str):
+        if mode == "offline":
+            return _ArchiveAdapter(engine.offline_provenance)
+        return engine.distributed_provenance
+
+    def _annotation_for(self, engine, key, mode: str):
+        """The *recorded* condensed annotation of *key* in this query's store.
+
+        Offline queries read the archived annotation — the one that survives
+        a crash, matching the store the pointer walk itself uses — while
+        online queries read the live local store.  ``None`` when nothing was
+        recorded: the identity fallback for unknown keys must not masquerade
+        as provenance.
+        """
+        if mode == "offline":
+            for entry in engine.offline_provenance.entries(key):
+                if entry.annotation is not None:
+                    return entry.annotation
+            return None
+        if engine.local_provenance.knows(key):
+            return engine.local_provenance.annotation(key)
+        return None
+
+    def _charge(self, address: Address, start_floor: float, cpu: float) -> float:
+        """Advance *address*'s CPU clock by *cpu* seconds; return its new busy time."""
+        stats = self.simulator.stats.node(address)
+        start = max(start_floor, stats.busy_until)
+        stats.cpu_seconds += cpu
+        stats.busy_until = start + cpu
+        return stats.busy_until
+
+    def _ship(self, query_id: int, source: Address, message, send_time: float) -> None:
+        """Put one query-plane message on the wire, charging the usual costs
+        plus the per-query attribution to the asking node.
+
+        Query traffic travels between arbitrary node pairs, so it is routed
+        hop-by-hop over the currently-live topology (a partition loses it).
+        """
+        simulator = self.simulator
+        node_stats = simulator.stats.node(source)
+        simulator.ship_routed(
+            source, message.destination, message, send_time, node_stats
+        )
+        pending = self._queries.get(query_id)
+        if pending is not None:
+            pending.messages += 1
+            pending.bytes += message.size_bytes()
+            simulator.stats.node(
+                pending.query.at
+            ).query_bytes_charged += message.size_bytes()

@@ -41,9 +41,11 @@ from repro.engine.node_engine import (
     NodeEngine,
     OutgoingFact,
     ProcessingReport,
+    collect_facts,
+    facts_by_node,
     group_outgoing,
 )
-from repro.engine.tuples import Fact, FactKey
+from repro.engine.tuples import Fact, FactKey, as_fact_key
 from repro.net.address import Address
 from repro.net.events import (
     EventScheduler,
@@ -54,11 +56,19 @@ from repro.net.events import (
     MessageDelivery,
     NodeCrash,
     NodeRecover,
+    QueryTimeout,
     SimulationEvent,
     SoftStateRefresh,
 )
 from repro.net.link import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, Link
-from repro.net.message import BatchItem, Message, MessageBatch
+from repro.net.message import BatchItem, Message, MessageBatch, QueryRequest, QueryResponse
+from repro.net.query import (
+    DEFAULT_QUERY_TIMEOUT,
+    PendingQuery,
+    ProvenanceQuery,
+    QueryEngine,
+    QueryResult,
+)
 from repro.net.stats import NetworkStats, NodeStats, WireMessage
 from repro.net.topology import Topology
 from repro.security.keystore import KeyStore
@@ -91,6 +101,18 @@ class CostModel:
     seconds_per_verification: float = 0.6e-3
     seconds_per_provenance_annotation: float = 1.0e-3
     seconds_per_provenance_byte: float = 2.5e-5
+    #: Query-plane work: one pointer-table lookup while answering (or
+    #: locally expanding) a provenance query, and one serialized query
+    #: payload byte built or parsed.
+    seconds_per_query_lookup: float = 0.5e-3
+    seconds_per_query_byte: float = 3.0e-5
+
+    def query_cpu_seconds(self, lookups: int, payload_bytes: int) -> float:
+        """Simulated CPU time for query-plane work (lookups + serialization)."""
+        return (
+            lookups * self.seconds_per_query_lookup
+            + payload_bytes * self.seconds_per_query_byte
+        )
 
     def cpu_seconds(self, report: ProcessingReport) -> float:
         """Simulated CPU time for the work summarised in *report*."""
@@ -121,13 +143,10 @@ class SimulationResult:
 
     def facts(self, relation: str) -> Dict[Address, Tuple[Fact, ...]]:
         """All stored facts of *relation*, per node."""
-        return {address: engine.facts(relation) for address, engine in self.engines.items()}
+        return facts_by_node(self.engines, relation)
 
     def all_facts(self, relation: str) -> Tuple[Fact, ...]:
-        collected: List[Fact] = []
-        for engine in self.engines.values():
-            collected.extend(engine.facts(relation))
-        return tuple(collected)
+        return collect_facts(self.engines, relation)
 
 
 class Simulator:
@@ -148,6 +167,7 @@ class Simulator:
         batching: bool = True,
         batch_receive: bool = True,
         link_relation: str = "link",
+        query_timeout: float = DEFAULT_QUERY_TIMEOUT,
     ) -> None:
         self.topology = topology
         self.compiled = compiled
@@ -171,6 +191,9 @@ class Simulator:
         #: Name of the base relation whose tuples mirror the topology's
         #: links; LinkDown retraction and recovery re-injection key off it.
         self.link_relation = link_relation
+        #: Seconds an in-network provenance query waits for one outstanding
+        #: request before reporting the key missing (lost request/response).
+        self.query_timeout = query_timeout
 
         self.registry = registry or PrincipalRegistry()
         self.keystore = keystore or KeyStore(key_bits=key_bits, seed=7)
@@ -206,6 +229,10 @@ class Simulator:
         #: Link tuples retracted by LinkDown, re-injected by a bare LinkUp.
         self._failed_link_facts: Dict[Tuple[Address, Address], Tuple[Fact, ...]] = {}
 
+        #: The in-network provenance query plane (repro.net.query): queries
+        #: ride the same scheduler and pay the same wire costs as data.
+        self.queries = QueryEngine(self)
+
         self._handlers = {
             MessageDelivery: self._handle_delivery,
             LinkDown: self._handle_link_down,
@@ -215,19 +242,35 @@ class Simulator:
             FactInjection: self._handle_injection,
             FactRetraction: self._handle_retraction,
             SoftStateRefresh: self._handle_refresh,
+            QueryTimeout: self._handle_query_timeout,
         }
 
     # -- base facts -------------------------------------------------------------
 
     def link_facts(self) -> Dict[Address, List[Fact]]:
-        """The ``link(@S, D, C)`` base tuples implied by the topology."""
+        """The link base tuples implied by the topology, shaped for the program.
+
+        Programs differ in their link arity — reachability uses
+        ``link(@S, D)``, Best-Path ``link(@S, D, C)`` — so the compiled
+        catalog decides whether the default workload carries the cost column.
+        """
+        relation = self.link_relation
+        # Every engine compiles the same program; any one catalog will do.
+        # Programs that never mention the link relation get the full
+        # ``link(@S, D, C)`` shape.
+        engine = next(iter(self.engines.values()), None)
+        arity = 3
+        if engine is not None and relation in engine.database.catalog:
+            arity = engine.database.catalog.schema(relation).arity
         per_node: Dict[Address, List[Fact]] = {address: [] for address in self.topology.nodes}
         for link in self.topology.links:
+            values = (
+                (link.source, link.destination)
+                if arity == 2
+                else (link.source, link.destination, link.cost)
+            )
             per_node[link.source].append(
-                Fact(
-                    relation=self.link_relation,
-                    values=(link.source, link.destination, link.cost),
-                )
+                Fact(relation=relation, values=values)
             )
         return per_node
 
@@ -308,6 +351,46 @@ class Simulator:
         converged = self.run_until_idle()
         return self.finish(converged)
 
+    def issue_query(
+        self, query: ProvenanceQuery, now: Optional[float] = None
+    ) -> PendingQuery:
+        """Start an in-network provenance query at simulated instant *now*.
+
+        Requests, responses and timeouts are dispatched through the normal
+        event loop: drain it (:meth:`run_until_idle`) and read
+        ``pending.result()``.  Defaults to issuing at the current simulated
+        time, i.e. after whatever the network has already been through.
+        """
+        at = self.current_time() if now is None else now
+        return self.queries.issue(query, now=at)
+
+    def query(
+        self,
+        root,
+        at: Address,
+        mode: str = "online",
+        condensed: bool = False,
+        authenticated: bool = False,
+        timeout: Optional[float] = None,
+    ) -> QueryResult:
+        """Issue a provenance query, run it to completion, return its result.
+
+        ``root`` may be a :class:`~repro.engine.tuples.Fact` or a fact key.
+        """
+        key = as_fact_key(root)
+        pending = self.issue_query(
+            ProvenanceQuery(
+                root=key,
+                at=at,
+                mode=mode,
+                condensed=condensed,
+                authenticated=authenticated,
+                timeout=timeout,
+            )
+        )
+        self.run_until_idle()
+        return pending.result()
+
     def finish(self, converged: bool = True) -> SimulationResult:
         """Close the books on a run: final stats plus residual soft-state expiry.
 
@@ -330,6 +413,9 @@ class Simulator:
 
     def _handle_delivery(self, event: MessageDelivery, at: float) -> None:
         self._deliver(event.message, at)
+
+    def _handle_query_timeout(self, event: QueryTimeout, at: float) -> None:
+        self.queries.handle_timeout(event, at)
 
     def _handle_link_down(self, event: LinkDown, at: float) -> None:
         key = (event.source, event.destination)
@@ -460,6 +546,12 @@ class Simulator:
             return
         node_stats = self.stats.node(destination)
         node_stats.record_receive(message)
+        if isinstance(message, (QueryRequest, QueryResponse)):
+            # Query-plane traffic is handled by the query engine, not the
+            # datalog engine; it shares the loss semantics above (a crashed
+            # node answers nothing, the querier's timeout reports the miss).
+            self.queries.deliver(message, deliver_at)
+            return
         if self.batch_receive:
             start = max(deliver_at, node_stats.busy_until)
             result = engine.receive_batch(message.facts(), now=start)
@@ -530,6 +622,81 @@ class Simulator:
                     sequence=self._next_sequence(),
                 )
                 self._ship(source, item.destination, message, send_time, node_stats)
+
+    def route_between(
+        self, source: Address, destination: Address
+    ) -> Optional[List[Link]]:
+        """Shortest live directed path from *source* to *destination*, or None.
+
+        BFS over the topology minus currently-down links; crashed nodes do
+        not forward (they may still be the destination — delivery-time loss
+        handles that).  Deterministic: neighbours are explored in topology
+        declaration order.  Used by the query plane, whose request/response
+        traffic travels between arbitrary node pairs, unlike data traffic
+        which only ever crosses single program-visible links.
+        """
+        if source == destination:
+            return []
+        parents: Dict[Address, Tuple[Address, Link]] = {source: None}  # type: ignore[dict-item]
+        frontier: List[Address] = [source]
+        while frontier:
+            next_frontier: List[Address] = []
+            for node in frontier:
+                for link in self.topology.outgoing(node):
+                    hop = link.destination
+                    if hop in parents or (node, hop) in self._down_links:
+                        continue
+                    if hop != destination and hop in self._down_nodes:
+                        continue
+                    parents[hop] = (node, link)
+                    if hop == destination:
+                        path: List[Link] = []
+                        current = hop
+                        while parents[current] is not None:
+                            previous, via = parents[current]
+                            path.append(via)
+                            current = previous
+                        path.reverse()
+                        return path
+                    next_frontier.append(hop)
+            frontier = next_frontier
+        return None
+
+    def ship_routed(
+        self,
+        source: Address,
+        destination: Address,
+        message: WireMessage,
+        send_time: float,
+        node_stats: NodeStats,
+    ) -> None:
+        """Ship a message along the live multi-hop route to *destination*.
+
+        The sender pays for the bytes either way.  With no live route —
+        partition, downed links — the message is lost; otherwise it
+        serializes on the first hop's wire (the sender's interface) and pays
+        the summed propagation latency of every hop on the path.
+        """
+        node_stats.record_send(message)
+        self.stats.total_messages += 1
+        path = self.route_between(source, destination)
+        if path is None:
+            self.stats.messages_lost += 1
+            return
+        size = message.size_bytes()
+        if path:
+            first = path[0]
+            wire_seconds = size / first.bandwidth if first.bandwidth > 0 else 0.0
+            key = (source, first.destination)
+            transmit_at = max(send_time, self._link_busy_until.get(key, 0.0))
+            self._link_busy_until[key] = transmit_at + wire_seconds
+            latency = sum(link.latency for link in path)
+        else:
+            wire_seconds = 0.0
+            transmit_at = send_time
+            latency = self.default_latency
+        deliver_at = transmit_at + wire_seconds + latency
+        self.scheduler.schedule(MessageDelivery(time=deliver_at, message=message))
 
     def _ship(
         self,

@@ -19,9 +19,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
 from repro.net.address import Address
-from repro.net.message import Message, MessageBatch
+from repro.net.message import Message, MessageBatch, QueryRequest, QueryResponse
 
-WireMessage = Union[Message, MessageBatch]
+WireMessage = Union[Message, MessageBatch, QueryRequest, QueryResponse]
 
 
 @dataclass
@@ -31,6 +31,15 @@ class NodeStats:
     ``messages_sent`` counts wire messages (a batch is one message);
     ``tuples_sent`` counts the tuples they carried.  ``batch_sizes`` is the
     tuples-per-batch histogram for batched sends (size -> batch count).
+
+    Provenance query traffic is real traffic — it is included in
+    ``messages_sent`` / ``bytes_sent`` — and additionally itemized:
+    ``query_messages_sent`` / ``query_bytes_sent`` attribute the wire
+    messages this node shipped for the query plane (requests it issued,
+    responses it answered), while ``query_bytes_charged`` attributes every
+    byte of query traffic — requests *and* the responses they provoked — to
+    the node that *issued* the query, the way the paper's Section 6 would
+    bill a traceback to its asker.
     """
 
     address: Address
@@ -43,6 +52,10 @@ class NodeStats:
     batches_sent: int = 0
     tuples_sent: int = 0
     tuples_received: int = 0
+    queries_issued: int = 0
+    query_messages_sent: int = 0
+    query_bytes_sent: int = 0
+    query_bytes_charged: int = 0
     facts_derived: int = 0
     facts_stored: int = 0
     facts_retracted: int = 0
@@ -60,6 +73,9 @@ class NodeStats:
         if isinstance(message, MessageBatch):
             self.batches_sent += 1
             self.batch_sizes[count] = self.batch_sizes.get(count, 0) + 1
+        elif isinstance(message, (QueryRequest, QueryResponse)):
+            self.query_messages_sent += 1
+            self.query_bytes_sent += message.size_bytes()
 
     def record_receive(self, message: WireMessage) -> None:
         self.messages_received += 1
@@ -114,6 +130,29 @@ class NetworkStats:
     def provenance_overhead_bytes(self) -> int:
         return sum(stats.provenance_bytes_sent for stats in self.nodes.values())
 
+    # -- query metrics ----------------------------------------------------------
+
+    def total_query_messages(self) -> int:
+        """Wire messages shipped by the provenance query plane."""
+        return sum(stats.query_messages_sent for stats in self.nodes.values())
+
+    def total_query_bytes(self) -> int:
+        """Bytes shipped by the provenance query plane (included in total_bytes)."""
+        return sum(stats.query_bytes_sent for stats in self.nodes.values())
+
+    def total_queries_issued(self) -> int:
+        return sum(stats.queries_issued for stats in self.nodes.values())
+
+    def maintenance_bytes(self) -> int:
+        """Bytes of data-plane traffic: everything that is not query traffic.
+
+        This is the split the paper's Section 6 motivates: provenance
+        *maintenance* pays its cost up front on every shipped tuple, while
+        distributed pointers defer the cost to *query* time — both sides are
+        now measured in the same byte currency.
+        """
+        return self.total_bytes() - self.total_query_bytes()
+
     # -- batching metrics -------------------------------------------------------
 
     def total_batches(self) -> int:
@@ -151,6 +190,9 @@ class NetworkStats:
             "batches_sent": float(self.total_batches()),
             "tuples_sent": float(self.total_tuples_sent()),
             "mean_tuples_per_batch": self.mean_tuples_per_batch(),
+            "query_messages": float(self.total_query_messages()),
+            "query_bytes": float(self.total_query_bytes()),
+            "queries_issued": float(self.total_queries_issued()),
             "messages_dropped": float(self.messages_dropped),
             "messages_lost": float(self.messages_lost),
             "facts_derived": float(self.total_facts_derived()),

@@ -137,9 +137,18 @@ def traceback(
     """Reconstruct the derivation graph of *root* by walking pointers across nodes.
 
     ``resolver`` maps a node name to its :class:`DistributedProvenanceStore`
-    (or ``None`` if unreachable).  Every lookup of a store other than the one
-    already at hand counts as one remote lookup — the communication cost of
-    the distributed provenance query.
+    (or ``None`` if unreachable).  ``remote_lookups`` counts one lookup per
+    *remote pointer dereference* — every time following a pointer input
+    requires consulting a store on a different node than the one holding the
+    pointer, including dereferences that fail because the target store is
+    unreachable (the request was still sent).  ``nodes_visited`` lists only
+    nodes whose store actually answered.
+
+    This function resolves stores directly (a Python call, not a simulated
+    message): it is the *zero-cost oracle* against which the in-network
+    query engine (:mod:`repro.net.query`) is validated — on a static
+    topology the engine must reconstruct a graph with the same structure
+    while additionally paying per-message byte and latency costs.
     """
     graph = DerivationGraph()
     visited_nodes: List[str] = []
@@ -147,19 +156,21 @@ def traceback(
     remote_lookups = 0
     seen: Set[Tuple[FactKey, str]] = set()
 
-    def visit(key: FactKey, node_name: str, depth: int) -> None:
+    def visit(key: FactKey, node_name: str, depth: int, via_remote: bool) -> None:
         nonlocal remote_lookups
         if depth > max_depth or (key, node_name) in seen:
             return
         seen.add((key, node_name))
+        if via_remote:
+            # One remote pointer dereference = one lookup message, whether
+            # or not the target store turns out to be reachable.
+            remote_lookups += 1
         store = resolver(node_name)
-        if node_name not in visited_nodes:
-            visited_nodes.append(node_name)
-            if node_name != start_node:
-                remote_lookups += 1
         if store is None:
             missing.append(key)
             return
+        if node_name not in visited_nodes:
+            visited_nodes.append(node_name)
         graph.add_tuple(DerivationNode(key=key, location=node_name))
         if store.is_base(key):
             return
@@ -181,9 +192,9 @@ def traceback(
             )
             for input_key, origin in pointer.inputs:
                 next_node = origin or node_name
-                visit(input_key, next_node, depth + 1)
+                visit(input_key, next_node, depth + 1, next_node != node_name)
 
-    visit(root, start_node, 0)
+    visit(root, start_node, 0, False)
     return TracebackResult(
         root=root,
         graph=graph,

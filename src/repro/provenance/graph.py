@@ -167,6 +167,30 @@ class DerivationGraph:
 
     # -- structure ------------------------------------------------------------
 
+    def structure(self) -> Tuple[FrozenSet, FrozenSet]:
+        """A hashable structural fingerprint of the graph.
+
+        Two graphs with equal structures contain the same tuple nodes (key,
+        location, asserting principal) and the same set of rule applications
+        (label, location, output, inputs) — regardless of the order the
+        derivations were recorded in.  This is how the in-network provenance
+        query engine is checked against the zero-cost ``traceback`` oracle.
+        """
+        tuples = frozenset(
+            (node.key, node.location, node.asserted_by)
+            for node in self._tuples.values()
+        )
+        operators = frozenset(
+            (op.rule_label, op.location, op.output, op.inputs)
+            for op in self._operators
+            if op is not None
+        )
+        return (tuples, operators)
+
+    def same_structure(self, other: "DerivationGraph") -> bool:
+        """True when *other* records the same tuples and derivations."""
+        return self.structure() == other.structure()
+
     def tuple_node(self, key: FactKey) -> Optional[DerivationNode]:
         return self._tuples.get(key)
 

@@ -114,6 +114,16 @@ class LocalProvenanceStore:
 
     # -- queries ----------------------------------------------------------------
 
+    def knows(self, key: FactKey) -> bool:
+        """True when the store actually recorded provenance for *key*.
+
+        ``annotation`` falls back to an identity variable for unknown keys;
+        callers that must distinguish a real annotation from that fallback
+        (e.g. the in-network query plane deciding whether to ship one) check
+        here first.
+        """
+        return key in self._condensed or self.graph.tuple_node(key) is not None
+
     def annotation(self, key: FactKey) -> CondensedProvenance:
         """Condensed annotation of *key*; unknown keys map to their own identity."""
         existing = self._condensed.get(key)

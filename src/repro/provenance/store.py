@@ -112,6 +112,38 @@ class OfflineProvenanceArchive:
         self.retention = retention
         self._entries: List[ProvenanceEntry] = []
         self._pinned: Set[int] = set()
+        #: Keys archived as base (application-asserted) inputs at this node.
+        self._base: Set[FactKey] = set()
+        #: Keys that arrived from another node -> the node holding their
+        #: provenance.  Together with ``_base`` this gives the archive the
+        #: same pointer-chasing shape as the live distributed store, so
+        #: offline (forensic) traceback queries can walk it across nodes
+        #: even after the live stores were wiped by a crash.
+        self._remote_origin: Dict[FactKey, str] = {}
+        #: Entry indexes per derived key (kept in sync by record / age_out)
+        #: so per-key lookups — the unit of work of a traceback query — do
+        #: not scan the whole log.
+        self._by_key: Dict[FactKey, List[int]] = {}
+
+    def record_base(self, fact: Fact) -> None:
+        """Archive that *fact* was asserted as a base tuple at this node."""
+        self._base.add(fact.key())
+
+    def record_remote(self, fact: Fact, origin: Optional[str]) -> None:
+        """Archive that *fact* arrived from *origin*, which holds its provenance."""
+        if origin is not None and origin != self.node:
+            self._remote_origin[fact.key()] = origin
+
+    def is_base(self, key: FactKey) -> bool:
+        return key in self._base
+
+    def origin_of(self, key: FactKey) -> Optional[str]:
+        """The node holding *key*'s provenance, when it arrived from elsewhere."""
+        return self._remote_origin.get(key)
+
+    def knows(self, key: FactKey) -> bool:
+        """True when the archive recorded *key* as base or as a derivation."""
+        return key in self._base or key in self._by_key
 
     def record(self, derivation: Derivation, annotation: Optional[CondensedProvenance] = None) -> int:
         fact = derivation.fact
@@ -124,6 +156,7 @@ class OfflineProvenanceArchive:
             expires_at=fact.expires_at(),
             annotation=annotation,
         )
+        self._by_key.setdefault(entry.key, []).append(len(self._entries))
         self._entries.append(entry)
         return len(self._entries) - 1
 
@@ -135,7 +168,7 @@ class OfflineProvenanceArchive:
     def entries(self, key: Optional[FactKey] = None) -> Tuple[ProvenanceEntry, ...]:
         if key is None:
             return tuple(self._entries)
-        return tuple(e for e in self._entries if e.key == key)
+        return tuple(self._entries[i] for i in self._by_key.get(key, ()))
 
     def entries_between(self, start: float, end: float) -> Tuple[ProvenanceEntry, ...]:
         """Entries recorded in the time window [start, end] (forensic queries)."""
@@ -171,6 +204,9 @@ class OfflineProvenanceArchive:
             keep.append(entry)
         self._entries = keep
         self._pinned = new_pinned
+        self._by_key = {}
+        for index, entry in enumerate(self._entries):
+            self._by_key.setdefault(entry.key, []).append(index)
         return dropped
 
     def reconstruct_graph(self, root: FactKey) -> DerivationGraph:

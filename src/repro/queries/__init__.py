@@ -1,6 +1,17 @@
-"""Library of NDlog / SeNDlog programs used by the paper and the use cases."""
+"""Library of NDlog / SeNDlog programs used by the paper and the use cases.
+
+:data:`PROGRAMS` is the named-program registry the :class:`repro.api.Network`
+facade resolves ``program="best-path"``-style arguments against; use
+:func:`compile_named` directly when you want the compiled plans without a
+network around them.
+"""
+
+from typing import Callable, Dict
+
+from repro.datalog.planner import CompiledProgram
 
 from repro.queries.reachable import (
+    REACHABLE_LOCALIZED,
     REACHABLE_NDLOG,
     REACHABLE_SENDLOG,
     reachable_program,
@@ -13,14 +24,46 @@ from repro.queries.best_path import (
 from repro.queries.path_vector import DISTANCE_VECTOR_NDLOG, PATH_VECTOR_NDLOG
 from repro.queries.monitoring import ROUTE_FLAP_MONITOR_NDLOG
 
+
+def compile_reachable() -> CompiledProgram:
+    """Compile the directly-executable all-pairs reachability program."""
+    from repro.datalog import localize_program, parse_program
+    from repro.datalog.planner import compile_program
+
+    return compile_program(localize_program(parse_program(REACHABLE_LOCALIZED)))
+
+
+#: Named programs resolvable by ``Network.build(program="<name>")``.
+PROGRAMS: Dict[str, Callable[[], CompiledProgram]] = {
+    "best-path": compile_best_path,
+    "reachable": compile_reachable,
+}
+
+
+def compile_named(name: str) -> CompiledProgram:
+    """Compile a program from the registry by name."""
+    try:
+        factory = PROGRAMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown program {name!r}; expected one of {sorted(PROGRAMS)} "
+            "(or pass NDlog source text / a CompiledProgram)"
+        ) from None
+    return factory()
+
+
 __all__ = [
     "BEST_PATH_NDLOG",
     "DISTANCE_VECTOR_NDLOG",
     "PATH_VECTOR_NDLOG",
+    "PROGRAMS",
+    "REACHABLE_LOCALIZED",
     "REACHABLE_NDLOG",
     "REACHABLE_SENDLOG",
     "ROUTE_FLAP_MONITOR_NDLOG",
     "best_path_program",
     "compile_best_path",
+    "compile_named",
+    "compile_reachable",
     "reachable_program",
 ]

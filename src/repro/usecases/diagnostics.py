@@ -124,6 +124,35 @@ class RouteFlapDetector:
             suspects.update(annotation.sources() - trusted_set)
         return tuple(sorted(suspects))
 
+    def identify_suspects_over_network(
+        self,
+        network,
+        flapping: Iterable[Tuple[str, str]],
+        route_key_of: Dict[Tuple[str, str], FactKey],
+        at: str,
+        trusted: Iterable[str] = (),
+    ) -> Tuple[str, ...]:
+        """Attribute flapping routes by querying provenance *in-band*.
+
+        For every flapping entry the monitoring node issues
+        ``network.query(route_key, at=at, condensed=True)`` — the condensed
+        annotation comes back over the simulated network (query traffic is
+        charged to *at* in the statistics) instead of being read out of a
+        Python dictionary.  Suspects are the untrusted principals the
+        annotations implicate, exactly as in :meth:`identify_suspects`.
+        """
+        trusted_set = set(trusted)
+        suspects: set = set()
+        for entry in flapping:
+            key = route_key_of.get(entry)
+            if key is None:
+                continue
+            result = network.query(key, at=at, condensed=True)
+            if result.condensed is None:
+                continue
+            suspects.update(result.condensed.sources() - trusted_set)
+        return tuple(sorted(suspects))
+
     def purge_derived_state(
         self, store: OnlineProvenanceStore, roots: Iterable[FactKey]
     ) -> Tuple[FactKey, ...]:

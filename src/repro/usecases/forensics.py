@@ -17,7 +17,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
-from repro.engine.tuples import FactKey
+from repro.engine.tuples import Fact, FactKey, as_fact_key
 from repro.provenance.graph import DerivationGraph
 from repro.provenance.store import OfflineProvenanceArchive, ProvenanceEntry
 
@@ -70,6 +70,17 @@ class ForensicInvestigator:
             address: engine.offline_provenance for address, engine in engines.items()
         }
         return cls(archives)
+
+    @classmethod
+    def from_network(cls, network) -> "ForensicInvestigator":
+        """Build an investigator from a :class:`repro.api.Network` (or run result).
+
+        This is the out-of-band path: the investigator reads every archive
+        directly, costing zero simulated messages.  For the in-band
+        alternative — the same question asked *over* the network, paying
+        query traffic — see :func:`traceback_over_network`.
+        """
+        return cls.from_engines(network.engines)
 
     # -- queries -----------------------------------------------------------------------
 
@@ -212,3 +223,62 @@ class ForensicInvestigator:
         return {
             address: archive.storage_bytes() for address, archive in self._archives.items()
         }
+
+
+def _derivation_depth(graph: DerivationGraph, root: FactKey) -> int:
+    """Longest producer chain under *root* (BFS over rule applications)."""
+    depth = 0
+    seen: set = set()
+    frontier: deque = deque([(root, 0)])
+    while frontier:
+        key, level = frontier.popleft()
+        if key in seen:
+            continue
+        seen.add(key)
+        depth = max(depth, level)
+        for operator in graph.producers(key):
+            for input_key in operator.inputs:
+                frontier.append((input_key, level + 1))
+    return depth
+
+
+def traceback_over_network(
+    network,
+    target,
+    at: str,
+    mode: str = "offline",
+    **query_kwargs,
+) -> Tuple[TracebackReport, object]:
+    """The forensic traceback asked *in-band*: a real provenance query.
+
+    Where :meth:`ForensicInvestigator.traceback` reads every node's archive
+    for free, this issues ``network.query(target, at=at, mode=mode)`` — the
+    reconstruction travels as QueryRequest/QueryResponse messages, pays
+    bytes and latency, and fails partially when nodes are down.  Returns the
+    familiar :class:`TracebackReport` plus the underlying
+    :class:`~repro.net.query.QueryResult` carrying the wire costs
+    (``messages``, ``bytes``, ``latency``, ``complete``).
+
+    ``mode="offline"`` (the default) walks the persistent archives — the
+    forensic store that survives crashes; ``mode="online"`` walks the live
+    pointer tables instead.
+    """
+    key = as_fact_key(target)
+    result = network.query(key, at=at, mode=mode, **query_kwargs)
+    graph = result.graph.subgraph(key)
+    nodes: List[str] = []
+    rules: List[str] = []
+    for operator in graph.operators():
+        if operator.location and operator.location not in nodes:
+            nodes.append(operator.location)
+        if operator.rule_label not in rules:
+            rules.append(operator.rule_label)
+    report = TracebackReport(
+        target=key,
+        origins=tuple(sorted(graph.base_tuples(key))),
+        nodes_traversed=tuple(nodes),
+        rules_applied=tuple(rules),
+        derivation_depth=_derivation_depth(graph, key),
+        graph=graph,
+    )
+    return report, result

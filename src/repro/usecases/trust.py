@@ -149,6 +149,34 @@ class TrustManager:
             self.rejected += 1
         return decision
 
+    def evaluate_over_network(
+        self,
+        network,
+        update: Fact,
+        at: Optional[str] = None,
+        authenticated: bool = False,
+    ) -> Tuple[TrustDecision, object]:
+        """Evaluate an update whose provenance is fetched *over the network*.
+
+        Orchestra-style trust decisions need the update's provenance; here
+        the deciding node asks for it with
+        ``network.query(update, condensed=True)`` — paying query bytes and
+        latency, and optionally demanding signed responses
+        (``authenticated=True``, Section 4.3 applied to the query plane).
+        Returns the :class:`TrustDecision` plus the underlying
+        :class:`~repro.net.query.QueryResult` with the costs; an incomplete
+        query (a node down mid-traceback) falls back to whatever partial
+        graph was reconstructed.
+        """
+        where = at if at is not None else update.origin
+        result = network.query(
+            update, at=where, condensed=True, authenticated=authenticated
+        )
+        annotation = result.condensed
+        if annotation is None:
+            annotation = result.graph.to_condensed(update.key())
+        return self.evaluate(annotation), result
+
     def filter_updates(
         self, updates: Iterable[Tuple[Fact, ProvenanceLike]]
     ) -> Tuple[Tuple[Fact, TrustDecision], ...]:
