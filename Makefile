@@ -10,20 +10,24 @@
 #   make scenarios-smoke - small-N run of every dynamic-network scenario
 #                      script (link failure, churn, retraction); fails if
 #                      any phase misses its distributed fixpoint.
+#   make shard-smoke - the sharded execution backend end-to-end at small N:
+#                      the serial-vs-sharded scaling benchmark (equivalence
+#                      asserted, speedup reported) plus every scenario
+#                      script on sharded workers (processes and inline).
 #   make examples-smoke - run every examples/*.py end-to-end (small N),
 #                      failing on the first nonzero exit; keeps the facade
 #                      documentation executable.
 #   make ci          - what the GitHub Actions workflow runs: tier-1 tests,
-#                      the benchmark smoke suite, the scenario smoke run,
-#                      the examples smoke run, and a bytecode compile of
-#                      the whole source tree.
+#                      the benchmark smoke suite, the scenario and shard
+#                      smoke runs, the examples smoke run, and a bytecode
+#                      compile of the whole source tree.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check tier1 test bench-smoke scenarios-smoke examples-smoke compileall ci
+.PHONY: check tier1 test bench-smoke scenarios-smoke shard-smoke examples-smoke compileall ci
 
-check: test bench-smoke scenarios-smoke examples-smoke
+check: test bench-smoke scenarios-smoke shard-smoke examples-smoke
 
 tier1:
 	$(PYTHON) -m pytest -x -q
@@ -38,6 +42,14 @@ bench-smoke:
 scenarios-smoke:
 	$(PYTHON) -m repro.harness.scenarios all --nodes 8
 
+shard-smoke:
+	REPRO_SCALE_N=24 REPRO_SHARD_ASSERT=0 \
+		$(PYTHON) -m pytest -x -q benchmarks/test_shard_scaling.py
+	$(PYTHON) -m repro.harness.scenarios all --nodes 8 \
+		--backend sharded --shards 2 --shard-mode processes
+	$(PYTHON) -m repro.harness.scenarios all --nodes 8 \
+		--backend sharded --shards 3 --shard-mode inline
+
 examples-smoke:
 	@set -e; for example in examples/*.py; do \
 		echo "== $$example"; \
@@ -47,4 +59,4 @@ examples-smoke:
 compileall:
 	$(PYTHON) -m compileall -q src
 
-ci: tier1 bench-smoke scenarios-smoke examples-smoke compileall
+ci: tier1 bench-smoke scenarios-smoke shard-smoke examples-smoke compileall

@@ -16,7 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro.engine.node_engine import EngineConfig, ProvenanceMode
-from repro.net.simulator import Simulator
+from repro.net.kernel import SimulationKernel
 from repro.net.topology import random_topology
 from repro.queries.best_path import compile_best_path
 from repro.security.says import SaysMode
@@ -25,7 +25,7 @@ from repro.security.says import SaysMode
 def _provenance_sizes(node_count: int = 15, seed: int = 0):
     topology = random_topology(node_count, seed=seed)
     config = EngineConfig(says_mode=SaysMode.NONE, provenance_mode=ProvenanceMode.CONDENSED)
-    result = Simulator(topology, compile_best_path(), config).run()
+    result = SimulationKernel(topology, compile_best_path(), config).run()
 
     raw_bytes = 0
     condensed_bytes = 0

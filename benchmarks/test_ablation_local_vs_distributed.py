@@ -17,7 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro.engine.node_engine import EngineConfig, ProvenanceMode
-from repro.net.simulator import Simulator
+from repro.net.kernel import SimulationKernel
 from repro.net.topology import random_topology
 from repro.provenance.distributed import traceback
 from repro.queries.best_path import compile_best_path
@@ -30,7 +30,7 @@ SEED = 0
 def _run(provenance_mode: ProvenanceMode):
     topology = random_topology(NODE_COUNT, seed=SEED)
     config = EngineConfig(says_mode=SaysMode.NONE, provenance_mode=provenance_mode)
-    return Simulator(topology, compile_best_path(), config).run()
+    return SimulationKernel(topology, compile_best_path(), config).run()
 
 
 def test_local_vs_distributed_provenance(benchmark, capsys):

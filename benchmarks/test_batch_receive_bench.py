@@ -20,7 +20,7 @@ import os
 
 import pytest
 
-from repro.harness.runner import run_best_path
+from repro.harness.runner import run_network
 from repro.net.topology import random_topology
 from repro.queries.best_path import compile_best_path
 
@@ -36,8 +36,8 @@ def test_receive_path(benchmark, batch_receive):
     compiled = compile_best_path()
 
     def run():
-        return run_best_path(
-            topology, "NDLog", compiled=compiled, batch_receive=batch_receive
+        return run_network(
+            "NDLog", topology, compiled=compiled, batch_receive=batch_receive
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)

@@ -14,7 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro.harness.experiments import figure3_series, render_series
-from repro.harness.runner import run_configuration
+from repro.harness.runner import run_network
 from repro.queries.best_path import compile_best_path
 
 from conftest import bench_sizes
@@ -29,14 +29,14 @@ def test_fig3_completion_time(benchmark, configuration):
     compiled = compile_best_path()
 
     def run():
-        return run_configuration(configuration, BENCH_N, seed=0, compiled=compiled)
+        return run_network(configuration, BENCH_N, seed=0, compiled=compiled)
 
     row = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
     assert row.converged
     benchmark.extra_info["configuration"] = configuration
     benchmark.extra_info["node_count"] = BENCH_N
     benchmark.extra_info["simulated_completion_time_s"] = row.completion_time_s
-    benchmark.extra_info["best_paths"] = row.best_paths
+    benchmark.extra_info["best_paths"] = row.count("bestPath")
 
 
 def test_fig3_report(benchmark, evaluation_sweep, capsys):

@@ -9,7 +9,7 @@ from __future__ import annotations
 import pytest
 
 from repro.harness.experiments import figure4_series, render_series
-from repro.harness.runner import run_configuration
+from repro.harness.runner import run_network
 from repro.queries.best_path import compile_best_path
 
 from conftest import bench_sizes
@@ -24,7 +24,7 @@ def test_fig4_bandwidth(benchmark, configuration):
     compiled = compile_best_path()
 
     def run():
-        return run_configuration(configuration, BENCH_N, seed=0, compiled=compiled)
+        return run_network(configuration, BENCH_N, seed=0, compiled=compiled)
 
     row = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
     assert row.converged

@@ -33,7 +33,7 @@ import pytest
 
 from repro.net.link import Link
 from repro.net.topology import Topology, grid_topology, random_topology
-from repro.harness.runner import run_best_path
+from repro.harness.runner import run_network
 from repro.queries.best_path import compile_best_path
 
 CONFIGURATIONS = ("NDLog", "SeNDLog", "SeNDLogProv")
@@ -91,7 +91,7 @@ def test_scaling_topology(benchmark, kind, configuration):
     compiled = compile_best_path()
 
     def run():
-        return run_best_path(topology, configuration, compiled=compiled)
+        return run_network(configuration, topology, compiled=compiled)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
     assert result.converged, (

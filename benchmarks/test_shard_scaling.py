@@ -1,0 +1,128 @@
+"""Serial vs sharded wall clock at scale (the sharded backend's raison d'être).
+
+Runs the Best-Path NDlog workload once on ``backend="serial"`` and once on
+``backend="sharded"`` (multiprocessing workers) over the same ≥200-node
+topology, records both wall clocks and the speedup, and — always — asserts
+the backends' contract: identical derived-fact counts and identical
+integer/byte statistics.
+
+The speedup target (≥1.8x at 4 shards) is asserted only where it is
+physically attainable: the workers are real OS processes, so the machine
+must have at least as many cores as shards.  On smaller machines (or with
+``REPRO_SHARD_ASSERT=0``) the benchmark still runs both backends and checks
+equivalence, reporting the measured ratio as ``extra_info``.
+
+Environment knobs::
+
+    REPRO_SCALE_N=200        topology size (the scaling-benchmark default)
+    REPRO_SHARD_COUNT=4      shard / worker count
+    REPRO_SHARD_ASSERT=1     force the speedup assertion on (0 forces off)
+    REPRO_SHARD_TARGET=1.8   required speedup
+
+The topology uses 50 ms link latency (a WAN-ish figure) for both link and
+default latency: the conservative lookahead window is the minimum
+cross-shard latency, so the latency scale sets how much parallel work fits
+between barriers.  Simulated *results* are latency-scaled but
+backend-identical either way.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.engine.node_engine import EngineConfig
+from repro.net.kernel import SimulationKernel
+from repro.net.sharding import ShardedSimulator
+from repro.net.topology import random_topology
+from repro.queries.best_path import compile_best_path
+
+#: Latency used for links and linkless (reverse-link) sends: the lookahead
+#: window.  50 ms of simulated latency per hop — results scale, equality
+#: between backends does not depend on it.
+BENCH_LATENCY = 0.05
+
+
+def scale_n() -> int:
+    return int(os.environ.get("REPRO_SCALE_N", "200"))
+
+
+def shard_count() -> int:
+    return int(os.environ.get("REPRO_SHARD_COUNT", "4"))
+
+
+def speedup_target() -> float:
+    return float(os.environ.get("REPRO_SHARD_TARGET", "1.8"))
+
+
+def assert_speedup() -> bool:
+    forced = os.environ.get("REPRO_SHARD_ASSERT")
+    if forced is not None:
+        return forced not in ("", "0")
+    return (os.cpu_count() or 1) >= shard_count()
+
+
+def test_shard_scaling(benchmark):
+    node_count = scale_n()
+    shards = shard_count()
+    topology = random_topology(node_count, seed=0, latency=BENCH_LATENCY)
+    compiled = compile_best_path()
+
+    started = time.perf_counter()
+    serial = SimulationKernel(
+        topology, compiled, EngineConfig(), default_latency=BENCH_LATENCY
+    ).run()
+    serial_seconds = time.perf_counter() - started
+    assert serial.converged
+
+    def run_sharded():
+        return ShardedSimulator(
+            topology,
+            compiled,
+            EngineConfig(),
+            default_latency=BENCH_LATENCY,
+            shards=shards,
+            shard_mode="processes",
+        ).run()
+
+    started = time.perf_counter()
+    sharded = benchmark.pedantic(run_sharded, rounds=1, iterations=1, warmup_rounds=0)
+    sharded_seconds = time.perf_counter() - started
+    assert sharded.converged
+
+    # The backends' contract, always enforced: identical facts and
+    # integer/byte statistics (floats agree up to summation order).
+    serial_summary, sharded_summary = serial.stats.summary(), sharded.stats.summary()
+    for key in serial_summary:
+        if key == "cpu_seconds":
+            assert serial_summary[key] == pytest.approx(
+                sharded_summary[key], rel=1e-12
+            )
+        else:
+            assert serial_summary[key] == sharded_summary[key], key
+    expected_paths = node_count * (node_count - 1)
+    assert len(serial.all_facts("bestPath")) == expected_paths
+    assert len(sharded.all_facts("bestPath")) == expected_paths
+
+    speedup = serial_seconds / sharded_seconds if sharded_seconds else float("inf")
+    benchmark.extra_info["node_count"] = node_count
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["serial_wall_s"] = round(serial_seconds, 3)
+    benchmark.extra_info["sharded_wall_s"] = round(sharded_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["speedup_asserted"] = assert_speedup()
+    print(
+        f"\nshard scaling N={node_count} shards={shards}: "
+        f"serial {serial_seconds:.2f}s, sharded {sharded_seconds:.2f}s, "
+        f"speedup {speedup:.2f}x (cores: {os.cpu_count()})"
+    )
+
+    if assert_speedup():
+        assert speedup >= speedup_target(), (
+            f"sharded backend reached only {speedup:.2f}x over serial at "
+            f"N={node_count}, shards={shards} (target {speedup_target()}x); "
+            "set REPRO_SHARD_ASSERT=0 to measure without asserting"
+        )

@@ -44,9 +44,23 @@ Presets mirror the paper's configurations (``"ndlog"``, ``"sendlog"``,
 :class:`~repro.api.NetOptions`.  Dynamic-network scenario scripts return
 ``(Scenario, Network)`` pairs — see :mod:`repro.harness.scenarios` — and
 ``network.query(..., mode="offline")`` walks the persistent provenance
-archives that survive node crashes.  The legacy entry points
+archives that survive node crashes.
+
+Execution backends: large runs can be partitioned across parallel
+per-shard kernels with ``backend="sharded"``::
+
+    network = Network.build(topology=500, program="best-path",
+                            provenance="ndlog",
+                            backend="sharded", shards=4)
+    result = network.run()   # identical facts and integer/byte stats
+
+The sharded backend is *deterministically equivalent* to the serial one —
+same derived facts, same message sequence numbers, same integer/byte
+statistics, for any shard count and either worker mode (``shard_mode=
+"processes"`` for multiprocessing workers, ``"inline"`` for in-process
+debugging) — so it is purely a wall-clock choice.  The legacy entry points
 (``Simulator(...)``, ``run_best_path``, ``run_configuration``) remain as
-thin shims over the facade.
+thin shims over the facade, now emitting ``DeprecationWarning``.
 """
 
 __version__ = "1.0.0"

@@ -17,11 +17,12 @@ the harness can depend on this package without an import cycle.
 """
 
 from repro.api.network import Network
-from repro.api.options import PROVENANCE_PRESETS, NetOptions, resolve_preset
+from repro.api.options import BACKENDS, PROVENANCE_PRESETS, NetOptions, resolve_preset
 from repro.api.results import RunResult
 from repro.net.query import ProvenanceQuery, QueryResult
 
 __all__ = [
+    "BACKENDS",
     "Network",
     "NetOptions",
     "PROVENANCE_PRESETS",

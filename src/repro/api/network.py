@@ -32,8 +32,10 @@ from repro.engine.node_engine import EngineConfig, collect_facts, facts_by_node
 from repro.engine.tuples import Fact, FactKey, as_fact_key
 from repro.net.address import Address
 from repro.net.events import SimulationEvent
+from repro.net.kernel import SimulationKernel, SimulationResult
 from repro.net.query import PendingQuery, ProvenanceQuery, QueryResult
-from repro.net.simulator import SimulationResult, Simulator
+from repro.net.sharding import ShardedSimulator
+from repro.net.simulator import Simulator
 from repro.net.topology import Topology, random_topology
 from repro.queries import PROGRAMS, compile_named
 from repro.api.options import NetOptions, resolve_preset
@@ -77,12 +79,15 @@ def _resolve_program(program: ProgramLike) -> CompiledProgram:
     )
 
 
+SimulatorLike = Union[Simulator, SimulationKernel, ShardedSimulator]
+
+
 class Network:
     """A running declarative network: topology + program + provenance preset."""
 
     def __init__(
         self,
-        simulator: Simulator,
+        simulator: SimulatorLike,
         configuration: str = "custom",
         options: Optional[NetOptions] = None,
     ) -> None:
@@ -113,6 +118,15 @@ class Network:
         substitute a hand-built :class:`EngineConfig` for the preset — in
         that case ``provenance`` is ignored and engine-side option
         overrides are rejected (set them on the config itself).
+
+        The execution backend is an option like any other:
+        ``backend="serial"`` (the default) replays the run in one event
+        loop; ``backend="sharded", shards=K`` partitions the topology into
+        K parallel per-shard kernels with deterministic cross-shard
+        synchronization — derived facts and all integer/byte statistics
+        are identical between backends (floats up to summation order), so
+        sharding is purely a wall-clock choice.  ``shard_mode="inline"``
+        keeps the shard kernels in-process for debugging.
         """
         merged = (options or NetOptions()).merged(**overrides)
         if config is not None:
@@ -131,7 +145,7 @@ class Network:
             engine_config = merged.engine_config(provenance)
         resolved = _resolve_topology(topology, merged.seed)
         compiled = _resolve_program(program)
-        simulator = Simulator(
+        shared = dict(
             topology=resolved,
             compiled=compiled,
             config=engine_config,
@@ -145,13 +159,23 @@ class Network:
             link_relation=merged.link_relation,
             query_timeout=merged.query_timeout,
         )
+        if merged.backend == "sharded":
+            simulator = ShardedSimulator(
+                shards=merged.resolved_shards(),
+                shard_mode=merged.shard_mode,
+                shard_seed=merged.seed,
+                **shared,
+            )
+        else:
+            simulator = SimulationKernel(**shared)
         return cls(simulator, configuration=configuration, options=merged)
 
     @classmethod
     def from_simulator(
-        cls, simulator: Simulator, configuration: str = "custom"
+        cls, simulator: SimulatorLike, configuration: str = "custom"
     ) -> "Network":
-        """Wrap an existing simulator (migration path for hand-built runs)."""
+        """Wrap an existing simulator or kernel (migration path for
+        hand-built runs; sharded coordinators wrap the same way)."""
         return cls(simulator, configuration=configuration)
 
     # -- delegation ---------------------------------------------------------------

@@ -9,15 +9,20 @@ everything else, validated up front with errors that name their field.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, fields, replace
 from typing import Dict, Optional, Tuple
 
 from repro.engine.node_engine import EngineConfig, ProvenanceMode
+from repro.net.kernel import CostModel
 from repro.net.link import DEFAULT_BANDWIDTH, DEFAULT_LATENCY
 from repro.net.query import DEFAULT_QUERY_TIMEOUT
-from repro.net.simulator import CostModel
+from repro.net.sharding import SHARD_MODES
 from repro.provenance.pruning import MaintenanceMode, ProvenanceSampler
 from repro.security.says import SaysMode
+
+#: The execution backends ``Network.build(backend=...)`` accepts.
+BACKENDS = ("serial", "sharded")
 
 #: Provenance presets: the paper's three evaluated configurations plus the
 #: other maintained representations, keyed by kebab-case name.  Legacy
@@ -67,6 +72,22 @@ class NetOptions:
     ``keep_offline_provenance=True`` to archive derivations for forensics).
     """
 
+    #: Execution backend: ``"serial"`` replays the whole network in one
+    #: event loop; ``"sharded"`` partitions the topology into ``shards``
+    #: groups of nodes and runs one kernel per group in parallel, with
+    #: deterministic barrier synchronization — derived facts and every
+    #: integer/byte statistic are identical between the two (floats agree
+    #: up to summation order).
+    backend: str = "serial"
+    #: Shard count for ``backend="sharded"``; 0 picks one shard per
+    #: available core, capped at 4 and floored at 2 — asking for the
+    #: sharded backend always shards (the results do not depend on the
+    #: count, only wall-clock time does).
+    shards: int = 0
+    #: ``"processes"`` runs each shard in a spawned worker (the parallel
+    #: path); ``"inline"`` runs every shard kernel in-process — same
+    #: windows, same results — for debugging and mid-run inspection.
+    shard_mode: str = "processes"
     #: Wire format: one batch per destination per delta round (real-P2
     #: amortization) vs the paper's per-tuple shipping.
     batching: bool = True
@@ -93,6 +114,17 @@ class NetOptions:
     maintenance_mode: Optional[MaintenanceMode] = None
 
     def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.shards < 0:
+            raise ValueError(f"shards must be >= 0 (0 = auto), got {self.shards}")
+        if self.shard_mode not in SHARD_MODES:
+            raise ValueError(
+                f"unknown shard_mode {self.shard_mode!r}; expected one of "
+                f"{SHARD_MODES}"
+            )
         if self.key_bits < 16:
             raise ValueError(f"key_bits must be >= 16, got {self.key_bits}")
         if self.max_events <= 0:
@@ -117,6 +149,18 @@ class NetOptions:
             )
         if not self.link_relation:
             raise ValueError("link_relation must be a non-empty relation name")
+
+    def resolved_shards(self) -> int:
+        """The effective shard count: explicit, or one per core, clamped to
+        [2, 4] — choosing ``backend="sharded"`` always actually shards.
+
+        The sharded backend produces identical derived facts and integer
+        statistics for *any* shard count, so auto-sizing to the machine is
+        safe — it changes wall-clock time, never results.
+        """
+        if self.shards:
+            return self.shards
+        return max(2, min(4, os.cpu_count() or 1))
 
     def merged(self, **overrides: object) -> "NetOptions":
         """A copy with *overrides* applied; unknown names raise with the list

@@ -233,7 +233,19 @@ class NodeEngine:
         #: retracted or expires (so a refreshed, possibly worse, contribution
         #: can re-establish the group instead of being rejected forever).
         self._aggregate_heads: Dict[str, List[Tuple[str, object]]] = {}
-        for plan in compiled.plans:
+        self._index_aggregate_heads()
+
+        self.local_provenance = LocalProvenanceStore(address)
+        self.distributed_provenance = DistributedProvenanceStore(address)
+        self.online_provenance = OnlineProvenanceStore(address)
+        self.offline_provenance = OfflineProvenanceArchive(
+            address, retention=config.offline_retention
+        )
+
+    def _index_aggregate_heads(self) -> None:
+        """(Re)build the aggregate-head index and the table expiry hooks."""
+        self._aggregate_heads.clear()
+        for plan in self.compiled.plans:
             if plan.head.aggregate is not None:
                 self._aggregate_heads.setdefault(plan.head.predicate, []).append(
                     (plan.aggregate_key, plan.head)
@@ -243,12 +255,34 @@ class NodeEngine:
             table = self.database.table(relation, arity=len(head.atom.terms))
             table.on_expire = self._forget_expired_aggregates
 
-        self.local_provenance = LocalProvenanceStore(address)
-        self.distributed_provenance = DistributedProvenanceStore(address)
-        self.online_provenance = OnlineProvenanceStore(address)
-        self.offline_provenance = OfflineProvenanceArchive(
-            address, retention=config.offline_retention
-        )
+    # -- pickling ----------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Ship an engine without its compiled program.
+
+        The compiled plans carry cached closures (unifiers, head builders)
+        that cannot — and need not — cross a process boundary: every worker
+        and the coordinator compile the identical program from its AST.  The
+        aggregate-head index holds references into those plans, so it is
+        dropped too; :meth:`attach_program` restores both.
+        """
+        state = self.__dict__.copy()
+        state["compiled"] = None
+        state["_aggregate_heads"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def attach_program(self, compiled: CompiledProgram) -> None:
+        """Reattach the compiled program after unpickling.
+
+        The program must compile from the same source the engine ran with;
+        plans are looked up by structure (head predicates, aggregate keys),
+        so any equivalent compilation restores identical behavior.
+        """
+        self.compiled = compiled
+        self._index_aggregate_heads()
 
     # -- public entry points ----------------------------------------------------
 

@@ -77,6 +77,28 @@ class Table:
         #: (possibly worse) contributions.
         self.on_expire: Optional[Callable[[List[Fact]], None]] = None
 
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Drop the compiled extractors, hash indexes and expiry hook.
+
+        The column getters are closures/`itemgetter`s (unpicklable, and
+        cheap to recompile), the indexes are derived state rebuilt lazily on
+        the first probe, and ``on_expire`` is a bound method of the owning
+        engine re-hooked by ``NodeEngine.attach_program``.  Stored rows and
+        the soft-state counter — the actual table contents — travel.
+        """
+        state = self.__dict__.copy()
+        state["_indexes"] = {}
+        state["_index_getters"] = {}
+        state["_primary_key"] = None
+        state["on_expire"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._primary_key = _columns_getter(self.schema.key_columns)
+
     # -- basic protocol -------------------------------------------------------
 
     @property

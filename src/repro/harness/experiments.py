@@ -90,6 +90,9 @@ def sweep(
     progress: bool = False,
     batching: bool = False,
     batch_receive: bool = True,
+    backend: str = "serial",
+    shards: int = 0,
+    shard_mode: str = "processes",
 ) -> SweepResult:
     """Run the Best-Path evaluation sweep and collect every data point.
 
@@ -98,6 +101,11 @@ def sweep(
     wire format (``batching=False``) rather than the simulator's batched
     default.  Pass ``batching=True`` to measure the amortized wire path, and
     ``batch_receive=False`` to A/B the per-tuple engine receive path.
+
+    ``backend="sharded"`` runs every sweep point on the parallel execution
+    backend (``shards`` kernels, ``shard_mode`` workers); the collected
+    metrics are identical to the serial backend's, so the figures come out
+    the same — only wall-clock time changes.
     """
     compiled = compile_best_path()
     result = SweepResult()
@@ -117,6 +125,9 @@ def sweep(
                     compiled=compiled,
                     batching=batching,
                     batch_receive=batch_receive,
+                    backend=backend,
+                    shards=shards,
+                    shard_mode=shard_mode,
                 )
                 # The sweep aggregates scalars only; dropping the per-node
                 # engines frees each finished simulation instead of keeping

@@ -22,6 +22,7 @@ points, kept as thin shims over the facade.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Union
 
@@ -30,7 +31,7 @@ from repro.api.options import NetOptions
 from repro.api.results import RunResult
 from repro.datalog.planner import CompiledProgram
 from repro.engine.node_engine import EngineConfig, ProvenanceMode
-from repro.net.simulator import CostModel
+from repro.net.kernel import CostModel
 from repro.net.topology import Topology
 from repro.queries.best_path import compile_best_path
 from repro.security.says import SaysMode
@@ -75,6 +76,15 @@ class ExperimentRow:
     tuples_sent: int = 0
     query_messages: int = 0
     query_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "ExperimentRow is deprecated; read the same metrics off the "
+            "RunResult objects repro.api returns (run_network / "
+            "Network.build(...).run())",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
     @classmethod
     def from_run(cls, run: RunResult) -> "ExperimentRow":
@@ -139,6 +149,9 @@ def run_network(
     key_bits: int = 256,
     batching: bool = True,
     batch_receive: bool = True,
+    backend: str = "serial",
+    shards: int = 0,
+    shard_mode: str = "processes",
 ) -> RunResult:
     """One facade-built Best-Path run in a named paper configuration.
 
@@ -146,6 +159,11 @@ def run_network(
     paper's random workload).  This is the primitive every sweep point and
     benchmark goes through; the returned :class:`RunResult` carries the
     sweep coordinates plus the full statistics, query traffic included.
+
+    ``backend="sharded"`` (with ``shards``/``shard_mode``) runs the sweep
+    point on the parallel execution backend; derived facts and integer/byte
+    statistics are identical to the serial backend, so sweep tables built
+    either way agree.
     """
     if isinstance(topology, int):
         topology = evaluation_topology(topology, seed=seed)
@@ -159,6 +177,9 @@ def run_network(
             cost_model=cost_model,
             key_bits=key_bits,
             seed=seed,
+            backend=backend,
+            shards=shards,
+            shard_mode=shard_mode,
         ),
     )
     # network.base_facts() shapes the link workload to the program's catalog;
@@ -185,6 +206,12 @@ def run_best_path(
         facade; kept because many call sites (benchmarks, notebooks) were
         written against it.
     """
+    warnings.warn(
+        "run_best_path is deprecated; use run_network(configuration, "
+        "topology, ...) or Network.build(...) from repro.api",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return run_network(
         configuration,
         topology,
@@ -212,6 +239,13 @@ def run_configuration(
         (it used to be dropped silently, so sweeps could not A/B the
         batch-receive path).
     """
+    warnings.warn(
+        "run_configuration is deprecated; use run_network(configuration, "
+        "node_count, ...) from repro.harness (it returns the unified "
+        "RunResult instead of the legacy ExperimentRow)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     run = run_network(
         configuration,
         node_count,

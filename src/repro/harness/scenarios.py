@@ -48,7 +48,7 @@ from repro.net.events import (
     SimulationEvent,
     SoftStateRefresh,
 )
-from repro.net.simulator import Simulator
+from repro.net.kernel import SimulationKernel
 from repro.net.topology import Topology, line_topology, random_topology
 from repro.queries.best_path import compile_best_path
 from repro.queries.reachable import REACHABLE_LOCALIZED
@@ -67,7 +67,7 @@ class Action:
     """One declarative network dynamic, expanded into scheduler events."""
 
     def events(
-        self, simulator: Simulator, at: float
+        self, simulator: SimulationKernel, at: float
     ) -> Tuple[SimulationEvent, ...]:
         raise NotImplementedError
 
@@ -235,7 +235,7 @@ class ScenarioReport:
 
     scenario: Scenario
     rows: List[PhaseRow]
-    simulator: Simulator
+    simulator: SimulationKernel
 
     @property
     def converged(self) -> bool:
@@ -278,9 +278,9 @@ def run_scenario(scenario: Scenario, network) -> ScenarioReport:
     fixpoint, sweep residual soft state, and record one metrics row.
 
     *network* is a :class:`repro.api.Network` (what the scenario builders
-    return) or a bare :class:`Simulator` (the legacy calling convention).
+    return) or a bare kernel/coordinator (the legacy calling convention).
     """
-    simulator: Simulator = getattr(network, "simulator", network)
+    simulator = getattr(network, "simulator", network)
     rows: List[PhaseRow] = []
     previous = _counters(simulator)
     current = 0.0
@@ -320,7 +320,7 @@ def run_scenario(scenario: Scenario, network) -> ScenarioReport:
     return ScenarioReport(scenario=scenario, rows=rows, simulator=simulator)
 
 
-def _counters(simulator: Simulator) -> Dict[str, int]:
+def _counters(simulator) -> Dict[str, int]:
     stats = simulator.stats
     return {
         "events": simulator.scheduler.events_scheduled,
@@ -334,7 +334,12 @@ def _counters(simulator: Simulator) -> Dict[str, int]:
     }
 
 
-def _probe_count(simulator: Simulator, relation: str) -> int:
+def _probe_count(simulator, relation: str) -> int:
+    # Both backends expose count_facts; the sharded coordinator answers it
+    # without pulling engines out of its worker processes mid-run.
+    counter = getattr(simulator, "count_facts", None)
+    if counter is not None:
+        return counter(relation)
     return sum(
         len(engine.facts(relation)) for engine in simulator.engines.values()
     )
@@ -351,12 +356,23 @@ def _soft_config(ttl: float, **kwargs) -> EngineConfig:
     return EngineConfig(**kwargs)
 
 
-def _scenario_network(topology: Topology, program, config: EngineConfig, key_bits: int):
+def _scenario_network(
+    topology: Topology,
+    program,
+    config: EngineConfig,
+    key_bits: int,
+    backend: str = "serial",
+    shards: int = 0,
+    shard_mode: str = "processes",
+):
     """Assemble a scenario's network through the facade.
 
     Imported lazily: the api package depends on nothing in the harness at
     module level, and the harness only reaches for it when a scenario is
-    actually built.
+    actually built.  Scenario dynamics — link failures, churn, retraction —
+    cross shard boundaries correctly under ``backend="sharded"``: control
+    events broadcast to every shard kernel and phase rows come out
+    identical to the serial backend's.
     """
     from repro.api.network import Network
     from repro.api.options import NetOptions
@@ -365,7 +381,12 @@ def _scenario_network(topology: Topology, program, config: EngineConfig, key_bit
         topology=topology,
         program=program,
         config=config,
-        options=NetOptions(key_bits=key_bits),
+        options=NetOptions(
+            key_bits=key_bits,
+            backend=backend,
+            shards=shards,
+            shard_mode=shard_mode,
+        ),
     )
 
 
@@ -399,6 +420,9 @@ def link_failure_scenario(
     seed: int = 0,
     ttl: float = DEFAULT_SCENARIO_TTL,
     key_bits: int = 128,
+    backend: str = "serial",
+    shards: int = 0,
+    shard_mode: str = "processes",
     **config_kwargs,
 ) -> Tuple[Scenario, "Network"]:
     """Best-Path under a mid-run link failure: decay, refresh, reroute.
@@ -417,7 +441,9 @@ def link_failure_scenario(
         )
     failed = redundant[0]
     config = _soft_config(ttl, **config_kwargs)
-    network = _scenario_network(topology, compile_best_path(), config, key_bits)
+    network = _scenario_network(
+        topology, compile_best_path(), config, key_bits, backend, shards, shard_mode
+    )
     base = network.link_facts()
     scenario = Scenario(
         name="link-failure",
@@ -453,6 +479,9 @@ def churn_scenario(
     seed: int = 0,
     ttl: float = DEFAULT_SCENARIO_TTL,
     key_bits: int = 128,
+    backend: str = "serial",
+    shards: int = 0,
+    shard_mode: str = "processes",
     **config_kwargs,
 ) -> Tuple[Scenario, "Network"]:
     """Reachability under node churn with soft-state repair.
@@ -468,7 +497,9 @@ def churn_scenario(
         topology.nodes, key=lambda node: (len(topology.outgoing(node)), node)
     )
     config = _soft_config(ttl, **config_kwargs)
-    network = _scenario_network(topology, _reachable_compiled(), config, key_bits)
+    network = _scenario_network(
+        topology, _reachable_compiled(), config, key_bits, backend, shards, shard_mode
+    )
     base = _reachable_base(topology)
     scenario = Scenario(
         name="churn",
@@ -497,6 +528,9 @@ def retraction_scenario(
     seed: int = 0,
     ttl: float = DEFAULT_SCENARIO_TTL,
     key_bits: int = 128,
+    backend: str = "serial",
+    shards: int = 0,
+    shard_mode: str = "processes",
     **config_kwargs,
 ) -> Tuple[Scenario, "Network"]:
     """Fact retraction with provenance invalidation.
@@ -523,7 +557,9 @@ def retraction_scenario(
         says_mode=SaysMode.NONE,
         **config_kwargs,
     )
-    network = _scenario_network(topology, _reachable_compiled(), config, key_bits)
+    network = _scenario_network(
+        topology, _reachable_compiled(), config, key_bits, backend, shards, shard_mode
+    )
     base = _reachable_base(topology)
     scenario = Scenario(
         name="retraction",
@@ -580,13 +616,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=DEFAULT_SCENARIO_TTL,
         help="soft-state lifetime in simulated seconds (default: %(default)s)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "sharded"),
+        default="serial",
+        help="execution backend (sharded = parallel per-shard kernels; "
+        "identical phase rows and fixpoints)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="shard count for --backend sharded (0 = one per core, max 4)",
+    )
+    parser.add_argument(
+        "--shard-mode",
+        choices=("processes", "inline"),
+        default="processes",
+        help="run shards in worker processes or in-process (debugging)",
+    )
     arguments = parser.parse_args(argv)
 
     names = tuple(SCENARIOS) if arguments.scenario == "all" else (arguments.scenario,)
     failures = 0
     for name in names:
         build = SCENARIOS[name]
-        kwargs: Dict[str, object] = {"seed": arguments.seed, "ttl": arguments.ttl}
+        kwargs: Dict[str, object] = {
+            "seed": arguments.seed,
+            "ttl": arguments.ttl,
+            "backend": arguments.backend,
+            "shards": arguments.shards,
+            "shard_mode": arguments.shard_mode,
+        }
         if arguments.nodes is not None:
             kwargs["node_count"] = arguments.nodes
         scenario, simulator = build(**kwargs)

@@ -33,6 +33,8 @@ from repro.net.query import (
 )
 from repro.net.topology import Topology, grid_topology, line_topology, random_topology, ring_topology
 from repro.net.stats import NetworkStats, NodeStats
+from repro.net.kernel import SimulationKernel
+from repro.net.sharding import ShardPlan, ShardedSimulator, partition_topology
 from repro.net.simulator import CostModel, Simulator, SimulationResult
 
 __all__ = [
@@ -58,7 +60,10 @@ __all__ = [
     "QueryResponse",
     "QueryResult",
     "QueryTimeout",
+    "ShardPlan",
+    "ShardedSimulator",
     "SimulationEvent",
+    "SimulationKernel",
     "SimulationResult",
     "Simulator",
     "SoftStateRefresh",
@@ -66,6 +71,7 @@ __all__ = [
     "grid_topology",
     "line_topology",
     "node_name",
+    "partition_topology",
     "random_topology",
     "ring_topology",
 ]

@@ -7,11 +7,25 @@ recover, nodes crash and come back, base facts are injected and retracted
 mid-run — so the event loop is factored into an explicit, reusable
 :class:`EventScheduler` over a small algebra of typed events.
 
-Ordering is fully deterministic: events fire in ``(time, priority,
-sequence)`` order, where control events (topology and fact changes) carry a
-lower priority number than message deliveries so that, at equal timestamps,
-the network state changes *before* traffic is processed, and the scheduler
-assigns monotonically increasing sequence numbers at scheduling time.
+Ordering is fully deterministic — and, crucially for the sharded execution
+backend, *backend-independent*: events fire in ``(time, priority, rank)``
+order, where control events (topology and fact changes) carry a lower
+priority number than message deliveries so that, at equal timestamps, the
+network state changes *before* traffic is processed.  The tie-break ``rank``
+is derived from event *content*, not from scheduling history:
+
+* a :class:`MessageDelivery` ranks by ``(sender address, the sender's
+  per-node message sequence number)`` — per-link FIFO is preserved (a link's
+  delivery times are non-decreasing and same-instant messages order by send
+  order), and two kernels that ship the same messages rank them identically
+  no matter which one scheduled the delivery;
+* other control events rank by an externally assigned ``stamp`` (the order
+  the driving code scheduled them, identical across backends), with
+  :class:`QueryTimeout` ranking after same-instant stamped control events by
+  its ``(query id, request id)`` content.
+
+This is what lets the sharded backend merge cross-shard deliveries into each
+shard's queue at window barriers and still replay the exact serial order.
 """
 
 from __future__ import annotations
@@ -163,16 +177,36 @@ class FactRetraction(SimulationEvent):
     facts: Tuple[Fact, ...]
 
 
+def event_rank(event: SimulationEvent, stamp: Optional[int] = None) -> Tuple:
+    """The content-derived tie-break rank of *event* (see module docstring).
+
+    Ranks are only ever compared between events sharing a ``(time,
+    priority)`` pair: deliveries (priority 1) rank by sender identity and
+    the sender's per-node message sequence; control events (priority 0) by
+    their scheduling ``stamp``, with query timeouts — the one control event
+    scheduled *inside* node processing rather than by the driving code —
+    ranked after stamped events by their query/request identity.
+    """
+    if isinstance(event, MessageDelivery):
+        message = event.message
+        return (str(message.source), message.sequence)
+    if isinstance(event, QueryTimeout):
+        return (1, event.query_id, event.request_id)
+    return (0, stamp if stamp is not None else 0)
+
+
 class EventScheduler:
     """A deterministic priority queue of :class:`SimulationEvent`.
 
-    Events fire in ``(time, priority, sequence)`` order; the sequence number
-    is assigned at scheduling time, so two runs that schedule the same events
-    in the same order replay identically.
+    Events fire in ``(time, priority, rank)`` order with a scheduling-time
+    sequence number as the final fallback; the rank is derived from event
+    content (see :func:`event_rank`), so two kernels scheduling the same
+    events — even interleaved differently, as the sharded backend does at
+    its window barriers — replay them in the same order.
     """
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, int, SimulationEvent]] = []
+        self._heap: List[Tuple[float, int, Tuple, int, SimulationEvent]] = []
         self._sequence = 0
         self.events_scheduled = 0
 
@@ -182,7 +216,7 @@ class EventScheduler:
         # max_events budget.  Only front-of-heap entries are inspected; a
         # cancelled event deeper in the heap is discarded when it surfaces.
         heap = self._heap
-        while heap and getattr(heap[0][3], "cancelled", False):
+        while heap and getattr(heap[0][-1], "cancelled", False):
             heapq.heappop(heap)
 
     def __len__(self) -> int:
@@ -193,20 +227,33 @@ class EventScheduler:
         self._discard_cancelled()
         return bool(self._heap)
 
-    def schedule(self, event: SimulationEvent) -> int:
-        """Queue *event*; returns the tie-break sequence number assigned."""
+    def schedule(self, event: SimulationEvent, stamp: Optional[int] = None) -> int:
+        """Queue *event*; returns the fallback sequence number assigned.
+
+        *stamp* orders same-instant control events; the simulation kernel
+        assigns it from a backend-global counter (identical for the same
+        driving code under every execution backend).  Deliveries and query
+        timeouts carry their rank in their content and ignore it.
+        """
         self._sequence += 1
         self.events_scheduled += 1
         heapq.heappush(
-            self._heap, (event.time, event.priority, self._sequence, event)
+            self._heap,
+            (
+                event.time,
+                event.priority,
+                event_rank(event, stamp),
+                self._sequence,
+                event,
+            ),
         )
         return self._sequence
 
     def pop(self) -> SimulationEvent:
         """Remove and return the next live event in deterministic order."""
         self._discard_cancelled()
-        _, _, _, event = heapq.heappop(self._heap)
-        return event
+        entry = heapq.heappop(self._heap)
+        return entry[-1]
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` when idle."""
@@ -218,9 +265,9 @@ class EventScheduler:
     def pending(self) -> Tuple[SimulationEvent, ...]:
         """The queued live events in fire order (non-destructive, for inspection)."""
         return tuple(
-            entry[3]
-            for entry in sorted(self._heap)
-            if not getattr(entry[3], "cancelled", False)
+            entry[-1]
+            for entry in sorted(self._heap, key=lambda e: e[:4])
+            if not getattr(entry[-1], "cancelled", False)
         )
 
     def clear(self) -> None:

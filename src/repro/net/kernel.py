@@ -1,0 +1,916 @@
+"""The backend-agnostic simulation kernel.
+
+A :class:`SimulationKernel` is the discrete-event core every execution
+backend shares: the typed event loop, message routing, per-link transmission
+serialization, delivery bookkeeping, dynamic-network state (failed links,
+crashed nodes, remembered base facts) and the per-node CPU cost accounting.
+It hosts the :class:`~repro.engine.node_engine.NodeEngine` of a *subset* of
+the topology's nodes:
+
+* the **serial backend** (:class:`~repro.net.simulator.Simulator`, and the
+  facade's default) is one kernel hosting every node;
+* the **sharded backend** (:mod:`repro.net.sharding`) runs one kernel per
+  shard — deliveries whose destination lives on another shard are not
+  scheduled locally but handed to an export sink, exchanged at conservative
+  lookahead barriers, and merged into the destination kernel's queue.
+
+Two properties make the shards' independent queues replay the exact serial
+schedule:
+
+* event tie-breaking is *content-based* (see :mod:`repro.net.events`), so a
+  delivery's position among same-instant events does not depend on which
+  kernel scheduled it or when;
+* message sequence numbers are **per sending node** (not per kernel), so the
+  numbering a node's messages carry is identical no matter how the nodes are
+  partitioned.
+
+Cross-kernel determinism of the shared dynamic state works by broadcasting
+control events (link failures/recoveries, crashes/recoveries, refresh
+rounds) to every kernel: each kernel updates the cheap global-state sets,
+while only the kernel hosting the affected node performs the stateful part
+(retraction cascades, engine resets, re-injection) and counts the event —
+so merged event totals match the serial backend's exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.datalog.planner import CompiledProgram
+from repro.engine.node_engine import (
+    EngineConfig,
+    NodeEngine,
+    OutgoingFact,
+    ProcessingReport,
+    collect_facts,
+    facts_by_node,
+    group_outgoing,
+)
+from repro.engine.tuples import Fact, FactKey, as_fact_key
+from repro.net.address import Address
+from repro.net.events import (
+    EventScheduler,
+    FactInjection,
+    FactRetraction,
+    LinkDown,
+    LinkUp,
+    MessageDelivery,
+    NodeCrash,
+    NodeRecover,
+    QueryTimeout,
+    SimulationEvent,
+    SoftStateRefresh,
+)
+from repro.net.link import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, Link
+from repro.net.message import BatchItem, Message, MessageBatch, QueryRequest, QueryResponse
+from repro.net.query import (
+    DEFAULT_QUERY_TIMEOUT,
+    PendingQuery,
+    ProvenanceQuery,
+    QueryEngine,
+    QueryResult,
+)
+from repro.net.stats import NetworkStats, NodeStats, WireMessage
+from repro.net.topology import Topology
+from repro.security.keystore import KeyStore
+from repro.security.principal import PrincipalRegistry
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Converts a node's operation counters into simulated CPU seconds.
+
+    The constants model a 2008-era interpreted dataflow engine (P2) running
+    many processes on one machine.  Absolute values are not meant to match
+    the paper's testbed; what matters for the reproduction is the *structure*:
+    per-tuple relational work scales with tuple size, signing adds a fixed
+    per-tuple cost, verification is much cheaper than signing (small public
+    exponent), and provenance adds per-annotation plus per-byte costs.
+
+    Every term is linear in one report counter with no constant per-call
+    overhead, so accounting one merged batch-level report charges exactly the
+    same CPU time as accounting its per-tuple parts separately.
+    """
+
+    seconds_per_fact_received: float = 0.8e-3
+    seconds_per_rule_firing: float = 1.2e-3
+    seconds_per_fact_derived: float = 0.8e-3
+    seconds_per_fact_inserted: float = 0.4e-3
+    seconds_per_fact_retracted: float = 0.4e-3
+    seconds_per_payload_byte: float = 3.0e-5
+    seconds_per_signature: float = 4.0e-3
+    seconds_per_verification: float = 0.6e-3
+    seconds_per_provenance_annotation: float = 1.0e-3
+    seconds_per_provenance_byte: float = 2.5e-5
+    #: Query-plane work: one pointer-table lookup while answering (or
+    #: locally expanding) a provenance query, and one serialized query
+    #: payload byte built or parsed.
+    seconds_per_query_lookup: float = 0.5e-3
+    seconds_per_query_byte: float = 3.0e-5
+
+    def query_cpu_seconds(self, lookups: int, payload_bytes: int) -> float:
+        """Simulated CPU time for query-plane work (lookups + serialization)."""
+        return (
+            lookups * self.seconds_per_query_lookup
+            + payload_bytes * self.seconds_per_query_byte
+        )
+
+    def cpu_seconds(self, report: ProcessingReport) -> float:
+        """Simulated CPU time for the work summarised in *report*."""
+        return (
+            report.facts_received * self.seconds_per_fact_received
+            + report.rule_firings * self.seconds_per_rule_firing
+            + report.facts_derived * self.seconds_per_fact_derived
+            + report.facts_inserted * self.seconds_per_fact_inserted
+            + report.facts_retracted * self.seconds_per_fact_retracted
+            + report.payload_bytes_processed * self.seconds_per_payload_byte
+            + report.signatures_created * self.seconds_per_signature
+            + report.facts_verified * self.seconds_per_verification
+            + report.provenance_annotations * self.seconds_per_provenance_annotation
+            + report.provenance_bytes_computed * self.seconds_per_provenance_byte
+            + report.provenance_signatures * self.seconds_per_signature
+            + report.provenance_verifications * self.seconds_per_verification
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    stats: NetworkStats
+    engines: Dict[Address, NodeEngine]
+    converged: bool
+    events_processed: int
+
+    def facts(self, relation: str) -> Dict[Address, Tuple[Fact, ...]]:
+        """All stored facts of *relation*, per node."""
+        return facts_by_node(self.engines, relation)
+
+    def all_facts(self, relation: str) -> Tuple[Fact, ...]:
+        return collect_facts(self.engines, relation)
+
+
+def shape_link_facts(
+    topology: Topology, relation: str, arity: int
+) -> Dict[Address, List[Fact]]:
+    """The link base tuples implied by *topology*, shaped to *arity*.
+
+    Programs differ in their link arity — reachability uses ``link(@S, D)``,
+    Best-Path ``link(@S, D, C)`` — so the caller resolves the arity from its
+    compiled catalog; anything but 2 carries the cost column.  Shared by the
+    serial kernel and the sharded coordinator so the default workload cannot
+    drift between backends.
+    """
+    per_node: Dict[Address, List[Fact]] = {address: [] for address in topology.nodes}
+    for link in topology.links:
+        values = (
+            (link.source, link.destination)
+            if arity == 2
+            else (link.source, link.destination, link.cost)
+        )
+        per_node[link.source].append(Fact(relation=relation, values=values))
+    return per_node
+
+
+class SimulationKernel:
+    """Runs one program over (a shard of) one topology under one configuration."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        compiled: CompiledProgram,
+        config: EngineConfig,
+        cost_model: Optional[CostModel] = None,
+        keystore: Optional[KeyStore] = None,
+        registry: Optional[PrincipalRegistry] = None,
+        key_bits: int = 256,
+        max_events: int = 5_000_000,
+        default_latency: float = DEFAULT_LATENCY,
+        default_bandwidth: float = DEFAULT_BANDWIDTH,
+        batching: bool = True,
+        batch_receive: bool = True,
+        link_relation: str = "link",
+        query_timeout: float = DEFAULT_QUERY_TIMEOUT,
+        hosted: Optional[Iterable[Address]] = None,
+        primary: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.compiled = compiled
+        self.config = config
+        self.cost_model = cost_model or CostModel()
+        self.max_events = max_events
+        self.default_latency = default_latency
+        self.default_bandwidth = default_bandwidth
+        #: When True (the default, matching real P2), all tuples bound for
+        #: one destination in one delta round ship as a single MessageBatch
+        #: under one message header.  When False, every tuple pays its own
+        #: header (the paper's Figure 4 accounting).
+        self.batching = batching
+        #: When True (the default), a delivered batch drains through one
+        #: ``NodeEngine.receive_batch`` call — one ProcessingResult/report and
+        #: one warm-up per incoming message instead of N per-tuple calls.
+        #: Tuples are still admitted and fixpointed strictly in arrival
+        #: order, so derived facts and stats attribution are identical to the
+        #: per-tuple path.
+        self.batch_receive = batch_receive
+        #: Name of the base relation whose tuples mirror the topology's
+        #: links; LinkDown retraction and recovery re-injection key off it.
+        self.link_relation = link_relation
+        #: Seconds an in-network provenance query waits for one outstanding
+        #: request before reporting the key missing (lost request/response).
+        self.query_timeout = query_timeout
+        #: The nodes whose engines this kernel hosts (all of them for the
+        #: serial backend, one shard's worth for the sharded backend).
+        self.hosted: Tuple[Address, ...] = (
+            tuple(topology.nodes) if hosted is None else tuple(hosted)
+        )
+        self._hosted_set: Set[Address] = set(self.hosted)
+        #: Exactly one kernel per run is primary: it owns (counts) the
+        #: broadcast events that belong to no particular node, so merged
+        #: event totals equal the serial backend's.
+        self.primary = primary
+
+        self.registry = registry or PrincipalRegistry()
+        #: Deterministic keys for *every* node regardless of hosting: key
+        #: creation draws from one seeded RNG in topology order, so each
+        #: shard kernel derives the identical key material the serial
+        #: backend would, and cross-shard signatures verify bit-for-bit.
+        self.keystore = keystore or KeyStore(key_bits=key_bits, seed=7)
+        if config.says_mode.requires_signature:
+            self.keystore.create_all(topology.nodes)
+
+        self.engines: Dict[Address, NodeEngine] = {}
+        for address in topology.nodes:
+            self.registry.register(address)
+            if address in self._hosted_set:
+                self.engines[address] = NodeEngine(
+                    address=address,
+                    compiled=compiled,
+                    config=config,
+                    keystore=self.keystore,
+                    registry=self.registry,
+                )
+
+        self.stats = NetworkStats()
+        self.scheduler = EventScheduler()
+        self._events_processed = 0
+        #: Schedule count for broadcast copies this kernel does not own;
+        #: subtracted when per-kernel ``events_scheduled`` totals merge.
+        #: ``_uncounted_ids`` marks the not-yet-dispatched copies themselves
+        #: (by identity — the scheduler holds them until they fire).
+        self._uncounted_scheduled = 0
+        self._uncounted_ids: Set[int] = set()
+        #: Per sending node message sequence counters.  Identical runs number
+        #: identically, and — because the counter follows the *node*, not the
+        #: kernel — so do runs partitioned across any number of shards.
+        self._sequences: Dict[Address, int] = {}
+        #: Stamp counter ordering externally scheduled control events; the
+        #: sharded coordinator assigns these globally instead.
+        self._control_stamp = 0
+        #: Per directed link: the time its wire is busy until.  Transmissions
+        #: on one link serialize; a message starts only after the previous
+        #: one has left the sender's interface.
+        self._link_busy_until: Dict[Tuple[Address, Address], float] = {}
+        #: Dynamic network state: directed links currently failed and nodes
+        #: currently crashed.  Consulted at ship / delivery / injection time.
+        #: Replicated in every kernel via control-event broadcast.
+        self._down_links: set = set()
+        self._down_nodes: set = set()
+        #: Base facts each node has asserted (for recovery re-injection and
+        #: soft-state refresh rounds); retraction removes entries.
+        self._base_facts: Dict[Address, Dict[FactKey, Fact]] = {}
+        #: Link tuples retracted by LinkDown, re-injected by a bare LinkUp.
+        self._failed_link_facts: Dict[Tuple[Address, Address], Tuple[Fact, ...]] = {}
+        #: Export sink for deliveries destined to a node another kernel
+        #: hosts: ``(deliver_at, message)`` pairs the sharded coordinator
+        #: collects at window barriers (and when priming a drain — queries
+        #: issued *between* drains ship their first cross-shard requests
+        #: outside any window).  ``None`` under the serial backend, where
+        #: every destination is hosted locally; the sharded backend enables
+        #: it permanently via :meth:`enable_exports`.
+        self._export_sink: Optional[List[Tuple[float, WireMessage]]] = None
+
+        #: The in-network provenance query plane (repro.net.query): queries
+        #: ride the same scheduler and pay the same wire costs as data.
+        self.queries = QueryEngine(self)
+
+        self._handlers = self._build_handlers()
+
+    def _build_handlers(self) -> Dict[type, Callable]:
+        return {
+            MessageDelivery: self._handle_delivery,
+            LinkDown: self._handle_link_down,
+            LinkUp: self._handle_link_up,
+            NodeCrash: self._handle_node_crash,
+            NodeRecover: self._handle_node_recover,
+            FactInjection: self._handle_injection,
+            FactRetraction: self._handle_retraction,
+            SoftStateRefresh: self._handle_refresh,
+            QueryTimeout: self._handle_query_timeout,
+        }
+
+    # -- pickling ----------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Ship a kernel across a process boundary (sharded worker results).
+
+        The compiled program carries unpicklable cached closures and is
+        dropped — the receiver reattaches its own identical compilation via
+        :meth:`attach_program` — as is the handler dispatch table (bound
+        methods, rebuilt on restore).  Kernels travel at barriers or at
+        completion, when their event queues are drained or hold only plain
+        typed events, so everything else is data.
+        """
+        state = self.__dict__.copy()
+        state["compiled"] = None
+        state["_handlers"] = None
+        state["_export_sink"] = None
+        # Identity-based bookkeeping cannot cross processes; kernels only
+        # travel when no unowned broadcast copy is pending.
+        state["_uncounted_ids"] = set()
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._handlers = self._build_handlers()
+
+    def attach_program(self, compiled: CompiledProgram) -> None:
+        """Reattach the compiled program to this kernel and its engines."""
+        self.compiled = compiled
+        for engine in self.engines.values():
+            engine.attach_program(compiled)
+
+    # -- base facts -------------------------------------------------------------
+
+    def link_facts(self) -> Dict[Address, List[Fact]]:
+        """The link base tuples implied by the topology, shaped for the program.
+
+        The compiled catalog decides whether the default workload carries
+        the cost column (see :func:`shape_link_facts`); programs that never
+        mention the link relation get the full ``link(@S, D, C)`` shape.
+        """
+        relation = self.link_relation
+        # Every engine compiles the same program; any one catalog will do.
+        engine = next(iter(self.engines.values()), None)
+        arity = 3
+        if engine is not None and relation in engine.database.catalog:
+            arity = engine.database.catalog.schema(relation).arity
+        return shape_link_facts(self.topology, relation, arity)
+
+    def live_base_facts(self, address: Address) -> Tuple[Fact, ...]:
+        """The node's remembered base tuples, minus links currently down."""
+        remembered = self._base_facts.get(address)
+        if not remembered:
+            return ()
+        return tuple(
+            fact
+            for fact in remembered.values()
+            if not (
+                fact.relation == self.link_relation
+                and len(fact.values) >= 2
+                and (fact.values[0], fact.values[1]) in self._down_links
+            )
+        )
+
+    # -- dynamic state ----------------------------------------------------------
+
+    def link_is_up(self, source: Address, destination: Address) -> bool:
+        return (source, destination) not in self._down_links
+
+    def node_is_up(self, address: Address) -> bool:
+        return address not in self._down_nodes
+
+    def hosts(self, address: Address) -> bool:
+        """True when this kernel hosts *address*'s engine."""
+        return address in self._hosted_set
+
+    # -- running ----------------------------------------------------------------
+
+    def schedule(self, event: SimulationEvent) -> None:
+        """Queue a typed event for the next :meth:`run_until_idle` drain.
+
+        Control events receive their ordering stamp here, in call order —
+        the order the driving code (scenario scripts, tests, ``run``)
+        scheduled them, which is identical under every backend.
+        """
+        self._control_stamp += 1
+        self.scheduler.schedule(event, stamp=self._control_stamp)
+
+    def schedule_stamped(self, event: SimulationEvent, stamp: int, owned: bool) -> None:
+        """Queue a control event stamped by the sharded coordinator.
+
+        *owned* marks the one kernel that counts the event (the shard
+        hosting the affected node, or the primary kernel for node-less
+        broadcasts); the other kernels process their copy for its
+        global-state side effects without it appearing in event totals.
+        """
+        if not owned:
+            self._uncounted_ids.add(id(event))
+            self._uncounted_scheduled += 1
+        self.scheduler.schedule(event, stamp=stamp)
+
+    def run_until_idle(self) -> bool:
+        """Dispatch scheduled events until none remain (a distributed fixpoint).
+
+        Returns False when the cumulative ``max_events`` budget ran out first.
+        """
+        while self.scheduler:
+            if self._events_processed >= self.max_events:
+                return False
+            self._dispatch(self.scheduler.pop())
+        return True
+
+    def enable_exports(self) -> None:
+        """Mark this kernel as one shard of many: deliveries to non-hosted
+        destinations accumulate for the coordinator instead of being
+        scheduled (and dropped) locally.  Permanent — covers sends made
+        between windows too, e.g. a query issued after a drain."""
+        if self._export_sink is None:
+            self._export_sink = []
+
+    def take_exports(self) -> List[Tuple[float, WireMessage]]:
+        """Drain the accumulated cross-shard deliveries."""
+        if not self._export_sink:
+            return []
+        exported, self._export_sink = self._export_sink, []
+        return exported
+
+    def run_window(
+        self, horizon: float, imports: Iterable[Tuple[float, WireMessage]] = ()
+    ) -> Tuple[List[Tuple[float, WireMessage]], Optional[float], bool]:
+        """Process every local event strictly before *horizon*.
+
+        *imports* are cross-shard deliveries the coordinator collected from
+        the other kernels at the previous barrier; they merge into the local
+        queue in content-rank order before the window runs.  Returns the
+        deliveries this window exported for other kernels, the timestamp of
+        the next local event (``None`` when idle), and False when the event
+        budget ran out mid-window.
+        """
+        self.enable_exports()
+        for deliver_at, message in imports:
+            self.scheduler.schedule(MessageDelivery(time=deliver_at, message=message))
+        within_budget = True
+        while True:
+            next_time = self.scheduler.peek_time()
+            if next_time is None or next_time >= horizon:
+                break
+            if self._events_processed >= self.max_events:
+                within_budget = False
+                break
+            self._dispatch(self.scheduler.pop())
+        return self.take_exports(), self.scheduler.peek_time(), within_budget
+
+    def _dispatch(self, event: SimulationEvent) -> None:
+        if self._uncounted_ids:
+            if id(event) in self._uncounted_ids:
+                self._uncounted_ids.discard(id(event))
+            else:
+                self._events_processed += 1
+        else:
+            self._events_processed += 1
+        handler = self._handlers.get(type(event))
+        if handler is None:
+            raise TypeError(
+                f"no handler for scheduled event {type(event).__name__}; "
+                f"known events: {sorted(t.__name__ for t in self._handlers)}"
+            )
+        handler(event, event.time)
+
+    def current_time(self) -> float:
+        """The latest instant any hosted node has been busy until."""
+        return max(
+            [stats.busy_until for stats in self.stats.nodes.values()] or [0.0]
+        )
+
+    def expire_all(self, now: float) -> None:
+        """Sweep residual soft state out of every node's database at *now*.
+
+        Expiry is otherwise lazy (tables expire when touched), so snapshots
+        taken between phases would include tuples whose TTL already elapsed.
+        """
+        for engine in self.engines.values():
+            engine.database.expire(now)
+
+    def count_facts(self, relation: str) -> int:
+        """Stored-tuple count of *relation* across this kernel's nodes."""
+        return sum(len(engine.facts(relation)) for engine in self.engines.values())
+
+    def run(
+        self,
+        base_facts: Optional[Dict[Address, Iterable[Fact]]] = None,
+        start_time: float = 0.0,
+    ) -> SimulationResult:
+        """Inject base facts at *start_time* and run to the distributed fixpoint."""
+        injected = base_facts if base_facts is not None else self.link_facts()
+        for address, facts in injected.items():
+            self.schedule(
+                FactInjection(time=start_time, address=address, facts=tuple(facts))
+            )
+        converged = self.run_until_idle()
+        return self.finish(converged)
+
+    def issue_query(
+        self, query: ProvenanceQuery, now: Optional[float] = None
+    ) -> PendingQuery:
+        """Start an in-network provenance query at simulated instant *now*.
+
+        Requests, responses and timeouts are dispatched through the normal
+        event loop: drain it (:meth:`run_until_idle`) and read
+        ``pending.result()``.  Defaults to issuing at the current simulated
+        time, i.e. after whatever the network has already been through.
+        """
+        at = self.current_time() if now is None else now
+        return self.queries.issue(query, now=at)
+
+    def query(
+        self,
+        root,
+        at: Address,
+        mode: str = "online",
+        condensed: bool = False,
+        authenticated: bool = False,
+        timeout: Optional[float] = None,
+    ) -> QueryResult:
+        """Issue a provenance query, run it to completion, return its result.
+
+        ``root`` may be a :class:`~repro.engine.tuples.Fact` or a fact key.
+        """
+        key = as_fact_key(root)
+        pending = self.issue_query(
+            ProvenanceQuery(
+                root=key,
+                at=at,
+                mode=mode,
+                condensed=condensed,
+                authenticated=authenticated,
+                timeout=timeout,
+            )
+        )
+        self.run_until_idle()
+        return pending.result()
+
+    def finish(self, converged: bool = True) -> SimulationResult:
+        """Close the books on a run: final stats plus residual soft-state expiry.
+
+        Residual soft state is expired once at the run's completion time, so
+        post-run ``facts()`` snapshots never include tuples whose TTL elapsed
+        before the last event (expiry is otherwise lazy — a tuple nothing
+        touched after its deadline would linger in the snapshot).
+        """
+        self.stats.total_events = self._events_processed
+        self.stats.completion_time = self.current_time()
+        self.expire_all(self.stats.completion_time)
+        return SimulationResult(
+            stats=self.stats,
+            engines=self.engines,
+            converged=converged,
+            events_processed=self._events_processed,
+        )
+
+    # -- event handlers ----------------------------------------------------------
+
+    def _handle_delivery(self, event: MessageDelivery, at: float) -> None:
+        self._deliver(event.message, at)
+
+    def _handle_query_timeout(self, event: QueryTimeout, at: float) -> None:
+        self.queries.handle_timeout(event, at)
+
+    def _handle_link_down(self, event: LinkDown, at: float) -> None:
+        key = (event.source, event.destination)
+        self._down_links.add(key)
+        if not event.retract:
+            return
+        engine = self.engines.get(event.source)
+        if engine is None:
+            return
+        stored = tuple(
+            fact
+            for fact in engine.facts(self.link_relation)
+            if len(fact.values) >= 2
+            and fact.values[0] == event.source
+            and fact.values[1] == event.destination
+        )
+        if stored:
+            # A repeated LinkDown for an already-retracted link finds no
+            # tuples; keep the earlier remembered ones so a bare LinkUp can
+            # still restore the link.
+            self._failed_link_facts[key] = stored
+            self._retract(event.source, stored, at)
+
+    def _handle_link_up(self, event: LinkUp, at: float) -> None:
+        key = (event.source, event.destination)
+        self._down_links.discard(key)
+        # A dead link's wire forgets its queue: transmissions serialized
+        # behind the failure never happened, so the recovered link must not
+        # inherit the busy window they had reserved.
+        self._link_busy_until.pop(key, None)
+        if not self.hosts(event.source):
+            return
+        facts = event.facts or self._failed_link_facts.get(key, ())
+        if facts:
+            # Remember before injecting: if the source is crashed right now
+            # the injection is dropped, but NodeRecover re-injects from the
+            # remembered set — the restored link must not be lost with it.
+            remembered = self._base_facts.setdefault(event.source, {})
+            for fact in facts:
+                remembered[fact.key()] = fact
+            self._inject(event.source, facts, at, remember=False)
+
+    def _handle_node_crash(self, event: NodeCrash, at: float) -> None:
+        self._down_nodes.add(event.address)
+        engine = self.engines.get(event.address)
+        if engine is not None and event.clear_state:
+            engine.reset_state()
+
+    def _handle_node_recover(self, event: NodeRecover, at: float) -> None:
+        self._down_nodes.discard(event.address)
+        if event.reinject:
+            facts = self.live_base_facts(event.address)
+            if facts:
+                self._inject(event.address, facts, at, remember=False)
+
+    def _handle_injection(self, event: FactInjection, at: float) -> None:
+        self._inject(event.address, event.facts, at, remember=event.remember)
+
+    def _handle_retraction(self, event: FactRetraction, at: float) -> None:
+        self._retract(event.address, event.facts, at)
+
+    def _handle_refresh(self, event: SoftStateRefresh, at: float) -> None:
+        # Expanded at fire time so control events that share the timestamp
+        # (and were scheduled earlier) are already reflected: a link that
+        # just failed is excluded, a node that just crashed stays silent.
+        # Each kernel refreshes the nodes it hosts; the others' remembered
+        # base-fact maps are empty here.
+        for address in self.topology.nodes:
+            if address in self._down_nodes:
+                continue
+            facts = self.live_base_facts(address)
+            if facts:
+                self._inject(address, facts, at, remember=False)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _inject(
+        self,
+        address: Address,
+        facts: Iterable[Fact],
+        at: float,
+        remember: bool = True,
+    ) -> None:
+        """Insert base *facts* at *address* and ship what they cause.
+
+        Injections addressed to a crashed or unknown node are ignored — a
+        down node's application is down with it.
+        """
+        if address in self._down_nodes:
+            return
+        engine = self.engines.get(address)
+        if engine is None:
+            return
+        node_stats = self.stats.node(address)
+        remembered = self._base_facts.setdefault(address, {}) if remember else None
+        pending: List[OutgoingFact] = []
+        for fact in facts:
+            start = max(at, node_stats.busy_until)
+            result = engine.insert_base(fact, now=start)
+            self._account_processing(address, start, result.report, node_stats)
+            pending.extend(result.outgoing)
+            if remembered is not None:
+                remembered[fact.key()] = fact
+        # One delta round per injection: everything the injected facts caused
+        # ships together (one batch per destination when batching).
+        self._dispatch_outgoing(address, pending, node_stats)
+
+    def _retract(self, address: Address, facts: Iterable[Fact], at: float) -> None:
+        """Withdraw base *facts* at *address*, cascading local invalidation."""
+        if address in self._down_nodes:
+            return
+        engine = self.engines.get(address)
+        if engine is None:
+            return
+        node_stats = self.stats.node(address)
+        remembered = self._base_facts.get(address)
+        for fact in facts:
+            start = max(at, node_stats.busy_until)
+            result = engine.retract_base(fact, now=start)
+            self._account_processing(address, start, result.report, node_stats)
+            if remembered is not None:
+                remembered.pop(fact.key(), None)
+
+    def _deliver(self, message: WireMessage, deliver_at: float) -> None:
+        destination = message.destination
+        if destination in self._down_nodes:
+            # The wire was paid for, but nobody is listening.
+            self.stats.messages_lost += 1
+            return
+        engine = self.engines.get(destination)
+        if engine is None:
+            # A message to a nonexistent address must not fabricate a phantom
+            # NodeStats entry (which would inflate receive counters and join
+            # the completion-time max); it is dropped and counted globally.
+            # Destinations hosted by another kernel never reach here: the
+            # coordinator routes deliveries by shard assignment.
+            self.stats.messages_dropped += 1
+            return
+        node_stats = self.stats.node(destination)
+        node_stats.record_receive(message)
+        if isinstance(message, (QueryRequest, QueryResponse)):
+            # Query-plane traffic is handled by the query engine, not the
+            # datalog engine; it shares the loss semantics above (a crashed
+            # node answers nothing, the querier's timeout reports the miss).
+            self.queries.deliver(message, deliver_at)
+            return
+        if self.batch_receive:
+            start = max(deliver_at, node_stats.busy_until)
+            result = engine.receive_batch(message.facts(), now=start)
+            self._account_processing(destination, start, result.report, node_stats)
+            pending = result.outgoing
+        else:
+            pending = []
+            for fact in message.facts():
+                start = max(deliver_at, node_stats.busy_until)
+                result = engine.receive(fact, now=start, provenance=fact.provenance)
+                self._account_processing(destination, start, result.report, node_stats)
+                pending.extend(result.outgoing)
+        # One delta round per delivered message: the whole round's output
+        # ships together (one batch per destination when batching).
+        self._dispatch_outgoing(destination, pending, node_stats)
+
+    def _account_processing(
+        self,
+        address: Address,
+        start: float,
+        report: ProcessingReport,
+        node_stats: NodeStats,
+    ) -> None:
+        cpu = self.cost_model.cpu_seconds(report)
+        node_stats.cpu_seconds += cpu
+        node_stats.busy_until = start + cpu
+        node_stats.facts_derived += report.facts_derived
+        node_stats.facts_stored += report.facts_inserted
+        node_stats.facts_retracted += report.facts_retracted
+
+    def _next_sequence(self, source: Address) -> int:
+        """Per-sending-node message sequence counter.
+
+        Identical runs number identically, and the numbering is independent
+        of how nodes are partitioned across kernels — which is what lets the
+        scheduler's content-based tie-break replay the serial order from any
+        shard's queue.
+        """
+        value = self._sequences.get(source, 0) + 1
+        self._sequences[source] = value
+        return value
+
+    def _schedule_delivery(self, deliver_at: float, message: WireMessage) -> None:
+        """Queue a delivery locally, or export it to the destination's kernel."""
+        if self._export_sink is not None and message.destination not in self._hosted_set:
+            self._export_sink.append((deliver_at, message))
+            return
+        self.scheduler.schedule(MessageDelivery(time=deliver_at, message=message))
+
+    def _dispatch_outgoing(
+        self, source: Address, outgoing: List[OutgoingFact], node_stats: NodeStats
+    ) -> None:
+        if not outgoing:
+            return
+        send_time = node_stats.busy_until
+        if self.batching:
+            for destination, items in group_outgoing(outgoing).items():
+                batch = MessageBatch(
+                    source=source,
+                    destination=destination,
+                    items=tuple(
+                        BatchItem(
+                            fact=item.fact,
+                            security_bytes=item.security_bytes,
+                            provenance_bytes=item.provenance_bytes,
+                        )
+                        for item in items
+                    ),
+                    sent_at=send_time,
+                    sequence=self._next_sequence(source),
+                )
+                self._ship(source, destination, batch, send_time, node_stats)
+        else:
+            for item in outgoing:
+                message = Message(
+                    source=source,
+                    destination=item.destination,
+                    fact=item.fact,
+                    security_bytes=item.security_bytes,
+                    provenance_bytes=item.provenance_bytes,
+                    sent_at=send_time,
+                    sequence=self._next_sequence(source),
+                )
+                self._ship(source, item.destination, message, send_time, node_stats)
+
+    def route_between(
+        self, source: Address, destination: Address
+    ) -> Optional[List[Link]]:
+        """Shortest live directed path from *source* to *destination*, or None.
+
+        BFS over the topology minus currently-down links; crashed nodes do
+        not forward (they may still be the destination — delivery-time loss
+        handles that).  Deterministic: neighbours are explored in topology
+        declaration order.  Used by the query plane, whose request/response
+        traffic travels between arbitrary node pairs, unlike data traffic
+        which only ever crosses single program-visible links.
+        """
+        if source == destination:
+            return []
+        parents: Dict[Address, Tuple[Address, Link]] = {source: None}  # type: ignore[dict-item]
+        frontier: List[Address] = [source]
+        while frontier:
+            next_frontier: List[Address] = []
+            for node in frontier:
+                for link in self.topology.outgoing(node):
+                    hop = link.destination
+                    if hop in parents or (node, hop) in self._down_links:
+                        continue
+                    if hop != destination and hop in self._down_nodes:
+                        continue
+                    parents[hop] = (node, link)
+                    if hop == destination:
+                        path: List[Link] = []
+                        current = hop
+                        while parents[current] is not None:
+                            previous, via = parents[current]
+                            path.append(via)
+                            current = previous
+                        path.reverse()
+                        return path
+                    next_frontier.append(hop)
+            frontier = next_frontier
+        return None
+
+    def ship_routed(
+        self,
+        source: Address,
+        destination: Address,
+        message: WireMessage,
+        send_time: float,
+        node_stats: NodeStats,
+    ) -> None:
+        """Ship a message along the live multi-hop route to *destination*.
+
+        The sender pays for the bytes either way.  With no live route —
+        partition, downed links — the message is lost; otherwise it
+        serializes on the first hop's wire (the sender's interface) and pays
+        the summed propagation latency of every hop on the path.
+        """
+        if message.sequence == 0:
+            message.sequence = self._next_sequence(source)
+        node_stats.record_send(message)
+        self.stats.total_messages += 1
+        path = self.route_between(source, destination)
+        if path is None:
+            self.stats.messages_lost += 1
+            return
+        size = message.size_bytes()
+        if path:
+            first = path[0]
+            wire_seconds = size / first.bandwidth if first.bandwidth > 0 else 0.0
+            key = (source, first.destination)
+            transmit_at = max(send_time, self._link_busy_until.get(key, 0.0))
+            self._link_busy_until[key] = transmit_at + wire_seconds
+            latency = sum(link.latency for link in path)
+        else:
+            wire_seconds = 0.0
+            transmit_at = send_time
+            latency = self.default_latency
+        deliver_at = transmit_at + wire_seconds + latency
+        self._schedule_delivery(deliver_at, message)
+
+    def _ship(
+        self,
+        source: Address,
+        destination: Address,
+        message: WireMessage,
+        send_time: float,
+        node_stats: NodeStats,
+    ) -> None:
+        """Charge the send and enqueue delivery with link-serialized timing."""
+        if message.sequence == 0:
+            message.sequence = self._next_sequence(source)
+        node_stats.record_send(message)
+        self.stats.total_messages += 1
+        size = message.size_bytes()
+        link = self.topology.link_between(source, destination)
+        if link is not None:
+            latency, bandwidth = link.latency, link.bandwidth
+        else:
+            latency, bandwidth = self.default_latency, self.default_bandwidth
+        wire_seconds = size / bandwidth if bandwidth > 0 else 0.0
+        key = (source, destination)
+        transmit_at = max(send_time, self._link_busy_until.get(key, 0.0))
+        self._link_busy_until[key] = transmit_at + wire_seconds
+        if key in self._down_links:
+            # The sender cannot tell the link is dead: it pays the send and
+            # the message is lost on the wire.
+            self.stats.messages_lost += 1
+            return
+        deliver_at = transmit_at + wire_seconds + latency
+        self._schedule_delivery(deliver_at, message)

@@ -284,6 +284,12 @@ class QueryEngine:
         self._queries: Dict[int, PendingQuery] = {}
         self._next_query_id = 0
         self._next_request_id = 0
+        #: Sharded backend hook: resolve a pending query living on another
+        #: kernel, addressed by the asking node (a response's destination)
+        #: and the query id that kernel assigned.  The responder's kernel
+        #: uses it to bill the response to the asker at *send* time —
+        #: exactly the serial backend's accounting, lost responses included.
+        self.resolve_remote = None
 
     # -- issuing ---------------------------------------------------------------
 
@@ -387,6 +393,13 @@ class QueryEngine:
         )
         signing_cost = 0.0
         if request.authenticated:
+            if not simulator.keystore.has_private_key(request.destination):
+                # Configurations that never sign data traffic create keys on
+                # demand.  All of them, in topology order: key material draws
+                # from one seeded RNG, so every kernel of a sharded run (and
+                # the serial backend, which does the same at issue time)
+                # derives bit-identical keys.
+                simulator.keystore.create_all(simulator.topology.nodes)
             signature = sign(
                 response.signed_payload(),
                 simulator.keystore.private_key(request.destination),
@@ -607,7 +620,17 @@ class QueryEngine:
         simulator.ship_routed(
             source, message.destination, message, send_time, node_stats
         )
-        pending = self._queries.get(query_id)
+        if self.resolve_remote is not None and isinstance(message, QueryResponse):
+            # Query ids are only unique per kernel, and a response's rightful
+            # pending query lives at the kernel hosting the *asker* (its
+            # destination) — never this one's same-id entry, which may belong
+            # to an unrelated concurrent query.  The coordinator resolves by
+            # asker, which routes back to this kernel when the asker is
+            # local, so the response's price lands on the same books the
+            # serial backend keeps.
+            pending = self.resolve_remote(message.destination, query_id)
+        else:
+            pending = self._queries.get(query_id)
         if pending is not None:
             pending.messages += 1
             pending.bytes += message.size_bytes()

@@ -16,7 +16,7 @@ from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from repro.net.address import Address
 from repro.net.message import Message, MessageBatch, QueryRequest, QueryResponse
@@ -82,6 +82,39 @@ class NodeStats:
         self.bytes_received += message.size_bytes()
         self.tuples_received += message.tuple_count
 
+    def merge(self, other: "NodeStats") -> None:
+        """Fold *other*'s counters into this record (same node, two sources).
+
+        Used when reassembling per-shard statistics into one run record and
+        when aggregating repeated runs of one sweep point.  Counters add;
+        ``busy_until`` — an instant, not a quantity — takes the latest.
+        """
+        if other.address != self.address:
+            raise ValueError(
+                f"cannot merge stats of node {other.address!r} into node "
+                f"{self.address!r}"
+            )
+        self.messages_sent += other.messages_sent
+        self.messages_received += other.messages_received
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+        self.security_bytes_sent += other.security_bytes_sent
+        self.provenance_bytes_sent += other.provenance_bytes_sent
+        self.batches_sent += other.batches_sent
+        self.tuples_sent += other.tuples_sent
+        self.tuples_received += other.tuples_received
+        self.queries_issued += other.queries_issued
+        self.query_messages_sent += other.query_messages_sent
+        self.query_bytes_sent += other.query_bytes_sent
+        self.query_bytes_charged += other.query_bytes_charged
+        self.facts_derived += other.facts_derived
+        self.facts_stored += other.facts_stored
+        self.facts_retracted += other.facts_retracted
+        self.cpu_seconds += other.cpu_seconds
+        self.busy_until = max(self.busy_until, other.busy_until)
+        for size, count in other.batch_sizes.items():
+            self.batch_sizes[size] = self.batch_sizes.get(size, 0) + count
+
 
 @dataclass
 class NetworkStats:
@@ -104,6 +137,36 @@ class NetworkStats:
             stats = NodeStats(address=address)
             self.nodes[address] = stats
         return stats
+
+    def merge(self, other: "NetworkStats") -> None:
+        """Fold *other* into this record; *other* is left untouched.
+
+        Per-node entries merge by address into records owned by this object
+        (never adopted by reference — a later merge must not mutate the
+        source run's statistics); run-level counters add;
+        ``completion_time`` — the latest instant any node was busy — takes
+        the maximum.  This is how the sharded backend reassembles its
+        per-shard kernels' statistics into one run record, and how sweep
+        aggregation folds repeated runs of one configuration together.
+        """
+        for address, node_stats in other.nodes.items():
+            mine = self.nodes.get(address)
+            if mine is None:
+                mine = self.nodes[address] = NodeStats(address=address)
+            mine.merge(node_stats)
+        self.completion_time = max(self.completion_time, other.completion_time)
+        self.total_messages += other.total_messages
+        self.total_events += other.total_events
+        self.messages_dropped += other.messages_dropped
+        self.messages_lost += other.messages_lost
+
+    @classmethod
+    def merged(cls, parts: "Iterable[NetworkStats]") -> "NetworkStats":
+        """One record folding every statistics object in *parts* together."""
+        combined = cls()
+        for part in parts:
+            combined.merge(part)
+        return combined
 
     # -- headline metrics -------------------------------------------------------
 

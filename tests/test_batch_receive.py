@@ -17,7 +17,7 @@ from repro.datalog import localize_program, parse_program
 from repro.datalog.planner import compile_program
 from repro.engine.node_engine import EngineConfig, NodeEngine, ProvenanceMode
 from repro.engine.tuples import Fact
-from repro.net.simulator import CostModel, Simulator
+from repro.net.kernel import CostModel, SimulationKernel
 from repro.net.topology import line_topology, random_topology
 from repro.queries.best_path import compile_best_path
 from repro.queries.reachable import REACHABLE_LOCALIZED
@@ -64,7 +64,7 @@ def reachable_base(topology):
     }
 
 
-class RecordingSimulator(Simulator):
+class RecordingSimulator(SimulationKernel):
     """Records every delivery (sequence, endpoints, carried tuple keys)."""
 
     def __init__(self, *args, **kwargs):

@@ -1,0 +1,89 @@
+"""The legacy entry points warn — and only the legacy entry points.
+
+``repro.api.Network`` is the supported surface; ``Simulator(...)``,
+``run_best_path``, ``run_configuration`` and ``ExperimentRow`` remain as
+working shims that emit a ``DeprecationWarning`` pointing at ``repro.api``.
+The supported paths (facade build/run, sweeps through ``run_network``,
+scenario builders) must stay warning-clean — asserted here with warnings
+escalated to errors, and enforced suite-wide by running tier-1 with
+``-W error::DeprecationWarning`` (every other test exercises only supported
+surfaces or wraps a shim in ``pytest.warns``).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api.network import Network
+from repro.engine.node_engine import EngineConfig
+from repro.harness.runner import (
+    ExperimentRow,
+    run_best_path,
+    run_configuration,
+    run_network,
+)
+from repro.net.simulator import Simulator
+from repro.net.topology import random_topology
+from repro.queries.best_path import compile_best_path
+
+
+class TestShimsWarn:
+    def test_direct_simulator_construction_warns_and_works(self):
+        topology = random_topology(6, seed=0)
+        with pytest.warns(DeprecationWarning, match="repro.api.Network"):
+            simulator = Simulator(topology, compile_best_path(), EngineConfig())
+        result = simulator.run()
+        assert result.converged
+        assert result.all_facts("bestPath")
+
+    def test_run_best_path_warns(self, compiled_best_path, small_topology):
+        with pytest.warns(DeprecationWarning, match="run_network"):
+            result = run_best_path(small_topology, "NDLog", compiled=compiled_best_path)
+        assert result.converged
+
+    def test_run_configuration_warns(self, compiled_best_path):
+        with pytest.warns(DeprecationWarning, match="run_network"):
+            row = run_configuration(
+                "NDLog", node_count=6, seed=0, compiled=compiled_best_path
+            )
+        assert row.converged
+
+    def test_experiment_row_warns(self, compiled_best_path):
+        run = run_network("NDLog", 6, seed=0, compiled=compiled_best_path)
+        with pytest.warns(DeprecationWarning, match="RunResult"):
+            row = ExperimentRow.from_run(run)
+        assert row.best_paths == run.count("bestPath")
+
+
+class TestSupportedSurfaceIsClean:
+    def test_facade_build_run_and_scenarios_raise_no_deprecations(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            network = Network.build(
+                topology=6, program="best-path", provenance="ndlog", seed=0
+            )
+            run = network.run()
+            assert run.converged
+
+            run_network("NDLog", 6, seed=0)
+
+            from repro.harness.scenarios import retraction_scenario, run_scenario
+
+            scenario, scenario_network = retraction_scenario(node_count=4)
+            assert run_scenario(scenario, scenario_network).converged
+
+    def test_sharded_backend_raises_no_deprecations(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            network = Network.build(
+                topology=6,
+                program="best-path",
+                provenance="ndlog",
+                backend="sharded",
+                shards=2,
+                shard_mode="inline",
+                seed=0,
+            )
+            assert network.run().converged

@@ -1,6 +1,14 @@
-"""Determinism guarantees: FIFO delta order and repeatable simulator runs."""
+"""Determinism guarantees: FIFO delta order, repeatable runs, backend parity.
+
+The last class parametrizes a representative slice over
+``backend="serial" | "sharded"``: the two execution backends must produce
+identical derived facts, per-message sequence numbers and integer/byte
+statistics (the sharded backend's core contract).
+"""
 
 from __future__ import annotations
+
+import pytest
 
 from repro.datalog import localize_program, parse_program
 from repro.datalog.catalog import Catalog
@@ -9,7 +17,8 @@ from repro.engine.database import Database
 from repro.engine.node_engine import EngineConfig, ProvenanceMode
 from repro.engine.seminaive import evaluate_program
 from repro.engine.tuples import Fact
-from repro.net.simulator import Simulator
+from repro.net.kernel import SimulationKernel
+from repro.net.sharding import ShardedSimulator
 from repro.net.topology import random_topology
 from repro.queries.best_path import compile_best_path
 from repro.security.says import SaysMode
@@ -52,8 +61,8 @@ class TestFifoDeltaOrder:
         assert first.database.snapshot() == second.database.snapshot()
 
 
-class RecordingSimulator(Simulator):
-    """Simulator that records every delivered message's identifying data."""
+class RecordingSimulator(SimulationKernel):
+    """SimulationKernel that records every delivered message's identifying data."""
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -89,7 +98,7 @@ class TestSimulatorDeterminism:
     def test_identical_runs_in_one_process_match_exactly(self):
         # Two back-to-back runs must agree on every statistic AND on the
         # per-message sequence numbers: the sequence counter lives on the
-        # Simulator, not in process-global state.
+        # SimulationKernel, not in process-global state.
         first_result, first_delivered = _run_once()
         second_result, second_delivered = _run_once()
 
@@ -107,3 +116,86 @@ class TestSimulatorDeterminism:
             assert engine.database.snapshot() == (
                 second_result.engines[address].database.snapshot()
             )
+
+
+def _run_backend(backend: str, configuration: EngineConfig):
+    """One Best-Path run plus its per-delivery records, on either backend."""
+    topology = random_topology(10, seed=3)
+    records = []
+    original = SimulationKernel._deliver
+
+    def patched(self, message, deliver_at):
+        records.append(
+            (
+                message.sequence,
+                str(message.source),
+                str(message.destination),
+                tuple(fact.key() for fact in message.facts()),
+            )
+        )
+        return original(self, message, deliver_at)
+
+    if backend == "serial":
+        simulator = SimulationKernel(topology, compile_best_path(), configuration)
+    else:
+        simulator = ShardedSimulator(
+            topology,
+            compile_best_path(),
+            configuration,
+            shards=3,
+            shard_mode="inline",
+        )
+    SimulationKernel._deliver = patched
+    try:
+        result = simulator.run()
+    finally:
+        SimulationKernel._deliver = original
+    assert result.converged
+    return result, records
+
+
+class TestCrossBackendDeterminism:
+    """backend="sharded" replays the exact serial schedule (satellite slice)."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        def configuration():
+            return EngineConfig(
+                says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.NONE
+            )
+
+        return (
+            _run_backend("serial", configuration()),
+            _run_backend("sharded", configuration()),
+        )
+
+    def test_identical_integer_and_byte_stats(self, runs):
+        (serial, _), (sharded, _) = runs
+        left, right = serial.stats.summary(), sharded.stats.summary()
+        for key in left:
+            if key == "cpu_seconds":  # cross-node float sum: association only
+                assert left[key] == pytest.approx(right[key], rel=1e-12)
+            else:
+                assert left[key] == right[key], key
+
+    def test_identical_derived_facts(self, runs):
+        (serial, _), (sharded, _) = runs
+        for address, engine in serial.engines.items():
+            assert engine.database.snapshot() == (
+                sharded.engines[address].database.snapshot()
+            )
+
+    def test_identical_sequence_numbers_per_destination(self, runs):
+        # Each node must see the same messages, from the same senders, with
+        # the same per-sender sequence numbers, in the same order — the
+        # backends differ only in how deliveries interleave *across* nodes.
+        (_, serial_records), (_, sharded_records) = runs
+
+        def per_destination(records):
+            grouped = {}
+            for sequence, source, destination, keys in records:
+                grouped.setdefault(destination, []).append((sequence, source, keys))
+            return grouped
+
+        assert per_destination(serial_records) == per_destination(sharded_records)
+        assert sorted(serial_records) == sorted(sharded_records)

@@ -26,7 +26,7 @@ from repro.net.events import (
     NodeRecover,
 )
 from repro.net.message import Message
-from repro.net.simulator import Simulator
+from repro.net.kernel import SimulationKernel
 from repro.net.topology import line_topology, random_topology, ring_topology
 from repro.queries.best_path import compile_best_path
 from repro.queries.reachable import REACHABLE_LOCALIZED
@@ -100,7 +100,7 @@ class TestEventScheduler:
 class TestLinkDynamics:
     def test_messages_shipped_on_a_down_link_are_lost(self, compiled_reachable):
         topology = line_topology(3)
-        simulator = Simulator(topology, compiled_reachable, EngineConfig())
+        simulator = SimulationKernel(topology, compiled_reachable, EngineConfig())
         simulator.schedule(
             LinkDown(time=0.0, source="n0", destination="n1", retract=False)
         )
@@ -110,7 +110,7 @@ class TestLinkDynamics:
         # n2 never hears n0's advertisements through the dead link, so the
         # pair (n1, n0)/(n2, n0) reachability derived *through* n0->n1 differs
         # from the healthy run.
-        healthy = Simulator(topology, compiled_reachable, EngineConfig()).run(
+        healthy = SimulationKernel(topology, compiled_reachable, EngineConfig()).run(
             reachable_base(topology)
         )
         assert len(result.all_facts("reachable")) < len(
@@ -119,7 +119,7 @@ class TestLinkDynamics:
 
     def test_link_down_retracts_the_source_base_tuple(self, compiled_reachable):
         topology = line_topology(3)
-        simulator = Simulator(topology, compiled_reachable, EngineConfig())
+        simulator = SimulationKernel(topology, compiled_reachable, EngineConfig())
         result = simulator.run(reachable_base(topology))
         before = simulator.engines["n0"].facts("link")
         assert any(f.values == ("n0", "n1") for f in before)
@@ -131,7 +131,7 @@ class TestLinkDynamics:
 
     def test_link_up_reinjects_the_retracted_tuples(self, compiled_reachable):
         topology = line_topology(3)
-        simulator = Simulator(topology, compiled_reachable, EngineConfig())
+        simulator = SimulationKernel(topology, compiled_reachable, EngineConfig())
         simulator.run(reachable_base(topology))
         simulator.schedule(LinkDown(time=1.0, source="n0", destination="n1"))
         simulator.schedule(LinkUp(time=2.0, source="n0", destination="n1"))
@@ -140,13 +140,39 @@ class TestLinkDynamics:
         restored = simulator.engines["n0"].facts("link")
         assert any(f.values == ("n0", "n1") for f in restored)
 
+    def test_recovered_link_does_not_inherit_stale_busy_window(
+        self, compiled_reachable
+    ):
+        # Regression: transmissions serialized behind a failure reserved the
+        # wire far into the future; a recovered link must start fresh, not
+        # queue new traffic behind sends that never happened.
+        topology = line_topology(3)
+        simulator = SimulationKernel(topology, compiled_reachable, EngineConfig())
+        simulator.run(reachable_base(topology))
+        simulator.schedule(LinkDown(time=1.0, source="n0", destination="n1"))
+        assert simulator.run_until_idle()
+        # Traffic shipped while the link is down still reserves the wire
+        # (the sender cannot tell); model a long queue of such sends.
+        simulator._link_busy_until[("n0", "n1")] = 1.0e9
+        simulator.schedule(LinkUp(time=2.0, source="n0", destination="n1"))
+        assert simulator.run_until_idle()
+        result = simulator.finish()
+        # The re-injected link tuple's advertisements crossed the recovered
+        # wire immediately: nothing waited out the phantom busy window.
+        assert result.stats.completion_time < 1.0e3
+        assert simulator._link_busy_until.get(("n0", "n1"), 0.0) < 1.0e3
+        assert any(
+            f.values == ("n0", "n1")
+            for f in simulator.engines["n0"].facts("link")
+        )
+
     def test_link_up_during_a_crash_is_restored_on_recovery(
         self, compiled_reachable
     ):
         # LinkUp while the source is down cannot inject, but the restored
         # tuples are remembered — recovery must bring the link back.
         topology = line_topology(3)
-        simulator = Simulator(topology, compiled_reachable, EngineConfig())
+        simulator = SimulationKernel(topology, compiled_reachable, EngineConfig())
         simulator.run(reachable_base(topology))
         simulator.schedule(LinkDown(time=1.0, source="n0", destination="n1"))
         simulator.schedule(NodeCrash(time=2.0, address="n0"))
@@ -163,7 +189,7 @@ class TestLinkDynamics:
         # the remembered tuples with nothing — a later bare LinkUp still
         # restores the link.
         topology = line_topology(3)
-        simulator = Simulator(topology, compiled_reachable, EngineConfig())
+        simulator = SimulationKernel(topology, compiled_reachable, EngineConfig())
         simulator.run(reachable_base(topology))
         simulator.schedule(LinkDown(time=1.0, source="n0", destination="n1"))
         simulator.schedule(LinkDown(time=2.0, source="n0", destination="n1"))
@@ -176,7 +202,7 @@ class TestLinkDynamics:
 class TestNodeChurn:
     def test_crash_clears_soft_state_and_drops_traffic(self, compiled_reachable):
         topology = ring_topology(4)
-        simulator = Simulator(topology, compiled_reachable, EngineConfig())
+        simulator = SimulationKernel(topology, compiled_reachable, EngineConfig())
         base = reachable_base(topology)
         # Hold one of n0's links back so it can be injected fresh post-crash.
         held_back = Fact("link", ("n0", "n1"))
@@ -195,7 +221,7 @@ class TestNodeChurn:
 
     def test_injections_at_a_crashed_node_are_ignored(self, compiled_reachable):
         topology = ring_topology(3)
-        simulator = Simulator(topology, compiled_reachable, EngineConfig())
+        simulator = SimulationKernel(topology, compiled_reachable, EngineConfig())
         simulator.schedule(NodeCrash(time=0.0, address="n0"))
         simulator.schedule(
             FactInjection(
@@ -207,7 +233,7 @@ class TestNodeChurn:
 
     def test_recover_reinjects_remembered_base_facts(self, compiled_reachable):
         topology = ring_topology(4)
-        simulator = Simulator(topology, compiled_reachable, EngineConfig())
+        simulator = SimulationKernel(topology, compiled_reachable, EngineConfig())
         simulator.run(reachable_base(topology))
         simulator.schedule(NodeCrash(time=5.0, address="n1"))
         simulator.schedule(NodeRecover(time=6.0, address="n1"))
@@ -221,7 +247,7 @@ class TestNodeChurn:
         config = EngineConfig(
             provenance_mode=ProvenanceMode.CONDENSED, keep_offline_provenance=True
         )
-        simulator = Simulator(topology, compile_best_path(), config)
+        simulator = SimulationKernel(topology, compile_best_path(), config)
         simulator.run()
         engine = simulator.engines["n1"]
         archived = len(engine.offline_provenance)
@@ -357,7 +383,7 @@ class TestRetraction:
 
     def test_retraction_event_flows_through_the_simulator(self, compiled_reachable):
         topology = line_topology(3)
-        simulator = Simulator(
+        simulator = SimulationKernel(
             topology,
             compiled_reachable,
             EngineConfig(track_dependencies=True),
@@ -424,7 +450,7 @@ class TestAggregateExpiryRace:
 class TestEndOfRunExpiry:
     def test_post_run_snapshots_never_include_elapsed_ttls(self, compiled_reachable):
         topology = line_topology(3)
-        simulator = Simulator(topology, compiled_reachable, EngineConfig())
+        simulator = SimulationKernel(topology, compiled_reachable, EngineConfig())
         base = {
             node: [
                 Fact("link", (link.source, link.destination), ttl=1e-6)
@@ -445,7 +471,7 @@ class TestEndOfRunExpiry:
 
     def test_unexpired_soft_state_survives_the_sweep(self, compiled_reachable):
         topology = line_topology(3)
-        simulator = Simulator(
+        simulator = SimulationKernel(
             topology,
             compiled_reachable,
             EngineConfig(default_ttl=1e6),

@@ -24,7 +24,7 @@ from repro.harness.workload import (
     best_path_workload,
     evaluation_topology,
 )
-from repro.net.simulator import CostModel
+from repro.net.kernel import CostModel
 
 
 class TestWorkload:
@@ -62,7 +62,12 @@ class TestRunner:
             engine_config("Unknown")
 
     def test_run_configuration_row(self, compiled_best_path):
-        row = run_configuration("NDLog", node_count=8, seed=1, compiled=compiled_best_path)
+        # The legacy shim still works — under a DeprecationWarning pointing
+        # at repro.api (asserted in detail in test_deprecations.py).
+        with pytest.warns(DeprecationWarning):
+            row = run_configuration(
+                "NDLog", node_count=8, seed=1, compiled=compiled_best_path
+            )
         assert row.converged
         assert row.best_paths == 8 * 7
         assert row.completion_time_s > 0
@@ -71,17 +76,21 @@ class TestRunner:
         assert set(row.as_dict()) >= {"configuration", "node_count", "bandwidth_mb"}
 
     def test_secure_configuration_records_overhead_bytes(self, compiled_best_path):
-        row = run_configuration("SeNDLogProv", node_count=8, seed=1, compiled=compiled_best_path)
+        with pytest.warns(DeprecationWarning):
+            row = run_configuration(
+                "SeNDLogProv", node_count=8, seed=1, compiled=compiled_best_path
+            )
         assert row.security_bytes > 0
         assert row.provenance_bytes > 0
 
     def test_run_best_path_accepts_custom_cost_model(self, compiled_best_path, small_topology):
-        result = run_best_path(
-            small_topology,
-            "NDLog",
-            compiled=compiled_best_path,
-            cost_model=CostModel(seconds_per_rule_firing=0.0),
-        )
+        with pytest.warns(DeprecationWarning):
+            result = run_best_path(
+                small_topology,
+                "NDLog",
+                compiled=compiled_best_path,
+                cost_model=CostModel(seconds_per_rule_firing=0.0),
+            )
         assert result.converged
 
 

@@ -13,7 +13,7 @@ from repro.harness.runner import (
     run_configuration,
     run_network,
 )
-from repro.net.simulator import CostModel, Simulator
+from repro.net.kernel import CostModel, SimulationKernel
 from repro.net.topology import Topology, line_topology, random_topology
 from repro.queries.best_path import compile_best_path
 from repro.security.says import SaysMode
@@ -122,7 +122,7 @@ class TestNetworkBuild:
         config = EngineConfig()
         with pytest.raises(ValueError, match="keep_offline_provenance"):
             Network.build(topology=4, config=config, keep_offline_provenance=True)
-        # Simulator-side options still combine with an explicit config.
+        # SimulationKernel-side options still combine with an explicit config.
         network = Network.build(topology=4, config=config, key_bits=128)
         assert network.options.key_bits == 128
 
@@ -143,13 +143,13 @@ class TestNetworkBuild:
         )
 
     def test_legacy_simulator_default_workload_matches_facade(self):
-        """Simulator.run() with no base facts injects the same catalog-shaped
+        """SimulationKernel.run() with no base facts injects the same catalog-shaped
         workload the facade does — a bare reachability run just works."""
         from repro.engine.node_engine import EngineConfig
         from repro.queries import compile_reachable
 
         topology = line_topology(3)
-        legacy = Simulator(topology, compile_reachable(), EngineConfig()).run()
+        legacy = SimulationKernel(topology, compile_reachable(), EngineConfig()).run()
         assert legacy.converged
         assert legacy.all_facts("reachable")
         facade = Network.build(
@@ -194,7 +194,7 @@ class TestRunResult:
         legacy_config = EngineConfig(
             says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.CONDENSED
         )
-        legacy = Simulator(topology, compile_best_path(), legacy_config).run()
+        legacy = SimulationKernel(topology, compile_best_path(), legacy_config).run()
         facade = Network.build(topology=topology, provenance="sendlog-prov").run()
         assert facade.summary() == legacy.stats.summary()
 
@@ -202,7 +202,8 @@ class TestRunResult:
 class TestLegacyShims:
     def test_run_best_path_returns_unified_result(self, compiled_best_path):
         topology = random_topology(6, seed=0)
-        result = run_best_path(topology, "NDLog", compiled=compiled_best_path)
+        with pytest.warns(DeprecationWarning):
+            result = run_best_path(topology, "NDLog", compiled=compiled_best_path)
         assert isinstance(result, RunResult)
         assert result.converged
         assert result.all_facts("bestPath")
@@ -219,13 +220,16 @@ class TestLegacyShims:
             pass
 
         monkeypatch.setattr("repro.harness.runner.run_network", fake_run_network)
-        with pytest.raises(_Probe):
+        with pytest.raises(_Probe), pytest.warns(DeprecationWarning):
             run_configuration("NDLog", 6, batch_receive=False, batching=False)
         assert captured["batch_receive"] is False
         assert captured["batching"] is False
 
     def test_run_configuration_row_shape(self, compiled_best_path):
-        row = run_configuration("NDLog", node_count=6, seed=1, compiled=compiled_best_path)
+        with pytest.warns(DeprecationWarning):
+            row = run_configuration(
+                "NDLog", node_count=6, seed=1, compiled=compiled_best_path
+            )
         assert isinstance(row, ExperimentRow)
         assert row.configuration == "NDLog"
         assert row.best_paths == 6 * 5
@@ -240,12 +244,13 @@ class TestLegacyShims:
 
     def test_custom_cost_model_passes_through(self, compiled_best_path):
         topology = random_topology(6, seed=0)
-        result = run_best_path(
-            topology,
-            "NDLog",
-            compiled=compiled_best_path,
-            cost_model=CostModel(seconds_per_rule_firing=0.0),
-        )
+        with pytest.warns(DeprecationWarning):
+            result = run_best_path(
+                topology,
+                "NDLog",
+                compiled=compiled_best_path,
+                cost_model=CostModel(seconds_per_rule_firing=0.0),
+            )
         assert result.converged
 
 

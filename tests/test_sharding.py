@@ -1,0 +1,475 @@
+"""The sharded execution backend: partitioning, serial equivalence, dynamics.
+
+The backend's contract is strong: for any shard count and either worker
+mode, derived facts, per-message sequence numbers and every integer/byte
+statistic are identical to the serial backend; per-node floating point
+metrics are bit-identical (each node's processing order is unchanged) and
+only cross-node float *sums* may differ in the last bits by association
+order.  These tests pin that contract on static runs, dynamic scenarios
+(events crossing shard boundaries), the query plane, and the
+multiprocessing worker path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from contextlib import contextmanager
+
+import pytest
+
+from repro.api.network import Network
+from repro.api.options import NetOptions
+from repro.engine.node_engine import EngineConfig, ProvenanceMode
+from repro.net.kernel import SimulationKernel
+from repro.net.sharding import ShardedSimulator, partition_topology
+from repro.net.topology import line_topology, random_topology
+from repro.queries.best_path import compile_best_path
+from repro.security.says import SaysMode
+
+
+def _facts_by_node(result, relation):
+    return {
+        address: tuple(sorted(fact.values for fact in facts))
+        for address, facts in result.facts(relation).items()
+    }
+
+
+def _assert_equivalent(serial, sharded, relation="bestPath"):
+    """The full cross-backend contract between two SimulationResults."""
+    assert serial.converged == sharded.converged
+    assert _facts_by_node(serial, relation) == _facts_by_node(sharded, relation)
+    # Integer/byte summary metrics are exactly equal; cpu_seconds is the one
+    # cross-node float sum and may differ by association order only.
+    left, right = serial.stats.summary(), sharded.stats.summary()
+    for key in left:
+        if key == "cpu_seconds":
+            assert left[key] == pytest.approx(right[key], rel=1e-12)
+        else:
+            assert left[key] == right[key], key
+    # Per-node statistics are exactly equal, floats included: each node's
+    # event processing order is identical, so its accumulations are too.
+    assert set(serial.stats.nodes) == set(sharded.stats.nodes)
+    for address, mine in serial.stats.nodes.items():
+        other = sharded.stats.nodes[address]
+        for field in dataclasses.fields(mine):
+            assert getattr(mine, field.name) == getattr(other, field.name), (
+                address,
+                field.name,
+            )
+    assert serial.events_processed == sharded.events_processed
+
+
+class TestPartitioner:
+    def test_partition_is_deterministic(self):
+        topology = random_topology(24, seed=5)
+        first = partition_topology(topology, 4, seed=1)
+        second = partition_topology(topology, 4, seed=1)
+        assert first.assignment == second.assignment
+        assert first.shards == second.shards
+        assert first.cut_links == second.cut_links
+
+    def test_partition_covers_all_nodes_balanced(self):
+        topology = random_topology(23, seed=2)
+        plan = partition_topology(topology, 4, seed=0)
+        assert sorted(node for group in plan.shards for node in group) == sorted(
+            topology.nodes
+        )
+        sizes = [len(group) for group in plan.shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_window_is_min_cross_shard_latency(self):
+        topology = random_topology(12, seed=0, latency=0.02)
+        plan = partition_topology(topology, 3, seed=0)
+        assert plan.cut_links
+        assert plan.window == 0.02
+
+    def test_single_shard_has_no_cut(self):
+        topology = random_topology(8, seed=0)
+        plan = partition_topology(topology, 1, seed=0)
+        assert plan.cut_links == ()
+        assert plan.window == float("inf")
+
+    def test_more_shards_than_nodes_clamps(self):
+        topology = line_topology(3)
+        plan = partition_topology(topology, 8, seed=0)
+        assert plan.shard_count == 3
+
+    def test_zero_latency_cross_links_rejected(self):
+        topology = random_topology(8, seed=0, latency=0.0)
+        with pytest.raises(ValueError, match="positive propagation latency"):
+            partition_topology(topology, 2, seed=0)
+
+    def test_cut_is_smaller_than_random_split(self):
+        # The greedy growth heuristic must beat a round-robin split on a
+        # structured graph (a line has a 2-edge optimal bisection).
+        topology = line_topology(16)
+        plan = partition_topology(topology, 2, seed=0)
+        assert len(plan.cut_links) <= 6  # round-robin would cut ~all 30
+
+
+def _serial(topology, config, **kwargs):
+    return SimulationKernel(
+        topology, compile_best_path(), config, key_bits=128, **kwargs
+    ).run()
+
+
+def _sharded(topology, config, shards=3, shard_mode="inline", **kwargs):
+    return ShardedSimulator(
+        topology,
+        compile_best_path(),
+        config,
+        key_bits=128,
+        shards=shards,
+        shard_mode=shard_mode,
+        **kwargs,
+    ).run()
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("shards", (2, 3, 5))
+    def test_ndlog_identical_across_shard_counts(self, shards):
+        topology = random_topology(14, seed=7)
+        config = EngineConfig()
+        _assert_equivalent(
+            _serial(topology, config), _sharded(topology, config, shards=shards)
+        )
+
+    def test_signed_provenance_identical(self):
+        # Signatures and condensed annotations cross shard boundaries; the
+        # per-shard keystores must derive bit-identical keys for the bytes
+        # (and the byte *statistics*) to line up.
+        topology = random_topology(12, seed=3)
+        config = EngineConfig(
+            says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.CONDENSED
+        )
+        _assert_equivalent(_serial(topology, config), _sharded(topology, config))
+
+    def test_per_tuple_wire_format_identical(self):
+        topology = random_topology(10, seed=4)
+        config = EngineConfig()
+        _assert_equivalent(
+            _serial(topology, config, batching=False),
+            _sharded(topology, config, batching=False),
+        )
+
+    def test_delivery_order_per_destination_matches_serial(self):
+        # The content-based event ranks must replay, at every node, exactly
+        # the delivery sequence the serial backend produced.
+        topology = random_topology(12, seed=9)
+
+        @contextmanager
+        def recording():
+            records = []
+            original = SimulationKernel._deliver
+
+            def patched(self, message, deliver_at):
+                records.append(
+                    (
+                        str(message.source),
+                        str(message.destination),
+                        message.sequence,
+                        tuple(fact.key() for fact in message.facts()),
+                    )
+                )
+                return original(self, message, deliver_at)
+
+            SimulationKernel._deliver = patched
+            try:
+                yield records
+            finally:
+                SimulationKernel._deliver = original
+
+        def by_destination(records):
+            grouped = {}
+            for source, destination, sequence, keys in records:
+                grouped.setdefault(destination, []).append((source, sequence, keys))
+            return grouped
+
+        with recording() as serial_records:
+            _serial(topology, EngineConfig())
+        with recording() as sharded_records:
+            _sharded(topology, EngineConfig(), shards=3)
+        assert by_destination(serial_records) == by_destination(sharded_records)
+        # Same wire traffic overall, merely interleaved differently.
+        assert sorted(serial_records) == sorted(sharded_records)
+
+    def test_facade_builds_sharded_backend(self):
+        network = Network.build(
+            topology=10,
+            program="best-path",
+            provenance="ndlog",
+            backend="sharded",
+            shards=2,
+            shard_mode="inline",
+            seed=1,
+        )
+        assert isinstance(network.simulator, ShardedSimulator)
+        run = network.run()
+        baseline = Network.build(
+            topology=10, program="best-path", provenance="ndlog", seed=1
+        ).run()
+        assert run.summary()["total_bytes"] == baseline.summary()["total_bytes"]
+        assert run.count("bestPath") == baseline.count("bestPath")
+
+    def test_netoptions_validates_backend_fields(self):
+        with pytest.raises(ValueError, match="backend"):
+            NetOptions(backend="warp")
+        with pytest.raises(ValueError, match="shard_mode"):
+            NetOptions(backend="sharded", shard_mode="threads")
+        with pytest.raises(ValueError, match="shards"):
+            NetOptions(backend="sharded", shards=-1)
+
+
+class TestDynamicsAcrossShards:
+    """Link failure, churn and retraction crossing shard boundaries."""
+
+    def _run_scenario(self, name, backend, **kwargs):
+        from repro.harness.scenarios import SCENARIOS, run_scenario
+
+        scenario, network = SCENARIOS[name](
+            node_count=8, seed=1, backend=backend, **kwargs
+        )
+        report = run_scenario(scenario, network)
+        return report
+
+    @pytest.mark.parametrize("name", ("link-failure", "churn", "retraction"))
+    def test_scenario_rows_match_serial(self, name):
+        serial = self._run_scenario(name, "serial")
+        sharded = self._run_scenario(
+            name, "sharded", shards=3, shard_mode="inline"
+        )
+        assert serial.converged and sharded.converged
+        assert len(serial.rows) == len(sharded.rows)
+        for left, right in zip(serial.rows, sharded.rows):
+            for field in (
+                "phase",
+                "events",
+                "messages",
+                "tuples_sent",
+                "messages_lost",
+                "facts_retracted",
+                "probe_facts",
+                "query_messages",
+            ):
+                assert getattr(left, field) == getattr(right, field), (
+                    name,
+                    left.phase,
+                    field,
+                )
+            assert left.kilobytes == pytest.approx(right.kilobytes)
+            assert left.completion_time == pytest.approx(right.completion_time)
+
+    def test_cross_shard_link_failure_loses_messages_identically(self):
+        # Fail a link that provably crosses the shard boundary and compare
+        # the serial and sharded accounting of the whole episode.
+        topology = random_topology(10, seed=2)
+        plan = partition_topology(topology, 2, seed=0)
+        assert plan.cut_links, "a 2-way split of a connected graph must cut"
+        failed_source, failed_destination = plan.cut_links[0]
+        from repro.net.events import FactInjection, LinkDown, SoftStateRefresh
+
+        def drive(simulator):
+            base = simulator.link_facts()
+            for address, facts in base.items():
+                simulator.schedule(
+                    FactInjection(time=0.0, address=address, facts=tuple(facts))
+                )
+            assert simulator.run_until_idle()
+            at = simulator.current_time() + 1.0
+            simulator.schedule(
+                LinkDown(time=at, source=failed_source, destination=failed_destination)
+            )
+            simulator.schedule(SoftStateRefresh(time=at))
+            assert simulator.run_until_idle()
+            return simulator.finish()
+
+        serial = drive(
+            SimulationKernel(
+                topology,
+                compile_best_path(),
+                EngineConfig(default_ttl=30.0, track_dependencies=True),
+                key_bits=128,
+            )
+        )
+        sharded = drive(
+            ShardedSimulator(
+                topology,
+                compile_best_path(),
+                EngineConfig(default_ttl=30.0, track_dependencies=True),
+                key_bits=128,
+                shards=2,
+                shard_mode="inline",
+            )
+        )
+        _assert_equivalent(serial, sharded)
+
+
+class TestShardedQueries:
+    def test_inline_query_pays_messages_and_matches_serial_graph(self):
+        topology = random_topology(8, seed=6)
+        config = EngineConfig(provenance_mode=ProvenanceMode.DISTRIBUTED)
+        serial_simulator = SimulationKernel(
+            topology, compile_best_path(), config, key_bits=128
+        )
+        serial_result = serial_simulator.run()
+        sharded_simulator = ShardedSimulator(
+            topology,
+            compile_best_path(),
+            EngineConfig(provenance_mode=ProvenanceMode.DISTRIBUTED),
+            key_bits=128,
+            shards=3,
+            shard_mode="inline",
+        )
+        sharded_result = sharded_simulator.run()
+        _assert_equivalent(serial_result, sharded_result)
+
+        target = max(
+            serial_result.all_facts("bestPath"), key=lambda fact: len(fact.values[2])
+        )
+        asker = target.values[0]
+        serial_answer = serial_simulator.query(target, at=asker)
+        sharded_answer = sharded_simulator.query(target, at=asker)
+        assert serial_answer.complete and sharded_answer.complete
+        assert serial_answer.graph.same_structure(sharded_answer.graph)
+        assert serial_answer.messages == sharded_answer.messages
+        assert serial_answer.bytes == sharded_answer.bytes
+
+    def test_query_from_foreign_shard_ships_instead_of_dropping(self):
+        # Regression: a query issued *between* drains ships its first
+        # requests outside any window; cross-shard ones must enter the
+        # coordinator's export path, not be scheduled (and dropped) on the
+        # asker's own kernel.
+        topology = random_topology(8, seed=6)
+        config = EngineConfig(provenance_mode=ProvenanceMode.DISTRIBUTED)
+        serial_simulator = SimulationKernel(
+            topology, compile_best_path(), config, key_bits=128
+        )
+        serial_result = serial_simulator.run()
+        sharded_simulator = ShardedSimulator(
+            topology,
+            compile_best_path(),
+            EngineConfig(provenance_mode=ProvenanceMode.DISTRIBUTED),
+            key_bits=128,
+            shards=3,
+            shard_mode="inline",
+        )
+        sharded_simulator.run()
+        # Ask at the route's origin (the asker expands its own store first,
+        # so it must hold the root) for a route whose hops live on other
+        # shards: the pointer dereferences the local closure names are the
+        # first requests, and they must cross the shard boundary.  Some
+        # roots are legitimately unresolvable even serially (aggregate churn
+        # invalidated their pointers); pick one the serial oracle completes.
+        plan = sharded_simulator.plan
+        candidates = (
+            fact
+            for fact in serial_result.all_facts("bestPath")
+            if any(
+                plan.shard_of(hop) != plan.shard_of(fact.values[0])
+                for hop in fact.values[2]
+            )
+        )
+        serial_answer = target = None
+        for candidate in candidates:
+            answer = serial_simulator.query(candidate, at=candidate.values[0])
+            if answer.complete and answer.messages:
+                serial_answer, target = answer, candidate
+                break
+        assert target is not None, "no serially-resolvable cross-shard root"
+        sharded_answer = sharded_simulator.query(target, at=target.values[0])
+        assert sharded_answer.complete == serial_answer.complete is True
+        assert sharded_answer.messages == serial_answer.messages
+        assert sharded_answer.bytes == serial_answer.bytes
+        assert sharded_answer.timeouts == 0
+        assert sharded_simulator.stats.messages_dropped == 0
+        assert serial_answer.graph.same_structure(sharded_answer.graph)
+
+    def test_concurrent_same_id_queries_bill_separately(self):
+        # Regression: query ids are only unique per kernel; a response
+        # crossing shards must bill the asker's pending query, not an
+        # unrelated same-id query pending at the responder's kernel.
+        topology = random_topology(8, seed=6)
+
+        def build_and_query(simulator):
+            simulator.run()
+            routes = sorted(
+                (fact for fact in simulator.engines["n0"].facts("bestPath")),
+                key=lambda fact: fact.values,
+            )
+            askers = []
+            for fact in routes:
+                if fact.values[0] not in askers:
+                    askers.append(fact.values[0])
+            from repro.net.query import ProvenanceQuery
+
+            pendings = [
+                simulator.issue_query(
+                    ProvenanceQuery(root=routes[0].key(), at=askers[0])
+                ),
+                simulator.issue_query(
+                    ProvenanceQuery(root=routes[-1].key(), at="n0")
+                ),
+            ]
+            assert simulator.run_until_idle()
+            return [(p.result().messages, p.result().bytes) for p in pendings]
+
+        serial_bills = build_and_query(
+            SimulationKernel(
+                topology,
+                compile_best_path(),
+                EngineConfig(provenance_mode=ProvenanceMode.DISTRIBUTED),
+                key_bits=128,
+            )
+        )
+        sharded_bills = build_and_query(
+            ShardedSimulator(
+                topology,
+                compile_best_path(),
+                EngineConfig(provenance_mode=ProvenanceMode.DISTRIBUTED),
+                key_bits=128,
+                shards=3,
+                shard_mode="inline",
+            )
+        )
+        assert serial_bills == sharded_bills
+
+    def test_mid_run_engines_guarded_in_process_mode(self):
+        topology = random_topology(6, seed=0)
+        simulator = ShardedSimulator(
+            topology,
+            compile_best_path(),
+            EngineConfig(),
+            key_bits=128,
+            shards=2,
+            shard_mode="processes",
+        )
+        # Workers are started lazily; before finish(), engines stay remote.
+        simulator._ensure_running()
+        with pytest.raises(RuntimeError, match="finish"):
+            _ = simulator.engines
+        simulator.close()
+
+
+class TestProcessWorkers:
+    """The multiprocessing (spawn) worker path, kept small: spawn is slow."""
+
+    def test_process_mode_matches_serial_and_returns_engines(self):
+        topology = random_topology(8, seed=11)
+        config = EngineConfig(
+            says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.CONDENSED
+        )
+        serial = _serial(topology, config)
+        sharded = _sharded(
+            topology,
+            EngineConfig(
+                says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.CONDENSED
+            ),
+            shards=2,
+            shard_mode="processes",
+        )
+        _assert_equivalent(serial, sharded)
+        # The worker kernels were reeled back in whole: engines (and their
+        # provenance stores) are real and inspectable, exactly like serial.
+        assert set(sharded.engines) == set(topology.nodes)
+        any_engine = next(iter(sharded.engines.values()))
+        assert any_engine.compiled is not None

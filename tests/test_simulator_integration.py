@@ -15,7 +15,7 @@ from repro.datalog.planner import compile_program
 from repro.engine.node_engine import EngineConfig, ProvenanceMode
 from repro.engine.tuples import Fact
 from repro.net.link import Link
-from repro.net.simulator import CostModel, Simulator
+from repro.net.kernel import CostModel, SimulationKernel
 from repro.net.topology import Topology, line_topology, random_topology
 from repro.queries.best_path import compile_best_path
 from repro.queries.reachable import REACHABLE_LOCALIZED
@@ -40,7 +40,7 @@ def compiled_reachable():
 class TestReachabilityEndToEnd:
     def test_all_pairs_reachability_on_ring(self, compiled_reachable):
         topology = line_topology(4)
-        simulator = Simulator(topology, compiled_reachable, EngineConfig())
+        simulator = SimulationKernel(topology, compiled_reachable, EngineConfig())
         base = {
             node: [
                 Fact("link", (link.source, link.destination))
@@ -59,7 +59,7 @@ class TestReachabilityEndToEnd:
 
     def test_tuples_stored_at_their_location(self, compiled_reachable):
         topology = line_topology(3)
-        simulator = Simulator(topology, compiled_reachable, EngineConfig())
+        simulator = SimulationKernel(topology, compiled_reachable, EngineConfig())
         base = {
             node: [
                 Fact("link", (link.source, link.destination))
@@ -77,7 +77,7 @@ class TestBestPathEndToEnd:
     @pytest.mark.parametrize("seed", [1, 2])
     def test_costs_match_dijkstra(self, compiled_best_path, seed):
         topology = random_topology(9, seed=seed)
-        simulator = Simulator(topology, compiled_best_path, EngineConfig())
+        simulator = SimulationKernel(topology, compiled_best_path, EngineConfig())
         result = simulator.run()
         assert result.converged
         oracle = reference_shortest_paths(topology)
@@ -96,7 +96,7 @@ class TestBestPathEndToEnd:
 
     def test_every_reachable_pair_gets_a_best_path(self, compiled_best_path):
         topology = random_topology(8, seed=5)
-        result = Simulator(topology, compiled_best_path, EngineConfig()).run()
+        result = SimulationKernel(topology, compiled_best_path, EngineConfig()).run()
         oracle = reference_shortest_paths(topology)
         expected_pairs = {
             (s, d) for s, targets in oracle.items() for d in targets if s != d
@@ -119,7 +119,7 @@ class TestBestPathEndToEnd:
                 ),
             ),
         ):
-            result = Simulator(topology, compiled_best_path, config).run()
+            result = SimulationKernel(topology, compiled_best_path, config).run()
             outcomes[name] = {
                 (f.values[0], f.values[1], f.values[3]) for f in result.all_facts("bestPath")
             }
@@ -139,7 +139,7 @@ class TestBestPathEndToEnd:
                 ),
             ),
         ):
-            summaries[name] = Simulator(topology, compiled_best_path, config).run().stats.summary()
+            summaries[name] = SimulationKernel(topology, compiled_best_path, config).run().stats.summary()
         assert (
             summaries["ndlog"]["completion_time_s"]
             < summaries["sendlog"]["completion_time_s"]
@@ -154,8 +154,8 @@ class TestBestPathEndToEnd:
     def test_determinism_of_a_full_run(self, compiled_best_path):
         topology = random_topology(8, seed=2)
         config = EngineConfig(says_mode=SaysMode.SIGNED)
-        first = Simulator(topology, compiled_best_path, config).run().stats.summary()
-        second = Simulator(topology, compiled_best_path, config).run().stats.summary()
+        first = SimulationKernel(topology, compiled_best_path, config).run().stats.summary()
+        second = SimulationKernel(topology, compiled_best_path, config).run().stats.summary()
         assert first == second
 
     def test_cost_model_scales_completion_time(self, compiled_best_path):
@@ -163,12 +163,12 @@ class TestBestPathEndToEnd:
         slow = CostModel(seconds_per_rule_firing=10e-3)
         fast = CostModel(seconds_per_rule_firing=0.1e-3)
         slow_time = (
-            Simulator(topology, compiled_best_path, EngineConfig(), cost_model=slow)
+            SimulationKernel(topology, compiled_best_path, EngineConfig(), cost_model=slow)
             .run()
             .stats.completion_time
         )
         fast_time = (
-            Simulator(topology, compiled_best_path, EngineConfig(), cost_model=fast)
+            SimulationKernel(topology, compiled_best_path, EngineConfig(), cost_model=fast)
             .run()
             .stats.completion_time
         )
@@ -176,7 +176,7 @@ class TestBestPathEndToEnd:
 
     def test_max_events_guard_reports_non_convergence(self, compiled_best_path):
         topology = random_topology(8, seed=2)
-        simulator = Simulator(topology, compiled_best_path, EngineConfig(), max_events=10)
+        simulator = SimulationKernel(topology, compiled_best_path, EngineConfig(), max_events=10)
         result = simulator.run()
         assert not result.converged
 
@@ -195,7 +195,7 @@ class TestProvenanceEndToEnd:
         config = EngineConfig(
             says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.CONDENSED
         )
-        simulator = Simulator(topology, compiled_reachable, config, key_bits=128)
+        simulator = SimulationKernel(topology, compiled_reachable, config, key_bits=128)
         base = {
             node: [
                 Fact("link", (link.source, link.destination))
@@ -219,7 +219,7 @@ class TestProvenanceEndToEnd:
         config = EngineConfig(
             says_mode=SaysMode.SIGNED, provenance_mode=ProvenanceMode.CONDENSED
         )
-        result = Simulator(topology, compiled_best_path, config, key_bits=128).run()
+        result = SimulationKernel(topology, compiled_best_path, config, key_bits=128).run()
         engine = result.engines["n0"]
         fact = next(
             f for f in engine.facts("bestPath") if f.values[0] == "n0" and f.values[1] == "n4"
@@ -235,7 +235,7 @@ class TestProvenanceEndToEnd:
             provenance_mode=ProvenanceMode.CONDENSED,
             keep_offline_provenance=True,
         )
-        result = Simulator(topology, compiled_best_path, config, key_bits=128).run()
+        result = SimulationKernel(topology, compiled_best_path, config, key_bits=128).run()
         assert all(len(e.offline_provenance) > 0 for e in result.engines.values())
 
     def test_distributed_traceback_after_distributed_run(self, compiled_best_path):
@@ -243,7 +243,7 @@ class TestProvenanceEndToEnd:
 
         topology = line_topology(4)
         config = EngineConfig(provenance_mode=ProvenanceMode.DISTRIBUTED)
-        result = Simulator(topology, compiled_best_path, config).run()
+        result = SimulationKernel(topology, compiled_best_path, config).run()
         engine = result.engines["n0"]
         target = next(
             f for f in engine.facts("bestPath") if f.values[0] == "n0" and f.values[1] == "n3"

@@ -1,0 +1,141 @@
+"""Unit tests for NodeStats.merge / NetworkStats.merge.
+
+The merge path is what reassembles per-shard statistics into one run record
+(the sharded backend's ``finish``) and what aggregates repeated runs of one
+sweep point; these tests pin the arithmetic: counters add, instants take the
+maximum, histograms fold, and per-node entries combine by address.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.stats import NetworkStats, NodeStats
+
+
+def _node(address="n0", **overrides) -> NodeStats:
+    stats = NodeStats(address=address)
+    for name, value in overrides.items():
+        setattr(stats, name, value)
+    return stats
+
+
+class TestNodeStatsMerge:
+    def test_counters_add_and_busy_until_takes_max(self):
+        first = _node(
+            messages_sent=3,
+            bytes_sent=300,
+            tuples_sent=7,
+            cpu_seconds=1.5,
+            busy_until=4.0,
+            facts_derived=11,
+        )
+        second = _node(
+            messages_sent=2,
+            bytes_sent=150,
+            tuples_sent=4,
+            cpu_seconds=0.5,
+            busy_until=2.5,
+            facts_derived=3,
+        )
+        first.merge(second)
+        assert first.messages_sent == 5
+        assert first.bytes_sent == 450
+        assert first.tuples_sent == 11
+        assert first.cpu_seconds == 2.0
+        assert first.busy_until == 4.0  # an instant, not a quantity
+        assert first.facts_derived == 14
+
+    def test_batch_size_histograms_fold(self):
+        first = _node(batch_sizes={1: 2, 3: 1})
+        second = _node(batch_sizes={3: 4, 5: 1})
+        first.merge(second)
+        assert first.batch_sizes == {1: 2, 3: 5, 5: 1}
+
+    def test_query_attribution_merges(self):
+        first = _node(queries_issued=1, query_messages_sent=4, query_bytes_charged=900)
+        second = _node(queries_issued=2, query_messages_sent=1, query_bytes_charged=100)
+        first.merge(second)
+        assert first.queries_issued == 3
+        assert first.query_messages_sent == 5
+        assert first.query_bytes_charged == 1000
+
+    def test_refuses_to_merge_different_addresses(self):
+        with pytest.raises(ValueError, match="n1"):
+            _node("n0").merge(_node("n1"))
+
+
+class TestNetworkStatsMerge:
+    def test_disjoint_nodes_transfer(self):
+        left = NetworkStats()
+        left.node("n0").messages_sent = 2
+        left.total_messages = 2
+        right = NetworkStats()
+        right.node("n1").messages_sent = 5
+        right.total_messages = 5
+        left.merge(right)
+        assert set(left.nodes) == {"n0", "n1"}
+        assert left.total_messages == 7
+        assert left.total_bytes() == 0
+
+    def test_shared_nodes_fold_by_address(self):
+        left = NetworkStats()
+        left.node("n0").bytes_sent = 100
+        right = NetworkStats()
+        right.node("n0").bytes_sent = 50
+        left.merge(right)
+        assert left.node("n0").bytes_sent == 150
+        assert left.total_bytes() == 150
+
+    def test_completion_time_takes_max_and_losses_add(self):
+        left = NetworkStats(completion_time=3.0, messages_lost=1, messages_dropped=2)
+        right = NetworkStats(completion_time=7.5, messages_lost=4, messages_dropped=0)
+        left.merge(right)
+        assert left.completion_time == 7.5
+        assert left.messages_lost == 5
+        assert left.messages_dropped == 2
+
+    def test_merge_never_mutates_or_aliases_the_source(self):
+        # Regression: merging must not adopt the other record's NodeStats
+        # by reference — aggregating repeated runs of one topology (same
+        # addresses) would otherwise corrupt the first run's statistics.
+        run1, run2 = NetworkStats(), NetworkStats()
+        run1.node("n0").messages_sent = 5
+        run1.node("n0").batch_sizes[2] = 1
+        run2.node("n0").messages_sent = 7
+        combined = NetworkStats.merged([run1, run2])
+        assert combined.node("n0").messages_sent == 12
+        assert run1.node("n0").messages_sent == 5
+        assert run2.node("n0").messages_sent == 7
+        assert combined.node("n0") is not run1.node("n0")
+        combined.node("n0").batch_sizes[2] = 99
+        assert run1.node("n0").batch_sizes == {2: 1}
+
+    def test_merged_classmethod_folds_many(self):
+        parts = []
+        for index in range(3):
+            stats = NetworkStats()
+            stats.node(f"n{index}").messages_sent = index + 1
+            stats.total_messages = index + 1
+            parts.append(stats)
+        combined = NetworkStats.merged(parts)
+        assert combined.total_messages == 6
+        assert set(combined.nodes) == {"n0", "n1", "n2"}
+
+    def test_summary_of_merged_equals_summary_of_whole(self):
+        # Splitting one run's counters across two records and merging them
+        # back must be invisible to every integer summary metric.
+        whole = NetworkStats(total_messages=10)
+        whole.node("a").messages_sent = 6
+        whole.node("a").bytes_sent = 600
+        whole.node("b").messages_sent = 4
+        whole.node("b").bytes_sent = 400
+
+        left = NetworkStats(total_messages=6)
+        left.node("a").messages_sent = 6
+        left.node("a").bytes_sent = 600
+        right = NetworkStats(total_messages=4)
+        right.node("b").messages_sent = 4
+        right.node("b").bytes_sent = 400
+        combined = NetworkStats.merged([left, right])
+        assert combined.summary() == whole.summary()

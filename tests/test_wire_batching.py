@@ -24,7 +24,7 @@ from repro.engine.node_engine import (
 from repro.engine.seminaive import evaluate_program
 from repro.engine.tuples import Fact
 from repro.net.message import MESSAGE_HEADER_BYTES, BatchItem, Message, MessageBatch
-from repro.net.simulator import Simulator
+from repro.net.kernel import SimulationKernel
 from repro.net.topology import line_topology, paper_example_topology, random_topology
 from repro.provenance.pruning import ProvenanceSampler
 from repro.queries.reachable import REACHABLE_LOCALIZED
@@ -47,7 +47,7 @@ def reachable_base(topology):
 
 
 def run_reachable(topology, config, batching, compiled):
-    simulator = Simulator(
+    simulator = SimulationKernel(
         topology, compiled, config, key_bits=128, batching=batching
     )
     return simulator.run(reachable_base(topology))
@@ -116,7 +116,7 @@ class TestDispatchAttribution:
     ]
 
     def _dispatch(self, batching, compiled_reachable):
-        simulator = Simulator(
+        simulator = SimulationKernel(
             paper_example_topology(),
             compiled_reachable,
             EngineConfig(),
@@ -221,7 +221,7 @@ class TestFifoUnpack:
         )
 
     def test_per_tuple_receive_sees_tuples_in_item_order(self, compiled_reachable):
-        simulator = Simulator(
+        simulator = SimulationKernel(
             paper_example_topology(),
             compiled_reachable,
             EngineConfig(),
@@ -240,7 +240,7 @@ class TestFifoUnpack:
         assert received == [("b", str(i)) for i in range(5)]
 
     def test_batch_receive_admits_tuples_in_item_order(self, compiled_reachable):
-        simulator = Simulator(
+        simulator = SimulationKernel(
             paper_example_topology(), compiled_reachable, EngineConfig()
         )
         admitted = []
@@ -261,7 +261,7 @@ class TestBatchedDeterminism:
         topology = random_topology(9, seed=4)
         delivered = []
 
-        class Recording(Simulator):
+        class Recording(SimulationKernel):
             def _deliver(self, message, deliver_at):
                 delivered.append(
                     (
@@ -293,7 +293,7 @@ class TestBatchedDeterminism:
 
 class TestPhantomNodeStatsFix:
     def test_message_to_unknown_address_fabricates_no_stats(self, compiled_reachable):
-        simulator = Simulator(
+        simulator = SimulationKernel(
             paper_example_topology(), compiled_reachable, EngineConfig()
         )
         ghost = Message(
@@ -307,7 +307,7 @@ class TestPhantomNodeStatsFix:
         # A program shipping to a destination derived from data can address a
         # node outside the topology; the run must not let the phantom's
         # receive-side counters join the completion-time max.
-        simulator = Simulator(
+        simulator = SimulationKernel(
             paper_example_topology(), compiled_reachable, EngineConfig()
         )
         ghost = Message(
