@@ -17,17 +17,21 @@
 #   make examples-smoke - run every examples/*.py end-to-end (small N),
 #                      failing on the first nonzero exit; keeps the facade
 #                      documentation executable.
-#   make ci          - what the GitHub Actions workflow runs: tier-1 tests,
-#                      the benchmark smoke suite, the scenario and shard
-#                      smoke runs, the examples smoke run, and a bytecode
-#                      compile of the whole source tree.
+#   make lint        - static analysis: the NDlog program linter over every
+#                      in-tree program (warnings fail the build), the
+#                      determinism-invariant checker over src/repro, and —
+#                      when installed — ruff over src/.
+#   make ci          - what the GitHub Actions workflow runs: the lint
+#                      suite, tier-1 tests, the benchmark smoke suite, the
+#                      scenario and shard smoke runs, the examples smoke
+#                      run, and a bytecode compile of the whole source tree.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check tier1 test bench-smoke scenarios-smoke shard-smoke examples-smoke compileall ci
+.PHONY: check tier1 test bench-smoke scenarios-smoke shard-smoke examples-smoke lint compileall ci
 
-check: test bench-smoke scenarios-smoke shard-smoke examples-smoke
+check: lint test bench-smoke scenarios-smoke shard-smoke examples-smoke
 
 tier1:
 	$(PYTHON) -m pytest -x -q
@@ -56,7 +60,16 @@ examples-smoke:
 		$(PYTHON) $$example > /dev/null; \
 	done
 
+lint:
+	$(PYTHON) -m repro.datalog.lint --builtin --strict
+	$(PYTHON) tools/check_invariants.py
+	@if command -v ruff > /dev/null 2>&1; then \
+		echo "== ruff"; ruff check src; \
+	else \
+		echo "ruff not installed; skipping style check"; \
+	fi
+
 compileall:
 	$(PYTHON) -m compileall -q src
 
-ci: tier1 bench-smoke scenarios-smoke shard-smoke examples-smoke compileall
+ci: lint tier1 bench-smoke scenarios-smoke shard-smoke examples-smoke compileall

@@ -29,6 +29,11 @@ def main() -> None:
     print(BEST_PATH_NDLOG)
 
     # 1. One call replaces topology/program/config/keystore hand-wiring.
+    #    The program is statically analyzed on the way in (lint="error" is
+    #    the default: unsafe rules, arity/type conflicts and unverifiable
+    #    `says` imports raise LintError before anything runs; lint="warn"
+    #    downgrades findings to warnings, lint="off" skips the analyzer —
+    #    the same checks run standalone as `python -m repro.datalog.lint`).
     network = Network.build(
         topology=12,                      # the paper's workload: N nodes, out-degree 3
         program="best-path",

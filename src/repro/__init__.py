@@ -41,7 +41,13 @@ Quickstart::
 Presets mirror the paper's configurations (``"ndlog"``, ``"sendlog"``,
 ``"sendlog-prov"``, plus ``"condensed"`` / ``"distributed"`` /
 ``"full-local"``); every other knob lives on a validated
-:class:`~repro.api.NetOptions`.  Dynamic-network scenario scripts return
+:class:`~repro.api.NetOptions`.  Programs are statically analyzed on the
+way in: ``Network.build(..., lint="error")`` (the default) rejects
+programs with error-severity diagnostics — unsafe rules, arity or type
+conflicts, unverifiable ``says`` imports — while ``lint="warn"`` surfaces
+everything as Python warnings and ``lint="off"`` opts out.  The same
+analyzer runs standalone as ``python -m repro.datalog.lint prog.ndlog
+[--format=json]`` (see the code table in ROADMAP.md).  Dynamic-network scenario scripts return
 ``(Scenario, Network)`` pairs — see :mod:`repro.harness.scenarios` — and
 ``network.query(..., mode="offline")`` walks the persistent provenance
 archives that survive node crashes.

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.datalog import localize_program, parse_program
+from repro.datalog import check_program, localize_program, parse_program
 from repro.datalog.planner import CompiledProgram, compile_program
 from repro.engine.node_engine import EngineConfig, collect_facts, facts_by_node
 from repro.engine.tuples import Fact, FactKey, as_fact_key
@@ -65,14 +65,33 @@ def _resolve_topology(topology: TopologyLike, seed: int) -> Topology:
     )
 
 
-def _resolve_program(program: ProgramLike) -> CompiledProgram:
+def _resolve_program(
+    program: ProgramLike,
+    lint: str = "error",
+    link_relation: str = "link",
+) -> CompiledProgram:
+    """Resolve *program* to a :class:`CompiledProgram`, linting on the way.
+
+    Source text is linted pre-localization (diagnostics carry the author's
+    line/column); named and pre-compiled programs are linted in their
+    post-localization form, which the analyzer equally accepts.
+    """
     if isinstance(program, CompiledProgram):
+        check_program(
+            program.program, lint, link_relation=link_relation
+        )
         return program
     if isinstance(program, str):
         if ":-" in program or "materialize" in program:
-            # NDlog source text: parse, localize, compile.
-            return compile_program(localize_program(parse_program(program)))
-        return compile_named(program)
+            # NDlog source text: parse, lint, localize, compile.
+            parsed = parse_program(program)
+            check_program(parsed, lint, link_relation=link_relation)
+            return compile_program(localize_program(parsed))
+        compiled = compile_named(program)
+        check_program(
+            compiled.program, lint, link_relation=link_relation
+        )
+        return compiled
     raise TypeError(
         f"program must be a CompiledProgram, a registered name "
         f"({sorted(PROGRAMS)}) or NDlog source text, got {type(program).__name__}"
@@ -127,6 +146,13 @@ class Network:
         are identical between backends (floats up to summation order), so
         sharding is purely a wall-clock choice.  ``shard_mode="inline"``
         keeps the shard kernels in-process for debugging.
+
+        The program is statically analyzed before compilation according to
+        ``lint`` (``"error"`` — the default — raises
+        :class:`~repro.datalog.errors.LintError` on error-severity
+        diagnostics; ``"warn"`` turns every diagnostic into a
+        :class:`~repro.datalog.diagnostics.LintWarning`; ``"off"`` skips
+        the analyzer).
         """
         merged = (options or NetOptions()).merged(**overrides)
         if config is not None:
@@ -144,7 +170,9 @@ class Network:
             configuration = resolve_preset(provenance)
             engine_config = merged.engine_config(provenance)
         resolved = _resolve_topology(topology, merged.seed)
-        compiled = _resolve_program(program)
+        compiled = _resolve_program(
+            program, lint=merged.lint, link_relation=merged.link_relation
+        )
         shared = dict(
             topology=resolved,
             compiled=compiled,

@@ -13,6 +13,7 @@ import os
 from dataclasses import dataclass, fields, replace
 from typing import Dict, Optional, Tuple
 
+from repro.datalog.lint import LINT_MODES
 from repro.engine.node_engine import EngineConfig, ProvenanceMode
 from repro.net.kernel import CostModel
 from repro.net.link import DEFAULT_BANDWIDTH, DEFAULT_LATENCY
@@ -99,6 +100,12 @@ class NetOptions:
     default_latency: float = DEFAULT_LATENCY
     default_bandwidth: float = DEFAULT_BANDWIDTH
     link_relation: str = "link"
+    #: Static-analysis mode applied to the program by ``Network.build``:
+    #: ``"error"`` raises :class:`~repro.datalog.errors.LintError` on
+    #: error-severity diagnostics (warnings stay silent), ``"warn"`` emits
+    #: every diagnostic as a :class:`~repro.datalog.diagnostics.LintWarning`,
+    #: ``"off"`` skips linting.
+    lint: str = "error"
     #: Seconds an in-network provenance query waits on one request.
     query_timeout: float = DEFAULT_QUERY_TIMEOUT
     cost_model: Optional[CostModel] = None
@@ -149,6 +156,10 @@ class NetOptions:
             )
         if not self.link_relation:
             raise ValueError("link_relation must be a non-empty relation name")
+        if self.lint not in LINT_MODES:
+            raise ValueError(
+                f"lint must be one of {LINT_MODES}, got {self.lint!r}"
+            )
 
     def resolved_shards(self) -> int:
         """The effective shard count: explicit, or one per core, clamped to

@@ -12,8 +12,8 @@ objects, re-exported beside this class from :mod:`repro.api`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.engine.node_engine import NodeEngine, collect_facts, facts_by_node
 from repro.engine.tuples import Fact

@@ -23,17 +23,23 @@ from repro.datalog.ast import (
     Program,
     Rule,
     SaysAtom,
+    Span,
     Term,
     Variable,
+    span_of,
 )
+from repro.datalog.diagnostics import Diagnostic, LintWarning, Severity
 from repro.datalog.errors import (
     DatalogError,
+    LintError,
+    LocatedError,
     ParseError,
     PlanError,
     RewriteError,
     SafetyError,
     SchemaError,
 )
+from repro.datalog.lint import check_program, lint_program, lint_source
 from repro.datalog.parser import parse_program, parse_rule
 from repro.datalog.catalog import Catalog, RelationSchema
 from repro.datalog.rewrite import localize_program
@@ -52,8 +58,12 @@ __all__ = [
     "Constant",
     "DatalogError",
     "DependencyGraph",
+    "Diagnostic",
     "Expression",
     "FunctionCall",
+    "LintError",
+    "LintWarning",
+    "LocatedError",
     "ParseError",
     "PlanError",
     "Program",
@@ -64,13 +74,19 @@ __all__ = [
     "SafetyError",
     "SaysAtom",
     "SchemaError",
+    "Severity",
+    "Span",
     "Term",
     "Variable",
     "analyze_program",
+    "check_program",
     "check_safety",
     "compile_program",
+    "lint_program",
+    "lint_source",
     "localize_program",
     "parse_program",
     "parse_rule",
+    "span_of",
     "stratify",
 ]

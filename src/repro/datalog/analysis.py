@@ -8,16 +8,17 @@ performs before producing an execution plan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.datalog.ast import (
-    Aggregate,
     Assignment,
     Atom,
     Comparison,
     Program,
     Rule,
     SaysAtom,
+    Span,
+    span_of,
     term_variables,
 )
 from repro.datalog.errors import SafetyError
@@ -146,7 +147,9 @@ def stratify(program: Program) -> Tuple[Tuple[str, ...], ...]:
         changed = False
         iterations += 1
         if iterations > limit:
-            raise SafetyError("program is not stratifiable (negative cycle)")
+            raise SafetyError(
+                "program is not stratifiable (negative cycle)", code="NDL104"
+            )
         for head, bodies in graph.edges.items():
             for body in bodies:
                 negated = body in graph.negative_edges.get(head, set())
@@ -164,13 +167,33 @@ def stratify(program: Program) -> Tuple[Tuple[str, ...], ...]:
     return tuple(tuple(level) for level in grouped if level)
 
 
-def check_safety(rule: Rule) -> None:
-    """Check the standard Datalog safety conditions for *rule*.
+@dataclass(frozen=True)
+class SafetyViolation:
+    """One violated safety condition of a rule.
+
+    ``code`` is the stable diagnostic code (``NDL101`` head variable,
+    ``NDL102`` negated-atom variable, ``NDL103`` comparison variable,
+    ``NDL107`` ship-to variable); ``span`` points at the offending variable
+    when the rule was parsed from source (``None`` for hand-built rules).
+    """
+
+    code: str
+    message: str
+    span: Optional[Span] = None
+    variable: Optional[str] = None
+
+
+def iter_safety_violations(rule: Rule) -> Iterable[SafetyViolation]:
+    """Yield every safety violation of *rule* (empty when the rule is safe).
+
+    The conditions checked:
 
     * every head variable must be bound by a positive body atom or an
-      assignment;
-    * every variable of a negated atom or comparison must be bound positively;
-    * assignment targets must not be bound before the assignment.
+      assignment (``NDL101``);
+    * every variable of a negated atom must be bound positively (``NDL102``);
+    * every variable of a comparison must be bound (``NDL103``);
+    * a head ship-to variable must be bound (or be the rule's principal
+      context) (``NDL107``).
     """
     bound: Set[str] = set()
     for literal in rule.body:
@@ -186,34 +209,71 @@ def check_safety(rule: Rule) -> None:
         if isinstance(literal, Atom) and literal.negated:
             for variable in literal.variables():
                 if variable.name not in bound:
-                    raise SafetyError(
-                        f"rule {rule.label}: variable {variable.name} of negated "
-                        f"atom {literal.name} is not bound positively"
+                    yield SafetyViolation(
+                        code="NDL102",
+                        message=(
+                            f"rule {rule.label}: variable {variable.name} of negated "
+                            f"atom {literal.name} is not bound positively"
+                        ),
+                        span=span_of(variable) or span_of(literal),
+                        variable=variable.name,
                     )
         elif isinstance(literal, Comparison):
             for variable in literal.variables():
                 if variable.name not in bound:
-                    raise SafetyError(
-                        f"rule {rule.label}: comparison variable {variable.name} "
-                        "is not bound by the body"
+                    yield SafetyViolation(
+                        code="NDL103",
+                        message=(
+                            f"rule {rule.label}: comparison variable {variable.name} "
+                            "is not bound by the body"
+                        ),
+                        span=span_of(variable) or span_of(literal),
+                        variable=variable.name,
                     )
 
     for term in rule.head.terms:
         for variable in term_variables(term):
             if variable.name not in bound:
-                raise SafetyError(
-                    f"rule {rule.label}: head variable {variable.name} "
-                    "is not bound by the body"
+                yield SafetyViolation(
+                    code="NDL101",
+                    message=(
+                        f"rule {rule.label}: head variable {variable.name} "
+                        "is not bound by the body"
+                    ),
+                    span=span_of(variable) or span_of(rule.head),
+                    variable=variable.name,
                 )
     if rule.head.ship_to is not None:
         for variable in term_variables(rule.head.ship_to):
             if variable.name not in bound and (
                 rule.context is None or str(rule.context) != variable.name
             ):
-                raise SafetyError(
-                    f"rule {rule.label}: ship-to variable {variable.name} "
-                    "is not bound by the body"
+                yield SafetyViolation(
+                    code="NDL107",
+                    message=(
+                        f"rule {rule.label}: ship-to variable {variable.name} "
+                        "is not bound by the body"
+                    ),
+                    span=span_of(variable) or span_of(rule.head),
+                    variable=variable.name,
                 )
+
+
+def check_safety(rule: Rule) -> None:
+    """Check the standard Datalog safety conditions for *rule*.
+
+    Raises :class:`SafetyError` on the first violation, carrying the
+    violation's diagnostic code and — when the rule was parsed from source —
+    the line/column of the offending variable.
+    """
+    for violation in iter_safety_violations(rule):
+        span = violation.span or span_of(rule)
+        raise SafetyError(
+            violation.message,
+            line=span.line if span else 0,
+            column=span.column if span else 0,
+            code=violation.code,
+        )
 
 
 def analyze_program(program: Program) -> ProgramAnalysis:

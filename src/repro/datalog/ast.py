@@ -18,7 +18,36 @@ new nodes instead of mutating shared structure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
+from typing import Iterator, Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Source spans
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Span:
+    """A region of the source text: 1-based line/column, end exclusive.
+
+    Spans are attached to AST nodes as non-compared metadata: two nodes that
+    differ only in their span are equal, so rewrites and tests can build
+    nodes without positions and still compare against parsed ones.  A node
+    built outside the parser carries ``span=None`` and diagnostics fall back
+    to the enclosing rule's span (or line 0 = "unknown location").
+    """
+
+    line: int
+    column: int
+    end_line: int = 0
+    end_column: int = 0
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
+def span_of(node: object) -> Optional[Span]:
+    """The source span attached to *node*, or ``None``."""
+    return getattr(node, "span", None)
 
 
 # ---------------------------------------------------------------------------
@@ -27,9 +56,19 @@ from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 @dataclass(frozen=True)
 class Variable:
-    """A Datalog variable.  Variable names begin with an uppercase letter."""
+    """A Datalog variable.
+
+    Variable names begin with an uppercase letter; a leading underscore
+    (``_Cost``) marks a deliberately-unused wildcard variable, exempt from
+    the unused-variable lint warning.
+    """
 
     name: str
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.name.startswith("_")
 
     def __str__(self) -> str:
         return self.name
@@ -40,6 +79,7 @@ class Constant:
     """A constant term: string, int, or float literal."""
 
     value: object
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         if isinstance(self.value, str):
@@ -53,6 +93,7 @@ class FunctionCall:
 
     name: str
     args: Tuple["Term", ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         rendered = ", ".join(str(a) for a in self.args)
@@ -69,6 +110,7 @@ class Aggregate:
 
     function: str
     variable: Variable
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"{self.function}<{self.variable}>"
@@ -118,6 +160,7 @@ class Atom:
     location_index: Optional[int] = None
     ship_to: Optional[Term] = None
     negated: bool = False
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     @property
     def arity(self) -> int:
@@ -161,6 +204,7 @@ class SaysAtom:
 
     principal: Term
     atom: Atom
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     @property
     def name(self) -> str:
@@ -181,6 +225,7 @@ class Comparison:
     operator: str
     left: Term
     right: Term
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def variables(self) -> Iterator[Variable]:
         yield from term_variables(self.left)
@@ -196,6 +241,7 @@ class Assignment:
 
     target: Variable
     expression: Term
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def variables(self) -> Iterator[Variable]:
         yield self.target
@@ -235,6 +281,7 @@ class Rule:
     head: Atom
     body: Tuple[Literal, ...]
     context: Optional[Term] = None
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def body_atoms(self) -> Iterator[Atom]:
         """Yield the relational atoms in the body (unwrapping ``says``)."""
@@ -329,6 +376,7 @@ class MaterializeDecl:
     lifetime: Optional[float]
     max_size: Optional[int]
     keys: Tuple[int, ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         lifetime = "infinity" if self.lifetime is None else str(self.lifetime)
@@ -340,14 +388,17 @@ class MaterializeDecl:
 def make_atom(name: str, *terms: object, location: Optional[int] = None) -> Atom:
     """Convenience constructor used heavily in tests and examples.
 
-    Strings beginning with an uppercase letter become variables; everything
-    else becomes a constant.
+    Strings beginning with an uppercase letter — optionally after a wildcard
+    underscore (``"_C"``) — become variables; everything else becomes a
+    constant.
     """
     converted: list[Term] = []
     for term in terms:
         if isinstance(term, (Variable, Constant, FunctionCall, Aggregate)):
             converted.append(term)
-        elif isinstance(term, str) and term[:1].isupper():
+        elif isinstance(term, str) and (
+            term[:1].isupper() or (term[:1] == "_" and term[1:2].isupper())
+        ):
             converted.append(Variable(term))
         else:
             converted.append(Constant(term))

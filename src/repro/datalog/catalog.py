@@ -8,11 +8,22 @@ arity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.datalog.ast import Program, Rule
+from repro.datalog.ast import Program, Rule, span_of
 from repro.datalog.errors import SchemaError
+
+
+def _located(message: str, node: object, code: str = "NDL201") -> SchemaError:
+    """A :class:`SchemaError` pointing at *node*'s source span when known."""
+    span = span_of(node)
+    return SchemaError(
+        message,
+        line=span.line if span else 0,
+        column=span.column if span else 0,
+        code=code,
+    )
 
 
 @dataclass(frozen=True)
@@ -103,9 +114,11 @@ class Catalog:
                 keys = tuple(k - 1 for k in decl.keys)
                 for key in keys:
                     if key < 0 or key >= arity:
-                        raise SchemaError(
+                        raise _located(
                             f"key column {key + 1} out of range for "
-                            f"{name!r} with arity {arity}"
+                            f"{name!r} with arity {arity}",
+                            decl,
+                            code="NDL203",
                         )
                 lifetime = decl.lifetime
                 max_size = decl.max_size
@@ -154,9 +167,10 @@ class Catalog:
                 continue
             expected = self._schemas[atom.name].arity
             if atom.arity != expected:
-                raise SchemaError(
+                raise _located(
                     f"rule {rule.label}: {atom.name!r} used with arity "
-                    f"{atom.arity}, declared {expected}"
+                    f"{atom.arity}, declared {expected}",
+                    atom,
                 )
 
 
@@ -166,7 +180,8 @@ def _record_arity(arities: Dict[str, int], rule: Rule) -> None:
         if existing is None:
             arities[atom.name] = atom.arity
         elif existing != atom.arity:
-            raise SchemaError(
+            raise _located(
                 f"relation {atom.name!r} used with inconsistent arities "
-                f"{existing} and {atom.arity} (rule {rule.label})"
+                f"{existing} and {atom.arity} (rule {rule.label})",
+                atom,
             )

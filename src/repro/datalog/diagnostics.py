@@ -1,0 +1,159 @@
+"""Structured diagnostics: the record type the static analyzer reports.
+
+A :class:`Diagnostic` is one finding of the lint layer — a stable code
+(``NDL105``), a severity, a human message, the 1-based source position the
+finding anchors to, the label of the rule it concerns, and an optional
+suggested fix.  The type is deliberately independent of the individual lint
+passes so renderers, the CLI, the :class:`~repro.datalog.errors.LintError`
+exception and tests all share one vocabulary.
+
+Two renderers are provided: :func:`render_text` (one ``file:line:col:
+severity CODE message`` line per finding, the format editors and CI log
+scrapers expect) and :func:`render_json` (a stable machine-readable document
+for tooling).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+class Severity(Enum):
+    """How serious a diagnostic is.
+
+    ``ERROR`` findings make the program unrunnable or semantically wrong
+    (unsafe rules, unverifiable imports, arity conflicts); ``WARNING``
+    findings are quality and performance hazards (dead predicates, cartesian
+    joins) that do not stop execution.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class LintWarning(UserWarning):
+    """The Python warning category used by ``lint="warn"`` mode."""
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    ``line`` / ``column`` are 1-based; ``(0, 0)`` means the finding has no
+    source anchor (the program was built programmatically, or the finding is
+    program-level).  ``end_line`` / ``end_column`` bound the finding's span
+    when known (end exclusive, 0 = unknown).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    line: int = 0
+    column: int = 0
+    end_line: int = 0
+    end_column: int = 0
+    rule_label: Optional[str] = None
+    suggestion: Optional[str] = None
+    #: The program/file the finding belongs to (CLI sets the path).
+    source: Optional[str] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    @property
+    def is_warning(self) -> bool:
+        return self.severity is Severity.WARNING
+
+    def sort_key(self) -> Tuple:
+        return (self.source or "", self.line, self.column, self.code, self.message)
+
+    def location(self) -> str:
+        """``file:line:col`` (pieces omitted when unknown)."""
+        prefix = self.source or "<program>"
+        if self.line or self.column:
+            return f"{prefix}:{self.line}:{self.column}"
+        return prefix
+
+    def render(self) -> str:
+        """One diagnostic as a ``location: severity CODE: message`` line."""
+        parts = [f"{self.location()}: {self.severity} {self.code}: {self.message}"]
+        if self.rule_label:
+            parts.append(f"[rule {self.rule_label}]")
+        line = " ".join(parts)
+        if self.suggestion:
+            line += f"\n    suggestion: {self.suggestion}"
+        return line
+
+    def to_dict(self) -> dict:
+        """A JSON-ready dict with a stable key set."""
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+            "rule": self.rule_label,
+            "suggestion": self.suggestion,
+            "source": self.source,
+        }
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Diagnostics in reading order: source, position, code."""
+    return sorted(diagnostics, key=Diagnostic.sort_key)
+
+
+def error_count(diagnostics: Sequence[Diagnostic]) -> int:
+    return sum(1 for d in diagnostics if d.is_error)
+
+
+def warning_count(diagnostics: Sequence[Diagnostic]) -> int:
+    return sum(1 for d in diagnostics if d.is_warning)
+
+
+def exit_code(diagnostics: Sequence[Diagnostic], strict: bool = False) -> int:
+    """The CI exit code for a lint run.
+
+    0 when the run is clean (or has only warnings and ``strict`` is off),
+    1 when any error — or, under ``strict``, any warning — was found.
+    """
+    if error_count(diagnostics):
+        return 1
+    if strict and warning_count(diagnostics):
+        return 1
+    return 0
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """Render *diagnostics* as text, one finding per line, with a summary."""
+    ordered = sort_diagnostics(diagnostics)
+    lines = [d.render() for d in ordered]
+    errors, warnings = error_count(ordered), warning_count(ordered)
+    if errors or warnings:
+        lines.append(f"{errors} error(s), {warnings} warning(s)")
+    else:
+        lines.append("clean: no diagnostics")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """Render *diagnostics* as a stable JSON document."""
+    ordered = sort_diagnostics(diagnostics)
+    document = {
+        "diagnostics": [d.to_dict() for d in ordered],
+        "errors": error_count(ordered),
+        "warnings": warning_count(ordered),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

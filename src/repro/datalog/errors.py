@@ -3,38 +3,86 @@
 Every error raised by the language layer derives from :class:`DatalogError`,
 so callers can catch a single exception type at API boundaries while tests can
 assert on the precise failure class.
+
+Errors that can point at source text derive from :class:`LocatedError` and
+carry a 1-based ``line`` / ``column`` pair plus a stable diagnostic ``code``
+(the same ``NDL###`` codes the lint layer reports — see
+:mod:`repro.datalog.lint`), so a failure surfaced as an exception and the
+same failure surfaced as a :class:`~repro.datalog.diagnostics.Diagnostic`
+are recognisably the one defect.
 """
 
 from __future__ import annotations
+
+from typing import Optional, Sequence
 
 
 class DatalogError(Exception):
     """Base class for all language-layer errors."""
 
 
-class ParseError(DatalogError):
+class LocatedError(DatalogError):
+    """A language-layer error that can point at the offending source text.
+
+    ``line`` / ``column`` are 1-based; ``(0, 0)`` means the location is
+    unknown (e.g. the rule was built programmatically without spans) and the
+    location suffix is omitted.  A location is rendered whenever *either*
+    coordinate is known, so errors on line 1 or column 0 are not silently
+    stripped of their position.
+    """
+
+    #: Default diagnostic code for the error class; instances may override.
+    default_code: Optional[str] = None
+
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        code: Optional[str] = None,
+    ) -> None:
+        self.line = line
+        self.column = column
+        self.code = code if code is not None else self.default_code
+        location = f" (line {line}, column {column})" if (line or column) else ""
+        super().__init__(f"{message}{location}")
+        self._message = message
+
+    def __repr__(self) -> str:
+        parts = [repr(self._message)]
+        if self.code is not None:
+            parts.append(f"code={self.code!r}")
+        if self.line or self.column:
+            parts.append(f"line={self.line}")
+            parts.append(f"column={self.column}")
+        return f"{type(self).__name__}({', '.join(parts)})"
+
+
+class ParseError(LocatedError):
     """Raised when NDlog / SeNDlog source text cannot be parsed.
 
     Carries the source line and column to make diagnostics actionable.
     """
 
-    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
-        self.line = line
-        self.column = column
-        location = f" (line {line}, column {column})" if line else ""
-        super().__init__(f"{message}{location}")
+    default_code = "NDL001"
 
 
-class SchemaError(DatalogError):
+class SchemaError(LocatedError):
     """Raised when a predicate is used inconsistently with its declared schema."""
 
+    default_code = "NDL201"
 
-class SafetyError(DatalogError):
+
+class SafetyError(LocatedError):
     """Raised when a rule is unsafe (e.g. a head variable not bound in the body)."""
 
+    default_code = "NDL101"
 
-class RewriteError(DatalogError):
+
+class RewriteError(LocatedError):
     """Raised when the localization or says rewrite cannot be applied."""
+
+    default_code = "NDL301"
 
 
 class PlanError(DatalogError):
@@ -43,3 +91,23 @@ class PlanError(DatalogError):
 
 class EvaluationError(DatalogError):
     """Raised when rule evaluation fails at runtime (bad function call, etc.)."""
+
+
+class LintError(DatalogError):
+    """Raised by ``lint="error"`` when a program has error-severity diagnostics.
+
+    ``diagnostics`` holds every diagnostic the lint run produced (warnings
+    included), already sorted; the exception message summarises the errors
+    with their locations so the failure is actionable without re-running the
+    linter.
+    """
+
+    def __init__(self, diagnostics: Sequence[object]) -> None:
+        self.diagnostics = tuple(diagnostics)
+        errors = [d for d in self.diagnostics if getattr(d, "is_error", False)]
+        lines = [
+            f"program failed lint with {len(errors)} error(s) "
+            f"({len(self.diagnostics)} diagnostic(s) total):"
+        ]
+        lines.extend(f"  {d}" for d in errors)
+        super().__init__("\n".join(lines))

@@ -38,6 +38,18 @@ class Token:
     line: int
     column: int
 
+    @property
+    def end_column(self) -> int:
+        """Column one past the token's last character (same line).
+
+        String tokens account for their surrounding quotes, which are not
+        part of ``text``.
+        """
+        width = len(self.text) or 1
+        if self.kind == STRING:
+            width = len(self.text) + 2
+        return self.column + width
+
     def __str__(self) -> str:
         return f"{self.kind}({self.text!r})"
 
@@ -141,6 +153,11 @@ class Lexer:
         if lowered in KEYWORDS:
             return Token(KEYWORD, lowered, line, column)
         if text[0].isupper():
+            return Token(VARIABLE, text, line, column)
+        if text[0] == "_" and text[1:2].isupper():
+            # Wildcard variables: an underscore-prefixed variable name marks
+            # a binding that is intentionally unused (exempt from the
+            # unused-variable lint warning), e.g. ``link(@S, D, _Cost)``.
             return Token(VARIABLE, text, line, column)
         return Token(IDENT, text, line, column)
 

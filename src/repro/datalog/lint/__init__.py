@@ -1,0 +1,197 @@
+"""`repro.datalog.lint` — the NDlog / SeNDlog static analyzer.
+
+The linter runs a fixed sequence of analysis passes over a parsed
+:class:`~repro.datalog.ast.Program` and reports structured
+:class:`~repro.datalog.diagnostics.Diagnostic` records instead of raising on
+the first defect.  It subsumes the front end's exception-based checks
+(safety, stratification, schema) and adds the distributed-systems checks
+that only matter for declarative networking: link-restriction, ``says``
+authentication coverage, and bandwidth hazards such as cartesian joins.
+
+Three entry points:
+
+* :func:`lint_program` — lint a parsed program, return sorted diagnostics;
+* :func:`lint_source` — parse then lint source text (a parse failure becomes
+  a single ``NDL001`` diagnostic rather than an exception);
+* :func:`check_program` — the ``Network.build`` hook implementing the
+  ``lint="error" | "warn" | "off"`` modes.
+
+Run the CLI with ``python -m repro.datalog.lint program.ndlog --format=json``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, List, Optional, Tuple
+
+from repro.datalog.ast import Program
+from repro.datalog.diagnostics import (
+    Diagnostic,
+    LintWarning,
+    Severity,
+    error_count,
+    exit_code,
+    render_json,
+    render_text,
+    sort_diagnostics,
+    warning_count,
+)
+from repro.datalog.errors import LintError, ParseError
+from repro.datalog.lint import passes as _passes
+from repro.datalog.lint.passes import LintContext
+
+#: Lint modes accepted by ``check_program`` / ``NetOptions.lint``.
+LINT_MODES = ("error", "warn", "off")
+
+#: Every diagnostic code the analyzer can emit: code -> (severity, title).
+CODES: Dict[str, Tuple[Severity, str]] = {
+    "NDL001": (Severity.ERROR, "source text cannot be parsed"),
+    "NDL101": (Severity.ERROR, "head variable not bound by the body"),
+    "NDL102": (Severity.ERROR, "negated-atom variable not bound positively"),
+    "NDL103": (Severity.ERROR, "comparison variable not bound by the body"),
+    "NDL104": (Severity.ERROR, "program is not stratifiable"),
+    "NDL105": (Severity.WARNING, "body locations not connected through links"),
+    "NDL106": (Severity.ERROR, "duplicate rule label"),
+    "NDL107": (Severity.ERROR, "ship-to variable not bound by the body"),
+    "NDL201": (Severity.ERROR, "relation used with inconsistent arity"),
+    "NDL202": (Severity.WARNING, "materialize declaration for unknown relation"),
+    "NDL203": (Severity.ERROR, "materialize key column out of range"),
+    "NDL204": (Severity.ERROR, "constant conflicts with the column's type"),
+    "NDL205": (Severity.ERROR, "numeric aggregate over a string column"),
+    "NDL301": (Severity.ERROR, "'says' used outside a principal context"),
+    "NDL302": (Severity.ERROR, "says-import principal has no public key"),
+    "NDL303": (Severity.ERROR, "signed export without a signing keypair"),
+    "NDL401": (Severity.WARNING, "derived predicate is never read"),
+    "NDL402": (Severity.WARNING, "variable bound but never used"),
+    "NDL403": (Severity.WARNING, "join enumerates a full cross product"),
+    "NDL404": (Severity.WARNING, "rule can never fire (contradictory constants)"),
+}
+
+#: The pass sequence, in report-stability order.
+PASSES = (
+    _passes.safety_pass,
+    _passes.stratification_pass,
+    _passes.duplicate_label_pass,
+    _passes.link_restriction_pass,
+    _passes.schema_pass,
+    _passes.type_pass,
+    _passes.says_pass,
+    _passes.dead_predicate_pass,
+    _passes.unused_variable_pass,
+    _passes.cartesian_join_pass,
+    _passes.unsatisfiable_pass,
+)
+
+
+def lint_program(
+    program: Program,
+    *,
+    keystore: Optional[object] = None,
+    link_relation: str = "link",
+    source_name: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Run every lint pass over *program* and return sorted diagnostics.
+
+    The program is never mutated; passing a ``keystore`` additionally enables
+    the key-coverage checks (NDL302 / NDL303).
+    """
+    context = LintContext(
+        program=program,
+        keystore=keystore,
+        link_relation=link_relation,
+        source_name=source_name,
+    )
+    diagnostics: List[Diagnostic] = []
+    for lint_pass in PASSES:
+        diagnostics.extend(lint_pass(context))
+    return sort_diagnostics(diagnostics)
+
+
+def lint_source(
+    text: str,
+    *,
+    keystore: Optional[object] = None,
+    link_relation: str = "link",
+    source_name: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Parse *text* and lint it; a parse failure is one ``NDL001`` diagnostic."""
+    from repro.datalog.parser import parse_program
+
+    try:
+        program = parse_program(text)
+    except ParseError as exc:
+        return [
+            Diagnostic(
+                code=exc.code or "NDL001",
+                severity=Severity.ERROR,
+                message=getattr(exc, "_message", str(exc)),
+                line=exc.line,
+                column=exc.column,
+                source=source_name,
+            )
+        ]
+    return lint_program(
+        program,
+        keystore=keystore,
+        link_relation=link_relation,
+        source_name=source_name,
+    )
+
+
+def check_program(
+    program: Program,
+    mode: str = "error",
+    *,
+    keystore: Optional[object] = None,
+    link_relation: str = "link",
+    source_name: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Lint *program* and enforce *mode*; returns the diagnostics either way.
+
+    ``"error"``
+        raise :class:`~repro.datalog.errors.LintError` when any
+        error-severity diagnostic is found (warnings alone stay silent);
+    ``"warn"``
+        emit every diagnostic as a :class:`LintWarning` via the ``warnings``
+        machinery and continue;
+    ``"off"``
+        skip linting entirely and return an empty list.
+    """
+    if mode not in LINT_MODES:
+        raise ValueError(f"lint mode must be one of {LINT_MODES}, got {mode!r}")
+    if mode == "off":
+        return []
+    diagnostics = lint_program(
+        program,
+        keystore=keystore,
+        link_relation=link_relation,
+        source_name=source_name,
+    )
+    if mode == "error":
+        if error_count(diagnostics):
+            raise LintError(diagnostics)
+    else:
+        for diagnostic in diagnostics:
+            warnings.warn(diagnostic.render(), LintWarning, stacklevel=2)
+    return diagnostics
+
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "LINT_MODES",
+    "LintContext",
+    "LintError",
+    "LintWarning",
+    "PASSES",
+    "Severity",
+    "check_program",
+    "error_count",
+    "exit_code",
+    "lint_program",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "sort_diagnostics",
+    "warning_count",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.datalog.lint`` dispatches to :mod:`.cli`."""
+
+import sys
+
+from repro.datalog.lint.cli import main
+
+sys.exit(main())

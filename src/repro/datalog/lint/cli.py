@@ -1,0 +1,125 @@
+"""Command-line entry point: ``python -m repro.datalog.lint``.
+
+Exit status follows the usual linter convention — 0 for a clean run (or
+warnings only), 1 when any error-severity diagnostic was found (or any
+warning under ``--strict``), 2 for usage errors such as an unreadable file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.datalog.diagnostics import (
+    Diagnostic,
+    exit_code,
+    render_json,
+    render_text,
+    sort_diagnostics,
+)
+from repro.datalog.lint import CODES, lint_source
+from repro.datalog.lint.registry import builtin_sources
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.datalog.lint",
+        description="Static analyzer for NDlog / SeNDlog programs.",
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        metavar="FILE",
+        help="NDlog source files to lint ('-' reads standard input)",
+    )
+    parser.add_argument(
+        "--builtin",
+        action="store_true",
+        help="lint every NDlog program shipped in the repro tree",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings, not only on errors",
+    )
+    parser.add_argument(
+        "--link-relation",
+        default="link",
+        metavar="NAME",
+        help="relation treated as the physical topology (default: link)",
+    )
+    parser.add_argument(
+        "--codes",
+        action="store_true",
+        help="print the diagnostic code reference table and exit",
+    )
+    return parser
+
+
+def _codes_table() -> str:
+    lines = ["code    severity  title"]
+    for code in sorted(CODES):
+        severity, title = CODES[code]
+        lines.append(f"{code}  {str(severity):<8}  {title}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.codes:
+        print(_codes_table())
+        return 0
+    if not options.files and not options.builtin:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: give at least one FILE, '-', or --builtin", file=sys.stderr
+        )
+        return 2
+
+    diagnostics: List[Diagnostic] = []
+    for path in options.files:
+        if path == "-":
+            text = sys.stdin.read()
+            name = "<stdin>"
+        else:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError as exc:
+                print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+                return 2
+            name = path
+        diagnostics.extend(
+            lint_source(
+                text, link_relation=options.link_relation, source_name=name
+            )
+        )
+    if options.builtin:
+        for name, text in sorted(builtin_sources().items()):
+            diagnostics.extend(
+                lint_source(
+                    text,
+                    link_relation=options.link_relation,
+                    source_name=f"builtin:{name}",
+                )
+            )
+
+    diagnostics = sort_diagnostics(diagnostics)
+    if options.format == "json":
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics))
+    return exit_code(diagnostics, strict=options.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Registry of the in-tree NDlog / SeNDlog sources the CLI can lint.
+
+``--builtin`` lints every program the repository ships (the paper's queries
+and the monitoring use case), which is what ``make lint`` runs in CI: the
+tree's own programs must stay clean under the analyzer they ship with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def builtin_sources() -> Dict[str, str]:
+    """Name -> NDlog source text for every program shipped in the tree."""
+    from repro.queries import (
+        BEST_PATH_NDLOG,
+        DISTANCE_VECTOR_NDLOG,
+        PATH_VECTOR_NDLOG,
+        REACHABLE_LOCALIZED,
+        REACHABLE_NDLOG,
+        REACHABLE_SENDLOG,
+        ROUTE_FLAP_MONITOR_NDLOG,
+    )
+
+    return {
+        "best-path": BEST_PATH_NDLOG,
+        "distance-vector": DISTANCE_VECTOR_NDLOG,
+        "path-vector": PATH_VECTOR_NDLOG,
+        "reachable": REACHABLE_NDLOG,
+        "reachable-localized": REACHABLE_LOCALIZED,
+        "reachable-sendlog": REACHABLE_SENDLOG,
+        "route-flap-monitor": ROUTE_FLAP_MONITOR_NDLOG,
+    }

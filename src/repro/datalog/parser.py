@@ -33,6 +33,7 @@ from repro.datalog.ast import (
     Program,
     Rule,
     SaysAtom,
+    Span,
     Term,
     Variable,
 )
@@ -52,6 +53,16 @@ from repro.datalog.lexer import (
 COMPARISON_OPERATORS = {"<", ">", "<=", ">=", "==", "!=", "="}
 ARITHMETIC_OPERATORS = {"+", "-", "*", "/"}
 AGGREGATE_FUNCTIONS = {"min", "max", "count", "sum", "avg"}
+
+
+def _token_span(token: Token) -> Span:
+    """The span of a single token."""
+    return Span(token.line, token.column, token.line, token.end_column)
+
+
+def _span_between(start: Token, end: Token) -> Span:
+    """The span from *start*'s first character to *end*'s last."""
+    return Span(start.line, start.column, end.line, end.end_column)
 
 
 class _Parser:
@@ -91,6 +102,10 @@ class _Parser:
 
     def _at_end(self) -> bool:
         return self._peek().kind == EOF
+
+    def _previous(self) -> Token:
+        """The most recently consumed token (for closing span positions)."""
+        return self._tokens[max(self._index - 1, 0)]
 
     # -- program structure --------------------------------------------------
 
@@ -137,6 +152,7 @@ class _Parser:
         return principal
 
     def _parse_materialize(self) -> MaterializeDecl:
+        start = self._peek()
         self._expect(KEYWORD, "materialize")
         self._expect(SYMBOL, "(")
         name = self._expect(IDENT).text
@@ -156,10 +172,14 @@ class _Parser:
                 break
         self._expect(SYMBOL, ")")
         self._expect(SYMBOL, ")")
-        self._expect(SYMBOL, ".")
+        end = self._expect(SYMBOL, ".")
         max_size = None if size is None else int(size)
         return MaterializeDecl(
-            name=name, lifetime=lifetime, max_size=max_size, keys=tuple(keys)
+            name=name,
+            lifetime=lifetime,
+            max_size=max_size,
+            keys=tuple(keys),
+            span=_span_between(start, end),
         )
 
     def _parse_lifetime_value(self) -> Optional[float]:
@@ -181,14 +201,21 @@ class _Parser:
         return rule
 
     def _parse_rule(self, context: Optional[Term]) -> Rule:
+        start = self._peek()
         label = self._parse_label()
         head = self._parse_atom(allow_aggregates=True)
         body: Tuple[Literal, ...] = ()
         if self._check(SYMBOL, ":-"):
             self._advance()
             body = tuple(self._parse_body())
-        self._expect(SYMBOL, ".")
-        return Rule(label=label, head=head, body=body, context=context)
+        end = self._expect(SYMBOL, ".")
+        return Rule(
+            label=label,
+            head=head,
+            body=body,
+            context=context,
+            span=_span_between(start, end),
+        )
 
     def _parse_label(self) -> str:
         # A label is an identifier immediately followed by another identifier
@@ -209,12 +236,18 @@ class _Parser:
         return literals
 
     def _parse_literal(self) -> Literal:
+        start = self._peek()
+
         # "X says atom(...)" or "alice says atom(...)"
         if self._check(KEYWORD, "says", offset=1):
             principal = self._parse_principal_term()
             self._expect(KEYWORD, "says")
             atom = self._parse_atom(allow_aggregates=False)
-            return SaysAtom(principal=principal, atom=atom)
+            return SaysAtom(
+                principal=principal,
+                atom=atom,
+                span=_span_between(start, self._previous()),
+            )
 
         # Negated atom.
         if self._check(SYMBOL, "!") and self._check(IDENT, offset=1):
@@ -226,14 +259,20 @@ class _Parser:
                 location_index=atom.location_index,
                 ship_to=atom.ship_to,
                 negated=True,
+                span=_span_between(start, self._previous()),
             )
 
         # Assignment: Var := expr
         if self._check(VARIABLE) and self._check(SYMBOL, ":=", offset=1):
-            target = Variable(self._advance().text)
+            target_token = self._advance()
+            target = Variable(target_token.text, span=_token_span(target_token))
             self._advance()  # :=
             expression = self._parse_expression()
-            return Assignment(target=target, expression=expression)
+            return Assignment(
+                target=target,
+                expression=expression,
+                span=_span_between(start, self._previous()),
+            )
 
         # Ident followed by "(": either a relational atom or a built-in
         # function call that starts a comparison (e.g. "f_member(P2, S) == 0").
@@ -243,8 +282,13 @@ class _Parser:
             if token.kind == SYMBOL and token.text in COMPARISON_OPERATORS:
                 operator = self._advance().text
                 right = self._parse_expression()
-                left = FunctionCall(name=atom.name, args=atom.terms)
-                return Comparison(operator=operator, left=left, right=right)
+                left = FunctionCall(name=atom.name, args=atom.terms, span=atom.span)
+                return Comparison(
+                    operator=operator,
+                    left=left,
+                    right=right,
+                    span=_span_between(start, self._previous()),
+                )
             return atom
 
         # Otherwise a comparison between two expressions.
@@ -253,7 +297,12 @@ class _Parser:
         if token.kind == SYMBOL and token.text in COMPARISON_OPERATORS:
             operator = self._advance().text
             right = self._parse_expression()
-            return Comparison(operator=operator, left=left, right=right)
+            return Comparison(
+                operator=operator,
+                left=left,
+                right=right,
+                span=_span_between(start, self._previous()),
+            )
         raise ParseError(
             f"expected a body literal, found {token.text!r}", token.line, token.column
         )
@@ -262,10 +311,10 @@ class _Parser:
         token = self._peek()
         if token.kind == VARIABLE:
             self._advance()
-            return Variable(token.text)
+            return Variable(token.text, span=_token_span(token))
         if token.kind in (IDENT, STRING):
             self._advance()
-            return Constant(token.text)
+            return Constant(token.text, span=_token_span(token))
         raise ParseError(
             f"expected principal before 'says', found {token.text!r}",
             token.line,
@@ -275,6 +324,7 @@ class _Parser:
     # -- atoms and terms -----------------------------------------------------
 
     def _parse_atom(self, allow_aggregates: bool) -> Atom:
+        start = self._peek()
         name = self._expect(IDENT).text
         self._expect(SYMBOL, "(")
         terms: List[Term] = []
@@ -312,6 +362,7 @@ class _Parser:
             terms=tuple(terms),
             location_index=location_index,
             ship_to=ship_to,
+            span=_span_between(start, self._previous()),
         )
 
     def _parse_term(self, allow_aggregates: bool) -> Term:
@@ -342,16 +393,18 @@ class _Parser:
 
         if token.kind == VARIABLE:
             self._advance()
-            return Variable(token.text)
+            return Variable(token.text, span=_token_span(token))
 
         if token.kind == NUMBER:
             self._advance()
             text = token.text
-            return Constant(float(text) if "." in text else int(text))
+            return Constant(
+                float(text) if "." in text else int(text), span=_token_span(token)
+            )
 
         if token.kind == STRING:
             self._advance()
-            return Constant(token.text)
+            return Constant(token.text, span=_token_span(token))
 
         if token.kind == SYMBOL and token.text == "(":
             self._advance()
@@ -368,9 +421,14 @@ class _Parser:
             ):
                 self._advance()  # function name
                 self._advance()  # <
-                variable = Variable(self._expect(VARIABLE).text)
-                self._expect(SYMBOL, ">")
-                return Aggregate(function=token.text, variable=variable)
+                variable_token = self._expect(VARIABLE)
+                variable = Variable(variable_token.text, span=_token_span(variable_token))
+                end = self._expect(SYMBOL, ">")
+                return Aggregate(
+                    function=token.text,
+                    variable=variable,
+                    span=_span_between(token, end),
+                )
             if self._check(SYMBOL, "(", offset=1):
                 self._advance()
                 self._advance()  # (
@@ -382,10 +440,12 @@ class _Parser:
                             self._advance()
                         else:
                             break
-                self._expect(SYMBOL, ")")
-                return FunctionCall(name=token.text, args=tuple(args))
+                end = self._expect(SYMBOL, ")")
+                return FunctionCall(
+                    name=token.text, args=tuple(args), span=_span_between(token, end)
+                )
             self._advance()
-            return Constant(token.text)
+            return Constant(token.text, span=_token_span(token))
 
         raise ParseError(
             f"expected a term, found {token.text!r}", token.line, token.column

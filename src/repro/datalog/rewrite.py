@@ -23,7 +23,7 @@ form within a principal's context, so the rewrite simply validates them.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.datalog.ast import (
     Assignment,
@@ -35,7 +35,7 @@ from repro.datalog.ast import (
     SaysAtom,
     Term,
     Variable,
-    term_variables,
+    span_of,
 )
 from repro.datalog.errors import RewriteError
 
@@ -57,9 +57,19 @@ def localize_rule(rule: Rule) -> List[Rule]:
     """
     if is_localized(rule):
         return [rule]
-    if any(isinstance(lit, SaysAtom) for lit in rule.body):
+    says = next((lit for lit in rule.body if isinstance(lit, SaysAtom)), None)
+    if says is not None:
+        # The lint layer reports this as NDL301 before any rewrite runs; the
+        # exception path carries the same code and the says literal's source
+        # position for callers that skip linting.
+        span = span_of(says) or span_of(rule)
         raise RewriteError(
-            f"rule {rule.label}: SeNDlog rules with 'says' must already be localized"
+            f"rule {rule.label}: SeNDlog rules with 'says' must already be "
+            f"localized ('{says}' cannot be split across locations; write the "
+            "rule inside an 'At <Principal>:' context)",
+            line=span.line if span else 0,
+            column=span.column if span else 0,
+            code="NDL301",
         )
 
     remaining = list(rule.body)

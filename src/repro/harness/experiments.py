@@ -23,10 +23,10 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api.results import RunResult
-from repro.harness.runner import CONFIGURATIONS, run_network
+from repro.harness.runner import run_network
 from repro.queries.best_path import compile_best_path
 
 #: Default sweep used by the benchmarks: a subset of the paper's 10..100 so a

@@ -49,7 +49,7 @@ import math
 import multiprocessing
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.datalog.ast import Program
 from repro.datalog.catalog import Catalog

@@ -16,7 +16,7 @@ from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple, Union
+from typing import Dict, Union
 
 from repro.net.address import Address
 from repro.net.message import Message, MessageBatch, QueryRequest, QueryResponse

@@ -13,8 +13,8 @@ queries reach a well-defined global fixpoint.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.net.address import Address, node_names
 from repro.net.link import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, Link

@@ -10,9 +10,9 @@ per-node signatures and implements chain verification.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict
 
-from repro.engine.tuples import Fact, FactKey
+from repro.engine.tuples import FactKey
 from repro.provenance.condensed import CondensedProvenance
 from repro.provenance.graph import DerivationGraph, DerivationNode, OperatorNode
 from repro.security.keystore import KeyStore

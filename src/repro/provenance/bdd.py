@@ -22,7 +22,7 @@ callers register base-tuple / principal identifiers as variables.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.provenance.polynomial import ProvenanceExpression
 

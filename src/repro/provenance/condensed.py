@@ -17,7 +17,7 @@ The annotation travels with the tuple under local provenance, so its
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional, Tuple
+from typing import Iterable, Mapping
 
 from repro.provenance.bdd import BDD, BDDManager
 from repro.provenance.polynomial import ProvenanceExpression, p_var

@@ -19,8 +19,8 @@ against local provenance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.engine.tuples import Derivation, Fact, FactKey
 from repro.provenance.graph import DerivationGraph, DerivationNode

@@ -15,7 +15,7 @@ at the tuple's storage node) and as the result of reconstructing
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.engine.tuples import Fact, FactKey

@@ -15,11 +15,11 @@ remote tuples so the local graph stays complete.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.engine.tuples import Derivation, Fact, FactKey
 from repro.provenance.condensed import CondensedProvenance
-from repro.provenance.graph import DerivationGraph, DerivationNode
+from repro.provenance.graph import DerivationGraph
 
 
 @dataclass(frozen=True)

@@ -19,9 +19,9 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Tuple
 
-from repro.engine.tuples import Derivation, Fact, FactKey
+from repro.engine.tuples import Derivation, FactKey
 from repro.provenance.condensed import CondensedProvenance
 from repro.provenance.polynomial import ProvenanceExpression
 

@@ -12,8 +12,8 @@ pinned as evidence of an anomaly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.engine.tuples import Derivation, Fact, FactKey
 from repro.provenance.condensed import CondensedProvenance

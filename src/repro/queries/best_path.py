@@ -35,7 +35,7 @@ BEST_PATH_NDLOG = """
     p2 path(@S, D, P, C) :- link(@S, Z, C1), bestPath(@Z, D, P2, C2),
                             S != D, f_member(P2, S) == 0,
                             C := C1 + C2, P := f_concat(S, P2).
-    p3 bestPathCost(@S, D, min<C>) :- path(@S, D, P, C).
+    p3 bestPathCost(@S, D, min<C>) :- path(@S, D, _P, C).
     p4 bestPath(@S, D, P, C) :- bestPathCost(@S, D, C), path(@S, D, P, C).
 """
 

@@ -20,8 +20,8 @@ PATH_VECTOR_NDLOG = """
     materialize(link, infinity, infinity, keys(1,2)).
     materialize(route, infinity, infinity, keys(1,2,3)).
 
-    v1 route(@S, D, P) :- link(@S, D, C), P := f_init(S, D).
-    v2 route(@S, D, P) :- link(@S, Z, C), route(@Z, D, P2),
+    v1 route(@S, D, P) :- link(@S, D, _C), P := f_init(S, D).
+    v2 route(@S, D, P) :- link(@S, Z, _C), route(@Z, D, P2),
                           f_member(P2, S) == 0, P := f_concat(S, P2).
 """
 
@@ -34,7 +34,7 @@ DISTANCE_VECTOR_NDLOG = """
 
     d1 hop(@S, D, D, C) :- link(@S, D, C).
     d2 hop(@S, D, Z, C) :- link(@S, Z, C1), distance(@Z, D, C2), S != D, C := C1 + C2.
-    d3 distance(@S, D, min<C>) :- hop(@S, D, Z, C).
+    d3 distance(@S, D, min<C>) :- hop(@S, D, _Z, C).
 """
 
 

@@ -10,8 +10,8 @@ evaluation's cost model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.engine.tuples import Fact
 from repro.security.keystore import KeyStore

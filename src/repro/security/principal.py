@@ -13,7 +13,7 @@ Those levels live here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 DEFAULT_SECURITY_LEVEL = 1

@@ -19,7 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.security.primes import generate_prime
+from repro.security.primes import DEFAULT_SEED, generate_prime
 
 DEFAULT_KEY_BITS = 512
 DEFAULT_PUBLIC_EXPONENT = 65537
@@ -82,7 +82,7 @@ def generate_keypair(
     """Generate an RSA key pair with a modulus of roughly *bits* bits."""
     if bits < 64:
         raise ValueError("key size below 64 bits cannot hold a SHA-256-derived digest securely")
-    rng = rng or random.Random()
+    rng = rng or random.Random(DEFAULT_SEED)
     half = bits // 2
     while True:
         p = generate_prime(half, rng)

@@ -16,10 +16,10 @@ provenance store's dependency index.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
-from repro.engine.tuples import Fact, FactKey
+from repro.engine.tuples import FactKey
 from repro.provenance.condensed import CondensedProvenance
 from repro.provenance.store import OnlineProvenanceStore
 

@@ -16,8 +16,8 @@ paper are supported:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple, Union
 
 from repro.engine.tuples import Fact
 from repro.provenance.condensed import CondensedProvenance

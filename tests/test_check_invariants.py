@@ -1,0 +1,231 @@
+"""Tests for tools/check_invariants.py — the determinism-invariant checker."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOL_PATH = REPO_ROOT / "tools" / "check_invariants.py"
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("check_invariants", TOOL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves the defining module through sys.modules, so the
+    # tool must be registered before execution.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+tool = _load_tool()
+
+MINIMAL_EVENTS = """\
+DELIVERY_PRIORITY = 1
+
+
+class SimulationEvent:
+    pass
+
+
+class MessageDelivery(SimulationEvent):
+    priority = DELIVERY_PRIORITY
+
+
+def event_rank(event, stamp=None):
+    if isinstance(event, MessageDelivery):
+        return (0,)
+    return (1, stamp)
+"""
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A minimal package tree with hot-path dirs and a rank-covered events.py."""
+    (tmp_path / "net").mkdir()
+    (tmp_path / "engine").mkdir()
+    (tmp_path / "harness").mkdir()
+    (tmp_path / "net" / "events.py").write_text(MINIMAL_EVENTS, encoding="utf-8")
+    return tmp_path
+
+
+def _rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestRealTreeIsClean:
+    def test_src_repro_has_no_violations(self):
+        findings = tool.check_tree(SRC_ROOT)
+        assert findings == [], [f.render() for f in findings]
+
+
+class TestWallClock:
+    def test_time_time_in_hot_path_flagged(self, tree):
+        (tree / "net" / "mod.py").write_text(
+            "import time\n\ndef f():\n    return time.time()\n", encoding="utf-8"
+        )
+        findings = tool.check_tree(tree)
+        assert "INV001" in _rules(findings)
+
+    def test_datetime_now_in_hot_path_flagged(self, tree):
+        (tree / "engine" / "mod.py").write_text(
+            "import datetime\n\ndef f():\n    return datetime.datetime.now()\n",
+            encoding="utf-8",
+        )
+        assert "INV001" in _rules(tool.check_tree(tree))
+
+    def test_wall_clock_outside_hot_path_allowed(self, tree):
+        (tree / "harness" / "mod.py").write_text(
+            "import time\n\ndef f():\n    return time.time()\n", encoding="utf-8"
+        )
+        assert "INV001" not in _rules(tool.check_tree(tree))
+
+
+class TestRandomness:
+    def test_module_level_random_flagged_everywhere(self, tree):
+        (tree / "harness" / "mod.py").write_text(
+            "import random\n\ndef f():\n    return random.randint(0, 3)\n",
+            encoding="utf-8",
+        )
+        assert "INV002" in _rules(tool.check_tree(tree))
+
+    def test_unseeded_random_instance_flagged(self, tree):
+        (tree / "net" / "mod.py").write_text(
+            "import random\n\ndef f():\n    return random.Random()\n",
+            encoding="utf-8",
+        )
+        assert "INV002" in _rules(tool.check_tree(tree))
+
+    def test_seeded_random_instance_allowed(self, tree):
+        (tree / "net" / "mod.py").write_text(
+            "import random\n\ndef f(seed):\n    return random.Random(seed)\n",
+            encoding="utf-8",
+        )
+        assert "INV002" not in _rules(tool.check_tree(tree))
+
+
+class TestEventRankCoverage:
+    def test_delivery_event_without_rank_branch_flagged(self, tree):
+        (tree / "net" / "events.py").write_text(
+            MINIMAL_EVENTS
+            + "\n\nclass StrayDelivery(SimulationEvent):\n"
+            "    priority = DELIVERY_PRIORITY\n",
+            encoding="utf-8",
+        )
+        findings = [f for f in tool.check_tree(tree) if f.rule == "INV003"]
+        assert findings and "StrayDelivery" in findings[0].message
+
+    def test_event_subclass_outside_events_py_flagged(self, tree):
+        (tree / "engine" / "rogue.py").write_text(
+            "from repro.net.events import SimulationEvent\n\n\n"
+            "class RogueEvent(SimulationEvent):\n    pass\n",
+            encoding="utf-8",
+        )
+        findings = [f for f in tool.check_tree(tree) if f.rule == "INV003"]
+        assert findings and "RogueEvent" in findings[0].message
+
+    def test_covered_tree_is_clean(self, tree):
+        assert "INV003" not in _rules(tool.check_tree(tree))
+
+
+class TestSetIteration:
+    def test_set_display_iteration_flagged(self, tree):
+        (tree / "net" / "mod.py").write_text(
+            "def f():\n    for x in {1, 2, 3}:\n        pass\n", encoding="utf-8"
+        )
+        assert "INV004" in _rules(tool.check_tree(tree))
+
+    def test_set_call_in_comprehension_flagged(self, tree):
+        (tree / "engine" / "mod.py").write_text(
+            "def f(xs):\n    return [x for x in set(xs)]\n", encoding="utf-8"
+        )
+        assert "INV004" in _rules(tool.check_tree(tree))
+
+    def test_sorted_wrapping_allowed(self, tree):
+        (tree / "net" / "mod.py").write_text(
+            "def f(xs):\n"
+            "    for x in sorted(set(xs)):\n"
+            "        pass\n"
+            "    return [x for x in sorted({1, 2})]\n",
+            encoding="utf-8",
+        )
+        assert "INV004" not in _rules(tool.check_tree(tree))
+
+    def test_set_iteration_outside_hot_path_allowed(self, tree):
+        (tree / "harness" / "mod.py").write_text(
+            "def f(xs):\n    return [x for x in set(xs)]\n", encoding="utf-8"
+        )
+        assert "INV004" not in _rules(tool.check_tree(tree))
+
+
+class TestDeprecatedShims:
+    def test_simulator_call_flagged(self, tree):
+        (tree / "harness" / "mod.py").write_text(
+            "from repro.net.simulator import Simulator\n\n\n"
+            "def f(**kw):\n    return Simulator(**kw)\n",
+            encoding="utf-8",
+        )
+        assert "INV005" in _rules(tool.check_tree(tree))
+
+    def test_shim_call_in_defining_module_allowed(self, tree):
+        (tree / "net" / "simulator.py").write_text(
+            "class Simulator:\n    pass\n\n\ndef clone():\n    return Simulator()\n",
+            encoding="utf-8",
+        )
+        assert "INV005" not in _rules(tool.check_tree(tree))
+
+    def test_run_configuration_call_flagged(self, tree):
+        (tree / "engine" / "mod.py").write_text(
+            "from repro.harness.runner import run_configuration\n\n\n"
+            "def f():\n    return run_configuration()\n",
+            encoding="utf-8",
+        )
+        assert "INV005" in _rules(tool.check_tree(tree))
+
+
+class TestAllowlist:
+    def test_inline_comment_suppresses_matching_rule(self, tree):
+        (tree / "net" / "mod.py").write_text(
+            "import time\n\n\ndef f():\n"
+            "    return time.time()  # invariant: ok(INV001)\n",
+            encoding="utf-8",
+        )
+        assert "INV001" not in _rules(tool.check_tree(tree))
+
+    def test_comment_for_other_rule_does_not_suppress(self, tree):
+        (tree / "net" / "mod.py").write_text(
+            "import time\n\n\ndef f():\n"
+            "    return time.time()  # invariant: ok(INV004)\n",
+            encoding="utf-8",
+        )
+        assert "INV001" in _rules(tool.check_tree(tree))
+
+
+class TestCli:
+    def test_list_exits_zero(self, capsys):
+        assert tool.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for rule in tool.RULES:
+            assert rule in out
+
+    def test_missing_root_is_usage_error(self, tmp_path, capsys):
+        assert tool.main(["--root", str(tmp_path / "nope")]) == 2
+
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        assert tool.main(["--root", str(tree)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violating_tree_exits_one(self, tree, capsys):
+        (tree / "net" / "mod.py").write_text(
+            "import time\n\ndef f():\n    return time.time()\n", encoding="utf-8"
+        )
+        assert tool.main(["--root", str(tree)]) == 1
+        assert "INV001" in capsys.readouterr().out
+
+    def test_real_tree_via_cli(self, capsys):
+        assert tool.main(["--root", str(SRC_ROOT)]) == 0

@@ -1,0 +1,401 @@
+"""Golden-diagnostics suite for the NDlog / SeNDlog static analyzer.
+
+One minimal failing fixture per diagnostic code, each asserting the code
+*and* the line/column the diagnostic anchors to; CLI exit-code contract;
+lint-mode semantics; and property tests that linting never mutates the
+program it analyzes.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import (
+    LintError,
+    LintWarning,
+    Severity,
+    check_program,
+    lint_program,
+    lint_source,
+    parse_program,
+)
+from repro.datalog.diagnostics import (
+    Diagnostic,
+    error_count,
+    exit_code,
+    render_json,
+    render_text,
+    warning_count,
+)
+from repro.datalog.errors import ParseError
+from repro.datalog.lint import CODES, LINT_MODES
+from repro.datalog.lint.cli import main as lint_cli
+from repro.datalog.lint.registry import builtin_sources
+from repro.security.keystore import KeyStore
+
+# ---------------------------------------------------------------------------
+# Golden fixtures: one minimal failing program per diagnostic code, with the
+# exact (line, column) its diagnostic must anchor to.
+# ---------------------------------------------------------------------------
+
+GOLDEN = {
+    # (source, line, column)
+    "NDL001": ("r1 foo(@S, D) :-", 1, 17),
+    "NDL101": ("r1 foo(@S, D) :- bar(@S, X).", 1, 12),
+    "NDL102": ("r1 foo(@S) :- bar(@S), !baz(@S, X).", 1, 33),
+    "NDL103": ("r1 foo(@S) :- bar(@S), X > 3.", 1, 24),
+    "NDL104": (
+        "r1 foo(@S) :- bar(@S), !quux(@S).\n"
+        "r2 quux(@S) :- bar(@S), !foo(@S).",
+        1,
+        24,
+    ),
+    "NDL105": ("r1 out(@S, D) :- bar(@S, Z), baz(@D, Z).", 1, 30),
+    "NDL106": ("r1 foo(@S) :- bar(@S).\nr1 foo(@S) :- baz(@S).", 2, 1),
+    "NDL107": ("At P:\ns1 foo(D, S)@X :- bar(S, D).", 2, 14),
+    "NDL201": ("r1 foo(@S) :- bar(@S, D).\nr2 foo(@S, D) :- bar(@S, D).", 2, 4),
+    "NDL202": (
+        "materialize(ghost, infinity, infinity, keys(1)).\n"
+        "r1 foo(@S) :- bar(@S).",
+        1,
+        1,
+    ),
+    "NDL203": (
+        "materialize(bar, infinity, infinity, keys(3)).\n"
+        "r1 foo(@S) :- bar(@S, D).",
+        1,
+        1,
+    ),
+    "NDL204": ('r1 foo(@S) :- bar(@S, 5).\nr2 foo(@S) :- bar(@S, "x").', 2, 23),
+    "NDL205": ('r1 best(@S, sum<C>) :- bar(@S, C).\nr2 bar(@S, "x") :- baz(@S).', 1, 13),
+    "NDL301": ("r1 foo(S, D) :- P says bar(S, D).", 1, 17),
+    "NDL302": ("At A:\ns1 foo(S, D) :- b says bar(S, D).", 2, 17),
+    "NDL303": ("At a:\ns1 foo(D, S)@D :- bar(S, D).", 2, 4),
+    "NDL401": ("r1 foo(@S) :- bar(@S).", 1, 4),
+    "NDL402": ("r1 foo(@S) :- bar(@S, X).", 1, 23),
+    "NDL403": ("r1 foo(X, Y) :- bar(X), baz(Y).", 1, 25),
+    "NDL404": ("r1 foo(@S) :- bar(@S, X), X == 3, X == 4.", 1, 35),
+}
+
+#: Codes whose fixtures only fire with a keystore in the lint context.
+KEYSTORE_CODES = ("NDL302", "NDL303")
+
+
+def _keystore() -> KeyStore:
+    # Principal "a" has a public key but no private (signing) key; principal
+    # "b" is entirely unknown — exactly the NDL303 / NDL302 situations.
+    store = KeyStore(key_bits=64, seed=7)
+    store.register_public_key("a", (3, 5))
+    return store
+
+
+def _lint_fixture(code: str):
+    source, _, _ = GOLDEN[code]
+    keystore = _keystore() if code in KEYSTORE_CODES else None
+    return lint_source(source, keystore=keystore)
+
+
+class TestGoldenDiagnostics:
+    def test_every_code_has_a_fixture(self):
+        assert set(GOLDEN) == set(CODES)
+
+    @pytest.mark.parametrize("code", sorted(GOLDEN))
+    def test_fixture_fires_at_expected_position(self, code):
+        _, line, column = GOLDEN[code]
+        hits = [d for d in _lint_fixture(code) if d.code == code]
+        assert hits, f"fixture for {code} produced no {code} diagnostic"
+        assert (hits[0].line, hits[0].column) == (line, column)
+
+    @pytest.mark.parametrize("code", sorted(GOLDEN))
+    def test_fixture_severity_matches_table(self, code):
+        severity, _ = CODES[code]
+        for hit in (d for d in _lint_fixture(code) if d.code == code):
+            assert hit.severity is severity
+
+    @pytest.mark.parametrize("code", sorted(GOLDEN))
+    def test_only_registered_codes_are_emitted(self, code):
+        assert {d.code for d in _lint_fixture(code)} <= set(CODES)
+
+    def test_diagnostics_carry_rule_label(self):
+        hits = [d for d in _lint_fixture("NDL101") if d.code == "NDL101"]
+        assert hits[0].rule_label == "r1"
+
+    def test_clean_program_has_no_diagnostics(self):
+        source = (
+            "materialize(link, infinity, infinity, keys(1,2)).\n"
+            "materialize(reachable, infinity, infinity, keys(1,2)).\n"
+            "r1 reachable(@S, D) :- link(@S, D).\n"
+            "r2 reachable(@S, D) :- link(@S, Z), reachable(@Z, D).\n"
+        )
+        assert lint_source(source) == []
+
+    def test_builtin_programs_are_clean(self):
+        for name, source in builtin_sources().items():
+            diagnostics = lint_source(source, source_name=name)
+            assert diagnostics == [], f"{name}: {diagnostics}"
+
+    def test_says_principal_singleton_is_not_flagged(self):
+        # The paper's import-from-anyone idiom: W occurs once, as a says
+        # principal, and must not trigger the unused-variable warning.
+        from repro.queries.reachable import REACHABLE_SENDLOG
+
+        codes = {d.code for d in lint_source(REACHABLE_SENDLOG)}
+        assert "NDL402" not in codes
+
+    def test_wildcard_variable_suppresses_ndl402(self):
+        flagged = {d.code for d in lint_source("r1 foo(@S) :- bar(@S, X).")}
+        wildcarded = {d.code for d in lint_source("r1 foo(@S) :- bar(@S, _X).")}
+        assert "NDL402" in flagged
+        assert "NDL402" not in wildcarded
+
+    def test_keystore_codes_silent_without_keystore(self):
+        for code in KEYSTORE_CODES:
+            source, _, _ = GOLDEN[code]
+            assert code not in {d.code for d in lint_source(source)}
+
+    def test_materialized_relation_is_not_dead(self):
+        source = (
+            "materialize(foo, infinity, infinity, keys(1)).\n"
+            "r1 foo(@S) :- bar(@S).\n"
+        )
+        assert "NDL401" not in {d.code for d in lint_source(source)}
+
+
+class TestLintModes:
+    def test_error_mode_raises_on_errors(self):
+        program = parse_program(GOLDEN["NDL101"][0])
+        with pytest.raises(LintError) as excinfo:
+            check_program(program, "error")
+        assert any(d.code == "NDL101" for d in excinfo.value.diagnostics)
+        assert "NDL101" not in str(excinfo.value) or excinfo.value.diagnostics
+
+    def test_error_mode_silent_on_warnings_only(self):
+        program = parse_program(GOLDEN["NDL401"][0])
+        diagnostics = check_program(program, "error")
+        assert warning_count(diagnostics) >= 1
+        assert error_count(diagnostics) == 0
+
+    def test_warn_mode_emits_lint_warnings(self):
+        program = parse_program(GOLDEN["NDL101"][0])
+        with pytest.warns(LintWarning):
+            check_program(program, "warn")
+
+    def test_off_mode_skips(self):
+        program = parse_program(GOLDEN["NDL101"][0])
+        assert check_program(program, "off") == []
+
+    def test_unknown_mode_rejected(self):
+        program = parse_program(GOLDEN["NDL401"][0])
+        with pytest.raises(ValueError, match="lint mode"):
+            check_program(program, "loud")
+
+    def test_modes_constant(self):
+        assert LINT_MODES == ("error", "warn", "off")
+
+
+class TestRenderers:
+    def test_render_text_summary_line(self):
+        text = render_text(_lint_fixture("NDL101"))
+        assert "error(s)" in text and "NDL101" in text
+
+    def test_render_text_clean(self):
+        assert "clean" in render_text([])
+
+    def test_render_json_is_stable_and_parseable(self):
+        document = json.loads(render_json(_lint_fixture("NDL101")))
+        assert document["errors"] >= 1
+        codes = [d["code"] for d in document["diagnostics"]]
+        assert "NDL101" in codes
+        for entry in document["diagnostics"]:
+            assert set(entry) == {
+                "code", "severity", "message", "line", "column",
+                "end_line", "end_column", "rule", "suggestion", "source",
+            }
+
+    def test_exit_code_contract(self):
+        errors = _lint_fixture("NDL101")
+        warnings_only = [d for d in _lint_fixture("NDL401") if d.is_warning]
+        assert exit_code(errors) == 1
+        assert exit_code(warnings_only) == 0
+        assert exit_code(warnings_only, strict=True) == 1
+        assert exit_code([]) == 0
+
+
+class TestCli:
+    def _write(self, tmp_path, name, content):
+        path = tmp_path / name
+        path.write_text(content, encoding="utf-8")
+        return str(path)
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            "clean.ndlog",
+            "materialize(foo, infinity, infinity, keys(1)).\n"
+            "r1 foo(@S) :- foo(@S).\n",
+        )
+        assert lint_cli([path]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_error_file_exits_one(self, tmp_path, capsys):
+        path = self._write(tmp_path, "bad.ndlog", GOLDEN["NDL101"][0])
+        assert lint_cli([path]) == 1
+        assert "NDL101" in capsys.readouterr().out
+
+    def test_warning_file_exits_zero_unless_strict(self, tmp_path, capsys):
+        path = self._write(tmp_path, "warn.ndlog", GOLDEN["NDL401"][0])
+        assert lint_cli([path]) == 0
+        assert lint_cli(["--strict", path]) == 1
+        assert "NDL401" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        path = self._write(tmp_path, "bad.ndlog", GOLDEN["NDL101"][0])
+        assert lint_cli(["--format=json", path]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["errors"] >= 1
+        assert document["diagnostics"][0]["source"] == path
+
+    def test_parse_failure_is_ndl001_not_crash(self, tmp_path, capsys):
+        path = self._write(tmp_path, "broken.ndlog", GOLDEN["NDL001"][0])
+        assert lint_cli([path]) == 1
+        assert "NDL001" in capsys.readouterr().out
+
+    def test_builtin_programs_exit_zero(self, capsys):
+        assert lint_cli(["--builtin", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_no_input_is_usage_error(self, capsys):
+        assert lint_cli([]) == 2
+
+    def test_unreadable_file_is_usage_error(self, tmp_path, capsys):
+        assert lint_cli([str(tmp_path / "missing.ndlog")]) == 2
+
+    def test_codes_table(self, capsys):
+        assert lint_cli(["--codes"]) == 0
+        out = capsys.readouterr().out
+        for code in CODES:
+            assert code in out
+
+
+class TestLintNeverMutates:
+    @pytest.mark.parametrize("code", sorted(set(GOLDEN) - {"NDL001"}))
+    def test_fixtures_unchanged_by_linting(self, code):
+        source, _, _ = GOLDEN[code]
+        program = parse_program(source)
+        snapshot = copy.deepcopy(program)
+        keystore = _keystore() if code in KEYSTORE_CODES else None
+        lint_program(program, keystore=keystore)
+        assert program == snapshot
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "r1 reachable(@S, D) :- link(@S, D).",
+                    "r2 reachable(@S, D) :- link(@S, Z), reachable(@Z, D).",
+                    "r3 foo(@S, D) :- bar(@S, X).",
+                    "r4 foo(@S) :- bar(@S), X > 3.",
+                    "r5 out(@S, D) :- bar(@S, Z), baz(@D, Z).",
+                    "r6 foo(@S) :- bar(@S, X), X == 3, X == 4.",
+                    'r7 foo(@S) :- bar(@S, "x").',
+                    "r8 cost(@S, min<C>) :- hop(@S, C).",
+                ]
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_linting_arbitrary_programs_never_mutates(self, rule_sources):
+        source = "\n".join(rule_sources)
+        try:
+            program = parse_program(source)
+        except ParseError:
+            return
+        snapshot = copy.deepcopy(program)
+        lint_program(program)
+        assert program == snapshot
+
+    def test_repeated_lint_is_deterministic(self):
+        program = parse_program(GOLDEN["NDL404"][0])
+        first = lint_program(program)
+        second = lint_program(program)
+        assert first == second
+
+
+class TestNetworkBuildLint:
+    # A program the compiler accepts but the linter rejects: duplicate rule
+    # labels corrupt provenance attribution yet compile fine.
+    DUPLICATE_LABELS = (
+        "materialize(link, infinity, infinity, keys(1,2)).\n"
+        "materialize(reachable, infinity, infinity, keys(1,2)).\n"
+        "r1 reachable(@S, D) :- link(@S, D).\n"
+        "r1 reachable(@S, D) :- link(@S, Z), reachable(@Z, D).\n"
+    )
+
+    def test_build_rejects_error_diagnostics_by_default(self):
+        from repro.api import Network
+
+        with pytest.raises(LintError) as excinfo:
+            Network.build(topology=2, program=self.DUPLICATE_LABELS,
+                          provenance="ndlog")
+        assert any(d.code == "NDL106" for d in excinfo.value.diagnostics)
+
+    def test_build_lint_off_accepts_the_same_program(self):
+        from repro.api import Network
+
+        network = Network.build(
+            topology=2, program=self.DUPLICATE_LABELS, provenance="ndlog",
+            lint="off", key_bits=64,
+        )
+        assert network.options.lint == "off"
+
+    def test_build_lint_warn_emits_warnings(self):
+        from repro.api import Network
+
+        with pytest.warns(LintWarning):
+            Network.build(
+                topology=2, program=self.DUPLICATE_LABELS, provenance="ndlog",
+                lint="warn", key_bits=64,
+            )
+
+    def test_netoptions_validates_lint_mode(self):
+        from repro.api.options import NetOptions
+
+        with pytest.raises(ValueError, match="lint"):
+            NetOptions(lint="loud")
+        assert NetOptions().lint == "error"
+
+    def test_named_programs_build_under_default_lint(self):
+        from repro.api import Network
+
+        network = Network.build(topology=2, program="reachable",
+                                provenance="ndlog", key_bits=64)
+        assert network.options.lint == "error"
+
+
+class TestDiagnosticType:
+    def test_location_rendering(self):
+        anchored = Diagnostic(
+            code="NDL999", severity=Severity.ERROR, message="m", line=3, column=7
+        )
+        floating = Diagnostic(code="NDL999", severity=Severity.ERROR, message="m")
+        assert anchored.location() == "<program>:3:7"
+        assert floating.location() == "<program>"
+
+    def test_sorting_is_by_position(self):
+        early = Diagnostic(
+            code="NDL101", severity=Severity.ERROR, message="a", line=1, column=2
+        )
+        late = Diagnostic(
+            code="NDL101", severity=Severity.ERROR, message="a", line=5, column=1
+        )
+        from repro.datalog.diagnostics import sort_diagnostics
+
+        assert sort_diagnostics([late, early]) == [early, late]

@@ -1,0 +1,366 @@
+#!/usr/bin/env python
+"""Determinism-invariant checker for the repro runtime.
+
+ROADMAP.md pins the properties that make simulation runs reproducible and
+the serial and sharded backends byte-identical; this tool enforces the
+mechanically checkable ones over ``src/repro`` with Python's ``ast`` so a
+regression fails ``make lint`` instead of surfacing as a flaky experiment.
+
+Rules
+-----
+INV001  no wall-clock reads (``time.time``, ``time.monotonic``,
+        ``datetime.now`` ...) inside the simulation hot path
+        (``net/``, ``engine/``); simulated time is the only clock.
+INV002  no unseeded randomness anywhere in ``src/repro``: module-level
+        ``random.<fn>()`` calls and argument-less ``random.Random()``
+        draw from process-global, seed-unknown state.
+INV003  event ordering stays content-based: every event class with
+        ``DELIVERY_PRIORITY`` must be ranked by an ``isinstance`` branch of
+        ``event_rank``, and every ``SimulationEvent`` subclass must live in
+        ``net/events.py`` where the rank function can see it.
+INV004  no direct iteration over set displays / ``set(...)`` calls in
+        ``net/`` or ``engine/`` unless wrapped in ``sorted(...)``; set
+        order is hash-seed dependent and must never feed ``schedule()`` or
+        outgoing-message construction.
+INV005  no internal calls to the deprecated shims (``Simulator(...)``,
+        ``run_best_path``, ``run_configuration``, ``ExperimentRow``)
+        outside the modules that define them; internal code uses the
+        ``Network`` facade / ``run_network``.
+
+A finding on a line ending with ``# invariant: ok(INVxxx)`` is suppressed —
+the comment is the audit trail for deliberate exceptions.
+
+Usage: ``python tools/check_invariants.py [--root src/repro] [--list]``
+Exit status: 0 clean, 1 findings, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+RULES: Dict[str, str] = {
+    "INV001": "wall-clock read in the simulation hot path",
+    "INV002": "unseeded randomness",
+    "INV003": "event class escapes the content-based rank",
+    "INV004": "iteration over unordered set in the hot path",
+    "INV005": "internal call to a deprecated shim",
+}
+
+#: Directories whose code runs inside the simulation loop.
+HOT_PATH_PARTS = ("net", "engine")
+
+#: Attribute calls that read the host clock.
+WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: Deprecated shim -> module allowed to define (and self-reference) it.
+DEPRECATED_SHIMS = {
+    "Simulator": "net/simulator.py",
+    "run_best_path": "harness/runner.py",
+    "run_configuration": "harness/runner.py",
+    "ExperimentRow": "harness/runner.py",
+}
+
+ALLOW_PATTERN = re.compile(r"#\s*invariant:\s*ok\((INV\d{3})\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule}: {self.message}"
+
+    def sort_key(self) -> Tuple:
+        return (self.path, self.line, self.column, self.rule)
+
+
+def _attribute_chain(node: ast.AST) -> List[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]`` (empty when not a plain chain)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def _is_hot_path(relative: str) -> bool:
+    head = relative.split("/", 1)[0]
+    return head in HOT_PATH_PARTS
+
+
+class FileChecker(ast.NodeVisitor):
+    """Per-file visitor emitting INV001 / INV002 / INV004 / INV005 findings."""
+
+    def __init__(self, relative: str, allowed: Dict[int, Set[str]]) -> None:
+        self.relative = relative
+        self.allowed = allowed
+        self.findings: List[Finding] = []
+        self.hot = _is_hot_path(relative)
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if rule in self.allowed.get(line, set()):
+            return
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.relative,
+                line=line,
+                column=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+    # -- INV001 / INV002 / INV005 -------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attribute_chain(node.func)
+        if chain:
+            head, tail = chain[0], chain[-1]
+            if self.hot and len(chain) >= 2:
+                for module, attr in WALL_CLOCK:
+                    if tail == attr and module in chain[:-1]:
+                        self._emit(
+                            "INV001",
+                            node,
+                            f"{'.'.join(chain)}() reads the host clock; use "
+                            "simulated time (the kernel's clock) instead",
+                        )
+                        break
+            if head == "random" and len(chain) == 2:
+                if tail == "Random":
+                    if not node.args and not node.keywords:
+                        self._emit(
+                            "INV002",
+                            node,
+                            "random.Random() without a seed; pass an explicit "
+                            "seed so runs are reproducible",
+                        )
+                elif tail not in ("seed",):
+                    self._emit(
+                        "INV002",
+                        node,
+                        f"random.{tail}() draws from the process-global RNG; "
+                        "use a seeded random.Random instance",
+                    )
+            name = chain[-1] if len(chain) <= 2 else None
+            if name in DEPRECATED_SHIMS and not self.relative.endswith(
+                DEPRECATED_SHIMS[name]
+            ):
+                self._emit(
+                    "INV005",
+                    node,
+                    f"call to deprecated shim {name}(); internal code uses "
+                    "the Network facade / run_network",
+                )
+        self.generic_visit(node)
+
+    # -- INV004 --------------------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if self.hot:
+            self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        if self.hot:
+            self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _check_iterable(self, iterable: ast.AST) -> None:
+        unordered: Optional[str] = None
+        if isinstance(iterable, ast.Set) or isinstance(iterable, ast.SetComp):
+            unordered = "a set display"
+        elif (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in ("set", "frozenset")
+        ):
+            unordered = f"{iterable.func.id}(...)"
+        elif isinstance(iterable, ast.BinOp) and isinstance(
+            iterable.op, (ast.BitOr, ast.BitAnd, ast.Sub)
+        ):
+            # Set algebra (a | b, a & b, a - b) over sets is the common way
+            # an unordered iterable sneaks into the loop header.
+            if any(
+                isinstance(side, (ast.Set, ast.SetComp))
+                or (
+                    isinstance(side, ast.Call)
+                    and isinstance(side.func, ast.Name)
+                    and side.func.id in ("set", "frozenset")
+                )
+                for side in (iterable.left, iterable.right)
+            ):
+                unordered = "set algebra"
+        if unordered is not None:
+            self._emit(
+                "INV004",
+                iterable,
+                f"iterating {unordered} directly; wrap it in sorted(...) so "
+                "the order cannot depend on the hash seed",
+            )
+
+
+def _event_findings(root: Path, rel_prefix: str) -> Iterator[Finding]:
+    """INV003: rank coverage inside net/events.py and subclass containment."""
+    events_path = root / "net" / "events.py"
+    ranked: Set[str] = set()
+    delivery_classes: Set[str] = set()
+    event_classes: Set[str] = {"SimulationEvent"}
+
+    if events_path.exists():
+        tree = ast.parse(events_path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                bases = {b.id for b in node.bases if isinstance(b, ast.Name)}
+                if bases & event_classes:
+                    event_classes.add(node.name)
+                    for statement in node.body:
+                        if (
+                            isinstance(statement, ast.Assign)
+                            and any(
+                                isinstance(t, ast.Name) and t.id == "priority"
+                                for t in statement.targets
+                            )
+                            and isinstance(statement.value, ast.Name)
+                            and statement.value.id == "DELIVERY_PRIORITY"
+                        ):
+                            delivery_classes.add(node.name)
+            if isinstance(node, ast.FunctionDef) and node.name == "event_rank":
+                for call in ast.walk(node):
+                    if (
+                        isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Name)
+                        and call.func.id == "isinstance"
+                        and len(call.args) == 2
+                    ):
+                        target = call.args[1]
+                        names = (
+                            target.elts if isinstance(target, ast.Tuple) else [target]
+                        )
+                        ranked.update(
+                            n.id for n in names if isinstance(n, ast.Name)
+                        )
+        for name in sorted(delivery_classes - ranked):
+            yield Finding(
+                rule="INV003",
+                path=f"{rel_prefix}net/events.py",
+                line=1,
+                column=1,
+                message=(
+                    f"event class {name} has DELIVERY_PRIORITY but no "
+                    "isinstance branch in event_rank; its deliveries would "
+                    "fall back to scheduling order, which is backend-dependent"
+                ),
+            )
+
+    # SimulationEvent subclasses defined anywhere else escape the rank.
+    for path in sorted(root.rglob("*.py")):
+        if path == events_path:
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and any(
+                isinstance(base, ast.Name) and base.id in event_classes
+                for base in node.bases
+            ):
+                yield Finding(
+                    rule="INV003",
+                    path=f"{rel_prefix}{path.relative_to(root).as_posix()}",
+                    line=node.lineno,
+                    column=node.col_offset + 1,
+                    message=(
+                        f"SimulationEvent subclass {node.name} defined outside "
+                        "net/events.py; define it there so event_rank covers it"
+                    ),
+                )
+
+
+def _allowed_lines(source: str) -> Dict[int, Set[str]]:
+    allowed: Dict[int, Set[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        for match in ALLOW_PATTERN.finditer(line):
+            allowed.setdefault(number, set()).add(match.group(1))
+    return allowed
+
+
+def check_tree(root: Path, rel_prefix: str = "") -> List[Finding]:
+    """All findings over the package tree rooted at *root*."""
+    findings: List[Finding] = []
+    for path in sorted(root.rglob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        relative = path.relative_to(root).as_posix()
+        checker = FileChecker(relative, _allowed_lines(source))
+        checker.relative = f"{rel_prefix}{relative}"
+        checker.visit(ast.parse(source, filename=str(path)))
+        findings.extend(checker.findings)
+    findings.extend(_event_findings(root, rel_prefix))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/check_invariants.py",
+        description="Enforce the ROADMAP determinism invariants over src/repro.",
+    )
+    parser.add_argument(
+        "--root",
+        default="src/repro",
+        help="package directory to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print the rule table and exit"
+    )
+    options = parser.parse_args(argv)
+
+    if options.list:
+        for rule in sorted(RULES):
+            print(f"{rule}  {RULES[rule]}")
+        return 0
+
+    root = Path(options.root)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    try:
+        findings = check_tree(root, rel_prefix=f"{root.as_posix()}/")
+    except SyntaxError as exc:
+        print(f"error: cannot parse {exc.filename}: {exc}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} invariant violation(s)")
+        return 1
+    print("invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
