@@ -17,21 +17,26 @@
 #   make examples-smoke - run every examples/*.py end-to-end (small N),
 #                      failing on the first nonzero exit; keeps the facade
 #                      documentation executable.
+#   make memory-smoke - the provenance-memory benchmark at small N with the
+#                      tiered store: asserts the resident gauge stays flat
+#                      under churn and that retracted-route tracebacks
+#                      answer through spill reads.  Spill logs live under
+#                      pytest's tmpdir, so the run is hermetic.
 #   make lint        - static analysis: the NDlog program linter over every
 #                      in-tree program (warnings fail the build), the
 #                      determinism-invariant checker over src/repro, and —
 #                      when installed — ruff over src/.
 #   make ci          - what the GitHub Actions workflow runs: the lint
 #                      suite, tier-1 tests, the benchmark smoke suite, the
-#                      scenario and shard smoke runs, the examples smoke
-#                      run, and a bytecode compile of the whole source tree.
+#                      scenario, shard, examples and memory smoke runs, and
+#                      a bytecode compile of the whole source tree.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check tier1 test bench-smoke scenarios-smoke shard-smoke examples-smoke lint compileall ci
+.PHONY: check tier1 test bench-smoke scenarios-smoke shard-smoke examples-smoke memory-smoke lint compileall ci
 
-check: lint test bench-smoke scenarios-smoke shard-smoke examples-smoke
+check: lint test bench-smoke scenarios-smoke shard-smoke examples-smoke memory-smoke
 
 tier1:
 	$(PYTHON) -m pytest -x -q
@@ -60,6 +65,10 @@ examples-smoke:
 		$(PYTHON) $$example > /dev/null; \
 	done
 
+memory-smoke:
+	REPRO_BENCH_SIZES=10 REPRO_SCALE_N=24 REPRO_BENCH_CHURN_ROUNDS=3 \
+		$(PYTHON) -m pytest -x -q benchmarks/test_provenance_memory.py
+
 lint:
 	$(PYTHON) -m repro.datalog.lint --builtin --strict
 	$(PYTHON) tools/check_invariants.py
@@ -72,4 +81,4 @@ lint:
 compileall:
 	$(PYTHON) -m compileall -q src
 
-ci: lint tier1 bench-smoke scenarios-smoke shard-smoke examples-smoke compileall
+ci: lint tier1 bench-smoke scenarios-smoke shard-smoke examples-smoke memory-smoke compileall

@@ -52,6 +52,22 @@ analyzer runs standalone as ``python -m repro.datalog.lint prog.ndlog
 ``network.query(..., mode="offline")`` walks the persistent provenance
 archives that survive node crashes.
 
+Long runs can bound the archives' memory with the tiered store
+(:mod:`repro.provenance.tiers`)::
+
+    network = Network.build(topology=10, program="best-path",
+                            provenance="condensed",
+                            keep_offline_provenance=True,
+                            provenance_store="tiered",
+                            hot_tier_entries=256)
+    network.run()
+    print(network.stats.summary()["provenance_bytes_resident"],
+          network.stats.summary()["provenance_bytes_spilled"])
+
+Derivations older than the hot tier spill to an append-only per-node log
+and are fetched back transparently (counted as ``spill_reads``); offline
+forensics stay byte-identical to the unbounded default for any capacity.
+
 Execution backends: large runs can be partitioned across parallel
 per-shard kernels with ``backend="sharded"``::
 

@@ -218,6 +218,12 @@ class Network:
 
     @property
     def stats(self):
+        # The serial kernel holds its engines in-process: refresh the
+        # storage-tier gauges so a mid-run read matches what the sharded
+        # coordinator's stats request would report.
+        refresh = getattr(self.simulator, "refresh_provenance_stats", None)
+        if refresh is not None:
+            refresh()
         return self.simulator.stats
 
     @property

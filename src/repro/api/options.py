@@ -20,6 +20,7 @@ from repro.net.link import DEFAULT_BANDWIDTH, DEFAULT_LATENCY
 from repro.net.query import DEFAULT_QUERY_TIMEOUT
 from repro.net.sharding import SHARD_MODES
 from repro.provenance.pruning import MaintenanceMode, ProvenanceSampler
+from repro.provenance.tiers import PROVENANCE_STORES
 from repro.security.says import SaysMode
 
 #: The execution backends ``Network.build(backend=...)`` accepts.
@@ -119,6 +120,15 @@ class NetOptions:
     offline_retention: Optional[float] = None
     sampler: Optional[ProvenanceSampler] = None
     maintenance_mode: Optional[MaintenanceMode] = None
+    #: Offline-archive representation: ``"memory"`` (unbounded, the preset
+    #: default) or ``"tiered"`` (bounded hot tier over a spill log; see
+    #: ``repro/provenance/tiers.py`` and the ROADMAP "Storage tiers" section).
+    provenance_store: Optional[str] = None
+    #: Hot-tier capacity in archived entries (``provenance_store="tiered"``).
+    hot_tier_entries: Optional[int] = None
+    #: Directory for the tiered archive's per-node spill logs; ``None``
+    #: defers to a per-process directory under the system tempdir.
+    spill_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -154,6 +164,19 @@ class NetOptions:
             raise ValueError(
                 f"offline_retention must be positive, got {self.offline_retention}"
             )
+        if self.provenance_store is not None and (
+            self.provenance_store not in PROVENANCE_STORES
+        ):
+            raise ValueError(
+                f"unknown provenance_store {self.provenance_store!r}; "
+                f"expected one of {PROVENANCE_STORES}"
+            )
+        if self.hot_tier_entries is not None and self.hot_tier_entries < 1:
+            raise ValueError(
+                f"hot_tier_entries must be >= 1, got {self.hot_tier_entries}"
+            )
+        if self.spill_dir is not None and not self.spill_dir:
+            raise ValueError("spill_dir must be a non-empty directory path")
         if not self.link_relation:
             raise ValueError("link_relation must be a non-empty relation name")
         if self.lint not in LINT_MODES:
@@ -203,6 +226,9 @@ class NetOptions:
             "offline_retention",
             "sampler",
             "maintenance_mode",
+            "provenance_store",
+            "hot_tier_entries",
+            "spill_dir",
         )
         return {
             name: getattr(self, name)
@@ -228,4 +254,10 @@ class NetOptions:
             config.sampler = self.sampler
         if self.maintenance_mode is not None:
             config.maintenance_mode = self.maintenance_mode
+        if self.provenance_store is not None:
+            config.provenance_store = self.provenance_store
+        if self.hot_tier_entries is not None:
+            config.hot_tier_entries = self.hot_tier_entries
+        if self.spill_dir is not None:
+            config.spill_dir = self.spill_dir
         return config

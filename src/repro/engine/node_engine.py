@@ -86,6 +86,15 @@ class EngineConfig:
     keep_online_provenance: bool = False
     keep_offline_provenance: bool = False
     offline_retention: Optional[float] = None
+    #: Offline-archive representation: ``"memory"`` keeps every entry in an
+    #: unbounded in-memory log; ``"tiered"`` bounds residency with an LRU
+    #: hot tier over a write-through spill log (see provenance/tiers.py).
+    provenance_store: str = "memory"
+    #: Hot-tier capacity (archived entries) for ``provenance_store="tiered"``.
+    hot_tier_entries: int = 256
+    #: Directory for the tiered archive's per-node spill logs; ``None``
+    #: falls back to a per-process directory under the system tempdir.
+    spill_dir: Optional[str] = None
     default_ttl: Optional[float] = None
     #: Maintain the antecedent -> derived-tuple index that lets
     #: :meth:`NodeEngine.retract_base` cascade invalidation through local
@@ -189,6 +198,27 @@ def group_outgoing(outgoing: List[OutgoingFact]) -> Dict[str, List[OutgoingFact]
 _TTL_MISS = object()
 
 
+def _build_offline_archive(address: str, config: EngineConfig):
+    """The offline archive selected by ``config.provenance_store``."""
+    if config.provenance_store == "tiered":
+        from repro.provenance.tiers import TieredProvenanceArchive
+
+        return TieredProvenanceArchive(
+            address,
+            retention=config.offline_retention,
+            hot_entries=config.hot_tier_entries,
+            spill_dir=config.spill_dir,
+        )
+    if config.provenance_store == "memory":
+        return OfflineProvenanceArchive(
+            address, retention=config.offline_retention
+        )
+    raise ValueError(
+        f"unknown provenance_store {config.provenance_store!r}; expected "
+        "'memory' or 'tiered'"
+    )
+
+
 class NodeEngine:
     """One simulated declarative-networking node."""
 
@@ -238,9 +268,7 @@ class NodeEngine:
         self.local_provenance = LocalProvenanceStore(address)
         self.distributed_provenance = DistributedProvenanceStore(address)
         self.online_provenance = OnlineProvenanceStore(address)
-        self.offline_provenance = OfflineProvenanceArchive(
-            address, retention=config.offline_retention
-        )
+        self.offline_provenance = _build_offline_archive(address, config)
 
     def _index_aggregate_heads(self) -> None:
         """(Re)build the aggregate-head index and the table expiry hooks."""
@@ -395,7 +423,9 @@ class NodeEngine:
         Database tables, aggregate state, the dependency index and the
         in-memory provenance stores are wiped; the offline provenance
         archive — modelling a persistent log — survives the crash, which is
-        what makes post-mortem forensics of a failed node possible.
+        what makes post-mortem forensics of a failed node possible.  Under
+        the tiered archive the crash costs exactly the volatile hot tier:
+        the spill log persists and every entry stays answerable offline.
         """
         for table in self.database.tables():
             table.clear()
@@ -404,6 +434,7 @@ class NodeEngine:
         self.local_provenance = LocalProvenanceStore(self.address)
         self.distributed_provenance = DistributedProvenanceStore(self.address)
         self.online_provenance = OnlineProvenanceStore(self.address)
+        self.offline_provenance.drop_cache()
 
     # -- queries -----------------------------------------------------------------
 

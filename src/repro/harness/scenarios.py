@@ -193,6 +193,12 @@ class PhaseRow:
     ``query_messages`` / ``query_kilobytes`` itemize the provenance-query
     traffic issued during the phase; it is included in ``messages`` /
     ``kilobytes`` because queries ride the same wire as maintenance.
+
+    The storage-tier columns observe the offline archives:
+    ``provenance_bytes_resident`` is the residency gauge *at the end of the
+    phase* (under ``provenance_store="tiered"`` it stays bounded by the hot
+    tier however long the run gets), while ``provenance_bytes_spilled`` /
+    ``spill_reads`` are per-phase deltas of the cumulative counters.
     """
 
     scenario: str
@@ -209,6 +215,9 @@ class PhaseRow:
     probe_facts: int
     query_messages: int = 0
     query_kilobytes: float = 0.0
+    provenance_bytes_resident: int = 0
+    provenance_bytes_spilled: int = 0
+    spill_reads: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -226,6 +235,9 @@ class PhaseRow:
             "probe_facts": self.probe_facts,
             "query_messages": self.query_messages,
             "query_kilobytes": self.query_kilobytes,
+            "provenance_bytes_resident": self.provenance_bytes_resident,
+            "provenance_bytes_spilled": self.provenance_bytes_spilled,
+            "spill_reads": self.spill_reads,
         }
 
 
@@ -260,7 +272,7 @@ def render_phase_table(rows: Sequence[PhaseRow], title: str = "") -> str:
     header = (
         f"{'phase':<12s}{'t_start':>9s}{'t_end':>9s}{'conv':>6s}"
         f"{'events':>8s}{'msgs':>8s}{'kB':>9s}{'lost':>6s}"
-        f"{'retract':>8s}{'probe':>7s}"
+        f"{'retract':>8s}{'probe':>7s}{'res_kB':>9s}{'spill':>7s}"
     )
     lines = [title, header] if title else [header]
     for row in rows:
@@ -269,6 +281,8 @@ def render_phase_table(rows: Sequence[PhaseRow], title: str = "") -> str:
             f"{'yes' if row.converged else 'NO':>6s}{row.events:>8d}"
             f"{row.messages:>8d}{row.kilobytes:>9.1f}{row.messages_lost:>6d}"
             f"{row.facts_retracted:>8d}{row.probe_facts:>7d}"
+            f"{row.provenance_bytes_resident / 1000.0:>9.1f}"
+            f"{row.spill_reads:>7d}"
         )
     return "\n".join(lines)
 
@@ -313,6 +327,12 @@ def run_scenario(scenario: Scenario, network) -> ScenarioReport:
                     counters["query_bytes"] - previous["query_bytes"]
                 )
                 / 1000.0,
+                # Residency is a gauge: report the end-of-phase value, not a
+                # delta.  Spill bytes/reads are cumulative, so delta them.
+                provenance_bytes_resident=counters["prov_resident"],
+                provenance_bytes_spilled=counters["prov_spilled"]
+                - previous["prov_spilled"],
+                spill_reads=counters["spill_reads"] - previous["spill_reads"],
             )
         )
         previous = counters
@@ -331,6 +351,9 @@ def _counters(simulator) -> Dict[str, int]:
         "retracted": stats.total_facts_retracted(),
         "query_messages": stats.total_query_messages(),
         "query_bytes": stats.total_query_bytes(),
+        "prov_resident": stats.total_provenance_resident_bytes(),
+        "prov_spilled": stats.total_provenance_spilled_bytes(),
+        "spill_reads": stats.total_spill_reads(),
     }
 
 

@@ -489,9 +489,29 @@ class SimulationKernel:
 
         Expiry is otherwise lazy (tables expire when touched), so snapshots
         taken between phases would include tuples whose TTL already elapsed.
+        Storage-tier gauges refresh here too: expiry sweeps are exactly the
+        phase boundaries at which statistics snapshots are taken.
         """
         for engine in self.engines.values():
             engine.database.expire(now)
+        self.refresh_provenance_stats()
+
+    def refresh_provenance_stats(self) -> None:
+        """Copy each archive's storage-tier gauges into the node statistics.
+
+        ``provenance_bytes_resident`` is a gauge (current residency) and the
+        other two are archive-owned cumulative counters, so they are
+        *assigned*, not added — calling this any number of times is
+        idempotent.  Both backends refresh at the same deterministic points
+        (expiry sweeps, sharded stats snapshots), which keeps the three
+        counters identical between serial and sharded runs.
+        """
+        for address, engine in self.engines.items():
+            archive = engine.offline_provenance
+            node_stats = self.stats.node(address)
+            node_stats.provenance_bytes_resident = archive.resident_bytes()
+            node_stats.provenance_bytes_spilled = archive.spilled_bytes()
+            node_stats.spill_reads = archive.spill_read_count()
 
     def count_facts(self, relation: str) -> int:
         """Stored-tuple count of *relation* across this kernel's nodes."""

@@ -333,6 +333,11 @@ class QueryEngine:
             query_id=self._next_query_id, query=query, issued_at=now
         )
         self._queries[pending.query_id] = pending
+        if query.mode == "offline":
+            # Retention aging must not pull the evidence out from under an
+            # in-flight forensic query: the root stays pinned in the asker's
+            # archive until the query completes (_finish releases it).
+            engine.offline_provenance.pin_key(query.root)
         simulator.stats.node(query.at).queries_issued += 1
         if query.condensed:
             pending.condensed = self._annotation_for(engine, query.root, query.mode)
@@ -570,6 +575,10 @@ class QueryEngine:
     def _finish(self, pending: PendingQuery, at_time: float) -> None:
         pending.done = True
         pending.completed_at = max(at_time, pending.issued_at)
+        if pending.query.mode == "offline":
+            engine = self.simulator.engines.get(pending.query.at)
+            if engine is not None:
+                engine.offline_provenance.release_key(pending.query.root)
         # The engine's own bookkeeping for the query is over; dropping the
         # entry keeps memory flat over many queries and makes any late
         # response a true no-op instead of mutating a snapshot result.

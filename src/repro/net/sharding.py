@@ -301,6 +301,10 @@ def _shard_worker_main(conn, spec: ShardSpec) -> None:
                 )
                 reply = (exports, next_time, within_budget, kernel._events_processed)
             elif op == "stats":
+                # Storage-tier gauges live in the engines, which never leave
+                # this worker mid-run: fold them into the stats snapshot
+                # before it crosses the process boundary.
+                kernel.refresh_provenance_stats()
                 reply = (
                     kernel.stats,
                     kernel.scheduler.events_scheduled,
@@ -723,6 +727,8 @@ class ShardedSimulator:
 
     def _kernel_snapshots(self) -> List[Tuple[NetworkStats, int, int, int, float]]:
         if self._kernels is not None:
+            for kernel in self._kernels:
+                kernel.refresh_provenance_stats()
             return [
                 (
                     kernel.stats,

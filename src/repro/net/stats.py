@@ -59,6 +59,13 @@ class NodeStats:
     facts_derived: int = 0
     facts_stored: int = 0
     facts_retracted: int = 0
+    #: Offline-archive storage tiers (gauges refreshed at snapshot points —
+    #: kernel expiry sweeps and sharded stats requests): bytes of provenance
+    #: resident in memory, cumulative bytes written to the spill log, and
+    #: entries read back from it.  Zero spill under the in-memory archive.
+    provenance_bytes_resident: int = 0
+    provenance_bytes_spilled: int = 0
+    spill_reads: int = 0
     cpu_seconds: float = 0.0
     busy_until: float = 0.0
     batch_sizes: Dict[int, int] = field(default_factory=dict)
@@ -110,6 +117,11 @@ class NodeStats:
         self.facts_derived += other.facts_derived
         self.facts_stored += other.facts_stored
         self.facts_retracted += other.facts_retracted
+        # Each node's archive lives on exactly one kernel, so the tier
+        # gauges are nonzero in at most one source and adding is exact.
+        self.provenance_bytes_resident += other.provenance_bytes_resident
+        self.provenance_bytes_spilled += other.provenance_bytes_spilled
+        self.spill_reads += other.spill_reads
         self.cpu_seconds += other.cpu_seconds
         self.busy_until = max(self.busy_until, other.busy_until)
         for size, count in other.batch_sizes.items():
@@ -190,6 +202,24 @@ class NetworkStats:
     def security_overhead_bytes(self) -> int:
         return sum(stats.security_bytes_sent for stats in self.nodes.values())
 
+    # -- storage-tier metrics ---------------------------------------------------
+
+    def total_provenance_resident_bytes(self) -> int:
+        """Bytes of offline-archive provenance resident in memory, all nodes."""
+        return sum(
+            stats.provenance_bytes_resident for stats in self.nodes.values()
+        )
+
+    def total_provenance_spilled_bytes(self) -> int:
+        """Cumulative bytes written to the spill logs, all nodes."""
+        return sum(
+            stats.provenance_bytes_spilled for stats in self.nodes.values()
+        )
+
+    def total_spill_reads(self) -> int:
+        """Archived entries read back from the spill logs, all nodes."""
+        return sum(stats.spill_reads for stats in self.nodes.values())
+
     def provenance_overhead_bytes(self) -> int:
         return sum(stats.provenance_bytes_sent for stats in self.nodes.values())
 
@@ -260,5 +290,12 @@ class NetworkStats:
             "messages_lost": float(self.messages_lost),
             "facts_derived": float(self.total_facts_derived()),
             "facts_retracted": float(self.total_facts_retracted()),
+            "provenance_bytes_resident": float(
+                self.total_provenance_resident_bytes()
+            ),
+            "provenance_bytes_spilled": float(
+                self.total_provenance_spilled_bytes()
+            ),
+            "spill_reads": float(self.total_spill_reads()),
             "cpu_seconds": self.total_cpu_seconds(),
         }

@@ -33,6 +33,21 @@ class ProvenanceEntry:
     annotation: Optional[CondensedProvenance] = None
 
 
+def entry_bytes(entry: ProvenanceEntry, include_annotation: bool = True) -> int:
+    """Approximate bytes one archived entry occupies in memory.
+
+    Key and antecedent keys at their rendered size, the rule label, 16 bytes
+    for the two timestamps, plus the annotation's serialized size — the same
+    currency :meth:`OfflineProvenanceArchive.storage_bytes` and the tiered
+    archive's residency gauge report in.
+    """
+    total = len(str(entry.key)) + len(entry.rule_label) + 16
+    total += sum(len(str(k)) for k in entry.antecedent_keys)
+    if include_annotation and entry.annotation is not None:
+        total += entry.annotation.serialized_size()
+    return total
+
+
 class OnlineProvenanceStore:
     """Provenance for currently-valid state only.
 
@@ -112,6 +127,10 @@ class OfflineProvenanceArchive:
         self.retention = retention
         self._entries: List[ProvenanceEntry] = []
         self._pinned: Set[int] = set()
+        #: Query pins: key -> refcount of in-flight offline queries rooted
+        #: there.  ``age_out`` must not drop entries a pending query still
+        #: references, whatever the retention horizon says.
+        self._query_pins: Dict[FactKey, int] = {}
         #: Keys archived as base (application-asserted) inputs at this node.
         self._base: Set[FactKey] = set()
         #: Keys that arrived from another node -> the node holding their
@@ -165,6 +184,17 @@ class OfflineProvenanceArchive:
         if 0 <= index < len(self._entries):
             self._pinned.add(index)
 
+    def pin_key(self, key: FactKey) -> None:
+        """Protect *key*'s entries from ``age_out`` while a query is in flight."""
+        self._query_pins[key] = self._query_pins.get(key, 0) + 1
+
+    def release_key(self, key: FactKey) -> None:
+        count = self._query_pins.get(key, 0) - 1
+        if count > 0:
+            self._query_pins[key] = count
+        else:
+            self._query_pins.pop(key, None)
+
     def entries(self, key: Optional[FactKey] = None) -> Tuple[ProvenanceEntry, ...]:
         if key is None:
             return tuple(self._entries)
@@ -178,17 +208,47 @@ class OfflineProvenanceArchive:
         return len(self._entries)
 
     def storage_bytes(self) -> int:
-        """Approximate storage footprint, for the Section 5 storage discussion."""
+        """Approximate storage footprint, for the Section 5 storage discussion.
+
+        Counts the entries themselves (keys, rule labels, timestamps and
+        annotations) *and* the archive's metadata — the per-key index, the
+        base-key set and the remote-origin pointers — which earlier versions
+        undercounted: a long-running archive's index is real residency.
+        """
         total = 0
         for entry in self._entries:
-            total += len(str(entry.key)) + len(entry.rule_label)
-            total += sum(len(str(k)) for k in entry.antecedent_keys)
-            if entry.annotation is not None:
-                total += entry.annotation.serialized_size()
+            total += entry_bytes(entry)
+        for key, indexes in self._by_key.items():
+            total += len(str(key)) + 8 * len(indexes)
+        for key in self._base:
+            total += len(str(key))
+        for key, origin in self._remote_origin.items():
+            total += len(str(key)) + len(origin)
         return total
 
+    # -- tier accessors (uniform with TieredProvenanceArchive) ----------------
+
+    def resident_bytes(self) -> int:
+        """Everything lives in memory: residency is the whole footprint."""
+        return self.storage_bytes()
+
+    def spilled_bytes(self) -> int:
+        return 0
+
+    def spill_read_count(self) -> int:
+        return 0
+
+    def drop_cache(self) -> None:
+        """Crash semantics: the in-memory archive models a persistent log
+        wholesale, so a crash loses nothing here (no volatile tier)."""
+
     def age_out(self, now: float) -> int:
-        """Drop unpinned entries older than the retention horizon; return count dropped."""
+        """Drop unpinned entries older than the retention horizon.
+
+        Entries that are pinned — explicitly via :meth:`pin`, or via a
+        :meth:`pin_key` reference from an in-flight offline query — are kept
+        whatever the horizon says.  Returns the number of entries dropped.
+        """
         if self.retention is None:
             return 0
         keep: List[ProvenanceEntry] = []
@@ -196,7 +256,11 @@ class OfflineProvenanceArchive:
         dropped = 0
         for index, entry in enumerate(self._entries):
             pinned = index in self._pinned
-            if not pinned and now - entry.timestamp > self.retention:
+            if (
+                not pinned
+                and entry.key not in self._query_pins
+                and now - entry.timestamp > self.retention
+            ):
                 dropped += 1
                 continue
             if pinned:

@@ -188,6 +188,65 @@ class TestDeprecatedShims:
         assert "INV005" in _rules(tool.check_tree(tree))
 
 
+class TestModuleLevelCaches:
+    def test_empty_dict_in_provenance_flagged(self, tree):
+        (tree / "provenance").mkdir()
+        (tree / "provenance" / "mod.py").write_text(
+            "_CACHE = {}\n", encoding="utf-8"
+        )
+        assert "INV006" in _rules(tool.check_tree(tree))
+
+    def test_empty_list_call_in_engine_flagged(self, tree):
+        (tree / "engine" / "mod.py").write_text(
+            "_PENDING = list()\n", encoding="utf-8"
+        )
+        assert "INV006" in _rules(tool.check_tree(tree))
+
+    def test_annotated_empty_set_flagged(self, tree):
+        (tree / "provenance").mkdir()
+        (tree / "provenance" / "mod.py").write_text(
+            "from typing import Set\n\n_SEEN: Set[str] = set()\n",
+            encoding="utf-8",
+        )
+        assert "INV006" in _rules(tool.check_tree(tree))
+
+    def test_nonempty_display_is_a_data_table(self, tree):
+        (tree / "provenance").mkdir()
+        (tree / "provenance" / "mod.py").write_text(
+            "MODES = {'memory': 1, 'tiered': 2}\nNAMES = ['a', 'b']\n",
+            encoding="utf-8",
+        )
+        assert "INV006" not in _rules(tool.check_tree(tree))
+
+    def test_function_local_containers_allowed(self, tree):
+        (tree / "engine" / "mod.py").write_text(
+            "def f():\n    cache = {}\n    return cache\n", encoding="utf-8"
+        )
+        assert "INV006" not in _rules(tool.check_tree(tree))
+
+    def test_class_attribute_containers_allowed(self, tree):
+        # Class bodies are not module top-level statements; dataclass field
+        # defaults and similar shapes stay out of scope for INV006.
+        (tree / "provenance").mkdir()
+        (tree / "provenance" / "mod.py").write_text(
+            "class Archive:\n    defaults = {}\n", encoding="utf-8"
+        )
+        assert "INV006" not in _rules(tool.check_tree(tree))
+
+    def test_empty_dict_outside_bounded_dirs_allowed(self, tree):
+        (tree / "harness" / "mod.py").write_text(
+            "_CACHE = {}\n", encoding="utf-8"
+        )
+        assert "INV006" not in _rules(tool.check_tree(tree))
+
+    def test_allow_comment_suppresses(self, tree):
+        (tree / "provenance").mkdir()
+        (tree / "provenance" / "mod.py").write_text(
+            "_CACHE = {}  # invariant: ok(INV006)\n", encoding="utf-8"
+        )
+        assert "INV006" not in _rules(tool.check_tree(tree))
+
+
 class TestAllowlist:
     def test_inline_comment_suppresses_matching_rule(self, tree):
         (tree / "net" / "mod.py").write_text(

@@ -49,6 +49,18 @@ class TestPresets:
         assert config.track_dependencies is True
         assert config.keep_offline_provenance is True
 
+    def test_tiered_store_knobs_reach_engine_config(self, tmp_path):
+        options = NetOptions(
+            keep_offline_provenance=True,
+            provenance_store="tiered",
+            hot_tier_entries=32,
+            spill_dir=str(tmp_path),
+        )
+        config = options.engine_config("ndlog")
+        assert config.provenance_store == "tiered"
+        assert config.hot_tier_entries == 32
+        assert config.spill_dir == str(tmp_path)
+
 
 class TestNetOptionsValidation:
     @pytest.mark.parametrize(
@@ -60,6 +72,9 @@ class TestNetOptionsValidation:
             ({"query_timeout": 0}, "query_timeout"),
             ({"default_ttl": -1.0}, "default_ttl"),
             ({"link_relation": ""}, "link_relation"),
+            ({"provenance_store": "warp"}, "provenance_store"),
+            ({"hot_tier_entries": 0}, "hot_tier_entries"),
+            ({"spill_dir": ""}, "spill_dir"),
         ],
     )
     def test_bad_values_name_their_field(self, kwargs, message):

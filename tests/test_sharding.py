@@ -144,6 +144,30 @@ class TestSerialEquivalence:
         )
         _assert_equivalent(_serial(topology, config), _sharded(topology, config))
 
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_tiered_provenance_counters_identical(self, shards, tmp_path):
+        # The tiered archive's three counters (resident gauge, spilled
+        # bytes, spill reads) are integer stats and therefore part of the
+        # byte-identical contract: spill records are repr-encoded literals,
+        # never pickles, so their sizes cannot vary across processes.
+        topology = random_topology(12, seed=5)
+
+        def config():
+            return EngineConfig(
+                provenance_mode=ProvenanceMode.CONDENSED,
+                keep_offline_provenance=True,
+                provenance_store="tiered",
+                hot_tier_entries=8,
+                spill_dir=str(tmp_path),
+            )
+
+        serial = _serial(topology, config())
+        sharded = _sharded(topology, config(), shards=shards)
+        _assert_equivalent(serial, sharded)
+        summary = serial.stats.summary()
+        assert summary["provenance_bytes_spilled"] > 0
+        assert summary["provenance_bytes_resident"] > 0
+
     def test_per_tuple_wire_format_identical(self):
         topology = random_topology(10, seed=4)
         config = EngineConfig()

@@ -26,6 +26,12 @@ INV005  no internal calls to the deprecated shims (``Simulator(...)``,
         ``run_best_path``, ``run_configuration``, ``ExperimentRow``)
         outside the modules that define them; internal code uses the
         ``Network`` facade / ``run_network``.
+INV006  no unbounded module-level dict/list/set caches in ``provenance/``
+        or ``engine/``: an empty mutable container assigned at module scope
+        (``_CACHE = {}``, ``x = list()`` ...) is process-global state that
+        grows for the life of the interpreter, defeating the storage-tier
+        residency bounds.  Put caches on instances (sized and crash-scoped)
+        or audit the exception with the allow comment.
 
 A finding on a line ending with ``# invariant: ok(INVxxx)`` is suppressed —
 the comment is the audit trail for deliberate exceptions.
@@ -50,10 +56,14 @@ RULES: Dict[str, str] = {
     "INV003": "event class escapes the content-based rank",
     "INV004": "iteration over unordered set in the hot path",
     "INV005": "internal call to a deprecated shim",
+    "INV006": "unbounded module-level cache in provenance/engine",
 }
 
 #: Directories whose code runs inside the simulation loop.
 HOT_PATH_PARTS = ("net", "engine")
+
+#: Directories where module-level mutable caches defeat the storage tiers.
+BOUNDED_STATE_PARTS = ("provenance", "engine")
 
 #: Attribute calls that read the host clock.
 WALL_CLOCK = {
@@ -113,6 +123,35 @@ def _is_hot_path(relative: str) -> bool:
     return head in HOT_PATH_PARTS
 
 
+def _is_bounded_state_path(relative: str) -> bool:
+    head = relative.split("/", 1)[0]
+    return head in BOUNDED_STATE_PARTS
+
+
+def _is_empty_mutable_container(value: ast.AST) -> Optional[str]:
+    """Name of the container type when *value* builds an empty dict/list/set.
+
+    Only empty containers are flagged: a non-empty display is a data table
+    (fixed contents), while an empty one at module scope is almost always a
+    cache waiting to grow without bound.
+    """
+    if isinstance(value, ast.Dict) and not value.keys:
+        return "dict"
+    if isinstance(value, ast.List) and not value.elts:
+        return "list"
+    if isinstance(value, ast.Set) and not value.elts:
+        return "set"
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in ("dict", "list", "set")
+        and not value.args
+        and not value.keywords
+    ):
+        return value.func.id
+    return None
+
+
 class FileChecker(ast.NodeVisitor):
     """Per-file visitor emitting INV001 / INV002 / INV004 / INV005 findings."""
 
@@ -121,6 +160,7 @@ class FileChecker(ast.NodeVisitor):
         self.allowed = allowed
         self.findings: List[Finding] = []
         self.hot = _is_hot_path(relative)
+        self.bounded = _is_bounded_state_path(relative)
 
     def _emit(self, rule: str, node: ast.AST, message: str) -> None:
         line = getattr(node, "lineno", 0)
@@ -135,6 +175,28 @@ class FileChecker(ast.NodeVisitor):
                 message=message,
             )
         )
+
+    # -- INV006 --------------------------------------------------------------
+
+    def visit_Module(self, node: ast.Module) -> None:
+        if self.bounded:
+            for statement in node.body:
+                if isinstance(statement, ast.Assign):
+                    value = statement.value
+                elif isinstance(statement, ast.AnnAssign) and statement.value:
+                    value = statement.value
+                else:
+                    continue
+                container = _is_empty_mutable_container(value)
+                if container is not None:
+                    self._emit(
+                        "INV006",
+                        statement,
+                        f"module-level empty {container} is an unbounded "
+                        "process-global cache; hold it on an instance so the "
+                        "tier capacity knobs (and crash recovery) bound it",
+                    )
+        self.generic_visit(node)
 
     # -- INV001 / INV002 / INV005 -------------------------------------------
 
