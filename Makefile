@@ -12,8 +12,11 @@
 #                      any phase misses its distributed fixpoint.
 #   make shard-smoke - the sharded execution backend end-to-end at small N:
 #                      the serial-vs-sharded scaling benchmark (equivalence
-#                      asserted, speedup reported) plus every scenario
-#                      script on sharded workers (processes and inline).
+#                      asserted, speedup reported), the coordination-ledger
+#                      benchmark (rounds/bytes vs the strict barrier,
+#                      improvement asserted), plus every scenario script on
+#                      sharded workers — strict processes, and pipelined
+#                      inline with the binary transport.
 #   make examples-smoke - run every examples/*.py end-to-end (small N),
 #                      failing on the first nonzero exit; keeps the facade
 #                      documentation executable.
@@ -57,7 +60,10 @@ shard-smoke:
 	$(PYTHON) -m repro.harness.scenarios all --nodes 8 \
 		--backend sharded --shards 2 --shard-mode processes
 	$(PYTHON) -m repro.harness.scenarios all --nodes 8 \
-		--backend sharded --shards 3 --shard-mode inline
+		--backend sharded --shards 3 --shard-mode inline --shard-pipeline
+	$(PYTHON) -m repro.harness.scenarios all --nodes 8 \
+		--backend sharded --shards 2 --shard-mode processes \
+		--shard-pipeline --transport shm
 
 examples-smoke:
 	@set -e; for example in examples/*.py; do \

@@ -192,6 +192,8 @@ class Network:
                 shards=merged.resolved_shards(),
                 shard_mode=merged.shard_mode,
                 shard_seed=merged.seed,
+                shard_pipeline=merged.shard_pipeline,
+                transport=merged.transport,
                 **shared,
             )
         else:

@@ -19,6 +19,7 @@ from repro.net.kernel import CostModel
 from repro.net.link import DEFAULT_BANDWIDTH, DEFAULT_LATENCY
 from repro.net.query import DEFAULT_QUERY_TIMEOUT
 from repro.net.sharding import SHARD_MODES
+from repro.net.transport import TRANSPORTS
 from repro.provenance.pruning import MaintenanceMode, ProvenanceSampler
 from repro.provenance.tiers import PROVENANCE_STORES
 from repro.security.says import SaysMode
@@ -90,6 +91,21 @@ class NetOptions:
     #: path); ``"inline"`` runs every shard kernel in-process — same
     #: windows, same results — for debugging and mid-run inspection.
     shard_mode: str = "processes"
+    #: Pipelined shard coordination: instead of lockstep barrier windows,
+    #: each shard is granted its own horizon bounded by every other shard's
+    #: conservative floor, so export-empty stretches coalesce into
+    #: multi-window leases and shards compute while earlier replies route.
+    #: Results are byte-identical either way (a worker-side export cap
+    #: falls back to strict pacing exactly when feedback could matter);
+    #: the coordination ledger in ``NetworkStats.summary()`` shows the
+    #: saved rounds/bytes.  Off by default — the strict barrier remains
+    #: the measured baseline.
+    shard_pipeline: bool = False
+    #: Coordination encoding between the coordinator and shard workers:
+    #: ``"binary"`` (compact deterministic frames, the default),
+    #: ``"pickle"`` (legacy baseline), or ``"shm"`` (binary frames with a
+    #: zero-copy shared-memory ring for large frames in process mode).
+    transport: str = "binary"
     #: Wire format: one batch per destination per delta round (real-P2
     #: amortization) vs the paper's per-tuple shipping.
     batching: bool = True
@@ -141,6 +157,11 @@ class NetOptions:
             raise ValueError(
                 f"unknown shard_mode {self.shard_mode!r}; expected one of "
                 f"{SHARD_MODES}"
+            )
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; expected one of "
+                f"{TRANSPORTS}"
             )
         if self.key_bits < 16:
             raise ValueError(f"key_bits must be >= 16, got {self.key_bits}")

@@ -387,6 +387,8 @@ def _scenario_network(
     backend: str = "serial",
     shards: int = 0,
     shard_mode: str = "processes",
+    shard_pipeline: bool = False,
+    transport: str = "binary",
 ):
     """Assemble a scenario's network through the facade.
 
@@ -409,6 +411,8 @@ def _scenario_network(
             backend=backend,
             shards=shards,
             shard_mode=shard_mode,
+            shard_pipeline=shard_pipeline,
+            transport=transport,
         ),
     )
 
@@ -446,6 +450,8 @@ def link_failure_scenario(
     backend: str = "serial",
     shards: int = 0,
     shard_mode: str = "processes",
+    shard_pipeline: bool = False,
+    transport: str = "binary",
     **config_kwargs,
 ) -> Tuple[Scenario, "Network"]:
     """Best-Path under a mid-run link failure: decay, refresh, reroute.
@@ -465,7 +471,7 @@ def link_failure_scenario(
     failed = redundant[0]
     config = _soft_config(ttl, **config_kwargs)
     network = _scenario_network(
-        topology, compile_best_path(), config, key_bits, backend, shards, shard_mode
+        topology, compile_best_path(), config, key_bits, backend, shards, shard_mode, shard_pipeline, transport
     )
     base = network.link_facts()
     scenario = Scenario(
@@ -505,6 +511,8 @@ def churn_scenario(
     backend: str = "serial",
     shards: int = 0,
     shard_mode: str = "processes",
+    shard_pipeline: bool = False,
+    transport: str = "binary",
     **config_kwargs,
 ) -> Tuple[Scenario, "Network"]:
     """Reachability under node churn with soft-state repair.
@@ -521,7 +529,7 @@ def churn_scenario(
     )
     config = _soft_config(ttl, **config_kwargs)
     network = _scenario_network(
-        topology, _reachable_compiled(), config, key_bits, backend, shards, shard_mode
+        topology, _reachable_compiled(), config, key_bits, backend, shards, shard_mode, shard_pipeline, transport
     )
     base = _reachable_base(topology)
     scenario = Scenario(
@@ -554,6 +562,8 @@ def retraction_scenario(
     backend: str = "serial",
     shards: int = 0,
     shard_mode: str = "processes",
+    shard_pipeline: bool = False,
+    transport: str = "binary",
     **config_kwargs,
 ) -> Tuple[Scenario, "Network"]:
     """Fact retraction with provenance invalidation.
@@ -581,7 +591,7 @@ def retraction_scenario(
         **config_kwargs,
     )
     network = _scenario_network(
-        topology, _reachable_compiled(), config, key_bits, backend, shards, shard_mode
+        topology, _reachable_compiled(), config, key_bits, backend, shards, shard_mode, shard_pipeline, transport
     )
     base = _reachable_base(topology)
     scenario = Scenario(
@@ -658,6 +668,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="processes",
         help="run shards in worker processes or in-process (debugging)",
     )
+    parser.add_argument(
+        "--shard-pipeline",
+        action="store_true",
+        help="pipelined shard coordination: per-shard horizons instead of "
+        "lockstep barriers (identical results, fewer coordination rounds)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("pickle", "binary", "shm"),
+        default="binary",
+        help="coordination frame encoding between coordinator and shards",
+    )
     arguments = parser.parse_args(argv)
 
     names = tuple(SCENARIOS) if arguments.scenario == "all" else (arguments.scenario,)
@@ -670,6 +692,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "backend": arguments.backend,
             "shards": arguments.shards,
             "shard_mode": arguments.shard_mode,
+            "shard_pipeline": arguments.shard_pipeline,
+            "transport": arguments.transport,
         }
         if arguments.nodes is not None:
             kwargs["node_count"] = arguments.nodes

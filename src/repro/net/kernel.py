@@ -290,6 +290,14 @@ class SimulationKernel:
         #: every destination is hosted locally; the sharded backend enables
         #: it permanently via :meth:`enable_exports`.
         self._export_sink: Optional[List[Tuple[float, WireMessage]]] = None
+        #: Bytes of query-plane traffic charged on behalf of askers this
+        #: kernel does not host (their responses passed through here on the
+        #: way back).  Each kernel's stats book stays strictly local —
+        #: ``stats.nodes`` only ever holds hosted nodes — and the sharded
+        #: coordinator settles these receipts into the asker's merged
+        #: :class:`NodeStats` at barrier time.  Always empty under the
+        #: serial backend (every asker is hosted).
+        self.query_receipts: Dict[Address, int] = {}
 
         #: The in-network provenance query plane (repro.net.query): queries
         #: ride the same scheduler and pay the same wire costs as data.
@@ -437,30 +445,66 @@ class SimulationKernel:
         return exported
 
     def run_window(
-        self, horizon: float, imports: Iterable[Tuple[float, WireMessage]] = ()
-    ) -> Tuple[List[Tuple[float, WireMessage]], Optional[float], bool]:
+        self,
+        horizon: float,
+        imports: Iterable[Tuple[float, WireMessage]] = (),
+        lookahead: Optional[float] = None,
+    ) -> Tuple[List[Tuple[float, WireMessage]], Optional[float], bool, Optional[float]]:
         """Process every local event strictly before *horizon*.
 
         *imports* are cross-shard deliveries the coordinator collected from
         the other kernels at the previous barrier; they merge into the local
-        queue in content-rank order before the window runs.  Returns the
-        deliveries this window exported for other kernels, the timestamp of
-        the next local event (``None`` when idle), and False when the event
-        budget ran out mid-window.
+        queue in content-rank order before the window runs.
+
+        *lookahead* (the pipelined coordinator's conservative window width
+        ``W``) arms the **export self-cap**: once this window exports a
+        delivery due at ``d``, the effective horizon tightens to
+        ``min(horizon, d + W)``.  Any cross-shard consequence of that export
+        can reach back here no earlier than ``d + W`` (one delivery plus the
+        minimum link latency), so events before the cap are safe to run —
+        but running past it could overtake the feedback loop.  The cap is
+        always at least ``current event time + W``, so it never invalidates
+        work already done.  Strict-barrier callers omit *lookahead* and get
+        the exact pre-existing behavior.
+
+        Returns the deliveries this window exported for other kernels, the
+        timestamp of the next local event (``None`` when idle), False when
+        the event budget ran out mid-window, and the timestamp of the last
+        event actually dispatched (``None`` for an empty window) — the
+        coordinator's measure of how many window-widths a lease covered.
         """
         self.enable_exports()
         for deliver_at, message in imports:
             self.scheduler.schedule(MessageDelivery(time=deliver_at, message=message))
         within_budget = True
+        last_time: Optional[float] = None
+        effective = horizon
+        sink = self._export_sink
+        seen = 0
+        if lookahead is not None:
+            # Exports already pending (sent between windows) cap the lease too.
+            for deliver_at, _ in sink:
+                cap = deliver_at + lookahead
+                if cap < effective:
+                    effective = cap
+            seen = len(sink)
         while True:
             next_time = self.scheduler.peek_time()
-            if next_time is None or next_time >= horizon:
+            if next_time is None or next_time >= effective:
                 break
             if self._events_processed >= self.max_events:
                 within_budget = False
                 break
-            self._dispatch(self.scheduler.pop())
-        return self.take_exports(), self.scheduler.peek_time(), within_budget
+            event = self.scheduler.pop()
+            last_time = event.time
+            self._dispatch(event)
+            if lookahead is not None:
+                while seen < len(sink):
+                    cap = sink[seen][0] + lookahead
+                    if cap < effective:
+                        effective = cap
+                    seen += 1
+        return self.take_exports(), self.scheduler.peek_time(), within_budget, last_time
 
     def _dispatch(self, event: SimulationEvent) -> None:
         if self._uncounted_ids:

@@ -333,3 +333,14 @@ class QueryResponse:
 
 #: Wire messages belonging to the provenance query plane.
 QueryMessage = (QueryRequest, QueryResponse)
+
+#: Stable wire-format tags for the sharded backend's coordination frames
+#: (:mod:`repro.net.transport`).  Appending new kinds is safe; renumbering
+#: existing ones would silently corrupt mixed-version coordination, so the
+#: mapping lives next to the message definitions it tags.
+WIRE_KINDS = {
+    Message: 0,
+    MessageBatch: 1,
+    QueryRequest: 2,
+    QueryResponse: 3,
+}

@@ -643,6 +643,14 @@ class QueryEngine:
         if pending is not None:
             pending.messages += 1
             pending.bytes += message.size_bytes()
-            simulator.stats.node(
-                pending.query.at
-            ).query_bytes_charged += message.size_bytes()
+            asker = pending.query.at
+            if simulator.hosts(asker):
+                simulator.stats.node(asker).query_bytes_charged += message.size_bytes()
+            else:
+                # A response passing through a kernel that does not host the
+                # asker must not fabricate a phantom NodeStats entry on this
+                # shard's books; the charge is recorded as a receipt the
+                # sharded coordinator settles into the asker's merged stats
+                # at barrier time.
+                receipts = simulator.query_receipts
+                receipts[asker] = receipts.get(asker, 0) + message.size_bytes()

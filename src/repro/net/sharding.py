@@ -13,12 +13,32 @@ keeping the simulation *exactly* equivalent to the serial schedule:
 
 * **Synchronization** is conservative (null-message-free Chandy–Misra in
   spirit): all cross-shard traffic pays at least the minimum cross-shard
-  link propagation latency ``W``, so a window ``[T, T + W)`` can execute in
-  every shard *in parallel* without communication — any cross-shard message
-  produced inside the window delivers at or after the window's end.  At the
-  window barrier the coordinator exchanges the exported
-  ``MessageDelivery`` events and merges them into the destination shards'
-  queues.
+  link propagation latency ``W``.  The strict barrier
+  (``shard_pipeline=False``) steps every shard through lockstep windows
+  ``[T, T + W)``, exchanging exported ``MessageDelivery`` events at each
+  barrier.  The **pipelined coordinator** (``shard_pipeline=True``) drops
+  the lockstep: each shard gets its own grant ``[*, H_S)`` where ``H_S`` is
+  the minimum *floor* of every other shard (a shard working on a grant
+  based at ``T`` cannot emit anything delivering before ``T + W``), so a
+  shard whose peers are ahead — or idle — runs many window-widths in one
+  round-trip (window coalescing), and shards compute concurrently while the
+  coordinator routes earlier replies (pipelined barriers).  Soundness rests
+  on a conservative check in the worker: a granted window's effective
+  horizon tightens to ``min(H_S, d + W)`` as it exports deliveries due at
+  ``d`` (:meth:`SimulationKernel.run_window`'s *lookahead*), falling back
+  to strict-barrier pacing exactly when cross-shard feedback could matter,
+  so results stay byte-identical.
+
+* **Transport**: coordinator↔worker traffic travels as compact binary
+  frames (:mod:`repro.net.transport`) over the persistent pipes — interned
+  addresses/relations, struct-packed headers, ``repr``-literal payloads —
+  instead of per-window pickles; ``transport="shm"`` adds a zero-copy
+  shared-memory ring per pipe direction for large frames, and
+  ``transport="pickle"`` keeps the legacy encoding as a measurable
+  baseline.  The coordination ledger — ``coordination_rounds``,
+  ``coordination_bytes``, ``windows_executed``, ``windows_coalesced`` — is
+  deterministic (inline and process runs agree exactly) and flows through
+  :meth:`NetworkStats.summary`.
 
 * **Determinism / serial equivalence**: event tie-breaking is content-based
   (see :mod:`repro.net.events`) and message sequence numbers are per
@@ -39,15 +59,20 @@ keeping the simulation *exactly* equivalent to the serial schedule:
 The public entry point is ``repro.api``::
 
     network = Network.build(topology=200, program="best-path",
-                            provenance="ndlog", backend="sharded", shards=4)
+                            provenance="ndlog", backend="sharded", shards=4,
+                            shard_pipeline=True)
     result = network.run()   # same facts and integer stats as serial
+    result.stats.summary()["coordination_rounds"]
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing
+import pickle
 import random
+import struct
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -82,6 +107,12 @@ from repro.net.query import (
 )
 from repro.net.stats import NetworkStats, WireMessage
 from repro.net.topology import Topology
+from repro.net.transport import (
+    SHM_MIN_FRAME_BYTES,
+    TRANSPORTS,
+    SharedMemoryRing,
+    make_codec,
+)
 
 #: Execution modes for the shard workers.
 SHARD_MODES = ("processes", "inline")
@@ -224,7 +255,174 @@ def partition_topology(
 
 
 # ---------------------------------------------------------------------------
-# Worker processes
+# Worker protocol: framed ops over pipes (or shared-memory rings)
+# ---------------------------------------------------------------------------
+
+_OP_FLUSH = 1
+_OP_WINDOW = 2
+_OP_STATS = 3
+_OP_COUNT = 4
+_OP_EXPIRE = 5
+_OP_FINALIZE = 6
+
+_F64 = struct.Struct("<d")
+_U64 = struct.Struct("<Q")
+#: Pipe control message pointing into a shared-memory ring: flag, offset, length.
+_SHM_DESCRIPTOR = struct.Struct("<BQI")
+
+
+def _pack_optional_f64(value: Optional[float]) -> bytes:
+    return b"\x00" if value is None else b"\x01" + _F64.pack(value)
+
+
+def _unpack_optional_f64(data: bytes, offset: int) -> Tuple[Optional[float], int]:
+    if data[offset]:
+        return _F64.unpack_from(data, offset + 1)[0], offset + 9
+    return None, offset + 1
+
+
+def _pack_flush(codec, batch) -> bytes:
+    """A drain-prime command: stamped control events (often none).
+
+    An empty flush is a fixed-size frame — one op byte plus the codec's
+    empty-batch encoding — and its reply is fixed-size too when the worker
+    has nothing pending, so the per-drain prime round stays cheap.
+    """
+    return bytes((_OP_FLUSH,)) + codec.encode_events(batch)
+
+
+def _pack_window(
+    codec, horizon: float, imports, lookahead: Optional[float]
+) -> bytes:
+    """A window grant: run to *horizon* (f64, ``inf`` allowed) with *imports*.
+
+    *lookahead* arms the worker's export self-cap (pipelined mode); strict
+    barriers omit it.
+    """
+    return (
+        bytes((_OP_WINDOW,))
+        + _F64.pack(horizon)
+        + _pack_optional_f64(lookahead)
+        + codec.encode_exports(imports)
+    )
+
+
+def _unpack_flush_reply(codec, raw: bytes):
+    next_time, offset = _unpack_optional_f64(raw, 1)
+    processed = _U64.unpack_from(raw, offset)[0]
+    return next_time, processed, codec.decode_exports(raw[offset + 8 :])
+
+
+def _unpack_window_reply(codec, raw: bytes):
+    next_time, offset = _unpack_optional_f64(raw, 1)
+    last_time, offset = _unpack_optional_f64(raw, offset)
+    within_budget = bool(raw[offset])
+    processed = _U64.unpack_from(raw, offset + 1)[0]
+    exports = codec.decode_exports(raw[offset + 9 :])
+    return next_time, last_time, within_budget, processed, exports
+
+
+def _check_reply(frame: bytes) -> bytes:
+    if frame[:1] == b"\x01":
+        raise RuntimeError(
+            f"shard worker failed: {frame[1:].decode('utf-8', 'replace')}"
+        )
+    return frame
+
+
+def _serve_op(kernel: SimulationKernel, codec, frame: bytes) -> bytes:
+    """Execute one coordination command against *kernel*; return the reply.
+
+    Shared verbatim by the process worker loop and the inline wrapper, so
+    both modes produce byte-identical frames — which is what makes the
+    coordination ledger identical across ``shard_mode`` values.
+    """
+    op = frame[0]
+    if op == _OP_FLUSH:
+        for event, stamp, owned in codec.decode_events(frame[1:]):
+            kernel.schedule_stamped(event, stamp, owned)
+        return (
+            b"\x00"
+            + _pack_optional_f64(kernel.scheduler.peek_time())
+            + _U64.pack(kernel._events_processed)
+            + codec.encode_exports(kernel.take_exports())
+        )
+    if op == _OP_WINDOW:
+        horizon = _F64.unpack_from(frame, 1)[0]
+        lookahead, offset = _unpack_optional_f64(frame, 9)
+        imports = codec.decode_exports(frame[offset:])
+        exports, next_time, within_budget, last_time = kernel.run_window(
+            horizon, imports, lookahead
+        )
+        return (
+            b"\x00"
+            + _pack_optional_f64(next_time)
+            + _pack_optional_f64(last_time)
+            + (b"\x01" if within_budget else b"\x00")
+            + _U64.pack(kernel._events_processed)
+            + codec.encode_exports(exports)
+        )
+    if op == _OP_STATS:
+        # Storage-tier gauges live in the engines, which never leave the
+        # worker mid-run: fold them into the stats snapshot before it
+        # crosses the process boundary.  Snapshots are off the hot path, so
+        # they stay pickled.
+        kernel.refresh_provenance_stats()
+        snapshot = (
+            kernel.stats,
+            kernel.scheduler.events_scheduled,
+            kernel._uncounted_scheduled,
+            kernel._events_processed,
+            kernel.current_time(),
+            dict(kernel.query_receipts),
+        )
+        return b"\x00" + pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+    if op == _OP_COUNT:
+        count = kernel.count_facts(pickle.loads(frame[1:]))
+        return b"\x00" + pickle.dumps(count, protocol=pickle.HIGHEST_PROTOCOL)
+    if op == _OP_EXPIRE:
+        kernel.expire_all(_F64.unpack_from(frame, 1)[0])
+        return b"\x00"
+    raise ValueError(f"unknown shard worker op {op!r}")
+
+
+class _FrameChannel:
+    """Byte frames over one pipe end, optionally via shared-memory rings.
+
+    Under ``transport="shm"`` frames of at least ``SHM_MIN_FRAME_BYTES``
+    are placed in the outbound ring and only a fixed 13-byte descriptor
+    crosses the pipe; the request/reply protocol guarantees at most one
+    outstanding frame per direction, so ring slots are free for reuse by
+    the time the producer wraps.  Smaller frames (and frames larger than
+    the whole ring) travel inline down the pipe with a one-byte tag.
+    """
+
+    __slots__ = ("connection", "send_ring", "recv_ring")
+
+    def __init__(self, connection, send_ring=None, recv_ring=None) -> None:
+        self.connection = connection
+        self.send_ring = send_ring
+        self.recv_ring = recv_ring
+
+    def send(self, frame: bytes) -> None:
+        ring = self.send_ring
+        if ring is not None and len(frame) >= SHM_MIN_FRAME_BYTES:
+            placed = ring.write(frame)
+            if placed is not None:
+                self.connection.send_bytes(_SHM_DESCRIPTOR.pack(1, *placed))
+                return
+        self.connection.send_bytes(b"\x00" + frame)
+
+    def recv(self) -> bytes:
+        data = self.connection.recv_bytes()
+        if data[0] == 1:
+            _, offset, length = _SHM_DESCRIPTOR.unpack(data)
+            return self.recv_ring.read(offset, length)
+        return data[1:]
+
+
+# ---------------------------------------------------------------------------
+# Shard specs and workers
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -271,84 +469,79 @@ class ShardSpec:
         )
 
 
-def _shard_worker_main(conn, spec: ShardSpec) -> None:
-    """Worker entry point: serve kernel operations over *conn* until closed.
+def _shard_worker_main(
+    conn, spec: ShardSpec, transport: str, ring_names
+) -> None:
+    """Worker entry point: serve framed kernel operations until closed.
 
     Module-level (importable) and argument-picklable, so it is safe under
     the ``spawn`` start method — the only one available everywhere.
     """
+    codec = make_codec(transport)
+    send_ring = recv_ring = None
+    if ring_names is not None:
+        # Mirrored ends: the coordinator's send ring is this side's recv ring.
+        recv_ring = SharedMemoryRing(name=ring_names[0])
+        send_ring = SharedMemoryRing(name=ring_names[1])
+    channel = _FrameChannel(conn, send_ring=send_ring, recv_ring=recv_ring)
     try:
         kernel = spec.build_kernel()
         kernel.enable_exports()
     except BaseException as error:  # pragma: no cover - construction bugs
-        conn.send(("error", f"{type(error).__name__}: {error}"))
+        channel.send(b"\x01" + f"{type(error).__name__}: {error}".encode())
         return
     while True:
         try:
-            request = conn.recv()
+            frame = channel.recv()
         except EOFError:
             return  # the coordinator is gone; nothing left to serve
-        op = request[0]
+        if frame[0] == _OP_FINALIZE:
+            channel.send(
+                b"\x00" + pickle.dumps(kernel, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            conn.close()
+            for ring in (send_ring, recv_ring):
+                if ring is not None:
+                    ring.close()
+            return
         try:
-            if op == "flush":
-                for event, stamp, owned in request[1]:
-                    kernel.schedule_stamped(event, stamp, owned)
-                reply = (kernel.scheduler.peek_time(), kernel.take_exports())
-            elif op == "window":
-                _, horizon, imports = request
-                exports, next_time, within_budget = kernel.run_window(
-                    horizon, imports
-                )
-                reply = (exports, next_time, within_budget, kernel._events_processed)
-            elif op == "stats":
-                # Storage-tier gauges live in the engines, which never leave
-                # this worker mid-run: fold them into the stats snapshot
-                # before it crosses the process boundary.
-                kernel.refresh_provenance_stats()
-                reply = (
-                    kernel.stats,
-                    kernel.scheduler.events_scheduled,
-                    kernel._uncounted_scheduled,
-                    kernel._events_processed,
-                    kernel.current_time(),
-                )
-            elif op == "count_facts":
-                reply = kernel.count_facts(request[1])
-            elif op == "expire_all":
-                kernel.expire_all(request[1])
-                reply = None
-            elif op == "finalize":
-                conn.send(("ok", kernel))
-                conn.close()
-                return
-            else:  # pragma: no cover - protocol bugs
-                raise ValueError(f"unknown shard worker op {op!r}")
+            reply = _serve_op(kernel, codec, frame)
         except BaseException as error:
             try:
-                conn.send(("error", f"{type(error).__name__}: {error}"))
+                channel.send(b"\x01" + f"{type(error).__name__}: {error}".encode())
             except (BrokenPipeError, OSError):  # pragma: no cover
                 pass
             return
-        conn.send(("ok", reply))
+        channel.send(reply)
 
 
 class _WorkerHandle:
-    """One spawned shard worker plus its request/reply pipe."""
+    """One spawned shard worker plus its framed request/reply channel."""
 
-    def __init__(self, context, spec: ShardSpec) -> None:
+    def __init__(self, context, spec: ShardSpec, transport: str) -> None:
+        self._send_ring = self._recv_ring = None
+        ring_names = None
+        if transport == "shm":
+            self._send_ring = SharedMemoryRing(create=True)
+            self._recv_ring = SharedMemoryRing(create=True)
+            ring_names = (self._send_ring.name, self._recv_ring.name)
         self.connection, child = context.Pipe()
         self.process = context.Process(
-            target=_shard_worker_main, args=(child, spec), daemon=True
+            target=_shard_worker_main,
+            args=(child, spec, transport, ring_names),
+            daemon=True,
         )
         self.process.start()
         child.close()
+        self.channel = _FrameChannel(
+            self.connection, send_ring=self._send_ring, recv_ring=self._recv_ring
+        )
 
-    def request(self, *message):
-        self.connection.send(message)
-        status, payload = self.connection.recv()
-        if status == "error":
-            raise RuntimeError(f"shard worker failed: {payload}")
-        return payload
+    def send_command(self, frame: bytes) -> None:
+        self.channel.send(frame)
+
+    def recv_reply(self) -> bytes:
+        return _check_reply(self.channel.recv())
 
     def close(self) -> None:
         try:
@@ -358,6 +551,35 @@ class _WorkerHandle:
         if self.process.is_alive():
             self.process.terminate()
         self.process.join(timeout=5)
+        for ring in (self._send_ring, self._recv_ring):
+            if ring is not None:
+                ring.close()
+
+
+class _InlineWorker:
+    """An in-process kernel behind the exact worker frame surface.
+
+    Commands are encoded, decoded and served through the same codec and
+    :func:`_serve_op` as a process worker — execution just happens at send
+    time, with the reply buffered for the matching ``recv_reply`` — so
+    inline runs produce byte-identical frames, and therefore an identical
+    coordination ledger, to process runs of the same workload.
+    """
+
+    def __init__(self, kernel: SimulationKernel, codec) -> None:
+        self.kernel = kernel
+        self._codec = codec
+        self._replies: deque = deque()
+
+    def send_command(self, frame: bytes) -> None:
+        try:
+            reply = _serve_op(self.kernel, self._codec, frame)
+        except BaseException as error:
+            reply = b"\x01" + f"{type(error).__name__}: {error}".encode()
+        self._replies.append(reply)
+
+    def recv_reply(self) -> bytes:
+        return _check_reply(self._replies.popleft())
 
 
 class _SchedulerView:
@@ -386,11 +608,14 @@ class ShardedSimulator:
 
     ``shard_mode="processes"`` (the default) runs each kernel in a spawned
     worker; ``"inline"`` runs them all in-process — same windows, same
-    barriers, same results — which is the debugger-friendly mode and the
-    one that keeps engines inspectable mid-run.  After ``finish()`` the
-    worker kernels are reeled back in whole (engines, provenance stores,
-    dynamic state), so post-run inspection and in-network provenance
-    queries work identically in both modes.
+    barriers, same results *and the same coordination ledger* — which is
+    the debugger-friendly mode and the one that keeps engines inspectable
+    mid-run.  ``shard_pipeline=True`` switches the strict lockstep barrier
+    for the pipelined per-shard-horizon coordinator (see the module
+    docstring); ``transport`` picks the coordination encoding.  After
+    ``finish()`` the worker kernels are reeled back in whole (engines,
+    provenance stores, dynamic state), so post-run inspection and
+    in-network provenance queries work identically in both modes.
     """
 
     def __init__(
@@ -410,10 +635,16 @@ class ShardedSimulator:
         shards: int = 2,
         shard_mode: str = "processes",
         shard_seed: int = 0,
+        shard_pipeline: bool = False,
+        transport: str = "binary",
     ) -> None:
         if shard_mode not in SHARD_MODES:
             raise ValueError(
                 f"unknown shard_mode {shard_mode!r}; expected one of {SHARD_MODES}"
+            )
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
             )
         self.topology = topology
         self.compiled = compiled
@@ -428,6 +659,9 @@ class ShardedSimulator:
         self.link_relation = link_relation
         self.query_timeout = query_timeout
         self.shard_mode = shard_mode
+        self.shard_pipeline = shard_pipeline
+        self.transport = transport
+        self._codec = make_codec(transport)
         self.plan = partition_topology(topology, shards, seed=shard_seed)
         #: The effective conservative lookahead: cross-shard traffic pays at
         #: least the minimum cut-link latency — or ``default_latency`` for
@@ -466,14 +700,34 @@ class ShardedSimulator:
         #: workers were finalized and reeled back in).
         self._kernels: Optional[List[SimulationKernel]] = None
         self._workers: Optional[List[_WorkerHandle]] = None
+        #: The uniform command surface the coordination loops drive:
+        #: worker handles or inline wrappers, one per shard.
+        self._io: Optional[List] = None
         #: Externally scheduled events buffered until the next drain.
         self._pending_external: List[Tuple[SimulationEvent, int]] = []
-        #: Per-shard batches built while routing a flush (process mode).
+        #: Per-shard batches built while routing a flush.
         self._flush_buffers: Dict[int, List] = {}
         #: Cross-shard deliveries awaiting import, per destination shard.
         self._pending_imports: List[List[Tuple[float, WireMessage]]] = [
             [] for _ in range(self.plan.shard_count)
         ]
+        #: The coordination ledger (see NetworkStats): deterministic counts
+        #: of hot-path round-trips, the frame bytes they carried, window
+        #: commands issued, and extra window-widths covered by leases.
+        self._coordination_rounds = 0
+        self._coordination_bytes = 0
+        self._windows_executed = 0
+        self._windows_coalesced = 0
+        #: Per-shard certificate that the coordinator *knows* the shard's
+        #: queue is empty and its export sink drained: fresh kernels start
+        #: certified, a drain that runs to the distributed fixpoint
+        #: re-certifies everyone, and any path that touches a kernel behind
+        #: the coordinator's back (query issuance, expiry, finish) revokes
+        #: it.  The pipelined drain skips the flush round-trip for certified
+        #: shards with nothing buffered; the strict barrier never skips —
+        #: it is the measured baseline.
+        self._idle_certified = [True] * self.plan.shard_count
+        self._shard_processed = [0] * self.plan.shard_count
         self._control_stamp = 0
         self._finished = False
         if shard_mode == "inline":
@@ -504,10 +758,18 @@ class ShardedSimulator:
     # -- worker lifecycle --------------------------------------------------------
 
     def _ensure_running(self) -> None:
-        if self._kernels is not None or self._workers is not None:
+        if self._kernels is not None:
+            if self._io is None:
+                self._io = [
+                    _InlineWorker(kernel, self._codec) for kernel in self._kernels
+                ]
             return
-        context = multiprocessing.get_context("spawn")
-        self._workers = [_WorkerHandle(context, spec) for spec in self._specs]
+        if self._workers is None:
+            context = multiprocessing.get_context("spawn")
+            self._workers = [
+                _WorkerHandle(context, spec, self.transport) for spec in self._specs
+            ]
+        self._io = self._workers
 
     def close(self) -> None:
         """Terminate worker processes (idempotent; inline mode is a no-op)."""
@@ -515,6 +777,7 @@ class ShardedSimulator:
             for worker in self._workers:
                 worker.close()
             self._workers = None
+            self._io = None
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
@@ -527,11 +790,13 @@ class ShardedSimulator:
         assert self._workers is not None
         kernels: List[SimulationKernel] = []
         for worker in self._workers:
-            kernel = worker.request("finalize")
+            worker.send_command(bytes((_OP_FINALIZE,)))
+            kernel = pickle.loads(worker.recv_reply()[1:])
             kernel.attach_program(self.compiled)
             kernels.append(kernel)
             worker.close()
         self._workers = None
+        self._io = None
         self._kernels = kernels
         self._wire_kernels()
 
@@ -567,26 +832,53 @@ class ShardedSimulator:
             # expands its own hosted nodes; the primary counts the event.
             targets = {shard: shard == 0 for shard in range(shard_count)}
         for shard, owned in targets.items():
-            if self._kernels is not None:
-                self._kernels[shard].schedule_stamped(event, stamp, owned)
-            else:
-                self._flush_buffers.setdefault(shard, []).append(
-                    (event, stamp, owned)
-                )
+            self._flush_buffers.setdefault(shard, []).append((event, stamp, owned))
 
-    def _flush_external(self) -> None:
-        if not self._pending_external:
-            return
+    def _drain_prime(self) -> Tuple[List[Optional[float]], List[int]]:
+        """Start one drain: flush buffered control events to every shard in a
+        single round, collecting each shard's next event time, processed
+        count, and any exports made *between* drains (a provenance query
+        issued after the data plane settled ships its first cross-shard
+        requests outside any window).
+
+        In pipelined mode, shards that are certified idle (see
+        ``_idle_certified``) and have nothing buffered skip the round-trip
+        entirely: their reply is already known — no next event, no exports,
+        processed count unchanged."""
         self._flush_buffers = {}
         pending, self._pending_external = self._pending_external, []
         for event, stamp in pending:
             self._route_external(event, stamp)
-        if self._workers is not None:
-            for shard, worker in enumerate(self._workers):
-                batch = self._flush_buffers.get(shard)
-                if batch:
-                    worker.request("flush", batch)
-        self._flush_buffers = {}
+        buffers, self._flush_buffers = self._flush_buffers, {}
+        shard_count = self.plan.shard_count
+        contacted = [
+            not (
+                self.shard_pipeline
+                and self._idle_certified[shard]
+                and not buffers.get(shard)
+            )
+            for shard in range(shard_count)
+        ]
+        for shard, io in enumerate(self._io):
+            if not contacted[shard]:
+                continue
+            frame = _pack_flush(self._codec, buffers.get(shard, []))
+            self._coordination_rounds += 1
+            self._coordination_bytes += len(frame)
+            io.send_command(frame)
+        next_times: List[Optional[float]] = [None] * shard_count
+        processed = list(self._shard_processed)
+        for shard, io in enumerate(self._io):
+            if not contacted[shard]:
+                continue
+            self._idle_certified[shard] = False
+            raw = io.recv_reply()
+            self._coordination_bytes += len(raw)
+            next_times[shard], processed[shard], exports = _unpack_flush_reply(
+                self._codec, raw
+            )
+            self._route_exports(exports)
+        return next_times, processed
 
     # -- running ------------------------------------------------------------------
 
@@ -596,28 +888,15 @@ class ShardedSimulator:
         Returns False when the cumulative ``max_events`` budget ran out.
         """
         self._ensure_running()
-        self._flush_external()
+        if self.shard_pipeline:
+            return self._run_pipelined()
+        return self._run_strict()
+
+    def _run_strict(self) -> bool:
+        """The lockstep barrier: every shard steps through the same window."""
         window = self.window
         imports = self._pending_imports
-        next_times: List[Optional[float]] = [None] * self.plan.shard_count
-        # Prime the per-shard next event times, collecting any exports made
-        # *between* drains (a provenance query issued after the data plane
-        # settled ships its first cross-shard requests outside any window).
-        if self._kernels is not None:
-            for shard, kernel in enumerate(self._kernels):
-                next_times[shard] = kernel.scheduler.peek_time()
-                self._route_exports(kernel.take_exports())
-        else:
-            for shard, worker in enumerate(self._workers):
-                next_times[shard], exports = worker.request("flush", [])
-                self._route_exports(exports)
-        # Per-shard processed-event counts, refreshed from each window's
-        # reply: the budget check must not cost a stats round-trip per
-        # window (process mode pickles full per-node stats for those).
-        processed = [0] * self.plan.shard_count
-        if self._kernels is not None:
-            for shard, kernel in enumerate(self._kernels):
-                processed[shard] = kernel._events_processed
+        next_times, processed = self._drain_prime()
         while True:
             live = [time for time in next_times if time is not None]
             live.extend(
@@ -626,35 +905,137 @@ class ShardedSimulator:
                 for deliver_at, _ in batch
             )
             if not live:
-                return True
+                return self._settle(True, processed)
             if sum(processed) >= self.max_events:
-                return False
+                return self._settle(False, processed)
             horizon = min(live) + window
             within_budget = True
-            if self._kernels is not None:
-                for shard, kernel in enumerate(self._kernels):
-                    batch, imports[shard] = imports[shard], []
-                    exports, next_times[shard], ok = kernel.run_window(
-                        horizon, batch
-                    )
-                    processed[shard] = kernel._events_processed
-                    within_budget = within_budget and ok
-                    self._route_exports(exports, horizon)
-            else:
-                replies = []
-                for shard, worker in enumerate(self._workers):
-                    batch, imports[shard] = imports[shard], []
-                    worker.connection.send(("window", horizon, batch))
-                    replies.append(worker)
-                for shard, worker in enumerate(replies):
-                    status, payload = worker.connection.recv()
-                    if status == "error":
-                        raise RuntimeError(f"shard worker failed: {payload}")
-                    exports, next_times[shard], ok, processed[shard] = payload
-                    within_budget = within_budget and ok
-                    self._route_exports(exports, horizon)
+            for shard, io in enumerate(self._io):
+                batch, imports[shard] = imports[shard], []
+                frame = _pack_window(self._codec, horizon, batch, None)
+                self._idle_certified[shard] = False
+                self._coordination_rounds += 1
+                self._windows_executed += 1
+                self._coordination_bytes += len(frame)
+                io.send_command(frame)
+            for shard, io in enumerate(self._io):
+                raw = io.recv_reply()
+                self._coordination_bytes += len(raw)
+                next_time, _last, ok, count, exports = _unpack_window_reply(
+                    self._codec, raw
+                )
+                next_times[shard] = next_time
+                processed[shard] = count
+                within_budget = within_budget and ok
+                self._route_exports(exports, horizon)
             if not within_budget:
-                return False
+                return self._settle(False, processed)
+
+    def _settle(self, converged: bool, processed: List[int]) -> bool:
+        """Record per-shard processed counts at the end of a drain and, when
+        the drain reached the distributed fixpoint, certify every shard idle
+        (queues empty, export sinks drained, no pending imports)."""
+        self._shard_processed = list(processed)
+        if converged:
+            self._idle_certified = [True] * self.plan.shard_count
+        return converged
+
+    def _run_pipelined(self) -> bool:
+        """The pipelined coordinator: per-shard horizons, no lockstep.
+
+        Invariant: while shard S computes a grant based at ``e_S`` (its
+        earliest pending time when granted), every other shard's *floor* —
+        the earliest instant anything it may still emit can be delivered —
+        stays at or above S's horizon ``H_S = min over R≠S of floor(R)``,
+        because a floor is ``base + W`` while a grant is outstanding and
+        ``earliest + W`` (or ``inf`` when idle-empty) otherwise, and
+        granting moves ``earliest + W`` to ``base + W`` unchanged.  The
+        worker's export self-cap keeps S itself from outrunning feedback
+        loops through its own exports.  Consequences:
+
+        * shards with work and far-ahead peers get multi-window leases in
+          one round-trip (coalescing — idle-empty peers contribute ``inf``);
+        * several shards hold grants at once, so compute overlaps with the
+          coordinator's export routing (the pipelined barrier);
+        * replies are collected lowest-shard-first, keeping routing order —
+          and thus the whole ledger — deterministic.
+        """
+        codec = self._codec
+        window = self.window
+        shard_count = self.plan.shard_count
+        imports = self._pending_imports
+        next_times, processed = self._drain_prime()
+        outstanding = [False] * shard_count
+        granted_base = [0.0] * shard_count
+
+        def earliest(shard: int) -> Optional[float]:
+            time = next_times[shard]
+            for deliver_at, _ in imports[shard]:
+                if time is None or deliver_at < time:
+                    time = deliver_at
+            return time
+
+        def floor_of(shard: int) -> float:
+            if outstanding[shard]:
+                return granted_base[shard] + window
+            time = earliest(shard)
+            return math.inf if time is None else time + window
+
+        budget_ok = True
+        while True:
+            exhausted = (
+                not budget_ok or sum(processed) >= self.max_events
+            )
+            if not exhausted:
+                floors = [floor_of(shard) for shard in range(shard_count)]
+                for shard in range(shard_count):
+                    if outstanding[shard]:
+                        continue
+                    base = earliest(shard)
+                    if base is None:
+                        continue
+                    horizon = min(
+                        (floors[other] for other in range(shard_count) if other != shard),
+                        default=math.inf,
+                    )
+                    if horizon <= base:
+                        continue
+                    batch, imports[shard] = imports[shard], []
+                    frame = _pack_window(codec, horizon, batch, window)
+                    self._idle_certified[shard] = False
+                    self._coordination_rounds += 1
+                    self._windows_executed += 1
+                    self._coordination_bytes += len(frame)
+                    self._io[shard].send_command(frame)
+                    outstanding[shard] = True
+                    granted_base[shard] = base
+                    # floors[shard] is unchanged by the grant (base + window
+                    # either way), so the precomputed list stays valid.
+            if not any(outstanding):
+                if not budget_ok:
+                    return self._settle(False, processed)
+                if all(earliest(shard) is None for shard in range(shard_count)):
+                    return self._settle(True, processed)
+                if sum(processed) >= self.max_events:
+                    return self._settle(False, processed)
+                raise RuntimeError(
+                    "pipelined shard coordinator stalled with work pending; "
+                    "this indicates a bug in the floor computation"
+                )
+            shard = next(s for s in range(shard_count) if outstanding[s])
+            raw = self._io[shard].recv_reply()
+            self._coordination_bytes += len(raw)
+            next_time, last_time, ok, count, exports = _unpack_window_reply(
+                codec, raw
+            )
+            outstanding[shard] = False
+            next_times[shard] = next_time
+            processed[shard] = count
+            budget_ok = budget_ok and ok
+            base = granted_base[shard]
+            if last_time is not None and window > 0:
+                self._windows_coalesced += max(0, int((last_time - base) / window))
+            self._route_exports(exports, base + window)
 
     def _route_exports(
         self,
@@ -663,9 +1044,11 @@ class ShardedSimulator:
     ) -> None:
         """Queue *exports* for their destination shards.
 
-        *horizon* is the end of the window that produced them; exports
-        collected between drains (no window ran) pass ``None`` — every
-        kernel is at a barrier then, so any future-time delivery is safe.
+        *horizon* is the conservative bound the producing window promised
+        (strict: the barrier horizon; pipelined: its grant base plus one
+        window width); exports collected between drains (no window ran)
+        pass ``None`` — every kernel is at a barrier then, so any
+        future-time delivery is safe.
         """
         for deliver_at, message in exports:
             if horizon is not None and deliver_at < horizon:
@@ -725,7 +1108,9 @@ class ShardedSimulator:
 
     # -- aggregation ---------------------------------------------------------------
 
-    def _kernel_snapshots(self) -> List[Tuple[NetworkStats, int, int, int, float]]:
+    def _kernel_snapshots(
+        self,
+    ) -> List[Tuple[NetworkStats, int, int, int, float, Dict[Address, int]]]:
         if self._kernels is not None:
             for kernel in self._kernels:
                 kernel.refresh_provenance_stats()
@@ -736,22 +1121,41 @@ class ShardedSimulator:
                     kernel._uncounted_scheduled,
                     kernel._events_processed,
                     kernel.current_time(),
+                    dict(kernel.query_receipts),
                 )
                 for kernel in self._kernels
             ]
         if self._workers is not None:
-            return [worker.request("stats") for worker in self._workers]
+            snapshots = []
+            for worker in self._workers:
+                worker.send_command(bytes((_OP_STATS,)))
+                snapshots.append(pickle.loads(worker.recv_reply()[1:]))
+            return snapshots
         return []
 
     def _merged_stats(self, snapshots=None) -> NetworkStats:
         if snapshots is None:
             snapshots = self._kernel_snapshots()
         merged = NetworkStats()
-        for stats, _scheduled, _uncounted, processed, _busy in snapshots:
+        for stats, _scheduled, _uncounted, processed, _busy, _receipts in snapshots:
             # merge() copies into records it owns; the kernels' live stats
             # objects are never aliased or mutated.
             merged.merge(stats)
             merged.total_events += processed
+        # Settle cross-shard query billing: responses that passed through a
+        # kernel not hosting their asker were recorded as receipts (the
+        # kernel's own stats book stays strictly local); the charge lands on
+        # the asker's merged record here, matching the serial backend's
+        # per-node query_bytes_charged exactly.
+        for _stats, _scheduled, _uncounted, _processed, _busy, receipts in snapshots:
+            for asker in sorted(receipts):
+                merged.node(asker).query_bytes_charged += receipts[asker]
+        # The coordination ledger lives on the coordinator, not in any
+        # kernel: assigned, not merged (serial runs report zeros).
+        merged.coordination_rounds = self._coordination_rounds
+        merged.coordination_bytes = self._coordination_bytes
+        merged.windows_executed = self._windows_executed
+        merged.windows_coalesced = self._windows_coalesced
         return merged
 
     def _events_processed_total(self, snapshots=None) -> int:
@@ -796,21 +1200,30 @@ class ShardedSimulator:
         return max([s[4] for s in snapshots] or [0.0])
 
     def expire_all(self, now: float) -> None:
+        # Expiry sweeps databases and gauges only — it cannot schedule
+        # events or produce exports, so idle certificates survive it.
         if self._kernels is not None:
             for kernel in self._kernels:
                 kernel.expire_all(now)
         elif self._workers is not None:
+            frame = bytes((_OP_EXPIRE,)) + _F64.pack(now)
             for worker in self._workers:
-                worker.request("expire_all", now)
+                worker.send_command(frame)
+                worker.recv_reply()
 
     def count_facts(self, relation: str) -> int:
         """Stored-tuple count of *relation* across all shards."""
         if self._kernels is not None:
             return sum(kernel.count_facts(relation) for kernel in self._kernels)
         if self._workers is not None:
-            return sum(
-                worker.request("count_facts", relation) for worker in self._workers
+            frame = bytes((_OP_COUNT,)) + pickle.dumps(
+                relation, protocol=pickle.HIGHEST_PROTOCOL
             )
+            total = 0
+            for worker in self._workers:
+                worker.send_command(frame)
+                total += pickle.loads(worker.recv_reply()[1:])
+            return total
         return 0
 
     # -- workload -----------------------------------------------------------------
@@ -875,6 +1288,10 @@ class ShardedSimulator:
         window barriers as data traffic.
         """
         at = self.current_time() if now is None else now
+        # Issuing touches the asker's kernel directly (timeout scheduling,
+        # possible cross-shard request exports): its idle certificate is
+        # void until the next flush collects what happened.
+        self._idle_certified[self.plan.shard_of(query.at)] = False
         return self._kernel_hosting(query.at).queries.issue(query, now=at)
 
     def query(
@@ -904,5 +1321,6 @@ class ShardedSimulator:
     def __repr__(self) -> str:
         return (
             f"ShardedSimulator(nodes={self.topology.node_count}, "
-            f"shards={self.plan.shard_count}, mode={self.shard_mode!r})"
+            f"shards={self.plan.shard_count}, mode={self.shard_mode!r}, "
+            f"pipeline={self.shard_pipeline}, transport={self.transport!r})"
         )

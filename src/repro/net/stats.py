@@ -142,6 +142,21 @@ class NetworkStats:
     #: Messages lost to network dynamics: shipped on a failed link, or
     #: arriving at a crashed node.  The sender still paid for the bytes.
     messages_lost: int = 0
+    #: Coordination ledger of the sharded backend (zero under serial, where
+    #: there is nothing to coordinate).  All four counters are deterministic
+    #: — identical between ``shard_mode="inline"`` and ``"processes"`` runs
+    #: of the same workload — which is what makes the coordination floor
+    #: measurable on a single-CPU box.  ``coordination_rounds`` counts
+    #: coordinator↔worker request/reply round-trips on the hot path (drain
+    #: flushes and window grants); ``coordination_bytes`` the frame bytes
+    #: those round-trips carried; ``windows_executed`` the window commands
+    #: issued; ``windows_coalesced`` the *extra* whole window-widths covered
+    #: by multi-window leases (pipelined mode's one-round-trip runs of
+    #: export-empty windows).
+    coordination_rounds: int = 0
+    coordination_bytes: int = 0
+    windows_executed: int = 0
+    windows_coalesced: int = 0
 
     def node(self, address: Address) -> NodeStats:
         stats = self.nodes.get(address)
@@ -171,6 +186,10 @@ class NetworkStats:
         self.total_events += other.total_events
         self.messages_dropped += other.messages_dropped
         self.messages_lost += other.messages_lost
+        self.coordination_rounds += other.coordination_rounds
+        self.coordination_bytes += other.coordination_bytes
+        self.windows_executed += other.windows_executed
+        self.windows_coalesced += other.windows_coalesced
 
     @classmethod
     def merged(cls, parts: "Iterable[NetworkStats]") -> "NetworkStats":
@@ -298,4 +317,21 @@ class NetworkStats:
             ),
             "spill_reads": float(self.total_spill_reads()),
             "cpu_seconds": self.total_cpu_seconds(),
+            "coordination_rounds": float(self.coordination_rounds),
+            "coordination_bytes": float(self.coordination_bytes),
+            "windows_executed": float(self.windows_executed),
+            "windows_coalesced": float(self.windows_coalesced),
         }
+
+
+#: The backend-mechanical summary keys: they describe how a run was
+#: *coordinated*, not what the simulated network did, so serial-vs-sharded
+#: equivalence checks exclude exactly this set.
+COORDINATION_KEYS = frozenset(
+    {
+        "coordination_rounds",
+        "coordination_bytes",
+        "windows_executed",
+        "windows_coalesced",
+    }
+)

@@ -1,0 +1,821 @@
+"""Cheap coordination transport for the sharded backend.
+
+The sharded coordinator and its workers exchange three kinds of payload at
+every synchronization point: cross-shard export batches (``(deliver_at,
+message)`` pairs), stamped control-event batches (drain flushes), and small
+window-grant headers.  Pickling those per window is the coordination floor
+ROADMAP item 2 complains about — a ``Fact`` pickles to hundreds of bytes of
+class metadata — so this module provides a compact **binary frame codec**:
+
+* struct-packed numeric headers (times, sequence numbers, counts);
+* a per-frame **string table** interning addresses, relations, principals
+  and rule labels, so each repeated name costs 4 bytes;
+* payloads (fact values, provenance monomials, query keys) via the same
+  deterministic ``repr`` literal encoding the tiered provenance store uses
+  (:mod:`repro.provenance.tiers`): ``repr`` of literals + ``ast.literal_eval``
+  round-trips exactly and never depends on hash seeds, unlike pickled sets.
+
+Frames are **deterministic**: encoding the same logical payload yields the
+same bytes in every process, which is what lets the coordinator expose
+``coordination_bytes`` as a deterministic counter — identical between
+``shard_mode="inline"`` and ``"processes"`` runs.  Messages whose payload is
+not literal-encodable (exotic user values) fall back to a per-message pickle
+record, keeping the codec total.
+
+Two transports share the frame surface (``TRANSPORTS``):
+
+* ``"binary"`` — the codec above (the default);
+* ``"pickle"`` — one pickle per payload, kept as the measurable baseline the
+  shard-scaling benchmark compares coordination bytes against;
+* ``"shm"`` — the binary codec, plus a zero-copy
+  :class:`SharedMemoryRing` per pipe direction: frames over
+  ``SHM_MIN_FRAME_BYTES`` are placed in a shared-memory ring and only a
+  12-byte descriptor crosses the pipe (see :mod:`repro.net.sharding`).
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import os
+import pickle
+import struct
+import zlib
+from itertools import count as _counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.tuples import Fact
+from repro.net.events import (
+    FactInjection,
+    FactRetraction,
+    LinkDown,
+    LinkUp,
+    MessageDelivery,
+    NodeCrash,
+    NodeRecover,
+    QueryTimeout,
+    SimulationEvent,
+    SoftStateRefresh,
+)
+from repro.net.message import (
+    Message,
+    BatchItem,
+    MessageBatch,
+    QueryClosureEntry,
+    QueryRequest,
+    QueryResponse,
+    WIRE_KINDS,
+)
+from repro.provenance.authenticated import SignedAnnotation
+from repro.provenance.condensed import CondensedProvenance
+from repro.provenance.distributed import ProvenancePointer
+from repro.provenance.polynomial import ProvenanceExpression
+
+#: Coordination transports the sharded backend accepts.
+TRANSPORTS = ("pickle", "binary", "shm")
+
+#: Frames at least this large ride the shared-memory ring under
+#: ``transport="shm"``; smaller ones go down the pipe (the descriptor and
+#: bookkeeping would cost more than the copy).
+SHM_MIN_FRAME_BYTES = 4096
+
+#: Binary frames at least this large are deflate-compressed before hitting
+#: the wire.  ``zlib.compress`` at a fixed level is deterministic for a given
+#: input, so compressed frames — and therefore ``coordination_bytes`` — stay
+#: identical across runs and across inline/process shard modes on one host.
+COMPRESS_MIN_BYTES = 512
+
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+_KIND_PICKLE = 255
+_EVENT_KINDS: Dict[type, int] = {
+    FactInjection: 1,
+    FactRetraction: 2,
+    LinkDown: 3,
+    LinkUp: 4,
+    NodeCrash: 5,
+    NodeRecover: 6,
+    SoftStateRefresh: 7,
+    MessageDelivery: 8,
+    QueryTimeout: 9,
+}
+
+_PROV_NONE = 0
+_PROV_CONDENSED = 1
+_PROV_SIGNED = 2
+
+
+class _Unencodable(Exception):
+    """Internal: this payload cannot take the literal fast path."""
+
+
+class _Writer:
+    """Append-only binary buffer with struct-packed primitives."""
+
+    __slots__ = ("buffer",)
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+
+    def u8(self, value: int) -> None:
+        self.buffer += _U8.pack(value)
+
+    def u32(self, value: int) -> None:
+        self.buffer += _U32.pack(value)
+
+    def u64(self, value: int) -> None:
+        self.buffer += _U64.pack(value)
+
+    def f64(self, value: float) -> None:
+        self.buffer += _F64.pack(value)
+
+    def blob(self, data: bytes) -> None:
+        self.buffer += _U32.pack(len(data))
+        self.buffer += data
+
+
+class _Reader:
+    """Sequential reader matching :class:`_Writer`."""
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes, offset: int = 0) -> None:
+        self.data = data
+        self.offset = offset
+
+    def u8(self) -> int:
+        value = _U8.unpack_from(self.data, self.offset)[0]
+        self.offset += 1
+        return value
+
+    def u32(self) -> int:
+        value = _U32.unpack_from(self.data, self.offset)[0]
+        self.offset += 4
+        return value
+
+    def u64(self) -> int:
+        value = _U64.unpack_from(self.data, self.offset)[0]
+        self.offset += 8
+        return value
+
+    def f64(self) -> float:
+        value = _F64.unpack_from(self.data, self.offset)[0]
+        self.offset += 8
+        return value
+
+    def blob(self) -> bytes:
+        length = self.u32()
+        value = bytes(self.data[self.offset : self.offset + length])
+        self.offset += length
+        return value
+
+
+class _StringTable:
+    """Per-frame interning of repeated names (addresses, relations, ...)."""
+
+    __slots__ = ("_indices", "_strings")
+
+    def __init__(self) -> None:
+        self._indices: Dict[str, int] = {}
+        self._strings: List[str] = []
+
+    def intern(self, value: str) -> int:
+        if type(value) is not str:
+            # Address-like subclasses of str intern by their text; anything
+            # else has no stable literal form here.
+            if not isinstance(value, str):
+                raise _Unencodable(f"non-string name {value!r}")
+            value = str(value)
+        index = self._indices.get(value)
+        if index is None:
+            index = len(self._strings)
+            self._indices[value] = index
+            self._strings.append(value)
+        return index
+
+    def emit(self) -> bytes:
+        writer = _Writer()
+        writer.u32(len(self._strings))
+        for text in self._strings:
+            writer.blob(text.encode("utf-8"))
+        return bytes(writer.buffer)
+
+    @staticmethod
+    def parse(reader: _Reader) -> List[str]:
+        return [reader.blob().decode("utf-8") for _ in range(reader.u32())]
+
+
+# ---------------------------------------------------------------------------
+# Literal payloads
+# ---------------------------------------------------------------------------
+
+def _check_literal(value: object) -> None:
+    """Raise :class:`_Unencodable` unless ``repr``/``literal_eval`` round-trips."""
+    if value is None or value is True or value is False:
+        return
+    kind = type(value)
+    if kind is str or kind is bytes or kind is int:
+        return
+    if kind is float:
+        if math.isfinite(value):
+            return
+        raise _Unencodable("non-finite float has no literal form")
+    if kind is tuple or kind is list:
+        for element in value:
+            _check_literal(element)
+        return
+    raise _Unencodable(f"value of type {kind.__name__} has no literal form")
+
+
+def _literal_blob(value: object) -> bytes:
+    _check_literal(value)
+    return repr(value).encode("utf-8")
+
+
+def _parse_literal(data: bytes) -> object:
+    return ast.literal_eval(data.decode("utf-8"))
+
+
+def _encode_provenance(writer: _Writer, table: _StringTable, annotation) -> None:
+    if annotation is None:
+        writer.u8(_PROV_NONE)
+        return
+    if isinstance(annotation, CondensedProvenance):
+        writer.u8(_PROV_CONDENSED)
+        writer.blob(_literal_blob(annotation.expression.monomials))
+        return
+    if isinstance(annotation, SignedAnnotation):
+        writer.u8(_PROV_SIGNED)
+        writer.blob(_literal_blob(annotation.annotation.expression.monomials))
+        writer.u32(table.intern(annotation.principal))
+        writer.blob(annotation.signature)
+        return
+    raise _Unencodable(f"unknown provenance annotation {type(annotation).__name__}")
+
+
+def _decode_provenance(reader: _Reader, strings: List[str]):
+    kind = reader.u8()
+    if kind == _PROV_NONE:
+        return None
+    monomials = _parse_literal(reader.blob())
+    condensed = CondensedProvenance(
+        expression=ProvenanceExpression(monomials=monomials)
+    )
+    if kind == _PROV_CONDENSED:
+        return condensed
+    principal = strings[reader.u32()]
+    signature = reader.blob()
+    return SignedAnnotation(
+        annotation=condensed, principal=principal, signature=signature
+    )
+
+
+_FACT_HAS_TTL = 1
+_FACT_HAS_ASSERTER = 2
+_FACT_HAS_SIGNATURE = 4
+_FACT_HAS_ORIGIN = 8
+
+
+def _encode_fact(writer: _Writer, table: _StringTable, fact: Fact) -> None:
+    flags = 0
+    if fact.ttl is not None:
+        flags |= _FACT_HAS_TTL
+    if fact.asserted_by is not None:
+        flags |= _FACT_HAS_ASSERTER
+    if fact.signature is not None:
+        flags |= _FACT_HAS_SIGNATURE
+    if fact.origin is not None:
+        flags |= _FACT_HAS_ORIGIN
+    writer.u32(table.intern(fact.relation))
+    writer.u8(flags)
+    writer.f64(fact.timestamp)
+    if fact.ttl is not None:
+        writer.f64(fact.ttl)
+    if fact.asserted_by is not None:
+        writer.u32(table.intern(fact.asserted_by))
+    if fact.signature is not None:
+        writer.blob(fact.signature)
+    if fact.origin is not None:
+        writer.u32(table.intern(fact.origin))
+    writer.blob(_literal_blob(fact.values))
+    _encode_provenance(writer, table, fact.provenance)
+
+
+def _decode_fact(reader: _Reader, strings: List[str]) -> Fact:
+    relation = strings[reader.u32()]
+    flags = reader.u8()
+    timestamp = reader.f64()
+    ttl = reader.f64() if flags & _FACT_HAS_TTL else None
+    asserted_by = strings[reader.u32()] if flags & _FACT_HAS_ASSERTER else None
+    signature = reader.blob() if flags & _FACT_HAS_SIGNATURE else None
+    origin = strings[reader.u32()] if flags & _FACT_HAS_ORIGIN else None
+    values = _parse_literal(reader.blob())
+    provenance = _decode_provenance(reader, strings)
+    return Fact(
+        relation=relation,
+        values=values,
+        timestamp=timestamp,
+        ttl=ttl,
+        asserted_by=asserted_by,
+        signature=signature,
+        provenance=provenance,
+        origin=origin,
+    )
+
+
+def _encode_key(writer: _Writer, table: _StringTable, key) -> None:
+    relation, values = key
+    writer.u32(table.intern(relation))
+    writer.blob(_literal_blob(tuple(values)))
+
+
+def _decode_key(reader: _Reader, strings: List[str]):
+    relation = strings[reader.u32()]
+    return (relation, _parse_literal(reader.blob()))
+
+
+# ---------------------------------------------------------------------------
+# Wire messages
+# ---------------------------------------------------------------------------
+
+def _encode_message_body(writer: _Writer, table: _StringTable, message) -> None:
+    kind = WIRE_KINDS.get(type(message))
+    if kind is None:
+        raise _Unencodable(f"unknown wire message {type(message).__name__}")
+    writer.u8(kind)
+    writer.u32(table.intern(message.source))
+    writer.u32(table.intern(message.destination))
+    writer.f64(message.sent_at)
+    writer.u64(message.sequence)
+    if isinstance(message, Message):
+        writer.u32(message.security_bytes)
+        writer.u32(message.provenance_bytes)
+        _encode_fact(writer, table, message.fact)
+    elif isinstance(message, MessageBatch):
+        writer.u32(len(message.items))
+        for item in message.items:
+            writer.u32(item.security_bytes)
+            writer.u32(item.provenance_bytes)
+            _encode_fact(writer, table, item.fact)
+    elif isinstance(message, QueryRequest):
+        _encode_key(writer, table, message.key)
+        writer.u64(message.query_id)
+        writer.u64(message.request_id)
+        writer.u32(table.intern(message.mode))
+        writer.u8((1 if message.condensed else 0) | (2 if message.authenticated else 0))
+        writer.u32(message.security_bytes)
+        writer.u32(message.provenance_bytes)
+    else:  # QueryResponse
+        _encode_key(writer, table, message.key)
+        writer.u64(message.query_id)
+        writer.u64(message.request_id)
+        writer.u32(len(message.entries))
+        for entry in message.entries:
+            _encode_key(writer, table, entry.key)
+            writer.u32(table.intern(entry.node))
+            writer.u8(1 if entry.is_base else 0)
+            writer.u32(len(entry.pointers))
+            for pointer in entry.pointers:
+                _encode_key(writer, table, pointer.output)
+                writer.u32(table.intern(pointer.rule_label))
+                writer.u32(table.intern(pointer.node))
+                writer.f64(pointer.timestamp)
+                writer.u32(len(pointer.inputs))
+                for input_key, input_origin in pointer.inputs:
+                    _encode_key(writer, table, input_key)
+                    if input_origin is None:
+                        writer.u8(0)
+                    else:
+                        writer.u8(1)
+                        writer.u32(table.intern(input_origin))
+        writer.u32(len(message.missing))
+        for key in message.missing:
+            _encode_key(writer, table, key)
+        _encode_provenance(writer, table, message.annotation)
+        writer.u32(message.annotation_bytes)
+        if message.signature is None:
+            writer.u8(0)
+        else:
+            writer.u8(1)
+            writer.blob(message.signature)
+
+
+def _decode_message_body(reader: _Reader, strings: List[str]):
+    kind = reader.u8()
+    if kind == _KIND_PICKLE:
+        return pickle.loads(reader.blob())
+    source = strings[reader.u32()]
+    destination = strings[reader.u32()]
+    sent_at = reader.f64()
+    sequence = reader.u64()
+    if kind == 0:  # Message
+        security = reader.u32()
+        provenance = reader.u32()
+        fact = _decode_fact(reader, strings)
+        return Message(
+            source=source,
+            destination=destination,
+            fact=fact,
+            security_bytes=security,
+            provenance_bytes=provenance,
+            sent_at=sent_at,
+            sequence=sequence,
+        )
+    if kind == 1:  # MessageBatch
+        items = []
+        for _ in range(reader.u32()):
+            security = reader.u32()
+            provenance = reader.u32()
+            fact = _decode_fact(reader, strings)
+            items.append(
+                BatchItem(
+                    fact=fact, security_bytes=security, provenance_bytes=provenance
+                )
+            )
+        return MessageBatch(
+            source=source,
+            destination=destination,
+            items=tuple(items),
+            sent_at=sent_at,
+            sequence=sequence,
+        )
+    if kind == 2:  # QueryRequest
+        key = _decode_key(reader, strings)
+        query_id = reader.u64()
+        request_id = reader.u64()
+        mode = strings[reader.u32()]
+        flags = reader.u8()
+        security = reader.u32()
+        provenance = reader.u32()
+        return QueryRequest(
+            source=source,
+            destination=destination,
+            key=key,
+            query_id=query_id,
+            request_id=request_id,
+            mode=mode,
+            condensed=bool(flags & 1),
+            authenticated=bool(flags & 2),
+            sent_at=sent_at,
+            sequence=sequence,
+            security_bytes=security,
+            provenance_bytes=provenance,
+        )
+    if kind == 3:  # QueryResponse
+        key = _decode_key(reader, strings)
+        query_id = reader.u64()
+        request_id = reader.u64()
+        entries = []
+        for _ in range(reader.u32()):
+            entry_key = _decode_key(reader, strings)
+            node = strings[reader.u32()]
+            is_base = bool(reader.u8())
+            pointers = []
+            for _ in range(reader.u32()):
+                output = _decode_key(reader, strings)
+                rule_label = strings[reader.u32()]
+                pointer_node = strings[reader.u32()]
+                timestamp = reader.f64()
+                inputs = []
+                for _ in range(reader.u32()):
+                    input_key = _decode_key(reader, strings)
+                    origin = strings[reader.u32()] if reader.u8() else None
+                    inputs.append((input_key, origin))
+                pointers.append(
+                    ProvenancePointer(
+                        output=output,
+                        rule_label=rule_label,
+                        node=pointer_node,
+                        inputs=tuple(inputs),
+                        timestamp=timestamp,
+                    )
+                )
+            entries.append(
+                QueryClosureEntry(
+                    key=entry_key,
+                    node=node,
+                    is_base=is_base,
+                    pointers=tuple(pointers),
+                )
+            )
+        missing = tuple(_decode_key(reader, strings) for _ in range(reader.u32()))
+        annotation = _decode_provenance(reader, strings)
+        annotation_bytes = reader.u32()
+        signature = reader.blob() if reader.u8() else None
+        return QueryResponse(
+            source=source,
+            destination=destination,
+            query_id=query_id,
+            request_id=request_id,
+            key=key,
+            entries=tuple(entries),
+            missing=missing,
+            annotation=annotation,
+            annotation_bytes=annotation_bytes,
+            signature=signature,
+            sent_at=sent_at,
+            sequence=sequence,
+        )
+    raise ValueError(f"unknown wire-message kind {kind} in coordination frame")
+
+
+def _encode_message(writer: _Writer, table: _StringTable, message) -> None:
+    """Encode one wire message; pickle the record when not literal-encodable."""
+    mark = len(writer.buffer)
+    try:
+        _encode_message_body(writer, table, message)
+    except _Unencodable:
+        del writer.buffer[mark:]
+        writer.u8(_KIND_PICKLE)
+        writer.blob(pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+# ---------------------------------------------------------------------------
+# Control events (drain flushes)
+# ---------------------------------------------------------------------------
+
+def _encode_event(
+    writer: _Writer, table: _StringTable, event: SimulationEvent
+) -> None:
+    kind = _EVENT_KINDS.get(type(event))
+    mark = len(writer.buffer)
+    try:
+        if kind is None:
+            raise _Unencodable(f"unknown event {type(event).__name__}")
+        writer.u8(kind)
+        writer.f64(event.time)
+        if isinstance(event, FactInjection):
+            writer.u32(table.intern(event.address))
+            writer.u8(1 if event.remember else 0)
+            writer.u32(len(event.facts))
+            for fact in event.facts:
+                _encode_fact(writer, table, fact)
+        elif isinstance(event, FactRetraction):
+            writer.u32(table.intern(event.address))
+            writer.u32(len(event.facts))
+            for fact in event.facts:
+                _encode_fact(writer, table, fact)
+        elif isinstance(event, LinkDown):
+            writer.u32(table.intern(event.source))
+            writer.u32(table.intern(event.destination))
+            writer.u8(1 if event.retract else 0)
+        elif isinstance(event, LinkUp):
+            writer.u32(table.intern(event.source))
+            writer.u32(table.intern(event.destination))
+            writer.u32(len(event.facts))
+            for fact in event.facts:
+                _encode_fact(writer, table, fact)
+        elif isinstance(event, NodeCrash):
+            writer.u32(table.intern(event.address))
+            writer.u8(1 if event.clear_state else 0)
+        elif isinstance(event, NodeRecover):
+            writer.u32(table.intern(event.address))
+            writer.u8(1 if event.reinject else 0)
+        elif isinstance(event, SoftStateRefresh):
+            pass
+        elif isinstance(event, MessageDelivery):
+            _encode_message(writer, table, event.message)
+        else:  # QueryTimeout
+            writer.u64(event.query_id)
+            writer.u64(event.request_id)
+    except _Unencodable:
+        del writer.buffer[mark:]
+        writer.u8(_KIND_PICKLE)
+        writer.blob(pickle.dumps(event, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _decode_event(reader: _Reader, strings: List[str]) -> SimulationEvent:
+    kind = reader.u8()
+    if kind == _KIND_PICKLE:
+        return pickle.loads(reader.blob())
+    time = reader.f64()
+    if kind == 1:
+        address = strings[reader.u32()]
+        remember = bool(reader.u8())
+        facts = tuple(_decode_fact(reader, strings) for _ in range(reader.u32()))
+        return FactInjection(time=time, address=address, facts=facts, remember=remember)
+    if kind == 2:
+        address = strings[reader.u32()]
+        facts = tuple(_decode_fact(reader, strings) for _ in range(reader.u32()))
+        return FactRetraction(time=time, address=address, facts=facts)
+    if kind == 3:
+        source = strings[reader.u32()]
+        destination = strings[reader.u32()]
+        return LinkDown(
+            time=time, source=source, destination=destination, retract=bool(reader.u8())
+        )
+    if kind == 4:
+        source = strings[reader.u32()]
+        destination = strings[reader.u32()]
+        facts = tuple(_decode_fact(reader, strings) for _ in range(reader.u32()))
+        return LinkUp(time=time, source=source, destination=destination, facts=facts)
+    if kind == 5:
+        return NodeCrash(time=time, address=strings[reader.u32()], clear_state=bool(reader.u8()))
+    if kind == 6:
+        return NodeRecover(time=time, address=strings[reader.u32()], reinject=bool(reader.u8()))
+    if kind == 7:
+        return SoftStateRefresh(time=time)
+    if kind == 8:
+        return MessageDelivery(time=time, message=_decode_message_body(reader, strings))
+    if kind == 9:
+        return QueryTimeout(time=time, query_id=reader.u64(), request_id=reader.u64())
+    raise ValueError(f"unknown event kind {kind} in coordination frame")
+
+
+# ---------------------------------------------------------------------------
+# Codec surface
+# ---------------------------------------------------------------------------
+
+def _seal_frame(table: _StringTable, body: _Writer) -> bytes:
+    """Assemble a frame and deflate it when that actually saves bytes.
+
+    The leading byte says which shape follows: ``0`` raw, ``1`` zlib.
+    """
+    frame = table.emit() + bytes(body.buffer)
+    if len(frame) >= COMPRESS_MIN_BYTES:
+        packed = zlib.compress(frame, 6)
+        if len(packed) < len(frame):
+            return b"\x01" + packed
+    return b"\x00" + frame
+
+
+def _open_frame(data: bytes) -> _Reader:
+    payload = bytes(data[1:])
+    if data[0:1] == b"\x01":
+        payload = zlib.decompress(payload)
+    return _Reader(payload)
+
+
+class BinaryCodec:
+    """The compact frame codec (``transport="binary"`` / ``"shm"``)."""
+
+    name = "binary"
+
+    def encode_exports(self, exports) -> bytes:
+        body = _Writer()
+        table = _StringTable()
+        body.u32(len(exports))
+        for deliver_at, message in exports:
+            body.f64(deliver_at)
+            _encode_message(body, table, message)
+        return _seal_frame(table, body)
+
+    def decode_exports(self, data: bytes) -> List[Tuple[float, object]]:
+        reader = _open_frame(data)
+        strings = _StringTable.parse(reader)
+        exports = []
+        for _ in range(reader.u32()):
+            deliver_at = reader.f64()
+            exports.append((deliver_at, _decode_message_body(reader, strings)))
+        return exports
+
+    def encode_events(self, batch) -> bytes:
+        body = _Writer()
+        table = _StringTable()
+        body.u32(len(batch))
+        for event, stamp, owned in batch:
+            body.u64(stamp)
+            body.u8(1 if owned else 0)
+            _encode_event(body, table, event)
+        return _seal_frame(table, body)
+
+    def decode_events(self, data: bytes) -> List[Tuple[SimulationEvent, int, bool]]:
+        reader = _open_frame(data)
+        strings = _StringTable.parse(reader)
+        batch = []
+        for _ in range(reader.u32()):
+            stamp = reader.u64()
+            owned = bool(reader.u8())
+            batch.append((_decode_event(reader, strings), stamp, owned))
+        return batch
+
+
+class PickleCodec:
+    """One pickle per payload: the legacy transport, kept as the measurable
+    baseline (and the fallback for payloads outside the wire vocabulary)."""
+
+    name = "pickle"
+
+    @staticmethod
+    def _dumps(payload) -> bytes:
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def encode_exports(self, exports) -> bytes:
+        return self._dumps(list(exports))
+
+    def decode_exports(self, data: bytes):
+        return pickle.loads(data)
+
+    def encode_events(self, batch) -> bytes:
+        return self._dumps(list(batch))
+
+    def decode_events(self, data: bytes):
+        return pickle.loads(data)
+
+
+def make_codec(transport: str):
+    """The codec for *transport* (``"shm"`` frames are binary frames)."""
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+        )
+    if transport == "pickle":
+        return PickleCodec()
+    return BinaryCodec()
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory ring
+# ---------------------------------------------------------------------------
+
+_ring_names = _counter()
+
+
+def _attach_segment(name: str):
+    from multiprocessing import resource_tracker, shared_memory
+
+    # Attached segments are owned (and unlinked) by the coordinator; keep
+    # the attach from registering with the resource tracker at all, so
+    # nothing double-unlinks (or double-unregisters) them at exit.  Python
+    # 3.13 exposes ``track=False`` for this; registering-then-unregistering
+    # is not equivalent when processes share one tracker.
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]
+
+
+class SharedMemoryRing:
+    """A single-producer single-consumer ring buffer for large frames.
+
+    The worker protocol is strict request/reply, so each pipe direction has
+    at most one frame outstanding: the producer may reuse any region the
+    consumer has already read, which reduces synchronization to the pipe
+    message itself — :meth:`write` returns the ``(offset, length)``
+    descriptor that crosses the pipe *after* the bytes are in place, and the
+    consumer copies them out on receipt.  Frames larger than the ring fall
+    back to the pipe (``write`` returns ``None``).
+    """
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        capacity: int = 1 << 20,
+        create: bool = False,
+    ) -> None:
+        from multiprocessing import shared_memory
+
+        if create:
+            # Names only need to be unique per machine: pid plus a process
+            # counter, no randomness (determinism invariant INV002).
+            while True:
+                candidate = name or f"repro_ring_{os.getpid()}_{next(_ring_names)}"
+                try:
+                    self._segment = shared_memory.SharedMemory(
+                        name=candidate, create=True, size=capacity
+                    )
+                    break
+                except FileExistsError:  # pragma: no cover - stale segment
+                    if name is not None:
+                        raise
+            self._owner = True
+        else:
+            if name is None:
+                raise ValueError("attaching to a ring requires its name")
+            self._segment = _attach_segment(name)
+            self._owner = False
+        self.capacity = self._segment.size
+        self._cursor = 0
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    def write(self, data: bytes) -> Optional[Tuple[int, int]]:
+        """Place *data* in the ring; returns its descriptor, or ``None`` when
+        the frame is larger than the whole ring (pipe fallback)."""
+        length = len(data)
+        if length > self.capacity:
+            return None
+        offset = self._cursor
+        if offset + length > self.capacity:
+            offset = 0  # wrap: the reader consumed the previous frame already
+        self._segment.buf[offset : offset + length] = data
+        self._cursor = offset + length
+        return (offset, length)
+
+    def read(self, offset: int, length: int) -> bytes:
+        return bytes(self._segment.buf[offset : offset + length])
+
+    def close(self) -> None:
+        try:
+            self._segment.close()
+            if self._owner:
+                self._segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
