@@ -20,6 +20,11 @@
 #   make examples-smoke - run every examples/*.py end-to-end (small N),
 #                      failing on the first nonzero exit; keeps the facade
 #                      documentation executable.
+#   make service-smoke - the query-service-plane benchmark at small sizes:
+#                      an open-loop saturation ladder with admission control
+#                      and the result cache armed (rejection/p95 monotone,
+#                      goodput plateau asserted), plus serial-vs-sharded
+#                      SLO-report equality at the most saturated point.
 #   make memory-smoke - the provenance-memory benchmark at small N with the
 #                      tiered store: asserts the resident gauge stays flat
 #                      under churn and that retracted-route tracebacks
@@ -31,15 +36,15 @@
 #                      when installed — ruff over src/.
 #   make ci          - what the GitHub Actions workflow runs: the lint
 #                      suite, tier-1 tests, the benchmark smoke suite, the
-#                      scenario, shard, examples and memory smoke runs, and
-#                      a bytecode compile of the whole source tree.
+#                      scenario, shard, examples, service and memory smoke
+#                      runs, and a bytecode compile of the whole source tree.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check tier1 test bench-smoke scenarios-smoke shard-smoke examples-smoke memory-smoke lint compileall ci
+.PHONY: check tier1 test bench-smoke scenarios-smoke shard-smoke examples-smoke service-smoke memory-smoke lint compileall ci
 
-check: lint test bench-smoke scenarios-smoke shard-smoke examples-smoke memory-smoke
+check: lint test bench-smoke scenarios-smoke shard-smoke examples-smoke service-smoke memory-smoke
 
 tier1:
 	$(PYTHON) -m pytest -x -q
@@ -71,6 +76,12 @@ examples-smoke:
 		$(PYTHON) $$example > /dev/null; \
 	done
 
+service-smoke:
+	REPRO_SERVICE_RATES=2,6,18 REPRO_SERVICE_N=8 REPRO_SERVICE_DURATION=6 \
+		$(PYTHON) -m pytest -x -q benchmarks/test_query_service.py
+	$(PYTHON) -m repro.harness.scenarios link-failure --nodes 8 \
+		--query-rate 3 --clients 1 --admission 2
+
 memory-smoke:
 	REPRO_BENCH_SIZES=10 REPRO_SCALE_N=24 REPRO_BENCH_CHURN_ROUNDS=3 \
 		$(PYTHON) -m pytest -x -q benchmarks/test_provenance_memory.py
@@ -87,4 +98,4 @@ lint:
 compileall:
 	$(PYTHON) -m compileall -q src
 
-ci: lint tier1 bench-smoke scenarios-smoke shard-smoke examples-smoke memory-smoke compileall
+ci: lint tier1 bench-smoke scenarios-smoke shard-smoke examples-smoke service-smoke memory-smoke compileall

@@ -1,0 +1,102 @@
+"""The query service plane: an always-on network under open-loop query load.
+
+One-shot tracebacks (``network.query``) answer a single question; the
+service plane answers a *stream* of them while the network keeps running:
+
+1. ``Network.build`` arms the per-node result cache and token-bucket
+   admission control through ``NetOptions``;
+2. a ``QueryWorkload`` describes open-loop Poisson arrivals — precomputed
+   from the seed, so every backend sees the identical stream;
+3. ``network.serve(workload)`` converges the network, plays the window and
+   returns a ``RunResult`` whose ``service()`` report carries goodput,
+   rejection rate, latency percentiles and cache economics;
+4. the same workload at 8x the offered rate shows the open-loop saturation
+   signature: goodput grows sublinearly while rejections and tail latency
+   climb — admission control sheds the overload instead of queueing it
+   without bound;
+5. a closed-loop variant (N clients with think time) bounds the load by
+   construction: nobody issues a new query before their last one answered.
+
+Run with::
+
+    python examples/open_loop_service.py
+"""
+
+from __future__ import annotations
+
+from repro.api import NetOptions, Network
+from repro.net.kernel import CostModel
+from repro.service.workload import QueryWorkload
+
+
+def build_network() -> Network:
+    return Network.build(
+        topology=10,
+        program="best-path",
+        provenance="condensed",
+        options=NetOptions(
+            seed=42,
+            query_cache=True,            # per-node memoized closures
+            query_cache_entries=64,      # LRU capacity per node
+            admission_rate=1.0,          # sustained budget: 1 query/s/node
+            admission_burst=8.0,         # tokens banked while idle
+            # Inflated query CPU costs put the bottleneck in the service
+            # plane (not the 1 ms wire), so saturation shows at demo rates.
+            cost_model=CostModel(
+                seconds_per_query_lookup=25e-3, seconds_per_query_byte=2e-4
+            ),
+        ),
+    )
+
+
+def describe(label: str, report) -> None:
+    print(
+        f"  {label:<22s} offered={report.offered:>4d} "
+        f"completed={report.completed:>4d} "
+        f"goodput={report.goodput:>6.2f}/s rejected={report.rejection_rate:>5.1%} "
+        f"p50={report.p50_ms:>8.1f}ms p95={report.p95_ms:>8.1f}ms "
+        f"cache-hit={report.cache_hit_ratio:>5.1%}"
+    )
+
+
+def main() -> None:
+    # 2-3. A light open-loop load: well inside the admission budget.
+    network = build_network()
+    light = network.serve(QueryWorkload(rate=2.0, duration=10.0, seed=7))
+    print("open-loop provenance query service (10 nodes, best-path):")
+    describe("light (2 q/s)", light.service())
+
+    # 4. Same network, same seed, 8x the offered rate: the saturation
+    #    signature.  Goodput grows far less than 8x; the token buckets
+    #    shed the excess and the queue pushes the tail out.
+    saturated = build_network().serve(
+        QueryWorkload(rate=16.0, duration=10.0, seed=7)
+    )
+    describe("saturated (16 q/s)", saturated.service())
+
+    light_report, saturated_report = light.service(), saturated.service()
+    assert saturated_report.rejection_rate > light_report.rejection_rate
+    assert saturated_report.p95_ms >= light_report.p95_ms
+    assert saturated_report.goodput < 8 * light_report.goodput
+    assert saturated_report.cache_hit_ratio > 0
+
+    # 5. Closed-loop: four clients, each waiting for its answer (plus
+    #    think time) before asking again.  Load is self-limiting, so
+    #    nothing is rejected even with the same admission budget.  Only
+    #    the four opening arrivals count as "offered" — every follow-up
+    #    is generated inside the kernel as its predecessor completes.
+    closed = build_network().serve(
+        QueryWorkload(clients=4, think_time=0.5, duration=10.0, seed=7)
+    )
+    describe("closed-loop (4 users)", closed.service())
+
+    print(
+        "\nsaturation sheds load instead of queueing it: "
+        f"{saturated_report.rejected} of {saturated_report.offered} "
+        "queries rejected by the token buckets, and every served answer "
+        "was epoch-checked against the provenance store (zero stale hits)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,9 @@ The package is organised as the paper is:
   Best-Path, path-vector, monitoring);
 * :mod:`repro.usecases` — diagnostics, forensics, accountability and trust
   management built on provenance;
+* :mod:`repro.service` — the query service plane: open- and closed-loop
+  provenance query workloads, token-bucket admission control, the per-node
+  result cache and latency-SLO accounting;
 * :mod:`repro.harness` — the experiment harness regenerating Figures 3 and 4
   and the overhead tables of Section 6;
 * :mod:`repro.api` — the first-class entry point: the :class:`~repro.api.Network`
@@ -67,6 +70,33 @@ Long runs can bound the archives' memory with the tiered store
 Derivations older than the hot tier spill to an append-only per-node log
 and are fetched back transparently (counted as ``spill_reads``); offline
 forensics stay byte-identical to the unbounded default for any capacity.
+
+Beyond one-shot tracebacks, the network runs as an always-on **query
+service**: a :class:`~repro.service.workload.QueryWorkload` describes
+sustained load (open-loop Poisson arrivals at ``rate`` queries/s, or
+``clients`` closed-loop clients with think time), and
+:meth:`~repro.api.Network.serve` converges the network, serves the window
+and reports service levels::
+
+    from repro.api import Network, NetOptions
+    from repro.service.workload import QueryWorkload
+
+    network = Network.build(topology=10, program="best-path",
+                            provenance="condensed",
+                            options=NetOptions(query_cache=True,
+                                               admission_rate=1.0,
+                                               admission_burst=8.0))
+    result = network.serve(QueryWorkload(rate=5.0, duration=10.0, seed=7))
+    report = result.service()
+    print(report.goodput, report.rejection_rate,
+          report.p95_ms, report.cache_hit_ratio)
+
+Admission is a per-node token bucket on simulated time (``policy="drop"``
+or ``"retry"``); the result cache memoizes provenance closures per node
+and is invalidated by epoch on any provenance mutation, so a cached answer
+is always structurally identical to a cold walk.  All service counters are
+integers on simulated time and therefore byte-identical across execution
+backends.
 
 Execution backends: large runs can be partitioned across parallel
 per-shard kernels with ``backend="sharded"``::

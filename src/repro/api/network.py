@@ -31,13 +31,14 @@ from repro.datalog.planner import CompiledProgram, compile_program
 from repro.engine.node_engine import EngineConfig, collect_facts, facts_by_node
 from repro.engine.tuples import Fact, FactKey, as_fact_key
 from repro.net.address import Address
-from repro.net.events import SimulationEvent
+from repro.net.events import FactInjection, SimulationEvent
 from repro.net.kernel import SimulationKernel, SimulationResult
 from repro.net.query import PendingQuery, ProvenanceQuery, QueryResult
 from repro.net.sharding import ShardedSimulator
 from repro.net.simulator import Simulator
 from repro.net.topology import Topology, random_topology
 from repro.queries import PROGRAMS, compile_named
+from repro.service.workload import QueryWorkload
 from repro.api.options import NetOptions, resolve_preset
 from repro.api.results import RunResult
 
@@ -186,6 +187,8 @@ class Network:
             batch_receive=merged.batch_receive,
             link_relation=merged.link_relation,
             query_timeout=merged.query_timeout,
+            admission=merged.service_admission(),
+            query_cache=merged.service_cache(),
         )
         if merged.backend == "sharded":
             simulator = ShardedSimulator(
@@ -277,6 +280,45 @@ class Network:
     def finish(self, converged: bool = True) -> RunResult:
         """Close the books after phase-structured runs (see ``schedule``)."""
         return self._wrap(self.simulator.finish(converged))
+
+    def serve(
+        self,
+        workload: QueryWorkload,
+        base_facts: Optional[Dict[Address, List[Fact]]] = None,
+        *,
+        converge: bool = True,
+        start_time: float = 0.0,
+    ) -> RunResult:
+        """Converge the network, then hold it open under *workload*'s queries.
+
+        The serve window opens at the converged network's current simulated
+        time; arrivals, admission decisions, cache probes and closed-loop
+        follow-ups all play out as first-class simulation events interleaved
+        with soft-state refreshes — on either backend, with byte-identical
+        integer counters.  The returned :class:`RunResult` carries the
+        offered-arrival count and window length, so ``result.service()``
+        yields the SLO report (goodput vs offered rate, p50/p95/p99 latency,
+        rejection and cache ratios).
+
+        Pass ``converge=False`` to serve an already-running network (base
+        facts injected earlier via :meth:`run` phases or :meth:`schedule`).
+        """
+        if converge:
+            injected = base_facts if base_facts is not None else self.base_facts()
+            for address, facts in injected.items():
+                self.simulator.schedule(
+                    FactInjection(
+                        time=start_time, address=address, facts=tuple(facts)
+                    )
+                )
+            self.simulator.run_until_idle()
+        start = self.simulator.current_time()
+        offered = self.simulator.serve(workload, start=start)
+        converged = self.simulator.run_until_idle()
+        result = self._wrap(self.simulator.finish(converged))
+        result.offered = offered
+        result.serve_duration = workload.duration
+        return result
 
     def run_scenario(self, scenario):
         """Play a declarative scenario script on this network."""

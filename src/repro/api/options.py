@@ -23,6 +23,8 @@ from repro.net.transport import TRANSPORTS
 from repro.provenance.pruning import MaintenanceMode, ProvenanceSampler
 from repro.provenance.tiers import PROVENANCE_STORES
 from repro.security.says import SaysMode
+from repro.service.cache import CacheConfig
+from repro.service.ratelimit import ADMISSION_POLICIES, AdmissionControl
 
 #: The execution backends ``Network.build(backend=...)`` accepts.
 BACKENDS = ("serial", "sharded")
@@ -125,6 +127,29 @@ class NetOptions:
     lint: str = "error"
     #: Seconds an in-network provenance query waits on one request.
     query_timeout: float = DEFAULT_QUERY_TIMEOUT
+    # -- query service plane (repro.service) ---------------------------------
+    #: Per-node admission rate for service-plane query arrivals, in queries
+    #: per simulated second; ``0.0`` disables admission control (every
+    #: arrival is admitted).
+    admission_rate: float = 0.0
+    #: Token-bucket burst capacity; ``0.0`` defaults to one second of rate
+    #: (at least 1 token).
+    admission_burst: float = 0.0
+    #: What a denied arrival does: ``"drop"`` sheds it immediately,
+    #: ``"retry"`` re-schedules it up to ``admission_retries`` times after
+    #: ``admission_retry_delay`` simulated seconds.
+    admission_policy: str = "drop"
+    admission_retries: int = 3
+    admission_retry_delay: float = 0.05
+    #: Arm the per-node query-result cache (memoized closure walks, epoch-
+    #: and TTL-invalidated).  Off by default: caching changes the query
+    #: path's CPU accounting, so runs that never opted in are unaffected.
+    query_cache: bool = False
+    #: Per-node cache capacity in memoized closures.
+    query_cache_entries: int = 256
+    #: Maximum cache-entry age in simulated seconds; ``0.0`` = no TTL bound
+    #: (the provenance epoch still invalidates on every store mutation).
+    query_cache_ttl: float = 0.0
     cost_model: Optional[CostModel] = None
     #: Seed used when the topology is given as a bare node count.
     seed: int = 0
@@ -204,6 +229,40 @@ class NetOptions:
             raise ValueError(
                 f"lint must be one of {LINT_MODES}, got {self.lint!r}"
             )
+        if self.admission_rate < 0:
+            raise ValueError(
+                f"admission_rate must be >= 0 (0 disables admission "
+                f"control), got {self.admission_rate}"
+            )
+        if self.admission_burst < 0:
+            raise ValueError(
+                f"admission_burst must be >= 0 (0 = one second of rate), "
+                f"got {self.admission_burst}"
+            )
+        if self.admission_policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission_policy {self.admission_policy!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
+        if self.admission_retries < 0:
+            raise ValueError(
+                f"admission_retries must be >= 0, got {self.admission_retries}"
+            )
+        if self.admission_retry_delay <= 0:
+            raise ValueError(
+                f"admission_retry_delay must be positive, got "
+                f"{self.admission_retry_delay}"
+            )
+        if self.query_cache_entries < 1:
+            raise ValueError(
+                f"query_cache_entries must be >= 1, got "
+                f"{self.query_cache_entries}"
+            )
+        if self.query_cache_ttl < 0:
+            raise ValueError(
+                f"query_cache_ttl must be >= 0 (0 = no TTL bound), got "
+                f"{self.query_cache_ttl}"
+            )
 
     def resolved_shards(self) -> int:
         """The effective shard count: explicit, or one per core, clamped to
@@ -216,6 +275,28 @@ class NetOptions:
         if self.shards:
             return self.shards
         return max(2, min(4, os.cpu_count() or 1))
+
+    def service_admission(self) -> Optional[AdmissionControl]:
+        """The per-node admission controller these options describe, or
+        ``None`` when ``admission_rate == 0`` (every arrival admitted)."""
+        if self.admission_rate <= 0:
+            return None
+        return AdmissionControl(
+            rate=self.admission_rate,
+            burst=self.admission_burst,
+            policy=self.admission_policy,
+            retries=self.admission_retries,
+            retry_delay=self.admission_retry_delay,
+        )
+
+    def service_cache(self) -> Optional[CacheConfig]:
+        """The per-node query-result cache config, or ``None`` when the
+        cache is not armed."""
+        if not self.query_cache:
+            return None
+        return CacheConfig(
+            capacity=self.query_cache_entries, ttl=self.query_cache_ttl
+        )
 
     def merged(self, **overrides: object) -> "NetOptions":
         """A copy with *overrides* applied; unknown names raise with the list

@@ -13,12 +13,13 @@ objects, re-exported beside this class from :mod:`repro.api`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.engine.node_engine import NodeEngine, collect_facts, facts_by_node
 from repro.engine.tuples import Fact
 from repro.net.address import Address
 from repro.net.stats import NetworkStats
+from repro.service.slo import ServiceLevelReport, service_report
 
 
 @dataclass
@@ -33,6 +34,11 @@ class RunResult:
     configuration: str = ""
     node_count: int = 0
     seed: int = 0
+    #: Service-plane serve window (``Network.serve``): arrivals the
+    #: workload generator scheduled and the window's simulated length.
+    #: Zero for plain ``run()`` results.
+    offered: int = 0
+    serve_duration: float = 0.0
 
     # -- stored facts ----------------------------------------------------------
 
@@ -93,6 +99,43 @@ class RunResult:
     def facts_derived(self) -> int:
         return self.stats.total_facts_derived()
 
+    # -- service-plane metrics (Network.serve) ---------------------------------
+
+    @property
+    def queries_completed(self) -> int:
+        return self.stats.total_queries_completed()
+
+    @property
+    def queries_rejected(self) -> int:
+        return self.stats.total_queries_rejected()
+
+    @property
+    def queries_shed(self) -> int:
+        return self.stats.total_queries_shed()
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        return self.stats.cache_hit_ratio()
+
+    @property
+    def query_p50_ms(self) -> float:
+        return self.stats.query_latency_ms(0.50)
+
+    @property
+    def query_p95_ms(self) -> float:
+        return self.stats.query_latency_ms(0.95)
+
+    @property
+    def query_p99_ms(self) -> float:
+        return self.stats.query_latency_ms(0.99)
+
+    def service(self) -> Optional[ServiceLevelReport]:
+        """The SLO report for this result's serve window, or ``None`` for a
+        result that did not come from :meth:`Network.serve`."""
+        if not self.offered:
+            return None
+        return service_report(self.stats, self.serve_duration, self.offered)
+
     def summary(self) -> Dict[str, float]:
         """The stats summary dictionary (query traffic itemized)."""
         return self.stats.summary()
@@ -107,4 +150,8 @@ class RunResult:
             "events": self.events_processed,
         }
         row.update(self.stats.summary())
+        report = self.service()
+        if report is not None:
+            for key, value in report.as_dict().items():
+                row[f"service_{key}"] = value
         return row

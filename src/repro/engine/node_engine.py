@@ -269,6 +269,14 @@ class NodeEngine:
         self.distributed_provenance = DistributedProvenanceStore(address)
         self.online_provenance = OnlineProvenanceStore(address)
         self.offline_provenance = _build_offline_archive(address, config)
+        #: Monotonic generation counter of this node's provenance stores,
+        #: bumped on every mutation (base/derivation/remote recording,
+        #: invalidation cascades, crash resets).  The service plane's query
+        #: result cache tags each memoized closure with the epoch it was
+        #: computed under and discards entries the moment the epoch moves,
+        #: which is what guarantees a cached traceback is structurally
+        #: identical to a cold walk at the same simulated instant.
+        self.provenance_epoch = 0
 
     def _index_aggregate_heads(self) -> None:
         """(Re)build the aggregate-head index and the table expiry hooks."""
@@ -320,6 +328,7 @@ class NodeEngine:
         prepared = self._attribute_local(fact, now)
         if self._maintains_provenance:
             if self._should_record(prepared):
+                self.provenance_epoch += 1
                 self.local_provenance.record_base(prepared, source=self.address)
                 self.distributed_provenance.record_base(prepared)
                 if self.config.keep_offline_provenance:
@@ -431,6 +440,7 @@ class NodeEngine:
             table.clear()
         self.aggregates.clear()
         self._dependents.clear()
+        self.provenance_epoch += 1
         self.local_provenance = LocalProvenanceStore(self.address)
         self.distributed_provenance = DistributedProvenanceStore(self.address)
         self.online_provenance = OnlineProvenanceStore(self.address)
@@ -523,6 +533,7 @@ class NodeEngine:
         return sampler.should_record(fact.key())
 
     def _record_remote_provenance(self, fact: Fact, provenance: Optional[object]) -> None:
+        self.provenance_epoch += 1
         piggyback = provenance if isinstance(provenance, PiggybackedProvenance) else None
         condensed = provenance if isinstance(provenance, CondensedProvenance) else None
         if condensed is None and isinstance(fact.provenance, CondensedProvenance):
@@ -695,6 +706,7 @@ class NodeEngine:
             antecedents=firing.antecedents,
             timestamp=now,
         )
+        self.provenance_epoch += 1
         annotation = self.local_provenance.record_derivation(derivation)
         self.distributed_provenance.record_derivation(derivation)
         if self.config.keep_online_provenance:
@@ -760,6 +772,7 @@ class NodeEngine:
     def _invalidate_provenance(self, key: FactKey) -> None:
         if not self._maintains_provenance:
             return
+        self.provenance_epoch += 1
         self.local_provenance.invalidate(key)
         self.distributed_provenance.invalidate(key)
         # The online store is queryable state too; only the offline archive

@@ -49,10 +49,12 @@ from repro.net.events import (
     SoftStateRefresh,
 )
 from repro.net.kernel import SimulationKernel
+from repro.net.stats import bucket_percentile
 from repro.net.topology import Topology, line_topology, random_topology
 from repro.queries.best_path import compile_best_path
 from repro.queries.reachable import REACHABLE_LOCALIZED
 from repro.security.says import SaysMode
+from repro.service.workload import QueryWorkload
 
 #: Soft-state lifetime used by the built-in scenarios (simulated seconds).
 DEFAULT_SCENARIO_TTL = 30.0
@@ -155,6 +157,24 @@ class RefreshSoftState(Action):
         return (SoftStateRefresh(time=at),)
 
 
+@dataclass(frozen=True)
+class ServeQueries(Action):
+    """Hold the phase open under a provenance-query workload.
+
+    The workload's arrival stream (see :class:`repro.service.workload.
+    QueryWorkload`) opens when the phase's dynamics fire, so queries race
+    the very churn the phase scripts — the service plane answering *while*
+    the network changes is the paper's claim run as a workload.  The
+    stream is a pure function of the workload spec and the topology's node
+    list, so serial and sharded scenario runs serve identical arrivals.
+    """
+
+    workload: QueryWorkload
+
+    def events(self, simulator, at):
+        return tuple(self.workload.events(simulator.topology.nodes, at))
+
+
 # ---------------------------------------------------------------------------
 # Scenario structure
 # ---------------------------------------------------------------------------
@@ -218,6 +238,13 @@ class PhaseRow:
     provenance_bytes_resident: int = 0
     provenance_bytes_spilled: int = 0
     spill_reads: int = 0
+    #: Service-plane columns (``ServeQueries`` phases): p95 simulated
+    #: latency of the queries that completed during the phase, the phase's
+    #: cache hit percentage, and admission denials.  All deltas, zero in
+    #: phases that served no queries.
+    query_p95_ms: float = 0.0
+    cache_hit_pct: float = 0.0
+    rejected: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -238,6 +265,9 @@ class PhaseRow:
             "provenance_bytes_resident": self.provenance_bytes_resident,
             "provenance_bytes_spilled": self.provenance_bytes_spilled,
             "spill_reads": self.spill_reads,
+            "query_p95_ms": self.query_p95_ms,
+            "cache_hit_pct": self.cache_hit_pct,
+            "rejected": self.rejected,
         }
 
 
@@ -273,6 +303,7 @@ def render_phase_table(rows: Sequence[PhaseRow], title: str = "") -> str:
         f"{'phase':<12s}{'t_start':>9s}{'t_end':>9s}{'conv':>6s}"
         f"{'events':>8s}{'msgs':>8s}{'kB':>9s}{'lost':>6s}"
         f"{'retract':>8s}{'probe':>7s}{'res_kB':>9s}{'spill':>7s}"
+        f"{'p95ms':>8s}{'hit%':>6s}{'rej':>5s}"
     )
     lines = [title, header] if title else [header]
     for row in rows:
@@ -283,6 +314,8 @@ def render_phase_table(rows: Sequence[PhaseRow], title: str = "") -> str:
             f"{row.facts_retracted:>8d}{row.probe_facts:>7d}"
             f"{row.provenance_bytes_resident / 1000.0:>9.1f}"
             f"{row.spill_reads:>7d}"
+            f"{row.query_p95_ms:>8.2f}{row.cache_hit_pct:>6.1f}"
+            f"{row.rejected:>5d}"
         )
     return "\n".join(lines)
 
@@ -333,6 +366,11 @@ def run_scenario(scenario: Scenario, network) -> ScenarioReport:
                 provenance_bytes_spilled=counters["prov_spilled"]
                 - previous["prov_spilled"],
                 spill_reads=counters["spill_reads"] - previous["spill_reads"],
+                query_p95_ms=_phase_p95(
+                    counters["latency_hist"], previous["latency_hist"]
+                ),
+                cache_hit_pct=_phase_hit_pct(counters, previous),
+                rejected=counters["q_rejected"] - previous["q_rejected"],
             )
         )
         previous = counters
@@ -340,7 +378,7 @@ def run_scenario(scenario: Scenario, network) -> ScenarioReport:
     return ScenarioReport(scenario=scenario, rows=rows, simulator=simulator)
 
 
-def _counters(simulator) -> Dict[str, int]:
+def _counters(simulator) -> Dict[str, object]:
     stats = simulator.stats
     return {
         "events": simulator.scheduler.events_scheduled,
@@ -354,7 +392,32 @@ def _counters(simulator) -> Dict[str, int]:
         "prov_resident": stats.total_provenance_resident_bytes(),
         "prov_spilled": stats.total_provenance_spilled_bytes(),
         "spill_reads": stats.total_spill_reads(),
+        # Service plane: rejection/cache counters plus the latency-bucket
+        # histogram itself, so phases can report *their* p95 as a delta.
+        "q_rejected": stats.total_queries_rejected(),
+        "cache_hits": stats.total_cache_hits(),
+        "cache_misses": stats.total_cache_misses(),
+        "latency_hist": stats.query_latency_histogram(),
     }
+
+
+def _phase_p95(now: Dict[int, int], before: Dict[int, int]) -> float:
+    """p95 latency (ms) of the queries that completed during one phase."""
+    delta = {
+        bucket: count - before.get(bucket, 0)
+        for bucket, count in now.items()
+        if count - before.get(bucket, 0) > 0
+    }
+    return bucket_percentile(delta, 0.95)
+
+
+def _phase_hit_pct(
+    counters: Dict[str, object], previous: Dict[str, object]
+) -> float:
+    hits = counters["cache_hits"] - previous["cache_hits"]
+    misses = counters["cache_misses"] - previous["cache_misses"]
+    probes = hits + misses
+    return 100.0 * hits / probes if probes else 0.0
 
 
 def _probe_count(simulator, relation: str) -> int:
@@ -389,6 +452,8 @@ def _scenario_network(
     shard_mode: str = "processes",
     shard_pipeline: bool = False,
     transport: str = "binary",
+    admission: float = 0.0,
+    query_cache: bool = False,
 ):
     """Assemble a scenario's network through the facade.
 
@@ -413,8 +478,44 @@ def _scenario_network(
             shard_mode=shard_mode,
             shard_pipeline=shard_pipeline,
             transport=transport,
+            admission_rate=admission,
+            query_cache=query_cache,
         ),
     )
+
+
+def _phase_workload(
+    query_rate: float,
+    clients: int,
+    relation: str,
+    seed: int,
+    phase_index: int,
+    duration: float = 5.0,
+) -> Optional[QueryWorkload]:
+    """The service-plane workload one scenario phase serves, if any.
+
+    Each phase draws from its own seed (scenario seed offset by phase
+    index) so arrival streams differ between phases while remaining
+    deterministic — and identical across backends.
+    """
+    if query_rate <= 0 and clients <= 0:
+        return None
+    return QueryWorkload(
+        rate=query_rate,
+        clients=clients,
+        duration=duration,
+        relation=relation,
+        seed=seed * 1000 + phase_index,
+    )
+
+
+def _with_queries(
+    actions: Tuple[Action, ...],
+    workload: Optional[QueryWorkload],
+) -> Tuple[Action, ...]:
+    if workload is None:
+        return actions
+    return actions + (ServeQueries(workload=workload),)
 
 
 def _inject_all(base: Dict[Address, List[Fact]]) -> Tuple[Inject, ...]:
@@ -452,6 +553,9 @@ def link_failure_scenario(
     shard_mode: str = "processes",
     shard_pipeline: bool = False,
     transport: str = "binary",
+    query_rate: float = 0.0,
+    clients: int = 0,
+    admission: float = 0.0,
     **config_kwargs,
 ) -> Tuple[Scenario, "Network"]:
     """Best-Path under a mid-run link failure: decay, refresh, reroute.
@@ -469,11 +573,22 @@ def link_failure_scenario(
             f"topology(N={node_count}, seed={seed}) has no redundant link to fail"
         )
     failed = redundant[0]
+    serving = query_rate > 0 or clients > 0
+    if serving:
+        # Serving provenance queries needs provenance to be maintained.
+        config_kwargs.setdefault("provenance_mode", ProvenanceMode.CONDENSED)
     config = _soft_config(ttl, **config_kwargs)
     network = _scenario_network(
-        topology, compile_best_path(), config, key_bits, backend, shards, shard_mode, shard_pipeline, transport
+        topology, compile_best_path(), config, key_bits, backend, shards, shard_mode, shard_pipeline, transport,
+        admission=admission, query_cache=serving,
     )
     base = network.link_facts()
+
+    def workload(phase_index: int) -> Optional[QueryWorkload]:
+        return _phase_workload(
+            query_rate, clients, "bestPath", seed, phase_index
+        )
+
     scenario = Scenario(
         name="link-failure",
         description=(
@@ -490,14 +605,24 @@ def link_failure_scenario(
             Phase(
                 name="fail",
                 gap=1.0,
-                actions=(
-                    FailLink(source=failed.source, destination=failed.destination),
-                    RefreshSoftState(),
+                actions=_with_queries(
+                    (
+                        FailLink(
+                            source=failed.source,
+                            destination=failed.destination,
+                        ),
+                        RefreshSoftState(),
+                    ),
+                    workload(1),
                 ),
             ),
             # One TTL later the stale remote best paths have decayed; the
             # refreshed fixpoint routes around the failure.
-            Phase(name="reroute", gap=ttl + 1.0, actions=(RefreshSoftState(),)),
+            Phase(
+                name="reroute",
+                gap=ttl + 1.0,
+                actions=_with_queries((RefreshSoftState(),), workload(2)),
+            ),
         ),
     )
     return scenario, network
@@ -513,6 +638,9 @@ def churn_scenario(
     shard_mode: str = "processes",
     shard_pipeline: bool = False,
     transport: str = "binary",
+    query_rate: float = 0.0,
+    clients: int = 0,
+    admission: float = 0.0,
     **config_kwargs,
 ) -> Tuple[Scenario, "Network"]:
     """Reachability under node churn with soft-state repair.
@@ -527,11 +655,21 @@ def churn_scenario(
     victim = max(
         topology.nodes, key=lambda node: (len(topology.outgoing(node)), node)
     )
+    serving = query_rate > 0 or clients > 0
+    if serving:
+        config_kwargs.setdefault("provenance_mode", ProvenanceMode.CONDENSED)
     config = _soft_config(ttl, **config_kwargs)
     network = _scenario_network(
-        topology, _reachable_compiled(), config, key_bits, backend, shards, shard_mode, shard_pipeline, transport
+        topology, _reachable_compiled(), config, key_bits, backend, shards, shard_mode, shard_pipeline, transport,
+        admission=admission, query_cache=serving,
     )
     base = _reachable_base(topology)
+
+    def workload(phase_index: int) -> Optional[QueryWorkload]:
+        return _phase_workload(
+            query_rate, clients, "reachable", seed, phase_index
+        )
+
     scenario = Scenario(
         name="churn",
         description=(
@@ -542,12 +680,22 @@ def churn_scenario(
         details={"crashed_node": victim},
         phases=(
             Phase(name="converge", actions=_inject_all(base)),
-            Phase(name="crash", gap=1.0, actions=(Crash(address=victim),)),
-            Phase(name="heal", gap=ttl + 1.0, actions=(RefreshSoftState(),)),
+            Phase(
+                name="crash",
+                gap=1.0,
+                actions=_with_queries((Crash(address=victim),), workload(1)),
+            ),
+            Phase(
+                name="heal",
+                gap=ttl + 1.0,
+                actions=_with_queries((RefreshSoftState(),), workload(2)),
+            ),
             Phase(
                 name="recover",
                 gap=1.0,
-                actions=(Recover(address=victim), RefreshSoftState()),
+                actions=_with_queries(
+                    (Recover(address=victim), RefreshSoftState()), workload(3)
+                ),
             ),
         ),
     )
@@ -564,6 +712,9 @@ def retraction_scenario(
     shard_mode: str = "processes",
     shard_pipeline: bool = False,
     transport: str = "binary",
+    query_rate: float = 0.0,
+    clients: int = 0,
+    admission: float = 0.0,
     **config_kwargs,
 ) -> Tuple[Scenario, "Network"]:
     """Fact retraction with provenance invalidation.
@@ -590,10 +741,18 @@ def retraction_scenario(
         says_mode=SaysMode.NONE,
         **config_kwargs,
     )
+    serving = query_rate > 0 or clients > 0
     network = _scenario_network(
-        topology, _reachable_compiled(), config, key_bits, backend, shards, shard_mode, shard_pipeline, transport
+        topology, _reachable_compiled(), config, key_bits, backend, shards, shard_mode, shard_pipeline, transport,
+        admission=admission, query_cache=serving,
     )
     base = _reachable_base(topology)
+
+    def workload(phase_index: int) -> Optional[QueryWorkload]:
+        return _phase_workload(
+            query_rate, clients, "reachable", seed, phase_index
+        )
+
     scenario = Scenario(
         name="retraction",
         description=(
@@ -607,12 +766,19 @@ def retraction_scenario(
             Phase(
                 name="retract",
                 gap=1.0,
-                actions=tuple(
-                    Retract(address=address, facts=(fact,))
-                    for address, fact in retracted
+                actions=_with_queries(
+                    tuple(
+                        Retract(address=address, facts=(fact,))
+                        for address, fact in retracted
+                    ),
+                    workload(1),
                 ),
             ),
-            Phase(name="decay", gap=ttl + 1.0, actions=(RefreshSoftState(),)),
+            Phase(
+                name="decay",
+                gap=ttl + 1.0,
+                actions=_with_queries((RefreshSoftState(),), workload(2)),
+            ),
         ),
     )
     return scenario, network
@@ -680,6 +846,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="binary",
         help="coordination frame encoding between coordinator and shards",
     )
+    parser.add_argument(
+        "--query-rate",
+        type=float,
+        default=0.0,
+        help="open-loop provenance-query arrivals per simulated second "
+        "served during every post-convergence phase (0 = no query load); "
+        "arms the per-node result cache",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=0,
+        help="closed-loop query clients pinned to nodes, each issuing a "
+        "new query one think-time after its last answer",
+    )
+    parser.add_argument(
+        "--admission",
+        type=float,
+        default=0.0,
+        help="per-node admission-control rate in queries per simulated "
+        "second (0 = admit everything)",
+    )
     arguments = parser.parse_args(argv)
 
     names = tuple(SCENARIOS) if arguments.scenario == "all" else (arguments.scenario,)
@@ -694,6 +882,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "shard_mode": arguments.shard_mode,
             "shard_pipeline": arguments.shard_pipeline,
             "transport": arguments.transport,
+            "query_rate": arguments.query_rate,
+            "clients": arguments.clients,
+            "admission": arguments.admission,
         }
         if arguments.nodes is not None:
             kwargs["node_count"] = arguments.nodes

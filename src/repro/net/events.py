@@ -177,6 +177,42 @@ class FactRetraction(SimulationEvent):
     facts: Tuple[Fact, ...]
 
 
+@dataclass(eq=False, slots=True)
+class QueryArrival(SimulationEvent):
+    """One service-plane provenance query arriving at a node.
+
+    The query service plane (:mod:`repro.service`) models an always-on
+    network answering client tracebacks while maintenance traffic keeps
+    flowing.  An arrival names the asking node and a *root selector* — the
+    relation plus a deterministic ``draw`` in ``[0, pool)`` — resolved
+    against the asker's live store when the event fires, so both backends
+    (whose per-node state at any instant is identical) pick the same root
+    without the workload generator ever touching worker-process engines.
+
+    Arrivals are handled entirely on the kernel hosting ``address``: the
+    admission check, the cache lookup and the query issue all happen
+    kernel-side, which is what makes the service plane work in
+    ``shard_mode="processes"`` where the coordinator cannot reach into a
+    worker mid-run.  ``client`` is ``-1`` for open-loop (precomputed
+    schedule) arrivals; closed-loop clients carry their id, their
+    ``think`` time and the ``deadline`` past which they stop re-issuing.
+    The ``(client, arrival_id, attempt)`` triple is unique per run and is
+    the event's content-based rank (see :func:`event_rank`).
+    """
+
+    address: Address = ""
+    relation: str = "bestPath"
+    draw: int = 0
+    pool: int = 1
+    mode: str = "online"
+    condensed: bool = False
+    client: int = -1
+    arrival_id: int = 0
+    attempt: int = 0
+    deadline: float = 0.0
+    think: float = 0.0
+
+
 def event_rank(event: SimulationEvent, stamp: Optional[int] = None) -> Tuple:
     """The content-derived tie-break rank of *event* (see module docstring).
 
@@ -192,6 +228,11 @@ def event_rank(event: SimulationEvent, stamp: Optional[int] = None) -> Tuple:
         return (str(message.source), message.sequence)
     if isinstance(event, QueryTimeout):
         return (1, event.query_id, event.request_id)
+    if isinstance(event, QueryArrival):
+        # Retries and closed-loop follow-ups are scheduled *inside* node
+        # processing (like query timeouts), so the rank must come from the
+        # arrival's identity, never a kernel-local stamp.
+        return (2, event.client, event.arrival_id, event.attempt)
     return (0, stamp if stamp is not None else 0)
 
 

@@ -58,6 +58,7 @@ from repro.net.events import (
     MessageDelivery,
     NodeCrash,
     NodeRecover,
+    QueryArrival,
     QueryTimeout,
     SimulationEvent,
     SoftStateRefresh,
@@ -71,10 +72,13 @@ from repro.net.query import (
     QueryEngine,
     QueryResult,
 )
-from repro.net.stats import NetworkStats, NodeStats, WireMessage
+from repro.net.stats import NetworkStats, NodeStats, WireMessage, latency_bucket
 from repro.net.topology import Topology
 from repro.security.keystore import KeyStore
 from repro.security.principal import PrincipalRegistry
+from repro.service.cache import CacheConfig, ClosureCache
+from repro.service.ratelimit import AdmissionControl, TokenBucket
+from repro.service.workload import QueryWorkload, next_arrival
 
 
 @dataclass(frozen=True)
@@ -192,6 +196,8 @@ class SimulationKernel:
         batch_receive: bool = True,
         link_relation: str = "link",
         query_timeout: float = DEFAULT_QUERY_TIMEOUT,
+        admission: Optional[AdmissionControl] = None,
+        query_cache: Optional[CacheConfig] = None,
         hosted: Optional[Iterable[Address]] = None,
         primary: bool = True,
     ) -> None:
@@ -220,6 +226,14 @@ class SimulationKernel:
         #: Seconds an in-network provenance query waits for one outstanding
         #: request before reporting the key missing (lost request/response).
         self.query_timeout = query_timeout
+        #: Service-plane configuration (repro.service): per-node token-bucket
+        #: admission control and the per-node query-result cache.  ``None``
+        #: disables the feature; buckets and caches are created lazily per
+        #: hosted node, on simulated time only.
+        self.admission = admission
+        self.query_cache = query_cache
+        self._admission_buckets: Dict[Address, TokenBucket] = {}
+        self._query_caches: Dict[Address, ClosureCache] = {}
         #: The nodes whose engines this kernel hosts (all of them for the
         #: serial backend, one shard's worth for the sharded backend).
         self.hosted: Tuple[Address, ...] = (
@@ -316,6 +330,7 @@ class SimulationKernel:
             FactRetraction: self._handle_retraction,
             SoftStateRefresh: self._handle_refresh,
             QueryTimeout: self._handle_query_timeout,
+            QueryArrival: self._handle_query_arrival,
         }
 
     # -- pickling ----------------------------------------------------------------
@@ -687,6 +702,12 @@ class SimulationKernel:
         engine = self.engines.get(event.address)
         if engine is not None and event.clear_state:
             engine.reset_state()
+            # The reset bumps the engine's provenance epoch, so stale memo
+            # entries could never be served anyway — wiping eagerly frees
+            # the memory and counts the loss where it happened.
+            cache = self._query_caches.get(event.address)
+            if cache is not None:
+                self.stats.node(event.address).cache_invalidations += cache.clear()
 
     def _handle_node_recover(self, event: NodeRecover, at: float) -> None:
         self._down_nodes.discard(event.address)
@@ -700,6 +721,138 @@ class SimulationKernel:
 
     def _handle_retraction(self, event: FactRetraction, at: float) -> None:
         self._retract(event.address, event.facts, at)
+
+    # -- service plane -----------------------------------------------------------
+
+    def serve(self, workload: QueryWorkload, start: Optional[float] = None) -> int:
+        """Schedule *workload*'s arrivals, opening at *start* (default: now).
+
+        Returns the number of initial arrivals offered; drain the scheduler
+        (:meth:`run_until_idle`) to play the serve window out.  Closed-loop
+        follow-ups are scheduled kernel-side as each query completes.
+        """
+        opening = self.current_time() if start is None else start
+        arrivals = workload.events(self.topology.nodes, opening)
+        for event in arrivals:
+            self.schedule(event)
+        return len(arrivals)
+
+    def query_cache_for(self, address: Address) -> Optional[ClosureCache]:
+        """The node's armed result cache (lazily built); ``None`` when off."""
+        if self.query_cache is None:
+            return None
+        cache = self._query_caches.get(address)
+        if cache is None:
+            cache = self.query_cache.build()
+            self._query_caches[address] = cache
+        return cache
+
+    def _handle_query_arrival(self, event: QueryArrival, at: float) -> None:
+        """One service-plane arrival: admission, root resolution, issue."""
+        address = event.address
+        engine = self.engines.get(address)
+        if engine is None:
+            # The sharded coordinator routes arrivals to the hosting kernel;
+            # an unknown address is a workload aimed at a node that does not
+            # exist, dropped the same way stray deliveries are.
+            return
+        node_stats = self.stats.node(address)
+        if address in self._down_nodes:
+            # An always-on service keeps taking arrivals; a crashed node
+            # simply fails to serve them.
+            node_stats.queries_shed += 1
+            self._service_continue(event, at)
+            return
+        if self.admission is not None:
+            bucket = self._admission_buckets.get(address)
+            if bucket is None:
+                bucket = self.admission.bucket()
+                self._admission_buckets[address] = bucket
+            if not bucket.try_acquire(at):
+                node_stats.queries_rejected += 1
+                if (
+                    self.admission.policy == "retry"
+                    and event.attempt < self.admission.retries
+                ):
+                    self.scheduler.schedule(
+                        QueryArrival(
+                            time=at + self.admission.retry_delay,
+                            address=event.address,
+                            relation=event.relation,
+                            draw=event.draw,
+                            pool=event.pool,
+                            mode=event.mode,
+                            condensed=event.condensed,
+                            client=event.client,
+                            arrival_id=event.arrival_id,
+                            attempt=event.attempt + 1,
+                            deadline=event.deadline,
+                            think=event.think,
+                        )
+                    )
+                else:
+                    node_stats.queries_shed += 1
+                    self._service_continue(event, at)
+                return
+        unanswerable = not self.config.provenance_mode.maintains_provenance or (
+            event.mode == "offline" and not self.config.keep_offline_provenance
+        )
+        root = None if unanswerable else self._service_root(engine, event)
+        if root is None:
+            # Nothing to trace (empty table, or a configuration recording no
+            # pointers): the arrival is shed, not an error — the service
+            # stays up and the workload's loop keeps going.
+            node_stats.queries_shed += 1
+            self._service_continue(event, at)
+            return
+        self.queries.issue(
+            ProvenanceQuery(
+                root=root,
+                at=address,
+                mode=event.mode,
+                condensed=event.condensed,
+            ),
+            now=at,
+            service=event,
+        )
+
+    def _service_root(self, engine: NodeEngine, event: QueryArrival):
+        """Resolve the arrival's root selector against the asker's live store.
+
+        The draw indexes the node's sorted tuple list for the selected
+        relation — a pure function of per-node state, which is identical at
+        any instant under every backend, so both backends trace the same
+        roots.  ``None`` when the node holds no such tuples.
+        """
+        facts = sorted(engine.facts(event.relation), key=lambda fact: fact.values)
+        if not facts:
+            return None
+        return facts[event.draw % len(facts)].key()
+
+    def service_query_finished(self, pending: PendingQuery) -> None:
+        """Record one service query's completion; keep its closed loop going."""
+        node_stats = self.stats.node(pending.query.at)
+        node_stats.queries_completed += 1
+        bucket = latency_bucket(pending.completed_at - pending.issued_at)
+        node_stats.query_latency_buckets[bucket] = (
+            node_stats.query_latency_buckets.get(bucket, 0) + 1
+        )
+        self._service_continue(pending.service, pending.completed_at)
+
+    def _service_continue(self, event: QueryArrival, at: float) -> None:
+        """Schedule a closed-loop client's next arrival, think time after *at*.
+
+        Open-loop arrivals (``client < 0``) have their whole schedule
+        precomputed by the workload generator; nothing to do here.
+        """
+        if event.client < 0:
+            return
+        next_at = at + event.think
+        if next_at >= event.deadline:
+            return
+        # Content-ranked (client, arrival id, attempt): no stamp needed, and
+        # the follow-up sorts identically no matter which kernel computed it.
+        self.scheduler.schedule(next_arrival(event, next_at))
 
     def _handle_refresh(self, event: SoftStateRefresh, at: float) -> None:
         # Expanded at fire time so control events that share the timestamp

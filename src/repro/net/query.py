@@ -44,6 +44,7 @@ from repro.net.message import (
     QueryRequest,
     QueryResponse,
 )
+from repro.net.stats import latency_bucket
 from repro.provenance.distributed import ProvenancePointer
 from repro.provenance.graph import DerivationGraph, DerivationNode
 from repro.security.rsa import sign, verify
@@ -179,6 +180,12 @@ class PendingQuery:
     annotations: Dict[FactKey, object] = field(default_factory=dict)
     completed_at: float = 0.0
     done: bool = False
+    #: The service-plane :class:`~repro.net.events.QueryArrival` this query
+    #: answers, when the query was issued by the workload handler rather
+    #: than directly through the API.  ``_finish`` reports completion back
+    #: to the kernel so SLO latency is recorded and closed-loop clients
+    #: schedule their next arrival.
+    service: Optional[object] = None
 
     def result(self) -> QueryResult:
         """Snapshot the query's answer (partial until ``done``)."""
@@ -293,13 +300,20 @@ class QueryEngine:
 
     # -- issuing ---------------------------------------------------------------
 
-    def issue(self, query: ProvenanceQuery, now: float = 0.0) -> PendingQuery:
+    def issue(
+        self, query: ProvenanceQuery, now: float = 0.0, service=None
+    ) -> PendingQuery:
         """Start *query* at simulated instant *now*.
 
         The querying node expands its own store for free (paying only CPU),
         then one :class:`QueryRequest` ships per remote pointer dereference.
         Drain the scheduler (``run_until_idle``) to let responses, follow-up
         requests and timeouts play out, then read ``pending.result()``.
+
+        *service* is the originating :class:`~repro.net.events.QueryArrival`
+        when the query comes from the service plane's workload handler; its
+        completion is then reported back through
+        ``simulator.service_query_finished``.
         """
         simulator = self.simulator
         engine = simulator.engines.get(query.at)
@@ -332,6 +346,10 @@ class QueryEngine:
         pending = PendingQuery(
             query_id=self._next_query_id, query=query, issued_at=now
         )
+        # Attached before _expand_local: a query resolved entirely from the
+        # asker's own store finishes synchronously inside this call, and the
+        # service plane must still hear about it.
+        pending.service = service
         self._queries[pending.query_id] = pending
         if query.mode == "offline":
             # Retention aging must not pull the evidence out from under an
@@ -377,14 +395,17 @@ class QueryEngine:
         engine = simulator.engines.get(request.destination)
         if engine is None:
             return
-        adapter = self._adapter(engine, request.mode)
-        entries, missing = _local_closure(adapter, request.destination, request.key)
-        annotation = None
-        annotation_bytes = 0
-        if request.condensed:
-            annotation = self._annotation_for(engine, request.key, request.mode)
-            if annotation is not None:
-                annotation_bytes = annotation.serialized_size()
+        entries, missing, annotation, lookups = self._closure(
+            engine,
+            request.destination,
+            request.key,
+            request.mode,
+            request.condensed,
+            at,
+        )
+        annotation_bytes = (
+            annotation.serialized_size() if annotation is not None else 0
+        )
         response = QueryResponse(
             source=request.destination,
             destination=request.source,
@@ -413,7 +434,6 @@ class QueryEngine:
             # into the wire size and the security attribution.
             response = replace(response, signature=signature)
             signing_cost = simulator.cost_model.seconds_per_signature
-        lookups = len(entries) + len(missing)
         cpu = (
             simulator.cost_model.query_cpu_seconds(lookups, response.size_bytes())
             + signing_cost
@@ -482,11 +502,15 @@ class QueryEngine:
         simulator = self.simulator
         at_node = pending.query.at
         engine = simulator.engines[at_node]
-        adapter = self._adapter(engine, pending.query.mode)
-        entries, missing = _local_closure(adapter, at_node, key)
-        cpu = simulator.cost_model.query_cpu_seconds(
-            len(entries) + len(missing), 0
+        entries, missing, _annotation, lookups = self._closure(
+            engine,
+            at_node,
+            key,
+            pending.query.mode,
+            pending.query.condensed,
+            now,
         )
+        cpu = simulator.cost_model.query_cpu_seconds(lookups, 0)
         now = self._charge(at_node, now, cpu)
         if at_node not in pending.nodes_visited:
             pending.nodes_visited.append(at_node)
@@ -583,8 +607,66 @@ class QueryEngine:
         # entry keeps memory flat over many queries and makes any late
         # response a true no-op instead of mutating a snapshot result.
         self._queries.pop(pending.query_id, None)
+        if pending.service is not None:
+            # A pending query always finishes on the kernel hosting its
+            # asker, so the service plane's latency accounting and
+            # closed-loop follow-up land on the right shard.
+            self.simulator.service_query_finished(pending)
 
     # -- shared helpers -----------------------------------------------------------
+
+    def _closure(
+        self,
+        engine,
+        node: Address,
+        key: FactKey,
+        mode: str,
+        condensed: bool,
+        now: float,
+    ):
+        """Resolve the local closure of *key* at *node*, through the node's
+        result cache when the service plane armed one.
+
+        Returns ``(entries, missing, annotation, lookups)`` where *lookups*
+        is the store-lookup count to bill CPU for: the full walk on a miss,
+        a single memo probe on a hit — caching measurably cheapens the
+        query path.  The memo key is ``(key, mode, condensed)`` and the
+        entry is guarded by the engine's ``provenance_epoch``, which bumps
+        on every provenance-store mutation, so a hit is always structurally
+        identical to a cold walk at the same instant.
+        """
+        cache = self.simulator.query_cache_for(node)
+        if cache is None:
+            adapter = self._adapter(engine, mode)
+            entries, missing = _local_closure(adapter, node, key)
+            annotation = (
+                self._annotation_for(engine, key, mode) if condensed else None
+            )
+            return entries, missing, annotation, len(entries) + len(missing)
+        stats = self.simulator.stats.node(node)
+        cache_key = (key, mode, condensed)
+        epoch = engine.provenance_epoch
+        hit, invalidated = cache.lookup(cache_key, epoch, now)
+        if invalidated:
+            stats.cache_invalidations += 1
+        if hit is not None:
+            (entries, missing, annotation), age = hit
+            stats.cache_hits += 1
+            bucket = latency_bucket(age)
+            stats.cache_staleness_buckets[bucket] = (
+                stats.cache_staleness_buckets.get(bucket, 0) + 1
+            )
+            return entries, missing, annotation, 1
+        adapter = self._adapter(engine, mode)
+        entries, missing = _local_closure(adapter, node, key)
+        annotation = (
+            self._annotation_for(engine, key, mode) if condensed else None
+        )
+        stats.cache_misses += 1
+        stats.cache_invalidations += cache.store(
+            cache_key, (entries, missing, annotation), epoch, now
+        )
+        return entries, missing, annotation, len(entries) + len(missing)
 
     def _adapter(self, engine, mode: str):
         if mode == "offline":
@@ -629,28 +711,49 @@ class QueryEngine:
         simulator.ship_routed(
             source, message.destination, message, send_time, node_stats
         )
-        if self.resolve_remote is not None and isinstance(message, QueryResponse):
-            # Query ids are only unique per kernel, and a response's rightful
-            # pending query lives at the kernel hosting the *asker* (its
-            # destination) — never this one's same-id entry, which may belong
-            # to an unrelated concurrent query.  The coordinator resolves by
-            # asker, which routes back to this kernel when the asker is
-            # local, so the response's price lands on the same books the
-            # serial backend keeps.
-            pending = self.resolve_remote(message.destination, query_id)
+        size = message.size_bytes()
+        if isinstance(message, QueryResponse):
+            asker = message.destination
+            if self.resolve_remote is not None:
+                # Query ids are only unique per kernel, and a response's
+                # rightful pending query lives at the kernel hosting the
+                # *asker* (its destination) — never this one's same-id
+                # entry, which may belong to an unrelated concurrent query.
+                # The coordinator resolves by asker, which routes back to
+                # this kernel when the asker is local, so the response's
+                # price lands on the same books the serial backend keeps.
+                pending = self.resolve_remote(asker, query_id)
+                known = pending is not None
+            else:
+                # No resolver (serial backend, or a process-mode worker that
+                # cannot reach other kernels' state): a same-id local pending
+                # only counts when it really belongs to this asker.  For a
+                # foreign asker the charge is recorded sight unseen — the
+                # serial backend would only skip it when the query had
+                # already finished, which takes a >timeout link backlog
+                # before the response even ships.
+                candidate = self._queries.get(query_id)
+                pending = (
+                    candidate
+                    if candidate is not None and candidate.query.at == asker
+                    else None
+                )
+                known = pending is not None or not simulator.hosts(asker)
         else:
+            asker = message.source
             pending = self._queries.get(query_id)
+            known = pending is not None
         if pending is not None:
             pending.messages += 1
-            pending.bytes += message.size_bytes()
-            asker = pending.query.at
+            pending.bytes += size
+        if known:
             if simulator.hosts(asker):
-                simulator.stats.node(asker).query_bytes_charged += message.size_bytes()
+                simulator.stats.node(asker).query_bytes_charged += size
             else:
-                # A response passing through a kernel that does not host the
-                # asker must not fabricate a phantom NodeStats entry on this
-                # shard's books; the charge is recorded as a receipt the
+                # A query message passing through a kernel that does not host
+                # the asker must not fabricate a phantom NodeStats entry on
+                # this shard's books; the charge is recorded as a receipt the
                 # sharded coordinator settles into the asker's merged stats
                 # at barrier time.
                 receipts = simulator.query_receipts
-                receipts[asker] = receipts.get(asker, 0) + message.size_bytes()
+                receipts[asker] = receipts.get(asker, 0) + size

@@ -90,6 +90,7 @@ from repro.net.events import (
     MessageDelivery,
     NodeCrash,
     NodeRecover,
+    QueryArrival,
     SimulationEvent,
 )
 from repro.net.kernel import (
@@ -113,6 +114,9 @@ from repro.net.transport import (
     SharedMemoryRing,
     make_codec,
 )
+from repro.service.cache import CacheConfig
+from repro.service.ratelimit import AdmissionControl
+from repro.service.workload import QueryWorkload
 
 #: Execution modes for the shard workers.
 SHARD_MODES = ("processes", "inline")
@@ -449,6 +453,8 @@ class ShardSpec:
     batch_receive: bool = True
     link_relation: str = "link"
     query_timeout: float = DEFAULT_QUERY_TIMEOUT
+    admission: Optional[AdmissionControl] = None
+    query_cache: Optional[CacheConfig] = None
 
     def build_kernel(self, compiled: Optional[CompiledProgram] = None) -> SimulationKernel:
         return SimulationKernel(
@@ -464,6 +470,8 @@ class ShardSpec:
             batch_receive=self.batch_receive,
             link_relation=self.link_relation,
             query_timeout=self.query_timeout,
+            admission=self.admission,
+            query_cache=self.query_cache,
             hosted=self.hosted,
             primary=self.primary,
         )
@@ -632,6 +640,8 @@ class ShardedSimulator:
         batch_receive: bool = True,
         link_relation: str = "link",
         query_timeout: float = DEFAULT_QUERY_TIMEOUT,
+        admission: Optional[AdmissionControl] = None,
+        query_cache: Optional[CacheConfig] = None,
         shards: int = 2,
         shard_mode: str = "processes",
         shard_seed: int = 0,
@@ -658,6 +668,8 @@ class ShardedSimulator:
         self.batch_receive = batch_receive
         self.link_relation = link_relation
         self.query_timeout = query_timeout
+        self.admission = admission
+        self.query_cache = query_cache
         self.shard_mode = shard_mode
         self.shard_pipeline = shard_pipeline
         self.transport = transport
@@ -693,6 +705,8 @@ class ShardedSimulator:
                 batch_receive=batch_receive,
                 link_relation=link_relation,
                 query_timeout=query_timeout,
+                admission=admission,
+                query_cache=query_cache,
             )
             for index, group in enumerate(self.plan.shards)
         ]
@@ -819,7 +833,10 @@ class ShardedSimulator:
         shard_count = self.plan.shard_count
         if isinstance(event, MessageDelivery):
             targets = {self.plan.shard_of(event.message.destination): True}
-        elif isinstance(event, (FactInjection, FactRetraction)):
+        elif isinstance(event, (FactInjection, FactRetraction, QueryArrival)):
+            # A service-plane arrival is handled entirely on the kernel
+            # hosting the asking node: admission, root resolution, the query
+            # issue and the closed-loop follow-up all happen there.
             targets = {self.plan.shard_of(event.address): True}
         elif isinstance(event, (LinkDown, LinkUp)):
             owner = self.plan.shard_of(event.source)
@@ -1266,6 +1283,25 @@ class ShardedSimulator:
     @property
     def registry(self):
         return self._any_kernel().registry
+
+    # -- service plane -------------------------------------------------------------
+
+    def serve(self, workload: QueryWorkload, start: Optional[float] = None) -> int:
+        """Schedule *workload*'s arrivals, opening at *start* (default: now).
+
+        Mirrors :meth:`SimulationKernel.serve`: the precomputed arrival
+        stream is identical (a pure function of the workload and the
+        topology's node list), and each arrival is routed to the shard
+        hosting its asking node at the next drain.  Works in every shard
+        mode — arrivals are handled entirely kernel-side, so process-mode
+        workers serve queries mid-run even though the coordinator cannot
+        reach their engines.
+        """
+        opening = self.current_time() if start is None else start
+        arrivals = workload.events(self.topology.nodes, opening)
+        for event in arrivals:
+            self.schedule(event)
+        return len(arrivals)
 
     # -- provenance queries --------------------------------------------------------
 

@@ -15,6 +15,7 @@ from.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Union
 
@@ -22,6 +23,46 @@ from repro.net.address import Address
 from repro.net.message import Message, MessageBatch, QueryRequest, QueryResponse
 
 WireMessage = Union[Message, MessageBatch, QueryRequest, QueryResponse]
+
+
+def latency_bucket(seconds: float) -> int:
+    """Map a simulated duration onto an integer power-of-two microsecond bucket.
+
+    Bucket ``b`` covers durations in ``[2**(b-1), 2**b)`` microseconds
+    (bucket 0 is "under a microsecond").  The mapping goes through an
+    integer microsecond count, so the histograms built from it are pure
+    integer statistics — part of the serial-vs-sharded byte-identical
+    equality contract — while percentile estimates derived from them
+    (see :mod:`repro.service.slo`) stay within a factor of two of the
+    true value at any scale from microseconds to hours.
+    """
+    return int(seconds * 1_000_000).bit_length()
+
+
+def bucket_upper_ms(bucket: int) -> float:
+    """The inclusive upper edge of *bucket*, in milliseconds."""
+    if bucket <= 0:
+        return 0.001
+    return (1 << bucket) / 1000.0
+
+
+def bucket_percentile(histogram: Dict[int, int], fraction: float) -> float:
+    """The *fraction*-quantile latency (milliseconds) of a bucket histogram.
+
+    Conservative: reports the upper edge of the bucket containing the
+    quantile rank, so an SLO built on it can only over-estimate latency.
+    Returns 0.0 for an empty histogram.
+    """
+    total = sum(histogram.values())
+    if total == 0:
+        return 0.0
+    rank = max(1, math.ceil(fraction * total))
+    seen = 0
+    for bucket in sorted(histogram):
+        seen += histogram[bucket]
+        if seen >= rank:
+            return bucket_upper_ms(bucket)
+    return bucket_upper_ms(max(histogram))
 
 
 @dataclass
@@ -56,6 +97,21 @@ class NodeStats:
     query_messages_sent: int = 0
     query_bytes_sent: int = 0
     query_bytes_charged: int = 0
+    #: Query service plane (repro.service): arrivals this node's admission
+    #: control turned away (each denial, retries included), arrivals
+    #: permanently dropped unserved (drop policy, retry exhaustion, a
+    #: crashed node or an unresolvable root), and queries that ran to
+    #: completion.  All integers, all part of the cross-backend equality
+    #: contract.
+    queries_rejected: int = 0
+    queries_shed: int = 0
+    queries_completed: int = 0
+    #: Result-cache counters for closures this node served: hits, misses,
+    #: and entries discarded (provenance epoch moved on, TTL elapsed, or
+    #: LRU eviction).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
     facts_derived: int = 0
     facts_stored: int = 0
     facts_retracted: int = 0
@@ -69,6 +125,13 @@ class NodeStats:
     cpu_seconds: float = 0.0
     busy_until: float = 0.0
     batch_sizes: Dict[int, int] = field(default_factory=dict)
+    #: Integer histograms (bucket -> count, buckets per :func:`latency_bucket`)
+    #: of completed service-query latencies this node issued, and of the age
+    #: of cache entries at the moment they were served.  Percentiles are
+    #: *derived* from these (repro.service.slo), so the recorded statistic
+    #: itself stays byte-identical across backends.
+    query_latency_buckets: Dict[int, int] = field(default_factory=dict)
+    cache_staleness_buckets: Dict[int, int] = field(default_factory=dict)
 
     def record_send(self, message: WireMessage) -> None:
         self.messages_sent += 1
@@ -114,6 +177,12 @@ class NodeStats:
         self.query_messages_sent += other.query_messages_sent
         self.query_bytes_sent += other.query_bytes_sent
         self.query_bytes_charged += other.query_bytes_charged
+        self.queries_rejected += other.queries_rejected
+        self.queries_shed += other.queries_shed
+        self.queries_completed += other.queries_completed
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_invalidations += other.cache_invalidations
         self.facts_derived += other.facts_derived
         self.facts_stored += other.facts_stored
         self.facts_retracted += other.facts_retracted
@@ -126,6 +195,14 @@ class NodeStats:
         self.busy_until = max(self.busy_until, other.busy_until)
         for size, count in other.batch_sizes.items():
             self.batch_sizes[size] = self.batch_sizes.get(size, 0) + count
+        for bucket, count in other.query_latency_buckets.items():
+            self.query_latency_buckets[bucket] = (
+                self.query_latency_buckets.get(bucket, 0) + count
+            )
+        for bucket, count in other.cache_staleness_buckets.items():
+            self.cache_staleness_buckets[bucket] = (
+                self.cache_staleness_buckets.get(bucket, 0) + count
+            )
 
 
 @dataclass
@@ -255,6 +332,52 @@ class NetworkStats:
     def total_queries_issued(self) -> int:
         return sum(stats.queries_issued for stats in self.nodes.values())
 
+    # -- query service-plane metrics --------------------------------------------
+
+    def total_queries_rejected(self) -> int:
+        return sum(stats.queries_rejected for stats in self.nodes.values())
+
+    def total_queries_shed(self) -> int:
+        return sum(stats.queries_shed for stats in self.nodes.values())
+
+    def total_queries_completed(self) -> int:
+        return sum(stats.queries_completed for stats in self.nodes.values())
+
+    def total_cache_hits(self) -> int:
+        return sum(stats.cache_hits for stats in self.nodes.values())
+
+    def total_cache_misses(self) -> int:
+        return sum(stats.cache_misses for stats in self.nodes.values())
+
+    def total_cache_invalidations(self) -> int:
+        return sum(stats.cache_invalidations for stats in self.nodes.values())
+
+    def cache_hit_ratio(self) -> float:
+        """Fraction of closure lookups the result cache answered (0.0 when idle)."""
+        hits = self.total_cache_hits()
+        lookups = hits + self.total_cache_misses()
+        return hits / lookups if lookups else 0.0
+
+    def query_latency_histogram(self) -> Dict[int, int]:
+        """Aggregated service-query latency buckets (bucket -> completions)."""
+        histogram: Dict[int, int] = {}
+        for stats in self.nodes.values():
+            for bucket, count in stats.query_latency_buckets.items():
+                histogram[bucket] = histogram.get(bucket, 0) + count
+        return dict(sorted(histogram.items()))
+
+    def cache_staleness_histogram(self) -> Dict[int, int]:
+        """Aggregated served-entry age buckets (bucket -> cache hits)."""
+        histogram: Dict[int, int] = {}
+        for stats in self.nodes.values():
+            for bucket, count in stats.cache_staleness_buckets.items():
+                histogram[bucket] = histogram.get(bucket, 0) + count
+        return dict(sorted(histogram.items()))
+
+    def query_latency_ms(self, fraction: float) -> float:
+        """The *fraction*-quantile completed-query latency in milliseconds."""
+        return bucket_percentile(self.query_latency_histogram(), fraction)
+
     def maintenance_bytes(self) -> int:
         """Bytes of data-plane traffic: everything that is not query traffic.
 
@@ -305,6 +428,18 @@ class NetworkStats:
             "query_messages": float(self.total_query_messages()),
             "query_bytes": float(self.total_query_bytes()),
             "queries_issued": float(self.total_queries_issued()),
+            "queries_rejected": float(self.total_queries_rejected()),
+            "queries_shed": float(self.total_queries_shed()),
+            "queries_completed": float(self.total_queries_completed()),
+            "cache_hits": float(self.total_cache_hits()),
+            "cache_misses": float(self.total_cache_misses()),
+            "cache_invalidations": float(self.total_cache_invalidations()),
+            # Derived from the integer latency histogram — a pure function
+            # of byte-identical inputs, so still exactly equal across
+            # backends.
+            "query_p50_ms": self.query_latency_ms(0.50),
+            "query_p95_ms": self.query_latency_ms(0.95),
+            "query_p99_ms": self.query_latency_ms(0.99),
             "messages_dropped": float(self.messages_dropped),
             "messages_lost": float(self.messages_lost),
             "facts_derived": float(self.total_facts_derived()),

@@ -53,6 +53,7 @@ from repro.net.events import (
     MessageDelivery,
     NodeCrash,
     NodeRecover,
+    QueryArrival,
     QueryTimeout,
     SimulationEvent,
     SoftStateRefresh,
@@ -101,6 +102,7 @@ _EVENT_KINDS: Dict[type, int] = {
     SoftStateRefresh: 7,
     MessageDelivery: 8,
     QueryTimeout: 9,
+    QueryArrival: 10,
 }
 
 _PROV_NONE = 0
@@ -578,6 +580,20 @@ def _encode_event(
             pass
         elif isinstance(event, MessageDelivery):
             _encode_message(writer, table, event.message)
+        elif isinstance(event, QueryArrival):
+            writer.u32(table.intern(event.address))
+            writer.u32(table.intern(event.relation))
+            writer.u32(table.intern(event.mode))
+            writer.u64(event.draw)
+            writer.u32(event.pool)
+            writer.u8(1 if event.condensed else 0)
+            # client is -1 for open-loop arrivals; shifted by one to stay
+            # in unsigned range.
+            writer.u64(event.client + 1)
+            writer.u64(event.arrival_id)
+            writer.u32(event.attempt)
+            writer.f64(event.deadline)
+            writer.f64(event.think)
         else:  # QueryTimeout
             writer.u64(event.query_id)
             writer.u64(event.request_id)
@@ -622,6 +638,24 @@ def _decode_event(reader: _Reader, strings: List[str]) -> SimulationEvent:
         return MessageDelivery(time=time, message=_decode_message_body(reader, strings))
     if kind == 9:
         return QueryTimeout(time=time, query_id=reader.u64(), request_id=reader.u64())
+    if kind == 10:
+        address = strings[reader.u32()]
+        relation = strings[reader.u32()]
+        mode = strings[reader.u32()]
+        return QueryArrival(
+            time=time,
+            address=address,
+            relation=relation,
+            mode=mode,
+            draw=reader.u64(),
+            pool=reader.u32(),
+            condensed=bool(reader.u8()),
+            client=reader.u64() - 1,
+            arrival_id=reader.u64(),
+            attempt=reader.u32(),
+            deadline=reader.f64(),
+            think=reader.f64(),
+        )
     raise ValueError(f"unknown event kind {kind} in coordination frame")
 
 

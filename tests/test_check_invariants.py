@@ -85,6 +85,25 @@ class TestWallClock:
         )
         assert "INV001" not in _rules(tool.check_tree(tree))
 
+    def test_time_time_in_service_flagged(self, tree):
+        # The query service plane is hot path: token buckets and cache TTLs
+        # run on simulated time only.
+        (tree / "service").mkdir()
+        (tree / "service" / "ratelimit.py").write_text(
+            "import time\n\ndef refill():\n    return time.monotonic()\n",
+            encoding="utf-8",
+        )
+        assert "INV001" in _rules(tool.check_tree(tree))
+
+    def test_simulated_time_in_service_allowed(self, tree):
+        (tree / "service").mkdir()
+        (tree / "service" / "ratelimit.py").write_text(
+            "def refill(bucket, now):\n"
+            "    return min(bucket.burst, bucket.tokens + now - bucket.updated)\n",
+            encoding="utf-8",
+        )
+        assert "INV001" not in _rules(tool.check_tree(tree))
+
 
 class TestRandomness:
     def test_module_level_random_flagged_everywhere(self, tree):
@@ -236,6 +255,26 @@ class TestModuleLevelCaches:
     def test_empty_dict_outside_bounded_dirs_allowed(self, tree):
         (tree / "harness" / "mod.py").write_text(
             "_CACHE = {}\n", encoding="utf-8"
+        )
+        assert "INV006" not in _rules(tool.check_tree(tree))
+
+    def test_module_level_memo_in_service_flagged(self, tree):
+        # A module-global result memo would defeat the cache capacity/TTL
+        # knobs the service plane exists to enforce.
+        (tree / "service").mkdir()
+        (tree / "service" / "cache.py").write_text(
+            "_MEMO = {}\n", encoding="utf-8"
+        )
+        assert "INV006" in _rules(tool.check_tree(tree))
+
+    def test_instance_held_cache_in_service_allowed(self, tree):
+        (tree / "service").mkdir()
+        (tree / "service" / "cache.py").write_text(
+            "class ClosureCache:\n"
+            "    def __init__(self, capacity):\n"
+            "        self.capacity = capacity\n"
+            "        self._entries = {}\n",
+            encoding="utf-8",
         )
         assert "INV006" not in _rules(tool.check_tree(tree))
 

@@ -742,3 +742,73 @@ class TestPipelinedCoordination:
             transport="shm",
         )
         _assert_equivalent(serial, sharded)
+
+
+class TestServicePlaneEquivalence:
+    """The query service plane is part of the cross-backend contract.
+
+    Arrival streams are precomputed pure functions of the workload spec and
+    the node list; admission buckets, cache epochs and latency buckets all
+    run on simulated time — so every new integer counter (rejected / shed /
+    completed, cache hits / misses / invalidations, both histograms) must
+    be byte-identical between the serial and sharded backends, in every
+    shard mode, under open- and closed-loop load.
+    """
+
+    def _served(self, backend, shards=2, shard_mode="inline", clients=0):
+        from repro.service import QueryWorkload
+
+        network = Network.build(
+            topology=10,
+            program="best-path",
+            provenance="condensed",
+            options=NetOptions(
+                key_bits=128,
+                backend=backend,
+                shards=shards,
+                shard_mode=shard_mode,
+                query_cache=True,
+                admission_rate=2.0,
+                admission_policy="retry",
+                seed=6,
+            ),
+        )
+        workload = QueryWorkload(
+            rate=5.0, clients=clients, think_time=0.7, duration=6.0, seed=11
+        )
+        return network.serve(workload)
+
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_open_loop_counters_identical_inline(self, shards):
+        serial = self._served("serial")
+        sharded = self._served("sharded", shards=shards)
+        _assert_equivalent(serial, sharded)
+        # The workload must have actually exercised the plane.
+        assert serial.queries_completed > 0
+        assert serial.queries_rejected > 0
+        assert serial.stats.total_cache_hits() > 0
+
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_closed_loop_counters_identical_inline(self, shards):
+        serial = self._served("serial", clients=3)
+        sharded = self._served("sharded", shards=shards, clients=3)
+        _assert_equivalent(serial, sharded)
+        assert serial.queries_completed > 0
+
+    def test_mixed_load_counters_identical_processes(self):
+        serial = self._served("serial", clients=2)
+        sharded = self._served(
+            "sharded", shards=2, shard_mode="processes", clients=2
+        )
+        _assert_equivalent(serial, sharded)
+        assert serial.offered == sharded.offered
+        assert serial.service().as_dict() == sharded.service().as_dict()
+
+    def test_latency_percentiles_identical(self):
+        # Percentiles are pure functions of the integer histograms, so they
+        # must match exactly — no float tolerance.
+        serial = self._served("serial")
+        sharded = self._served("sharded", shards=4)
+        assert serial.query_p50_ms == sharded.query_p50_ms
+        assert serial.query_p95_ms == sharded.query_p95_ms
+        assert serial.query_p99_ms == sharded.query_p99_ms

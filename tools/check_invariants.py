@@ -10,7 +10,9 @@ Rules
 -----
 INV001  no wall-clock reads (``time.time``, ``time.monotonic``,
         ``datetime.now`` ...) inside the simulation hot path
-        (``net/``, ``engine/``); simulated time is the only clock.
+        (``net/``, ``engine/``, ``service/``); simulated time is the only
+        clock — the service plane's token buckets, cache TTLs and latency
+        percentiles are all functions of it.
 INV002  no unseeded randomness anywhere in ``src/repro``: module-level
         ``random.<fn>()`` calls and argument-less ``random.Random()``
         draw from process-global, seed-unknown state.
@@ -26,8 +28,9 @@ INV005  no internal calls to the deprecated shims (``Simulator(...)``,
         ``run_best_path``, ``run_configuration``, ``ExperimentRow``)
         outside the modules that define them; internal code uses the
         ``Network`` facade / ``run_network``.
-INV006  no unbounded module-level dict/list/set caches in ``provenance/``
-        or ``engine/``: an empty mutable container assigned at module scope
+INV006  no unbounded module-level dict/list/set caches in ``provenance/``,
+        ``engine/`` or ``service/``: an empty mutable container assigned at
+        module scope
         (``_CACHE = {}``, ``x = list()`` ...) is process-global state that
         grows for the life of the interpreter, defeating the storage-tier
         residency bounds.  Put caches on instances (sized and crash-scoped)
@@ -56,14 +59,18 @@ RULES: Dict[str, str] = {
     "INV003": "event class escapes the content-based rank",
     "INV004": "iteration over unordered set in the hot path",
     "INV005": "internal call to a deprecated shim",
-    "INV006": "unbounded module-level cache in provenance/engine",
+    "INV006": "unbounded module-level cache in provenance/engine/service",
 }
 
-#: Directories whose code runs inside the simulation loop.
-HOT_PATH_PARTS = ("net", "engine")
+#: Directories whose code runs inside the simulation loop.  The service
+#: plane (``service/``) is hot path: admission buckets refill and cache
+#: entries expire on the simulated clock, inside event handlers.
+HOT_PATH_PARTS = ("net", "engine", "service")
 
 #: Directories where module-level mutable caches defeat the storage tiers.
-BOUNDED_STATE_PARTS = ("provenance", "engine")
+#: ``service/`` is here too — the query-result cache is the very thing the
+#: capacity/TTL knobs bound, so a module-global memo would defeat it.
+BOUNDED_STATE_PARTS = ("provenance", "engine", "service")
 
 #: Attribute calls that read the host clock.
 WALL_CLOCK = {
