@@ -30,21 +30,28 @@
 #                      under churn and that retracted-route tracebacks
 #                      answer through spill reads.  Spill logs live under
 #                      pytest's tmpdir, so the run is hermetic.
+#   make dynamics-smoke - the churn-convergence benchmark: one-fixpoint
+#                      deletion vs the soft-state decay baseline on a
+#                      bridge retraction (>=5x simulated-time improvement
+#                      asserted) and serial-vs-sharded byte-identity of
+#                      the six churn-plane counters at 2 and 4 shards;
+#                      writes BENCH_dynamics.json.
 #   make lint        - static analysis: the NDlog program linter over every
 #                      in-tree program (warnings fail the build), the
 #                      determinism-invariant checker over src/repro, and —
 #                      when installed — ruff over src/.
 #   make ci          - what the GitHub Actions workflow runs: the lint
 #                      suite, tier-1 tests, the benchmark smoke suite, the
-#                      scenario, shard, examples, service and memory smoke
-#                      runs, and a bytecode compile of the whole source tree.
+#                      scenario, shard, examples, service, memory and
+#                      dynamics smoke runs, and a bytecode compile of the
+#                      whole source tree.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check tier1 test bench-smoke scenarios-smoke shard-smoke examples-smoke service-smoke memory-smoke lint compileall ci
+.PHONY: check tier1 test bench-smoke scenarios-smoke shard-smoke examples-smoke service-smoke memory-smoke dynamics-smoke lint compileall ci
 
-check: lint test bench-smoke scenarios-smoke shard-smoke examples-smoke service-smoke memory-smoke
+check: lint test bench-smoke scenarios-smoke shard-smoke examples-smoke service-smoke memory-smoke dynamics-smoke
 
 tier1:
 	$(PYTHON) -m pytest -x -q
@@ -86,6 +93,14 @@ memory-smoke:
 	REPRO_BENCH_SIZES=10 REPRO_SCALE_N=24 REPRO_BENCH_CHURN_ROUNDS=3 \
 		$(PYTHON) -m pytest -x -q benchmarks/test_provenance_memory.py
 
+dynamics-smoke:
+	$(PYTHON) -m pytest -x -q benchmarks/test_dynamics.py
+	$(PYTHON) -m repro.harness.scenarios retraction --nodes 8 \
+		--refresh-mode wheel
+	$(PYTHON) -m repro.harness.scenarios retraction --nodes 8 \
+		--backend sharded --shards 2 --shard-mode inline \
+		--refresh-mode wheel
+
 lint:
 	$(PYTHON) -m repro.datalog.lint --builtin --strict
 	$(PYTHON) tools/check_invariants.py
@@ -98,4 +113,4 @@ lint:
 compileall:
 	$(PYTHON) -m compileall -q src
 
-ci: lint tier1 bench-smoke scenarios-smoke shard-smoke examples-smoke service-smoke memory-smoke compileall
+ci: lint tier1 bench-smoke scenarios-smoke shard-smoke examples-smoke service-smoke memory-smoke dynamics-smoke compileall

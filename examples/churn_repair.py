@@ -1,0 +1,145 @@
+"""Churn repair: one-fixpoint deletions and the timer-wheel refresh plane.
+
+Scenario: a reachability network on a line with a chord converges, keeps
+itself alive past its soft-state TTL on per-tuple wheel timers, and then
+loses a link.  Because base tuples carry base-support polynomials, the
+retraction runs DRed's over-deletion *and* the rederivation phase in one
+distributed fixpoint: tuples with a surviving alternative derivation
+(through the chord) are kept, dead remote copies are chased with ranked
+anti-delta messages, and the network converges at link-latency speed —
+no waiting for TTL decay.
+
+The same script is then replayed with ``rederivation=False`` to show the
+decay baseline the paper era lived with: no anti-deltas, stale state
+survives until its TTL runs out.
+
+Run with::
+
+    python examples/churn_repair.py
+"""
+
+from __future__ import annotations
+
+from repro.api import Network, NetOptions
+from repro.datalog import localize_program, parse_program
+from repro.datalog.planner import compile_program
+from repro.engine.node_engine import EngineConfig, ProvenanceMode
+from repro.engine.tuples import Fact
+from repro.net.events import FactInjection, FactRetraction, SoftStateRefresh
+from repro.net.topology import Link, line_topology
+from repro.queries.reachable import REACHABLE_LOCALIZED
+from repro.security.says import SaysMode
+
+TTL = 30.0
+
+COUNTERS = (
+    "rederivations",
+    "anti_delta_messages",
+    "anti_delta_bytes",
+    "refresh_messages",
+    "refresh_bytes",
+    "timer_events",
+)
+
+
+def build_network(rederivation: bool):
+    """A 6-node line with a chord n0<->n2, on the wheel refresh plane."""
+    topology = line_topology(6).with_extra_links(
+        [Link(source="n0", destination="n2", cost=1.0),
+         Link(source="n2", destination="n0", cost=1.0)]
+    )
+    program = compile_program(localize_program(parse_program(REACHABLE_LOCALIZED)))
+    network = Network.build(
+        topology=topology,
+        program=program,
+        config=EngineConfig(
+            default_ttl=TTL,
+            track_dependencies=True,
+            provenance_mode=ProvenanceMode.CONDENSED,
+            says_mode=SaysMode.NONE,
+            rederivation=rederivation,
+        ),
+        options=NetOptions(
+            refresh_mode="wheel",
+            refresh_interval=10.0,
+            refresh_rate=16.0,
+            refresh_burst=32.0,
+        ),
+    )
+    simulator = network.simulator
+    for node in topology.nodes:
+        facts = tuple(
+            Fact("link", (link.source, link.destination))
+            for link in sorted(topology.outgoing(node),
+                               key=lambda l: l.destination)
+        )
+        simulator.schedule(FactInjection(time=0.0, address=node, facts=facts))
+    assert simulator.run_until_idle()
+    return network, topology
+
+
+def reachable_count(simulator) -> int:
+    return sum(len(tuple(engine.facts("reachable")))
+               for engine in simulator.engines.values())
+
+
+def run(rederivation: bool) -> dict:
+    network, topology = build_network(rederivation)
+    simulator = network.simulator
+    print(f"converged: {reachable_count(simulator)} reachable tuples "
+          f"across {len(topology.nodes)} nodes "
+          f"(rederivation={'on' if rederivation else 'off'})")
+
+    # Advance the wheel horizon past the TTL: per-tuple timers refresh the
+    # soft state continuously — no lockstep SoftStateRefresh rounds needed.
+    simulator.schedule(SoftStateRefresh(time=TTL + 5.0))
+    assert simulator.run_until_idle()
+    alive = reachable_count(simulator)
+    print(f"  t={simulator.current_time():.1f}s > TTL={TTL:.0f}s: "
+          f"{alive} tuples still alive on wheel timers")
+
+    # Retract the link n1 -> n2 (and its reverse).  The chord keeps the
+    # graph connected, so every reachable tuple still holds — but only a
+    # rederivation-aware retraction can *prove* that and keep them.
+    retract_at = max(simulator.current_time(), TTL + 5.0) + 1.0
+    for source, destination in (("n1", "n2"), ("n2", "n1")):
+        simulator.schedule(FactRetraction(
+            time=retract_at,
+            address=source,
+            facts=(Fact("link", (source, destination)),),
+        ))
+    assert simulator.run_until_idle()
+    repair_time = simulator.current_time() - retract_at
+    remaining = reachable_count(simulator)
+    summary = simulator.stats.summary()
+    counters = {key: int(summary[key]) for key in COUNTERS}
+    print(f"  retracted n1<->n2: {alive} -> {remaining} tuples, "
+          f"converged {repair_time:.3f}s after the retraction")
+    for key in COUNTERS:
+        print(f"      {key:<22s}{counters[key]:>8d}")
+    print()
+    return counters
+
+
+def main() -> None:
+    print("=== one-fixpoint deletions (rederivation=True, the default) ===")
+    repaired = run(rederivation=True)
+
+    print("=== decay baseline (rederivation=False) ===")
+    decayed = run(rederivation=False)
+
+    print(f"one-fixpoint repair kept {repaired['rederivations']} tuples via "
+          f"alternative derivations through the chord and settled dead "
+          f"remote copies with {repaired['anti_delta_messages']} anti-delta "
+          f"messages ({repaired['anti_delta_bytes']} bytes) — the network "
+          f"is correct the moment the fixpoint lands.")
+    print(f"the decay baseline sent {decayed['anti_delta_messages']} "
+          f"anti-deltas and over-deleted tuples the chord still supports: "
+          f"its state stays wrong until the {TTL:.0f}s TTL decays it and "
+          f"the next refresh rebuilds it.")
+    assert repaired["anti_delta_messages"] > 0
+    assert decayed["anti_delta_messages"] == 0
+
+
+if __name__ == "__main__":
+    main()

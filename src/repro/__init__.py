@@ -133,6 +133,42 @@ was saved::
           summary["windows_executed"],       # window grants issued
           summary["windows_coalesced"])      # extra windows per lease
 
+Dynamic networks repair at computation speed, not timeout speed.  Base
+tuples carry **base-support polynomials**: retracting one (or failing a
+link with ``retract=True``) runs DRed's over-deletion *and* the
+rederivation phase in a single distributed fixpoint — tuples with a
+surviving alternative derivation are kept (counted as ``rederivations``),
+dead remote copies are chased with ranked **anti-delta** messages — so a
+retraction converges in link-latency time instead of ``ttl +
+refresh_interval`` of soft-state decay.  On by default; disable with
+``rederivation=False`` to measure the decay baseline.  Soft-state refresh
+itself can run as a continuous plane instead of lockstep rounds::
+
+    network = Network.build(topology=10, program="best-path",
+                            provenance="ndlog",
+                            options=NetOptions(refresh_mode="wheel",
+                                               refresh_interval=5.0,
+                                               refresh_rate=2.0,
+                                               refresh_burst=4.0))
+    result = network.run()
+    summary = network.stats.summary()
+    print(summary["rederivations"],          # tuples saved by alternatives
+          summary["anti_delta_messages"],    # deletion-repair messages
+          summary["anti_delta_bytes"],
+          summary["refresh_messages"],       # per-tuple wheel refreshes
+          summary["refresh_bytes"],
+          summary["timer_events"])           # wheel drain events
+
+``refresh_mode="wheel"`` keeps per-tuple refresh timers in hierarchical
+timer wheels on simulated time (O(1) schedule/cancel, deterministic drain;
+``refresh_rate``/``refresh_burst`` token-bucket the refresh waves so
+repair traffic is a bounded trickle); ``"rounds"`` is the classic lockstep
+``SoftStateRefresh``.  All six counters are integers on simulated time and
+part of the serial-vs-sharded byte-identical contract;
+``benchmarks/test_dynamics.py`` (``make dynamics-smoke``) measures the
+one-fixpoint-vs-decay convergence gap into ``BENCH_dynamics.json``, and
+``examples/churn_repair.py`` walks the whole story.
+
 The legacy entry points (``Simulator(...)``, ``run_best_path``,
 ``run_configuration``) remain as thin shims over the facade, now emitting
 ``DeprecationWarning``.

@@ -189,6 +189,10 @@ class Network:
             query_timeout=merged.query_timeout,
             admission=merged.service_admission(),
             query_cache=merged.service_cache(),
+            refresh_mode=merged.refresh_mode,
+            refresh_interval=merged.refresh_interval,
+            refresh_rate=merged.refresh_rate,
+            refresh_burst=merged.refresh_burst,
         )
         if merged.backend == "sharded":
             simulator = ShardedSimulator(

@@ -153,7 +153,29 @@ class NetOptions:
     cost_model: Optional[CostModel] = None
     #: Seed used when the topology is given as a bare node count.
     seed: int = 0
+    # -- soft-state dynamics (repro.net.kernel / repro.net.timers) -----------
+    #: How soft state is kept alive: ``"rounds"`` (the default) relies on
+    #: explicit :class:`~repro.net.events.SoftStateRefresh` events the
+    #: driving code schedules; ``"wheel"`` arms a per-tuple refresh timer at
+    #: each owner in a hierarchical timer wheel, re-asserting every
+    #: remembered base tuple each ``refresh_interval`` as a continuous
+    #: trickle (deterministic and byte-identical across backends).
+    refresh_mode: str = "rounds"
+    #: Seconds between one base tuple's refreshes (``refresh_mode="wheel"``).
+    refresh_interval: float = 10.0
+    #: Refresh-wave rate limit, tuples per simulated second per node; ``0``
+    #: disables the limiter (every due timer fires immediately).
+    refresh_rate: float = 0.0
+    #: Token-bucket burst for the refresh-wave limiter (tuples).
+    refresh_burst: float = 1.0
     # -- engine configuration overrides (None = preset default) --------------
+    #: One-fixpoint deletions: maintain base-support polynomials so a
+    #: retraction (or link failure) converges in a single distributed
+    #: fixpoint — surviving alternatives are kept (``rederivations``), dead
+    #: tuples are chased across nodes with ranked anti-delta messages —
+    #: instead of waiting out ``ttl + refresh_interval`` of soft-state
+    #: decay.  ``None`` defers to the preset (off).
+    rederivation: Optional[bool] = None
     default_ttl: Optional[float] = None
     track_dependencies: Optional[bool] = None
     keep_online_provenance: Optional[bool] = None
@@ -263,6 +285,24 @@ class NetOptions:
                 f"query_cache_ttl must be >= 0 (0 = no TTL bound), got "
                 f"{self.query_cache_ttl}"
             )
+        if self.refresh_mode not in ("rounds", "wheel"):
+            raise ValueError(
+                f"unknown refresh_mode {self.refresh_mode!r}; expected "
+                "'rounds' or 'wheel'"
+            )
+        if self.refresh_interval <= 0:
+            raise ValueError(
+                f"refresh_interval must be positive, got {self.refresh_interval}"
+            )
+        if self.refresh_rate < 0:
+            raise ValueError(
+                f"refresh_rate must be >= 0 (0 disables the refresh-wave "
+                f"limiter), got {self.refresh_rate}"
+            )
+        if self.refresh_burst <= 0:
+            raise ValueError(
+                f"refresh_burst must be positive, got {self.refresh_burst}"
+            )
 
     def resolved_shards(self) -> int:
         """The effective shard count: explicit, or one per core, clamped to
@@ -321,6 +361,7 @@ class NetOptions:
         validated-options contract.
         """
         fields_ = (
+            "rederivation",
             "default_ttl",
             "track_dependencies",
             "keep_online_provenance",
@@ -342,6 +383,8 @@ class NetOptions:
         """The :class:`EngineConfig` for preset *provenance* plus overrides."""
         says_mode, provenance_mode = PROVENANCE_PRESETS[resolve_preset(provenance)]
         config = EngineConfig(says_mode=says_mode, provenance_mode=provenance_mode)
+        if self.rederivation is not None:
+            config.rederivation = self.rederivation
         if self.default_ttl is not None:
             config.default_ttl = self.default_ttl
         if self.track_dependencies is not None:

@@ -39,6 +39,7 @@ from repro.provenance.authenticated import (
 from repro.provenance.condensed import CondensedProvenance
 from repro.provenance.distributed import DistributedProvenanceStore
 from repro.provenance.local import LocalProvenanceStore, PiggybackedProvenance
+from repro.provenance.polynomial import ProvenanceExpression
 from repro.provenance.pruning import MaintenanceMode, ProvenanceSampler
 from repro.provenance.store import OfflineProvenanceArchive, OnlineProvenanceStore
 from repro.security.authenticator import AuthenticationError, Authenticator
@@ -101,6 +102,21 @@ class EngineConfig:
     #: derivations.  Off by default: it costs a dict update per antecedent
     #: per firing, and the static evaluation sweeps never retract.
     track_dependencies: bool = False
+    #: One-fixpoint deletions: maintain a base-support polynomial (a
+    #: semiring annotation over *base tuple keys*) per stored/exported
+    #: tuple, so :meth:`NodeEngine.retract_base` can decide survival
+    #: exactly — a tuple survives iff a monomial free of the retracted
+    #: base remains — instead of over-deleting and waiting for TTL decay.
+    #: Exported facts ship their polynomial; remote copies are chased with
+    #: anti-deltas carrying the retracted base keys.
+    rederivation: bool = False
+    #: Refresh-wave propagation threshold in seconds.  When positive, a
+    #: re-asserted (TTL-refreshed) tuple whose previous copy is at least
+    #: this old propagates through the rules again, refreshing derived and
+    #: downstream copies; ``0.0`` (the default) keeps refreshes local to
+    #: the owner, the round-based behavior.  The timer-wheel refresh plane
+    #: sets this to half the refresh interval.
+    refresh_propagation: float = 0.0
 
 
 @dataclass(slots=True)
@@ -115,6 +131,10 @@ class ProcessingReport:
     facts_inserted: int = 0
     facts_derived: int = 0
     facts_retracted: int = 0
+    #: Tuples that *survived* a retraction pass because a surviving
+    #: alternative derivation exists (their base-support polynomial stayed
+    #: nonzero after pruning the retracted base).
+    rederivations: int = 0
     rule_firings: int = 0
     payload_bytes_processed: int = 0
     provenance_annotations: int = 0
@@ -131,6 +151,7 @@ class ProcessingReport:
         self.facts_inserted += other.facts_inserted
         self.facts_derived += other.facts_derived
         self.facts_retracted += other.facts_retracted
+        self.rederivations += other.rederivations
         self.rule_firings += other.rule_firings
         self.payload_bytes_processed += other.payload_bytes_processed
         self.provenance_annotations += other.provenance_annotations
@@ -156,6 +177,11 @@ class ProcessingResult:
     outgoing: List[OutgoingFact] = field(default_factory=list)
     report: ProcessingReport = field(default_factory=ProcessingReport)
     new_facts: List[Fact] = field(default_factory=list)
+    #: Anti-delta fanout produced by a retraction pass: destination address
+    #: -> retracted base keys that destination must be told about (it holds
+    #: tuples whose shipped support polynomial mentions them).  Empty except
+    #: under ``rederivation=True``.
+    anti_deltas: Dict[str, List[FactKey]] = field(default_factory=dict)
 
 
 def facts_by_node(
@@ -249,15 +275,38 @@ class NodeEngine:
         self._maintains_provenance = config.provenance_mode.maintains_provenance
         self._ships_provenance = config.provenance_mode.ships_provenance
         self._track_dependencies = config.track_dependencies
-        #: Antecedent tuples feed only provenance recording and retraction
-        #: dependency tracking; configurations needing neither skip
-        #: accumulating them in the join loops entirely.
+        self._rederivation = config.rederivation
+        self._refresh_propagation = config.refresh_propagation
+        #: Antecedent tuples feed provenance recording, retraction dependency
+        #: tracking and base-support polynomials; configurations needing none
+        #: of those skip accumulating them in the join loops entirely.
         self._collect_antecedents = (
-            self._maintains_provenance or self._track_dependencies
+            self._maintains_provenance
+            or self._track_dependencies
+            or self._rederivation
         )
         #: Retraction support: antecedent key -> ordered set of locally
         #: derived keys it supports (maintained only under track_dependencies).
         self._dependents: Dict[FactKey, Dict[FactKey, None]] = {}
+        #: One-fixpoint deletion state (``rederivation=True`` only).
+        #: Base-support polynomial per stored/exported tuple key — a sum of
+        #: monomials, each a conjunction of *rendered base tuple keys* that
+        #: suffices to derive the tuple.
+        self._support: Dict[FactKey, ProvenanceExpression] = {}
+        #: Reverse index: rendered base key -> tuple keys whose polynomial
+        #: mentions it (insertion-ordered; entries may go stale when a merge
+        #: drops a variable and are re-checked against the live polynomial).
+        self._base_uses: Dict[str, Dict[FactKey, None]] = {}
+        #: Rendered base keys known retracted.  Dedups anti-delta floods
+        #: (monotone per epoch, so the flood terminates) and prunes stale
+        #: in-flight support; re-inserting a base clears its mark.
+        self._dead_bases: Set[str] = set()
+        #: Rendered base key -> destinations that received an exported tuple
+        #: whose polynomial mentions it — the anti-delta fanout targets.
+        self._export_dests: Dict[str, Dict[str, None]] = {}
+        #: Active refresh-wave memo (keys already propagated this wave), or
+        #: ``None`` outside wave processing.  See :meth:`refresh_batch`.
+        self._wave: Optional[Set[FactKey]] = None
         #: Aggregate-head relations: predicate -> (aggregate state key, head
         #: plan) per rule, used to forget groups when their stored tuple is
         #: retracted or expires (so a refreshed, possibly worse, contribution
@@ -336,6 +385,8 @@ class NodeEngine:
                     # the live store, so offline traceback queries can walk
                     # it even after a crash wiped the in-memory stores.
                     self.offline_provenance.record_base(prepared)
+        if self._rederivation:
+            self._note_base_support(prepared)
         self._process_local(prepared, now, result)
         return result
 
@@ -374,30 +425,57 @@ class NodeEngine:
         result = ProcessingResult()
         queue: Deque[Fact] = deque()
         warmed: Set[str] = set()
-        for fact in facts:
-            verified = self._admit(fact, fact.provenance, result)
-            if verified is None:
-                continue
-            if self._store(verified, now, result):
-                queue.append(verified)
-                self._drain(queue, now, result, warmed)
+        # Under the timer-wheel refresh plane remote deliveries run in wave
+        # mode too: an arriving duplicate whose stored copy has aged past
+        # the propagation threshold re-propagates, which is how one owner's
+        # refresh wave re-stamps derived state across node boundaries.
+        wave_mode = self._refresh_propagation > 0.0 and self._wave is None
+        if wave_mode:
+            self._wave = set()
+        try:
+            for fact in facts:
+                verified = self._admit(fact, fact.provenance, result)
+                if verified is None:
+                    continue
+                if self._store(verified, now, result):
+                    queue.append(verified)
+                    self._drain(queue, now, result, warmed)
+        finally:
+            if wave_mode:
+                self._wave = None
         return result
 
     def retract_base(self, fact: Fact, now: float = 0.0) -> ProcessingResult:
         """Withdraw a base fact, cascading invalidation through local state.
 
-        Deletes the stored tuple and — when ``track_dependencies`` is on —
-        every locally derived tuple transitively supported by it (the
-        over-deleting half of DRed).  Aggregate groups of deleted
-        aggregate-head tuples are forgotten so refreshed (possibly worse)
-        alternatives can re-establish them, and the queryable provenance
-        stores stop vouching for every invalidated tuple; the offline
-        archive deliberately keeps the historical record for forensics.
+        Under ``rederivation=True`` this is the full DRed story in one pass:
+        the retracted base is pruned out of every affected base-support
+        polynomial (via the reverse index — no transitive search), tuples
+        whose polynomial survives stay put (counted as ``rederivations``),
+        tuples whose polynomial zeroes out are deleted, and the result's
+        ``anti_deltas`` name every destination that must be told (it holds
+        exported tuples whose shipped polynomial mentions the base).  The
+        caller ships those as :class:`~repro.net.message.AntiDelta` wire
+        messages; receivers run :meth:`retract_remote`, so a retraction
+        converges in a single distributed fixpoint.
 
-        Nothing is shipped: remote copies are not chased.  They decay through
-        soft-state expiry and are repaired by refresh traffic, which is the
-        paper's dynamic-network story.
+        Without rederivation only the over-deleting half runs: the stored
+        tuple is deleted and — when ``track_dependencies`` is on — every
+        locally derived tuple transitively supported by it.  Nothing is
+        shipped; remote copies decay through soft-state expiry and are
+        repaired by refresh traffic, the paper's original dynamic-network
+        story.
+
+        Either way, aggregate groups of deleted aggregate-head tuples are
+        forgotten so refreshed (possibly worse) alternatives can
+        re-establish them, and the queryable provenance stores stop
+        vouching for every invalidated tuple; the offline archive
+        deliberately keeps the historical record for forensics.
         """
+        if self._rederivation:
+            result = ProcessingResult()
+            self._apply_dead_bases((fact.key(),), now, result)
+            return result
         result = ProcessingResult()
         queue: Deque[FactKey] = deque((fact.key(),))
         seen: Set[FactKey] = {fact.key()}
@@ -426,6 +504,75 @@ class NodeEngine:
                     queue.append(dependent)
         return result
 
+    def retract_remote(
+        self, keys: Iterable[FactKey], now: float
+    ) -> ProcessingResult:
+        """Process an anti-delta: base keys retracted somewhere upstream.
+
+        Runs the same polynomial-pruning pass as a local retraction and
+        cascades: the result's ``anti_deltas`` carry the keys onward to any
+        destination *this* node exported affected tuples to.  The per-node
+        dead-base set dedups re-deliveries, so the flood over the export
+        graph terminates even on cyclic topologies.
+        """
+        result = ProcessingResult()
+        self._apply_dead_bases(tuple(keys), now, result)
+        return result
+
+    def refresh_batch(self, facts: Iterable[Fact], now: float) -> ProcessingResult:
+        """Re-assert owned base tuples as one refresh wave.
+
+        The timer-wheel refresh plane calls this with the due tuples of one
+        node at one instant.  Each tuple is re-inserted exactly like
+        :meth:`insert_base` (provenance recorded, TTL restamped), but the
+        whole batch runs in *wave mode*: a refresh that would normally stop
+        at the owner (the tuple already exists) propagates through the rules
+        again when the stored copy's age exceeds ``refresh_propagation``,
+        re-deriving and re-shipping so downstream soft state is re-stamped
+        before it decays.  The wave memo caps each tuple at one propagation
+        per wave and the age gate stops waves re-triggering each other, so
+        the wave terminates.
+        """
+        result = ProcessingResult()
+        queue: Deque[Fact] = deque()
+        warmed: Set[str] = set()
+        self._wave = set()
+        try:
+            for fact in facts:
+                prepared = self._attribute_local(fact, now)
+                if self._maintains_provenance and self._should_record(prepared):
+                    self.provenance_epoch += 1
+                    self.local_provenance.record_base(
+                        prepared, source=self.address
+                    )
+                    self.distributed_provenance.record_base(prepared)
+                    if self.config.keep_offline_provenance:
+                        self.offline_provenance.record_base(prepared)
+                if self._rederivation:
+                    self._note_base_support(prepared)
+                if self._store(prepared, now, result):
+                    queue.append(prepared)
+                    self._drain(queue, now, result, warmed)
+        finally:
+            self._wave = None
+        return result
+
+    def settle_retractions(self) -> None:
+        """End-of-fixpoint bookkeeping for one-fixpoint deletions.
+
+        The dead-base set exists to catch in-flight facts racing an
+        anti-delta flood: while the deletion fixpoint is running, an
+        arriving polynomial mentioning a dead base describes a derivation
+        that no longer exists and is pruned (:meth:`_merge_incoming_support`).
+        Once the network is quiescent nothing is in flight, and *keeping*
+        the marks would make a later re-assertion of the same base — a link
+        flap restored, a recovered node re-injecting — look dead on
+        arrival.  The kernel calls this when its scheduler drains (both
+        backends, at the same logical instant), so the marks live exactly
+        as long as the fixpoint they guard.
+        """
+        self._dead_bases.clear()
+
     def reset_state(self) -> None:
         """Crash semantics: lose all runtime state.
 
@@ -440,6 +587,10 @@ class NodeEngine:
             table.clear()
         self.aggregates.clear()
         self._dependents.clear()
+        self._support.clear()
+        self._base_uses.clear()
+        self._dead_bases.clear()
+        self._export_dests.clear()
         self.provenance_epoch += 1
         self.local_provenance = LocalProvenanceStore(self.address)
         self.distributed_provenance = DistributedProvenanceStore(self.address)
@@ -497,6 +648,12 @@ class NodeEngine:
             # is a security decision and is never sampled away.
             if self._should_record(verified):
                 self._record_remote_provenance(verified, incoming)
+        if self._rederivation and not self._merge_incoming_support(verified):
+            # Every derivation the sender knew for this tuple rested on a
+            # base this node already saw retracted: the fact was in flight
+            # when the anti-delta overtook it, and storing it would revive
+            # state the deletion fixpoint just cleaned up.
+            return None
         return verified
 
     def _attribute_local(self, fact: Fact, now: float) -> Fact:
@@ -611,7 +768,13 @@ class NodeEngine:
             value = derived_values[head.aggregate_index]
             changed = state.update(group, value, contribution_key=derived_values)
             if changed is None:
-                return
+                # Refresh waves re-emit the standing best: the contribution
+                # matching the current aggregate value did not *change* the
+                # group, but downstream copies of that value still need
+                # their TTLs re-stamped.
+                if self._wave is None or state.best.get(group) != value:
+                    return
+                changed = value
             updated = list(derived_values)
             updated[head.aggregate_index] = changed
             derived_values = tuple(updated)
@@ -628,6 +791,10 @@ class NodeEngine:
         )
         result.report.facts_derived += 1
 
+        support: Optional[ProvenanceExpression] = None
+        if self._rederivation:
+            support = self._support_product(firing.antecedents)
+
         annotation = self._record_derivation(derived, plan, firing, now, result)
         # Remote-destined derivations are indexed too: they are not stored
         # locally, but this node *recorded their provenance*, which a
@@ -636,6 +803,8 @@ class NodeEngine:
             self._record_dependencies(derived, firing)
 
         if destination == self.address:
+            if support is not None:
+                self._note_support(derived.key(), support)
             local_fact = derived
             if self._authenticates or annotation is not None:
                 local_fact = derived.with_metadata(
@@ -678,6 +847,19 @@ class NodeEngine:
                     piggyback.serialized_size(condensed_only=False),
                 )
             result.report.provenance_bytes_computed += provenance_bytes
+        if support is not None:
+            # The base-support polynomial rides the export (charged as
+            # provenance overhead on the wire) so the receiver can answer a
+            # later anti-delta locally; remember where each mentioned base
+            # travelled — those are the anti-delta fanout targets.
+            exported = exported.with_metadata(support=support)
+            provenance_bytes += support.serialized_size()
+            dests = self._export_dests
+            for var in support.variables():
+                bucket = dests.get(var)
+                if bucket is None:
+                    bucket = dests[var] = {}
+                bucket[destination] = None
         result.outgoing.append(
             OutgoingFact(
                 destination=destination,
@@ -779,10 +961,203 @@ class NodeEngine:
         # (the persistent log) keeps the historical record.
         self.online_provenance.delete(key)
 
+    # -- one-fixpoint deletions (rederivation=True) -------------------------------
+
+    @staticmethod
+    def _base_var(key: FactKey) -> str:
+        """Render a base tuple key as a support-polynomial variable.
+
+        ``repr`` per value keeps the rendering injective (strings are
+        quoted, so ``link('a','b')`` can never collide with a differently
+        typed tuple) and literal-eval round-trippable for the binary wire
+        codec.
+        """
+        relation, values = key
+        rendered = ",".join(repr(value) for value in values)
+        return f"{relation}({rendered})"
+
+    def _note_base_support(self, fact: Fact) -> None:
+        """A base insert supports itself; (re)asserting clears a dead mark."""
+        var = self._base_var(fact.key())
+        self._dead_bases.discard(var)
+        self._note_support(fact.key(), ProvenanceExpression.var(var))
+
+    def _note_support(self, key: FactKey, poly: ProvenanceExpression) -> None:
+        """Merge *poly* into the support of *key* and index its bases.
+
+        Merging is ``+`` then condense: absorption makes it idempotent, so
+        refresh waves re-recording the same derivations leave the
+        polynomial (and the reverse index) unchanged.
+        """
+        existing = self._support.get(key)
+        if existing is not None:
+            if existing == poly:
+                return
+            poly = (existing + poly).condense()
+            if poly == existing:
+                return
+        self._support[key] = poly
+        uses = self._base_uses
+        for var in poly.variables():
+            bucket = uses.get(var)
+            if bucket is None:
+                bucket = uses[var] = {}
+            bucket[key] = None
+
+    def _support_product(
+        self, antecedents: Tuple[Fact, ...]
+    ) -> ProvenanceExpression:
+        """The support polynomial of a firing: product of its antecedents'.
+
+        An antecedent with no recorded support (stored before rederivation
+        was enabled, or shipped by a sender running without it) is
+        conservatively treated as its own base.
+        """
+        product: Optional[ProvenanceExpression] = None
+        for antecedent in antecedents:
+            poly = self._support.get(antecedent.key())
+            if poly is None:
+                poly = ProvenanceExpression.var(self._base_var(antecedent.key()))
+            product = poly if product is None else product * poly
+        if product is None:
+            return ProvenanceExpression.one()
+        return product.condense()
+
+    def _merge_incoming_support(self, fact: Fact) -> bool:
+        """Fold a received fact's shipped polynomial into the local index.
+
+        Monomials resting on a base this node already knows retracted are
+        pruned on arrival — they describe derivations that no longer exist
+        (the fact crossed an anti-delta in flight).  Returns ``False`` when
+        *every* monomial is dead, i.e. the fact must not be stored.
+        """
+        support = fact.support
+        if not isinstance(support, ProvenanceExpression):
+            return True
+        dead = self._dead_bases
+        if dead:
+            kept = {
+                monomial: coefficient
+                for monomial, coefficient in support.monomials
+                if not any(var in dead for var, _ in monomial)
+            }
+            if len(kept) != len(support.monomials):
+                if not kept:
+                    return False
+                support = ProvenanceExpression.from_monomials(kept)
+        self._note_support(fact.key(), support)
+        return True
+
+    def _apply_dead_bases(
+        self,
+        base_keys: Tuple[FactKey, ...],
+        now: float,
+        result: ProcessingResult,
+    ) -> None:
+        """One deletion pass: prune retracted bases, delete zeroed tuples.
+
+        For each newly dead base the reverse index names exactly the tuples
+        whose polynomial mentions it — no transitive search.  Dropping the
+        dead monomials either leaves a nonzero polynomial (the tuple
+        survives on an alternative derivation: one ``rederivation``) or
+        zeroes it (the tuple and its queryable provenance go).  Every
+        destination the base ever travelled to inside an exported
+        polynomial is queued in ``result.anti_deltas`` so the caller can
+        continue the fixpoint across the wire.
+
+        Surviving *stored* tuples re-enter the delta pipeline after the
+        pruning pass.  Their downstream copies were shipped with the
+        polynomial current at fire time — possibly a strict subset of
+        today's (duplicate arrivals merge polynomial growth locally but do
+        not re-export it) — so the copy at the receiver can zero out on the
+        anti-delta even though an alternative derivation survives here.
+        Re-firing the survivor re-derives and re-ships that state with the
+        pruned, up-to-date support: an arriving copy either merges into a
+        still-live tuple or re-inserts a deleted one, and a re-insert
+        cascades onward, so the repair travels exactly as far as the
+        over-deletion did — all inside the same distributed fixpoint.
+        """
+        fresh: List[Tuple[FactKey, str]] = []
+        for key in base_keys:
+            var = self._base_var(key)
+            if var in self._dead_bases:
+                continue  # flood dedup: this retraction already ran here
+            self._dead_bases.add(var)
+            fresh.append((key, var))
+        swept: Set[str] = set()
+        revived: List[Fact] = []
+        for key, var in fresh:
+            for affected in self._base_uses.pop(var, {}):
+                poly = self._support.get(affected)
+                if poly is None:
+                    continue  # stale index entry: tuple already deleted
+                kept = {
+                    monomial: coefficient
+                    for monomial, coefficient in poly.monomials
+                    if not any(v == var for v, _ in monomial)
+                }
+                if len(kept) == len(poly.monomials):
+                    continue  # stale index entry: a merge dropped the base
+                relation, values = affected
+                table = self.database.table(relation, arity=len(values))
+                # Expiry first (idempotent at fixed *now*): a tuple whose
+                # TTL already elapsed must not count as retraction work,
+                # nor may a survivor that only exists as an expired row be
+                # re-fired into the rules.
+                if relation not in swept:
+                    swept.add(relation)
+                    table.expire(now)
+                current = table.get_by_values(values)
+                if kept:
+                    self._support[affected] = ProvenanceExpression.from_monomials(
+                        kept
+                    )
+                    result.report.rederivations += 1
+                    if current is not None:
+                        revived.append(current)
+                    continue
+                del self._support[affected]
+                if current is not None:
+                    table.delete(current)
+                    result.report.facts_retracted += 1
+                    self._forget_aggregate_groups(relation, values)
+                self._invalidate_provenance(affected)
+            for destination in self._export_dests.pop(var, {}):
+                bucket = result.anti_deltas.get(destination)
+                if bucket is None:
+                    bucket = result.anti_deltas[destination] = []
+                bucket.append(key)
+        if revived:
+            queue: Deque[Fact] = deque(revived)
+            self._drain(queue, now, result, set())
+
+    # -- storage ------------------------------------------------------------------
+
     def _store(self, fact: Fact, now: float, result: ProcessingResult) -> bool:
+        wave = self._wave
+        previous = None
+        if wave is not None:
+            table = self.database.table(fact.relation, arity=len(fact.values))
+            previous = table.get_by_values(fact.values)
         insert = self.database.insert(fact, now=now)
         if insert.inserted:
             result.report.facts_inserted += 1
             result.new_facts.append(fact)
             return True
-        return False
+        if wave is None or not insert.refreshed:
+            return False
+        # Refresh-wave propagation: an in-place TTL refresh of a copy old
+        # enough to need re-stamping downstream re-enters the delta queue.
+        # The wave memo caps each key at one propagation per wave; the age
+        # gate keeps waves from re-triggering each other (a tuple coming
+        # back around a cycle carries a fresh timestamp).
+        key = fact.key()
+        if key in wave:
+            return False
+        if (
+            previous is not None
+            and now - previous.timestamp < self._refresh_propagation
+        ):
+            return False
+        wave.add(key)
+        return True

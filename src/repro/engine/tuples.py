@@ -60,6 +60,13 @@ class Fact:
         or maintained only as distributed pointers.
     origin:
         Address of the node where the fact was first created or derived.
+    support:
+        Base-support polynomial (a :class:`~repro.provenance.polynomial.
+        ProvenanceExpression` over rendered *base tuple keys*) travelling
+        with exported facts when one-fixpoint deletions are enabled; the
+        receiver merges it into its own support index so a later
+        anti-delta naming a retracted base tuple can decide survival
+        locally.  ``None`` when rederivation is off.
     """
 
     relation: str
@@ -70,6 +77,7 @@ class Fact:
     signature: Optional[bytes] = None
     provenance: Optional[object] = None
     origin: Optional[str] = None
+    support: Optional[object] = None
     #: Lazily rendered canonical payload; equal facts may share the same
     #: bytes object (the table hands a stored duplicate's rendering to
     #: refreshed copies so immediately deduplicated derivations never
@@ -132,6 +140,7 @@ class Fact:
         signature: Optional[bytes] = None,
         provenance: Optional[object] = None,
         origin: Optional[str] = None,
+        support: Optional[object] = None,
     ) -> "Fact":
         """Return a copy with selected metadata fields replaced."""
         updates = {}
@@ -147,6 +156,8 @@ class Fact:
             updates["provenance"] = provenance
         if origin is not None:
             updates["origin"] = origin
+        if support is not None:
+            updates["support"] = support
         # replace() copies every field, including the payload cache — the
         # payload depends only on relation/values, which never change here,
         # so the serialization is shared automatically.

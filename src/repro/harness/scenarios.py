@@ -18,8 +18,9 @@ Three built-in scripts cover the canonical dynamics:
   network heals around it, and the node later recovers and re-asserts its
   base tuples;
 * :func:`retraction_scenario` — a base tuple is withdrawn and everything the
-  node derived from it is invalidated, provenance included; remote copies
-  decay through soft-state expiry.
+  node derived from it is invalidated, provenance included; anti-delta
+  messages chase the remote copies, so the split fixpoint is reached in the
+  same phase instead of waiting out soft-state expiry.
 
 Every scenario is deterministic: the same seed produces the same event
 order, phase rows and final fixpoint.  Run from the command line::
@@ -150,7 +151,9 @@ class RefreshSoftState(Action):
     live tuple only refreshes its TTL at the owner; rounds meant to rebuild
     *remote* state therefore run after the old state decayed (phase gaps
     beyond the TTL), matching the scripts below.  Continuous sub-TTL
-    refresh timers are future work (ROADMAP).
+    refresh timers are the ``refresh_mode="wheel"`` plane: per-tuple
+    timer-wheel deadlines at the owners re-stamp remote copies *before*
+    they decay, making these discrete rounds a no-op under that mode.
     """
 
     def events(self, simulator, at):
@@ -245,6 +248,14 @@ class PhaseRow:
     query_p95_ms: float = 0.0
     cache_hit_pct: float = 0.0
     rejected: int = 0
+    #: Soft-state dynamics columns: tuples kept alive by an alternative
+    #: derivation during a one-fixpoint deletion pass, the anti-delta and
+    #: refresh-plane wire traffic, and timer-wheel fires — all per-phase
+    #: deltas.
+    rederivations: int = 0
+    anti_delta_messages: int = 0
+    refresh_messages: int = 0
+    timer_events: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -268,6 +279,10 @@ class PhaseRow:
             "query_p95_ms": self.query_p95_ms,
             "cache_hit_pct": self.cache_hit_pct,
             "rejected": self.rejected,
+            "rederivations": self.rederivations,
+            "anti_delta_messages": self.anti_delta_messages,
+            "refresh_messages": self.refresh_messages,
+            "timer_events": self.timer_events,
         }
 
 
@@ -304,6 +319,7 @@ def render_phase_table(rows: Sequence[PhaseRow], title: str = "") -> str:
         f"{'events':>8s}{'msgs':>8s}{'kB':>9s}{'lost':>6s}"
         f"{'retract':>8s}{'probe':>7s}{'res_kB':>9s}{'spill':>7s}"
         f"{'p95ms':>8s}{'hit%':>6s}{'rej':>5s}"
+        f"{'rederiv':>8s}{'anti':>6s}{'refr':>6s}{'timers':>7s}"
     )
     lines = [title, header] if title else [header]
     for row in rows:
@@ -316,6 +332,8 @@ def render_phase_table(rows: Sequence[PhaseRow], title: str = "") -> str:
             f"{row.spill_reads:>7d}"
             f"{row.query_p95_ms:>8.2f}{row.cache_hit_pct:>6.1f}"
             f"{row.rejected:>5d}"
+            f"{row.rederivations:>8d}{row.anti_delta_messages:>6d}"
+            f"{row.refresh_messages:>6d}{row.timer_events:>7d}"
         )
     return "\n".join(lines)
 
@@ -371,6 +389,14 @@ def run_scenario(scenario: Scenario, network) -> ScenarioReport:
                 ),
                 cache_hit_pct=_phase_hit_pct(counters, previous),
                 rejected=counters["q_rejected"] - previous["q_rejected"],
+                rederivations=counters["rederivations"]
+                - previous["rederivations"],
+                anti_delta_messages=counters["anti_deltas"]
+                - previous["anti_deltas"],
+                refresh_messages=counters["refresh_messages"]
+                - previous["refresh_messages"],
+                timer_events=counters["timer_events"]
+                - previous["timer_events"],
             )
         )
         previous = counters
@@ -398,6 +424,11 @@ def _counters(simulator) -> Dict[str, object]:
         "cache_hits": stats.total_cache_hits(),
         "cache_misses": stats.total_cache_misses(),
         "latency_hist": stats.query_latency_histogram(),
+        # Soft-state dynamics: one-fixpoint deletion and refresh-plane work.
+        "rederivations": stats.total_rederivations(),
+        "anti_deltas": stats.total_anti_delta_messages(),
+        "refresh_messages": stats.total_refresh_messages(),
+        "timer_events": stats.total_timer_events(),
     }
 
 
@@ -454,6 +485,9 @@ def _scenario_network(
     transport: str = "binary",
     admission: float = 0.0,
     query_cache: bool = False,
+    refresh_mode: str = "rounds",
+    refresh_interval: float = 10.0,
+    refresh_rate: float = 0.0,
 ):
     """Assemble a scenario's network through the facade.
 
@@ -480,6 +514,9 @@ def _scenario_network(
             transport=transport,
             admission_rate=admission,
             query_cache=query_cache,
+            refresh_mode=refresh_mode,
+            refresh_interval=refresh_interval,
+            refresh_rate=refresh_rate,
         ),
     )
 
@@ -556,6 +593,9 @@ def link_failure_scenario(
     query_rate: float = 0.0,
     clients: int = 0,
     admission: float = 0.0,
+    refresh_mode: str = "rounds",
+    refresh_interval: float = 10.0,
+    refresh_rate: float = 0.0,
     **config_kwargs,
 ) -> Tuple[Scenario, "Network"]:
     """Best-Path under a mid-run link failure: decay, refresh, reroute.
@@ -581,6 +621,8 @@ def link_failure_scenario(
     network = _scenario_network(
         topology, compile_best_path(), config, key_bits, backend, shards, shard_mode, shard_pipeline, transport,
         admission=admission, query_cache=serving,
+        refresh_mode=refresh_mode, refresh_interval=refresh_interval,
+        refresh_rate=refresh_rate,
     )
     base = network.link_facts()
 
@@ -641,6 +683,9 @@ def churn_scenario(
     query_rate: float = 0.0,
     clients: int = 0,
     admission: float = 0.0,
+    refresh_mode: str = "rounds",
+    refresh_interval: float = 10.0,
+    refresh_rate: float = 0.0,
     **config_kwargs,
 ) -> Tuple[Scenario, "Network"]:
     """Reachability under node churn with soft-state repair.
@@ -662,6 +707,8 @@ def churn_scenario(
     network = _scenario_network(
         topology, _reachable_compiled(), config, key_bits, backend, shards, shard_mode, shard_pipeline, transport,
         admission=admission, query_cache=serving,
+        refresh_mode=refresh_mode, refresh_interval=refresh_interval,
+        refresh_rate=refresh_rate,
     )
     base = _reachable_base(topology)
 
@@ -715,16 +762,27 @@ def retraction_scenario(
     query_rate: float = 0.0,
     clients: int = 0,
     admission: float = 0.0,
+    refresh_mode: str = "rounds",
+    refresh_interval: float = 10.0,
+    refresh_rate: float = 0.0,
     **config_kwargs,
 ) -> Tuple[Scenario, "Network"]:
-    """Fact retraction with provenance invalidation.
+    """Fact retraction under one-fixpoint deletions.
 
     On a line topology the middle link is a bridge: retracting its two base
     ``link`` tuples splits reachability into the two segments.  The
-    retracting nodes cascade-invalidate everything they derived from the
-    tuples (condensed provenance included), and remote copies decay by TTL —
-    after the refresh round the fixpoint and the provenance stores agree
-    with the smaller network.
+    retracting nodes prune the tuples out of every base-support polynomial
+    they feed, delete what zeroed out (condensed provenance included), and
+    chase the remote copies with anti-delta messages — the split fixpoint
+    is reached *inside the retract phase*, without waiting for soft state
+    to decay by TTL.  The closing refresh round is a stability check: it
+    re-asserts what the smaller network still supports and must not change
+    the probe count.
+
+    ``rederivation=False`` (a ``config_kwargs`` override) restores the
+    paper's original decay story: remote copies linger until their TTL
+    lapses, so the same script's retract phase still shows the full
+    pre-split count.
     """
     if node_count < 4:
         raise ValueError("retraction scenario needs at least 4 nodes")
@@ -735,6 +793,7 @@ def retraction_scenario(
         (left, Fact("link", (left, right))),
         (right, Fact("link", (right, left))),
     )
+    config_kwargs.setdefault("rederivation", True)
     config = _soft_config(
         ttl,
         provenance_mode=ProvenanceMode.CONDENSED,
@@ -745,6 +804,8 @@ def retraction_scenario(
     network = _scenario_network(
         topology, _reachable_compiled(), config, key_bits, backend, shards, shard_mode, shard_pipeline, transport,
         admission=admission, query_cache=serving,
+        refresh_mode=refresh_mode, refresh_interval=refresh_interval,
+        refresh_rate=refresh_rate,
     )
     base = _reachable_base(topology)
 
@@ -757,12 +818,14 @@ def retraction_scenario(
         name="retraction",
         description=(
             f"Reachability on a {node_count}-node line: the bridge "
-            f"{left}<->{right} is retracted, provenance is invalidated"
+            f"{left}<->{right} is retracted, repaired in one fixpoint"
         ),
         probe_relation="reachable",
         details={"retracted": retracted, "bridge": (left, right)},
         phases=(
             Phase(name="converge", actions=_inject_all(base)),
+            # The anti-delta flood converges to the split network in this
+            # same phase — no TTL gap between cause and observation.
             Phase(
                 name="retract",
                 gap=1.0,
@@ -774,9 +837,11 @@ def retraction_scenario(
                     workload(1),
                 ),
             ),
+            # Quiescence check: a refresh round over the already-repaired
+            # fixpoint re-asserts live state and re-derives nothing new.
             Phase(
-                name="decay",
-                gap=ttl + 1.0,
+                name="refresh",
+                gap=2.0,
                 actions=_with_queries((RefreshSoftState(),), workload(2)),
             ),
         ),
@@ -868,6 +933,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="per-node admission-control rate in queries per simulated "
         "second (0 = admit everything)",
     )
+    parser.add_argument(
+        "--refresh-mode",
+        choices=("rounds", "wheel"),
+        default="rounds",
+        help="soft-state refresh plane: discrete RefreshSoftState rounds "
+        "or per-tuple timer-wheel refreshes at the owners",
+    )
+    parser.add_argument(
+        "--refresh-interval",
+        type=float,
+        default=10.0,
+        help="timer-wheel refresh period in simulated seconds",
+    )
+    parser.add_argument(
+        "--refresh-rate",
+        type=float,
+        default=0.0,
+        help="per-node refresh-wave token rate in refreshes per simulated "
+        "second (0 = unthrottled)",
+    )
     arguments = parser.parse_args(argv)
 
     names = tuple(SCENARIOS) if arguments.scenario == "all" else (arguments.scenario,)
@@ -885,6 +970,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "query_rate": arguments.query_rate,
             "clients": arguments.clients,
             "admission": arguments.admission,
+            "refresh_mode": arguments.refresh_mode,
+            "refresh_interval": arguments.refresh_interval,
+            "refresh_rate": arguments.refresh_rate,
         }
         if arguments.nodes is not None:
             kwargs["node_count"] = arguments.nodes

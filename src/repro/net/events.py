@@ -178,6 +178,39 @@ class FactRetraction(SimulationEvent):
 
 
 @dataclass(eq=False, slots=True)
+class RefreshHorizon(SimulationEvent):
+    """The timer-wheel refresh plane may advance to ``horizon``.
+
+    Under ``refresh_mode="wheel"`` per-tuple refresh timers live in
+    hierarchical timer wheels (:mod:`repro.net.timers`), *not* in the event
+    heap — a network at rest holds no self-re-arming events, so
+    ``run_until_idle`` still quiesces.  Timers are materialized lazily: the
+    kernel emits one ``RefreshHorizon`` whenever the driving code schedules
+    an external event past the previous horizon (identically under every
+    backend — the sharded coordinator broadcasts it, counted once on shard
+    0), and the handler drains each hosted wheel up to ``horizon``,
+    turning due timers into :class:`RefreshTimerFire` events at
+    ``max(deadline, event.time)`` so nothing fires into the past.
+    """
+
+    horizon: float = 0.0
+
+
+@dataclass(eq=False, slots=True)
+class RefreshTimerFire(SimulationEvent):
+    """One node's due refresh timers fire (timer-wheel refresh plane).
+
+    Scheduled *inside* kernel processing (by the :class:`RefreshHorizon`
+    handler), so like :class:`QueryTimeout` it ranks by content — the
+    firing node's address — never by a kernel-local stamp; the kernel
+    coalesces all timers of one node due at one instant into a single
+    event, keeping the rank unique per ``(time, address)``.
+    """
+
+    address: Address = ""
+
+
+@dataclass(eq=False, slots=True)
 class QueryArrival(SimulationEvent):
     """One service-plane provenance query arriving at a node.
 
@@ -233,6 +266,10 @@ def event_rank(event: SimulationEvent, stamp: Optional[int] = None) -> Tuple:
         # processing (like query timeouts), so the rank must come from the
         # arrival's identity, never a kernel-local stamp.
         return (2, event.client, event.arrival_id, event.attempt)
+    if isinstance(event, RefreshTimerFire):
+        # Also scheduled inside kernel processing (by the RefreshHorizon
+        # handler); one event per (time, node) — the address is the rank.
+        return (3, str(event.address))
     return (0, stamp if stamp is not None else 0)
 
 

@@ -34,7 +34,8 @@ so merged event totals match the serial backend's exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace as dataclass_replace
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.datalog.planner import CompiledProgram
@@ -60,11 +61,20 @@ from repro.net.events import (
     NodeRecover,
     QueryArrival,
     QueryTimeout,
+    RefreshHorizon,
+    RefreshTimerFire,
     SimulationEvent,
     SoftStateRefresh,
 )
 from repro.net.link import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, Link
-from repro.net.message import BatchItem, Message, MessageBatch, QueryRequest, QueryResponse
+from repro.net.message import (
+    AntiDelta,
+    BatchItem,
+    Message,
+    MessageBatch,
+    QueryRequest,
+    QueryResponse,
+)
 from repro.net.query import (
     DEFAULT_QUERY_TIMEOUT,
     PendingQuery,
@@ -73,6 +83,7 @@ from repro.net.query import (
     QueryResult,
 )
 from repro.net.stats import NetworkStats, NodeStats, WireMessage, latency_bucket
+from repro.net.timers import TimerWheel
 from repro.net.topology import Topology
 from repro.security.keystore import KeyStore
 from repro.security.principal import PrincipalRegistry
@@ -102,6 +113,9 @@ class CostModel:
     seconds_per_fact_derived: float = 0.8e-3
     seconds_per_fact_inserted: float = 0.4e-3
     seconds_per_fact_retracted: float = 0.4e-3
+    #: Support-polynomial prune that left a survivor: cheaper than a
+    #: retraction (no table delete, no provenance invalidation).
+    seconds_per_rederivation: float = 0.2e-3
     seconds_per_payload_byte: float = 3.0e-5
     seconds_per_signature: float = 4.0e-3
     seconds_per_verification: float = 0.6e-3
@@ -128,6 +142,7 @@ class CostModel:
             + report.facts_derived * self.seconds_per_fact_derived
             + report.facts_inserted * self.seconds_per_fact_inserted
             + report.facts_retracted * self.seconds_per_fact_retracted
+            + report.rederivations * self.seconds_per_rederivation
             + report.payload_bytes_processed * self.seconds_per_payload_byte
             + report.signatures_created * self.seconds_per_signature
             + report.facts_verified * self.seconds_per_verification
@@ -198,9 +213,24 @@ class SimulationKernel:
         query_timeout: float = DEFAULT_QUERY_TIMEOUT,
         admission: Optional[AdmissionControl] = None,
         query_cache: Optional[CacheConfig] = None,
+        refresh_mode: str = "rounds",
+        refresh_interval: float = 10.0,
+        refresh_rate: float = 0.0,
+        refresh_burst: float = 1.0,
         hosted: Optional[Iterable[Address]] = None,
         primary: bool = True,
     ) -> None:
+        if refresh_mode not in ("rounds", "wheel"):
+            raise ValueError(
+                f"unknown refresh_mode {refresh_mode!r}; expected 'rounds' or 'wheel'"
+            )
+        if refresh_mode == "wheel" and config.refresh_propagation == 0.0:
+            # The wheel plane re-stamps continuously; waves propagate past
+            # the owner once the downstream copy is half an interval old, so
+            # derived state is repaired well before a full TTL elapses.
+            config = dataclass_replace(
+                config, refresh_propagation=refresh_interval / 2.0
+            )
         self.topology = topology
         self.compiled = compiled
         self.config = config
@@ -234,6 +264,28 @@ class SimulationKernel:
         self.query_cache = query_cache
         self._admission_buckets: Dict[Address, TokenBucket] = {}
         self._query_caches: Dict[Address, ClosureCache] = {}
+        #: Timer-wheel refresh plane (``refresh_mode="wheel"``): per-tuple
+        #: refresh timers at each hosted owner live in hierarchical timer
+        #: wheels (never in the event heap — an idle network stays idle) and
+        #: are materialized lazily up to ``_wheel_horizon``, the furthest
+        #: horizon a :class:`RefreshHorizon` broadcast has announced.
+        #: ``_refresh_horizon`` is the emission guard on the *driving* side:
+        #: :meth:`schedule` broadcasts a new horizon only when an external
+        #: event lands strictly beyond the last one.
+        self.refresh_mode = refresh_mode
+        self.refresh_interval = refresh_interval
+        self.refresh_rate = refresh_rate
+        self.refresh_burst = refresh_burst
+        self._refresh_horizon = 0.0
+        self._wheel_horizon = 0.0
+        self._wheels: Dict[Address, TimerWheel] = {}
+        #: Coalesced due timers: ``(address, fire time) -> ordered keys``.
+        #: One :class:`RefreshTimerFire` event exists per bucket, so its
+        #: content rank ``(address)`` is unique at any instant.
+        self._due_refresh: Dict[Tuple[Address, float], Dict[FactKey, None]] = {}
+        #: Per-node refresh-wave token buckets (``refresh_rate`` > 0 only):
+        #: repair traffic is a bounded trickle, not synchronized spikes.
+        self._refresh_buckets: Dict[Address, TokenBucket] = {}
         #: The nodes whose engines this kernel hosts (all of them for the
         #: serial backend, one shard's worth for the sharded backend).
         self.hosted: Tuple[Address, ...] = (
@@ -329,6 +381,8 @@ class SimulationKernel:
             FactInjection: self._handle_injection,
             FactRetraction: self._handle_retraction,
             SoftStateRefresh: self._handle_refresh,
+            RefreshHorizon: self._handle_refresh_horizon,
+            RefreshTimerFire: self._handle_refresh_fire,
             QueryTimeout: self._handle_query_timeout,
             QueryArrival: self._handle_query_arrival,
         }
@@ -416,7 +470,26 @@ class SimulationKernel:
         Control events receive their ordering stamp here, in call order —
         the order the driving code (scenario scripts, tests, ``run``)
         scheduled them, which is identical under every backend.
+
+        Under ``refresh_mode="wheel"`` an external event landing strictly
+        beyond the previous refresh horizon first broadcasts a
+        :class:`RefreshHorizon` (at the *old* horizon, so due timers
+        materialize at their natural deadlines, not bunched at the new
+        event's instant) — the lazy-materialization trigger that lets
+        per-tuple timers stay out of the event heap.
         """
+        if (
+            self.refresh_mode == "wheel"
+            and event.time > self._refresh_horizon
+            and not isinstance(event, RefreshHorizon)
+        ):
+            previous = self._refresh_horizon
+            self._refresh_horizon = event.time
+            self._control_stamp += 1
+            self.scheduler.schedule(
+                RefreshHorizon(time=previous, horizon=event.time),
+                stamp=self._control_stamp,
+            )
         self._control_stamp += 1
         self.scheduler.schedule(event, stamp=self._control_stamp)
 
@@ -442,7 +515,19 @@ class SimulationKernel:
             if self._events_processed >= self.max_events:
                 return False
             self._dispatch(self.scheduler.pop())
+        self.settle_retractions()
         return True
+
+    def settle_retractions(self) -> None:
+        """Quiescence bookkeeping: drop every engine's dead-base marks.
+
+        Runs when a drain reaches the distributed fixpoint (never on budget
+        exhaustion — events may still be in flight then).  The sharded
+        coordinator triggers the same call in every shard kernel when *its*
+        drain converges, keeping the two backends in lockstep.
+        """
+        for engine in self.engines.values():
+            engine.settle_retractions()
 
     def enable_exports(self) -> None:
         """Mark this kernel as one shard of many: deliveries to non-hosted
@@ -699,6 +784,10 @@ class SimulationKernel:
 
     def _handle_node_crash(self, event: NodeCrash, at: float) -> None:
         self._down_nodes.add(event.address)
+        # A crashed node's refresh timers die with it; recovery re-injection
+        # arms fresh ones.  Already-materialized fire buckets are filtered
+        # by the down-node check at fire time.
+        self._wheels.pop(event.address, None)
         engine = self.engines.get(event.address)
         if engine is not None and event.clear_state:
             engine.reset_state()
@@ -855,6 +944,13 @@ class SimulationKernel:
         self.scheduler.schedule(next_arrival(event, next_at))
 
     def _handle_refresh(self, event: SoftStateRefresh, at: float) -> None:
+        if self.refresh_mode == "wheel":
+            # The wheel plane refreshes continuously; a round event's only
+            # remaining effect — advancing the refresh horizon — already
+            # happened when scheduling it emitted the horizon broadcast.
+            # Keeping the event a no-op lets scenario scripts stay uniform
+            # across refresh modes.
+            return
         # Expanded at fire time so control events that share the timestamp
         # (and were scheduled earlier) are already reflected: a link that
         # just failed is excluded, a node that just crashed stays silent.
@@ -866,6 +962,110 @@ class SimulationKernel:
             facts = self.live_base_facts(address)
             if facts:
                 self._inject(address, facts, at, remember=False)
+
+    # -- timer-wheel refresh plane ------------------------------------------------
+
+    def _handle_refresh_horizon(self, event: RefreshHorizon, at: float) -> None:
+        """Materialize every hosted refresh timer due up to the new horizon.
+
+        Due timers coalesce into one :class:`RefreshTimerFire` per (node,
+        instant) — content-ranked, so every backend fires them in the same
+        order.  ``max(deadline, at)`` guards the catch-up edge (a deadline
+        at the quantization boundary never schedules into the past, which
+        the pipelined backend's conservative lookahead relies on).
+        """
+        if event.horizon > self._wheel_horizon:
+            self._wheel_horizon = event.horizon
+        for address in self.hosted:
+            wheel = self._wheels.get(address)
+            if not wheel:
+                continue
+            for deadline, key in wheel.advance(event.horizon):
+                self._queue_refresh(address, key, max(deadline, at))
+
+    def _handle_refresh_fire(self, event: RefreshTimerFire, at: float) -> None:
+        """One node's due refresh timers fire: re-assert, rate-limited."""
+        address = event.address
+        keys = self._due_refresh.pop((address, at), None)
+        if not keys:
+            return
+        node_stats = self.stats.node(address)
+        node_stats.timer_events += 1
+        if address in self._down_nodes:
+            # A crashed node's timers lapse silently; recovery re-injects
+            # its base facts, which re-arms them.
+            return
+        engine = self.engines.get(address)
+        if engine is None:
+            return
+        remembered = self._base_facts.get(address, {})
+        bucket: Optional[TokenBucket] = None
+        if self.refresh_rate > 0:
+            bucket = self._refresh_buckets.get(address)
+            if bucket is None:
+                bucket = self._refresh_buckets[address] = TokenBucket(
+                    rate=self.refresh_rate, burst=self.refresh_burst
+                )
+        due_facts: List[Fact] = []
+        for key in keys:
+            fact = remembered.get(key)
+            if fact is None:
+                continue  # retracted since the timer was armed
+            if (
+                fact.relation == self.link_relation
+                and len(fact.values) >= 2
+                and (fact.values[0], fact.values[1]) in self._down_links
+            ):
+                # A dead link's tuple is neither refreshed nor re-armed:
+                # it decays, and LinkUp re-injects (and re-arms) it.
+                continue
+            if bucket is not None and not bucket.try_acquire(at):
+                # Over the refresh budget: defer to the deterministic next
+                # token instead of refreshing in a burst.
+                retry_at = at + (1.0 - bucket.tokens) / bucket.rate
+                self._arm_refresh(address, key, retry_at)
+                continue
+            due_facts.append(fact)
+            self._arm_refresh(address, key, at + self.refresh_interval)
+        if not due_facts:
+            return
+        start = max(at, node_stats.busy_until)
+        sent_before = node_stats.messages_sent
+        bytes_before = node_stats.bytes_sent
+        result = engine.refresh_batch(due_facts, start)
+        self._account_processing(address, start, result.report, node_stats)
+        self._dispatch_outgoing(address, result.outgoing, node_stats)
+        node_stats.refresh_messages += node_stats.messages_sent - sent_before
+        node_stats.refresh_bytes += node_stats.bytes_sent - bytes_before
+
+    def _arm_refresh(self, address: Address, key: FactKey, deadline: float) -> None:
+        """Arm (or re-arm) one base tuple's refresh timer at its owner.
+
+        Deadlines beyond the announced wheel horizon park in the node's
+        wheel; deadlines at or inside it (re-arms during a drained window)
+        materialize directly — quantized to the same tick grid the wheel
+        uses, so a timer fires at the same instant either way.
+        """
+        wheel = self._wheels.get(address)
+        if wheel is None:
+            wheel = self._wheels[address] = TimerWheel()
+        if deadline > self._wheel_horizon:
+            wheel.schedule(key, deadline)
+            return
+        wheel.cancel(key)
+        tick = math.ceil((deadline - wheel.epoch) / wheel.resolution)
+        self._queue_refresh(address, key, wheel.epoch + tick * wheel.resolution)
+
+    def _queue_refresh(self, address: Address, key: FactKey, when: float) -> None:
+        """Coalesce one due timer into its (node, instant) fire bucket."""
+        bucket = self._due_refresh.get((address, when))
+        if bucket is None:
+            self._due_refresh[(address, when)] = {key: None}
+            # Content-ranked (address), scheduled inside kernel processing —
+            # like query timeouts, never stamped.
+            self.scheduler.schedule(RefreshTimerFire(time=when, address=address))
+        else:
+            bucket[key] = None
 
     # -- internals ----------------------------------------------------------------
 
@@ -888,6 +1088,8 @@ class SimulationKernel:
             return
         node_stats = self.stats.node(address)
         remembered = self._base_facts.setdefault(address, {}) if remember else None
+        wheel_mode = self.refresh_mode == "wheel"
+        known = self._base_facts.get(address, {})
         pending: List[OutgoingFact] = []
         for fact in facts:
             start = max(at, node_stats.busy_until)
@@ -896,6 +1098,11 @@ class SimulationKernel:
             pending.extend(result.outgoing)
             if remembered is not None:
                 remembered[fact.key()] = fact
+            if wheel_mode and fact.key() in known:
+                # Every remembered base tuple owns a refresh timer; injection
+                # (initial, LinkUp restore, crash-recovery re-inject) arms or
+                # re-arms it one interval out.
+                self._arm_refresh(address, fact.key(), at + self.refresh_interval)
         # One delta round per injection: everything the injected facts caused
         # ships together (one batch per destination when batching).
         self._dispatch_outgoing(address, pending, node_stats)
@@ -909,12 +1116,23 @@ class SimulationKernel:
             return
         node_stats = self.stats.node(address)
         remembered = self._base_facts.get(address)
+        wheel = self._wheels.get(address)
         for fact in facts:
             start = max(at, node_stats.busy_until)
             result = engine.retract_base(fact, now=start)
             self._account_processing(address, start, result.report, node_stats)
+            # One-fixpoint deletions: chase remote copies with anti-deltas
+            # (routed around failed links — repair traffic, like queries,
+            # is not restricted to program-visible links), and re-ship what
+            # the surviving alternatives re-derived so downstream copies
+            # holding a stale fire-time polynomial are repaired in the same
+            # fixpoint.
+            self._ship_anti_deltas(address, result.anti_deltas, node_stats)
+            self._dispatch_outgoing(address, result.outgoing, node_stats)
             if remembered is not None:
                 remembered.pop(fact.key(), None)
+            if wheel is not None:
+                wheel.cancel(fact.key())
 
     def _deliver(self, message: WireMessage, deliver_at: float) -> None:
         destination = message.destination
@@ -933,6 +1151,15 @@ class SimulationKernel:
             return
         node_stats = self.stats.node(destination)
         node_stats.record_receive(message)
+        if isinstance(message, AntiDelta):
+            # Keys retracted upstream: prune local support polynomials and
+            # keep the deletion fixpoint moving across the export graph.
+            start = max(deliver_at, node_stats.busy_until)
+            result = engine.retract_remote(message.keys, start)
+            self._account_processing(destination, start, result.report, node_stats)
+            self._ship_anti_deltas(destination, result.anti_deltas, node_stats)
+            self._dispatch_outgoing(destination, result.outgoing, node_stats)
+            return
         if isinstance(message, (QueryRequest, QueryResponse)):
             # Query-plane traffic is handled by the query engine, not the
             # datalog engine; it shares the loss semantics above (a crashed
@@ -968,6 +1195,27 @@ class SimulationKernel:
         node_stats.facts_derived += report.facts_derived
         node_stats.facts_stored += report.facts_inserted
         node_stats.facts_retracted += report.facts_retracted
+        node_stats.rederivations += report.rederivations
+
+    def _ship_anti_deltas(
+        self,
+        source: Address,
+        anti_deltas: Dict[str, List[FactKey]],
+        node_stats: NodeStats,
+    ) -> None:
+        """Ship one retraction pass's anti-delta fanout (routed delivery)."""
+        if not anti_deltas:
+            return
+        send_time = node_stats.busy_until
+        for destination, keys in anti_deltas.items():
+            message = AntiDelta(
+                source=source,
+                destination=destination,
+                keys=tuple(keys),
+                sent_at=send_time,
+                sequence=self._next_sequence(source),
+            )
+            self.ship_routed(source, destination, message, send_time, node_stats)
 
     def _next_sequence(self, source: Address) -> int:
         """Per-sending-node message sequence counter.

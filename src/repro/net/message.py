@@ -152,6 +152,61 @@ class MessageBatch:
         )
 
 
+@dataclass(eq=False)
+class AntiDelta:
+    """Base tuples retracted upstream of ``source`` (a deletion anti-delta).
+
+    When a retraction pass at ``source`` kills a base tuple that appears in
+    the support polynomial of something it had exported to ``destination``,
+    the receiver must be told *now* rather than waiting out soft-state TTL
+    decay.  An anti-delta carries only the dead *base-tuple keys* (same
+    serialized rendering as a fact payload, no metadata): the receiver
+    prunes every monomial mentioning a dead base from its own support
+    polynomials, retracts tuples whose polynomial went to zero, keeps the
+    survivors (a surviving alternative derivation exists — that is a
+    ``rederivation``), and ships anti-deltas of its own toward *its*
+    export destinations — one distributed deletion fixpoint.
+
+    Anti-deltas ride the same links, pay the same header and per-key
+    payload bytes, and are itemized as ``anti_delta_messages`` /
+    ``anti_delta_bytes`` in the statistics.  ``tuple_count`` is zero: no
+    stored tuples travel, only their identities.
+    """
+
+    source: Address
+    destination: Address
+    keys: Tuple[FactKey, ...]
+    sent_at: float = 0.0
+    sequence: int = 0
+    security_bytes: int = 0
+    provenance_bytes: int = 0
+    _size_bytes: int = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._size_bytes = MESSAGE_HEADER_BYTES + sum(
+            key_payload_bytes(key) for key in self.keys
+        )
+
+    def payload_bytes(self) -> int:
+        return self._size_bytes - MESSAGE_HEADER_BYTES
+
+    def size_bytes(self) -> int:
+        return self._size_bytes
+
+    @property
+    def tuple_count(self) -> int:
+        return 0
+
+    def facts(self) -> Tuple[Fact, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return (
+            f"{self.source} -> {self.destination}: anti-delta of "
+            f"{len(self.keys)} keys ({self.size_bytes()} bytes)"
+        )
+
+
 # ---------------------------------------------------------------------------
 # Provenance query traffic
 # ---------------------------------------------------------------------------
@@ -343,4 +398,5 @@ WIRE_KINDS = {
     MessageBatch: 1,
     QueryRequest: 2,
     QueryResponse: 3,
+    AntiDelta: 4,
 }

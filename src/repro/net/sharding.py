@@ -91,6 +91,7 @@ from repro.net.events import (
     NodeCrash,
     NodeRecover,
     QueryArrival,
+    RefreshHorizon,
     SimulationEvent,
 )
 from repro.net.kernel import (
@@ -268,6 +269,7 @@ _OP_STATS = 3
 _OP_COUNT = 4
 _OP_EXPIRE = 5
 _OP_FINALIZE = 6
+_OP_SETTLE = 7
 
 _F64 = struct.Struct("<d")
 _U64 = struct.Struct("<Q")
@@ -387,6 +389,9 @@ def _serve_op(kernel: SimulationKernel, codec, frame: bytes) -> bytes:
     if op == _OP_EXPIRE:
         kernel.expire_all(_F64.unpack_from(frame, 1)[0])
         return b"\x00"
+    if op == _OP_SETTLE:
+        kernel.settle_retractions()
+        return b"\x00"
     raise ValueError(f"unknown shard worker op {op!r}")
 
 
@@ -455,6 +460,10 @@ class ShardSpec:
     query_timeout: float = DEFAULT_QUERY_TIMEOUT
     admission: Optional[AdmissionControl] = None
     query_cache: Optional[CacheConfig] = None
+    refresh_mode: str = "rounds"
+    refresh_interval: float = 10.0
+    refresh_rate: float = 0.0
+    refresh_burst: float = 1.0
 
     def build_kernel(self, compiled: Optional[CompiledProgram] = None) -> SimulationKernel:
         return SimulationKernel(
@@ -472,6 +481,10 @@ class ShardSpec:
             query_timeout=self.query_timeout,
             admission=self.admission,
             query_cache=self.query_cache,
+            refresh_mode=self.refresh_mode,
+            refresh_interval=self.refresh_interval,
+            refresh_rate=self.refresh_rate,
+            refresh_burst=self.refresh_burst,
             hosted=self.hosted,
             primary=self.primary,
         )
@@ -642,6 +655,10 @@ class ShardedSimulator:
         query_timeout: float = DEFAULT_QUERY_TIMEOUT,
         admission: Optional[AdmissionControl] = None,
         query_cache: Optional[CacheConfig] = None,
+        refresh_mode: str = "rounds",
+        refresh_interval: float = 10.0,
+        refresh_rate: float = 0.0,
+        refresh_burst: float = 1.0,
         shards: int = 2,
         shard_mode: str = "processes",
         shard_seed: int = 0,
@@ -670,6 +687,13 @@ class ShardedSimulator:
         self.query_timeout = query_timeout
         self.admission = admission
         self.query_cache = query_cache
+        self.refresh_mode = refresh_mode
+        self.refresh_interval = refresh_interval
+        self.refresh_rate = refresh_rate
+        self.refresh_burst = refresh_burst
+        #: Mirror of the serial kernel's refresh-horizon emission guard: the
+        #: furthest instant an externally scheduled event has announced.
+        self._refresh_horizon = 0.0
         self.shard_mode = shard_mode
         self.shard_pipeline = shard_pipeline
         self.transport = transport
@@ -707,6 +731,10 @@ class ShardedSimulator:
                 query_timeout=query_timeout,
                 admission=admission,
                 query_cache=query_cache,
+                refresh_mode=refresh_mode,
+                refresh_interval=refresh_interval,
+                refresh_rate=refresh_rate,
+                refresh_burst=refresh_burst,
             )
             for index, group in enumerate(self.plan.shards)
         ]
@@ -825,7 +853,24 @@ class ShardedSimulator:
         dynamics broadcast to every kernel (each maintains its replica of
         the global down-link/down-node sets) with only the hosting shard
         counting the event.
+
+        Under ``refresh_mode="wheel"`` an event landing strictly beyond the
+        previous refresh horizon first broadcasts a :class:`RefreshHorizon`
+        — same guard, same stamp order as the serial kernel's
+        :meth:`~repro.net.kernel.SimulationKernel.schedule`, so both
+        backends materialize identical refresh timers.
         """
+        if (
+            self.refresh_mode == "wheel"
+            and event.time > self._refresh_horizon
+            and not isinstance(event, RefreshHorizon)
+        ):
+            previous = self._refresh_horizon
+            self._refresh_horizon = event.time
+            self._control_stamp += 1
+            self._pending_external.append(
+                (RefreshHorizon(time=previous, horizon=event.time), self._control_stamp)
+            )
         self._control_stamp += 1
         self._pending_external.append((event, self._control_stamp))
 
@@ -845,8 +890,9 @@ class ShardedSimulator:
             owner = self.plan.shard_of(event.address)
             targets = {shard: shard == owner for shard in range(shard_count)}
         else:
-            # Node-less broadcasts (soft-state refresh): every kernel
-            # expands its own hosted nodes; the primary counts the event.
+            # Node-less broadcasts (soft-state refresh, refresh horizons):
+            # every kernel expands its own hosted nodes (or drains its own
+            # timer wheels); the primary counts the event.
             targets = {shard: shard == 0 for shard in range(shard_count)}
         for shard, owned in targets.items():
             self._flush_buffers.setdefault(shard, []).append((event, stamp, owned))
@@ -955,6 +1001,18 @@ class ShardedSimulator:
         self._shard_processed = list(processed)
         if converged:
             self._idle_certified = [True] * self.plan.shard_count
+            # Quiescence bookkeeping (mirrors the serial kernel's
+            # run_until_idle): every shard drops its engines' dead-base
+            # marks, so a later re-assertion of a retracted base is not
+            # mistaken for an in-flight race with its own anti-delta.
+            if self._kernels is not None:
+                for kernel in self._kernels:
+                    kernel.settle_retractions()
+            elif self._workers is not None:
+                frame = bytes((_OP_SETTLE,))
+                for worker in self._workers:
+                    worker.send_command(frame)
+                    worker.recv_reply()
         return converged
 
     def _run_pipelined(self) -> bool:

@@ -20,9 +20,15 @@ from dataclasses import dataclass, field
 from typing import Dict, Union
 
 from repro.net.address import Address
-from repro.net.message import Message, MessageBatch, QueryRequest, QueryResponse
+from repro.net.message import (
+    AntiDelta,
+    Message,
+    MessageBatch,
+    QueryRequest,
+    QueryResponse,
+)
 
-WireMessage = Union[Message, MessageBatch, QueryRequest, QueryResponse]
+WireMessage = Union[Message, MessageBatch, QueryRequest, QueryResponse, AntiDelta]
 
 
 def latency_bucket(seconds: float) -> int:
@@ -115,6 +121,20 @@ class NodeStats:
     facts_derived: int = 0
     facts_stored: int = 0
     facts_retracted: int = 0
+    #: Dynamics ledger (one-fixpoint deletions and the timer-wheel refresh
+    #: plane): tuples this node revived because an alternative derivation
+    #: survived a retraction cascade; DRed anti-delta wire messages/bytes it
+    #: shipped (also included in ``messages_sent`` / ``bytes_sent``);
+    #: first-hop wire messages/bytes its refresh waves originated (likewise
+    #: included in the totals); and refresh-timer fire events it handled.
+    #: All integers on simulated time — part of the cross-backend equality
+    #: contract.
+    rederivations: int = 0
+    anti_delta_messages: int = 0
+    anti_delta_bytes: int = 0
+    refresh_messages: int = 0
+    refresh_bytes: int = 0
+    timer_events: int = 0
     #: Offline-archive storage tiers (gauges refreshed at snapshot points —
     #: kernel expiry sweeps and sharded stats requests): bytes of provenance
     #: resident in memory, cumulative bytes written to the spill log, and
@@ -146,6 +166,9 @@ class NodeStats:
         elif isinstance(message, (QueryRequest, QueryResponse)):
             self.query_messages_sent += 1
             self.query_bytes_sent += message.size_bytes()
+        elif isinstance(message, AntiDelta):
+            self.anti_delta_messages += 1
+            self.anti_delta_bytes += message.size_bytes()
 
     def record_receive(self, message: WireMessage) -> None:
         self.messages_received += 1
@@ -186,6 +209,12 @@ class NodeStats:
         self.facts_derived += other.facts_derived
         self.facts_stored += other.facts_stored
         self.facts_retracted += other.facts_retracted
+        self.rederivations += other.rederivations
+        self.anti_delta_messages += other.anti_delta_messages
+        self.anti_delta_bytes += other.anti_delta_bytes
+        self.refresh_messages += other.refresh_messages
+        self.refresh_bytes += other.refresh_bytes
+        self.timer_events += other.timer_events
         # Each node's archive lives on exactly one kernel, so the tier
         # gauges are nonzero in at most one source and adding is exact.
         self.provenance_bytes_resident += other.provenance_bytes_resident
@@ -297,6 +326,29 @@ class NetworkStats:
 
     def security_overhead_bytes(self) -> int:
         return sum(stats.security_bytes_sent for stats in self.nodes.values())
+
+    # -- dynamics metrics -------------------------------------------------------
+
+    def total_rederivations(self) -> int:
+        """Tuples revived by the rederivation phase, all nodes."""
+        return sum(stats.rederivations for stats in self.nodes.values())
+
+    def total_anti_delta_messages(self) -> int:
+        return sum(stats.anti_delta_messages for stats in self.nodes.values())
+
+    def total_anti_delta_bytes(self) -> int:
+        """Bytes shipped as DRed anti-deltas (included in total_bytes)."""
+        return sum(stats.anti_delta_bytes for stats in self.nodes.values())
+
+    def total_refresh_messages(self) -> int:
+        return sum(stats.refresh_messages for stats in self.nodes.values())
+
+    def total_refresh_bytes(self) -> int:
+        """First-hop bytes originated by refresh waves (included in total_bytes)."""
+        return sum(stats.refresh_bytes for stats in self.nodes.values())
+
+    def total_timer_events(self) -> int:
+        return sum(stats.timer_events for stats in self.nodes.values())
 
     # -- storage-tier metrics ---------------------------------------------------
 
@@ -444,6 +496,12 @@ class NetworkStats:
             "messages_lost": float(self.messages_lost),
             "facts_derived": float(self.total_facts_derived()),
             "facts_retracted": float(self.total_facts_retracted()),
+            "rederivations": float(self.total_rederivations()),
+            "anti_delta_messages": float(self.total_anti_delta_messages()),
+            "anti_delta_bytes": float(self.total_anti_delta_bytes()),
+            "refresh_messages": float(self.total_refresh_messages()),
+            "refresh_bytes": float(self.total_refresh_bytes()),
+            "timer_events": float(self.total_timer_events()),
             "provenance_bytes_resident": float(
                 self.total_provenance_resident_bytes()
             ),

@@ -1,0 +1,141 @@
+"""A hierarchical timer wheel on simulated time.
+
+The timer-wheel refresh plane (``refresh_mode="wheel"``) gives every base
+tuple its own refresh timer at its owner.  Thousands of per-tuple timers
+cannot live in the event heap: scheduling and cancelling would cost
+``O(log n)`` each, retraction churn would leave tombstones against the
+event budget, and — worse — self-re-arming heap events would keep
+``run_until_idle`` from ever quiescing.  The classic fix (Varghese &
+Lauck's hashed hierarchical timing wheels) applies unchanged to simulated
+time: deadlines are quantized to a tick, ticks hash into a small ring of
+slots per level, and coarser levels cascade into finer ones as the wheel
+turns.
+
+* ``schedule`` / ``cancel`` are O(1): a dict entry plus one slot-dict
+  insert or pop (re-arming a tuple is cancel + schedule).
+* ``advance`` drains every live timer with a deadline inside the horizon
+  in deterministic order — ticks ascending, insertion order within a
+  tick — so both execution backends fire the same timers in the same
+  order.
+* The wheel is plain data (dicts, lists, tuples) and pickles with the
+  kernel for ``shard_mode="processes"``.
+
+The wheel itself never touches the event heap; the simulation kernel turns
+drained deadlines into coalesced per-node :class:`~repro.net.events.
+RefreshTimerFire` events (see ``net/kernel.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Tuple
+
+#: Slots per level and number of levels.  64^3 ticks of range is ~36 hours
+#: at the default half-second resolution; beyond that, entries park in the
+#: outermost ring and re-cascade as the wheel turns, which only costs extra
+#: cascade hops, never correctness.
+SLOTS = 64
+LEVELS = 3
+
+#: (tick, level, slot index) — where one timer currently lives.
+_Entry = Tuple[int, int, int]
+
+
+class TimerWheel:
+    """Hierarchical timer wheel over float simulated time.
+
+    ``resolution`` is the tick width in simulated seconds; deadlines round
+    *up* to a tick, so a timer never fires early and fires at most one
+    tick late.  All timers for one key replace each other: scheduling a
+    key that is already armed moves its deadline.
+    """
+
+    def __init__(self, resolution: float = 0.5, epoch: float = 0.0) -> None:
+        if resolution <= 0.0:
+            raise ValueError("timer wheel resolution must be positive")
+        self.resolution = resolution
+        self.epoch = epoch
+        #: Watermark: every tick <= _current has been drained.
+        self._current = 0
+        self._slots: List[List[Dict[Hashable, int]]] = [
+            [{} for _ in range(SLOTS)] for _ in range(LEVELS)
+        ]
+        self._entries: Dict[Hashable, _Entry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def deadline(self, key: Hashable) -> float:
+        """The quantized deadline of an armed *key* (KeyError when unarmed)."""
+        tick = self._entries[key][0]
+        return self.epoch + tick * self.resolution
+
+    def schedule(self, key: Hashable, deadline: float) -> None:
+        """Arm (or re-arm) *key* to fire at *deadline*."""
+        self.cancel(key)
+        tick = math.ceil((deadline - self.epoch) / self.resolution)
+        if tick <= self._current:
+            tick = self._current + 1
+        self._place(key, tick)
+
+    def cancel(self, key: Hashable) -> None:
+        """Disarm *key* if armed; a no-op otherwise."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            _tick, level, index = entry
+            self._slots[level][index].pop(key, None)
+
+    def _place(self, key: Hashable, tick: int) -> None:
+        delta = tick - self._current
+        if delta < SLOTS:
+            level = 0
+            index = tick % SLOTS
+        elif delta < SLOTS * SLOTS:
+            level = 1
+            index = (tick // SLOTS) % SLOTS
+        else:
+            level = 2
+            index = (tick // (SLOTS * SLOTS)) % SLOTS
+        self._slots[level][index][key] = tick
+        self._entries[key] = (tick, level, index)
+
+    def _cascade(self, level: int, index: int) -> None:
+        slot = self._slots[level][index]
+        if not slot:
+            return
+        moved = list(slot.items())
+        slot.clear()
+        for key, tick in moved:
+            self._place(key, tick)
+
+    def advance(self, horizon: float) -> List[Tuple[float, Hashable]]:
+        """Drain every timer with a deadline at or before *horizon*.
+
+        Returns ``(quantized deadline, key)`` pairs — ticks ascending,
+        insertion order within a tick — and moves the watermark so each
+        timer is reported exactly once across successive calls.
+        """
+        target = math.floor((horizon - self.epoch) / self.resolution)
+        due: List[Tuple[float, Hashable]] = []
+        while self._current < target:
+            if not self._entries:
+                self._current = target
+                break
+            self._current += 1
+            tick = self._current
+            if tick % SLOTS == 0:
+                if tick % (SLOTS * SLOTS) == 0:
+                    self._cascade(2, (tick // (SLOTS * SLOTS)) % SLOTS)
+                self._cascade(1, (tick // SLOTS) % SLOTS)
+            slot = self._slots[0][tick % SLOTS]
+            if not slot:
+                continue
+            when = self.epoch + tick * self.resolution
+            for key in list(slot):
+                del self._entries[key]
+                due.append((when, key))
+            slot.clear()
+        return due

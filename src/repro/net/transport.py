@@ -55,10 +55,13 @@ from repro.net.events import (
     NodeRecover,
     QueryArrival,
     QueryTimeout,
+    RefreshHorizon,
+    RefreshTimerFire,
     SimulationEvent,
     SoftStateRefresh,
 )
 from repro.net.message import (
+    AntiDelta,
     Message,
     BatchItem,
     MessageBatch,
@@ -103,6 +106,8 @@ _EVENT_KINDS: Dict[type, int] = {
     MessageDelivery: 8,
     QueryTimeout: 9,
     QueryArrival: 10,
+    RefreshHorizon: 11,
+    RefreshTimerFire: 12,
 }
 
 _PROV_NONE = 0
@@ -279,9 +284,13 @@ _FACT_HAS_TTL = 1
 _FACT_HAS_ASSERTER = 2
 _FACT_HAS_SIGNATURE = 4
 _FACT_HAS_ORIGIN = 8
+_FACT_HAS_SUPPORT = 16
 
 
 def _encode_fact(writer: _Writer, table: _StringTable, fact: Fact) -> None:
+    support = fact.support
+    if support is not None and not isinstance(support, ProvenanceExpression):
+        raise _Unencodable(f"unknown support annotation {type(support).__name__}")
     flags = 0
     if fact.ttl is not None:
         flags |= _FACT_HAS_TTL
@@ -291,6 +300,8 @@ def _encode_fact(writer: _Writer, table: _StringTable, fact: Fact) -> None:
         flags |= _FACT_HAS_SIGNATURE
     if fact.origin is not None:
         flags |= _FACT_HAS_ORIGIN
+    if support is not None:
+        flags |= _FACT_HAS_SUPPORT
     writer.u32(table.intern(fact.relation))
     writer.u8(flags)
     writer.f64(fact.timestamp)
@@ -302,6 +313,8 @@ def _encode_fact(writer: _Writer, table: _StringTable, fact: Fact) -> None:
         writer.blob(fact.signature)
     if fact.origin is not None:
         writer.u32(table.intern(fact.origin))
+    if support is not None:
+        writer.blob(_literal_blob(support.monomials))
     writer.blob(_literal_blob(fact.values))
     _encode_provenance(writer, table, fact.provenance)
 
@@ -314,6 +327,11 @@ def _decode_fact(reader: _Reader, strings: List[str]) -> Fact:
     asserted_by = strings[reader.u32()] if flags & _FACT_HAS_ASSERTER else None
     signature = reader.blob() if flags & _FACT_HAS_SIGNATURE else None
     origin = strings[reader.u32()] if flags & _FACT_HAS_ORIGIN else None
+    support = (
+        ProvenanceExpression(monomials=_parse_literal(reader.blob()))
+        if flags & _FACT_HAS_SUPPORT
+        else None
+    )
     values = _parse_literal(reader.blob())
     provenance = _decode_provenance(reader, strings)
     return Fact(
@@ -325,6 +343,7 @@ def _decode_fact(reader: _Reader, strings: List[str]) -> Fact:
         signature=signature,
         provenance=provenance,
         origin=origin,
+        support=support,
     )
 
 
@@ -370,6 +389,10 @@ def _encode_message_body(writer: _Writer, table: _StringTable, message) -> None:
         writer.u8((1 if message.condensed else 0) | (2 if message.authenticated else 0))
         writer.u32(message.security_bytes)
         writer.u32(message.provenance_bytes)
+    elif isinstance(message, AntiDelta):
+        writer.u32(len(message.keys))
+        for key in message.keys:
+            _encode_key(writer, table, key)
     else:  # QueryResponse
         _encode_key(writer, table, message.key)
         writer.u64(message.query_id)
@@ -465,6 +488,15 @@ def _decode_message_body(reader: _Reader, strings: List[str]):
             sequence=sequence,
             security_bytes=security,
             provenance_bytes=provenance,
+        )
+    if kind == 4:  # AntiDelta
+        keys = tuple(_decode_key(reader, strings) for _ in range(reader.u32()))
+        return AntiDelta(
+            source=source,
+            destination=destination,
+            keys=keys,
+            sent_at=sent_at,
+            sequence=sequence,
         )
     if kind == 3:  # QueryResponse
         key = _decode_key(reader, strings)
@@ -578,6 +610,10 @@ def _encode_event(
             writer.u8(1 if event.reinject else 0)
         elif isinstance(event, SoftStateRefresh):
             pass
+        elif isinstance(event, RefreshHorizon):
+            writer.f64(event.horizon)
+        elif isinstance(event, RefreshTimerFire):
+            writer.u32(table.intern(event.address))
         elif isinstance(event, MessageDelivery):
             _encode_message(writer, table, event.message)
         elif isinstance(event, QueryArrival):
@@ -656,6 +692,10 @@ def _decode_event(reader: _Reader, strings: List[str]) -> SimulationEvent:
             deadline=reader.f64(),
             think=reader.f64(),
         )
+    if kind == 11:
+        return RefreshHorizon(time=time, horizon=reader.f64())
+    if kind == 12:
+        return RefreshTimerFire(time=time, address=strings[reader.u32()])
     raise ValueError(f"unknown event kind {kind} in coordination frame")
 
 

@@ -44,6 +44,15 @@ class ServiceLevelReport:
     cache_misses: int
     cache_invalidations: int
     duration: float
+    #: Staleness-age spread of the answers served from the result cache:
+    #: p50/p95/p99 of the age (milliseconds of simulated time since the
+    #: entry was stored) at hit time.  Epoch guards make a hit
+    #: structurally identical to a cold walk, so this measures how *old*
+    #: correct answers are, not how wrong they could be; all zeros when
+    #: the cache is cold or disarmed.
+    staleness_p50_ms: float = 0.0
+    staleness_p95_ms: float = 0.0
+    staleness_p99_ms: float = 0.0
 
     @property
     def rejection_rate(self) -> float:
@@ -72,6 +81,9 @@ class ServiceLevelReport:
             "cache_invalidations": float(self.cache_invalidations),
             "cache_hit_ratio": self.cache_hit_ratio,
             "duration_s": self.duration,
+            "staleness_p50_ms": self.staleness_p50_ms,
+            "staleness_p95_ms": self.staleness_p95_ms,
+            "staleness_p99_ms": self.staleness_p99_ms,
         }
 
 
@@ -95,6 +107,7 @@ def service_report(
     """
     histogram = stats.query_latency_histogram()
     spread = percentiles_ms(histogram)
+    staleness = percentiles_ms(stats.cache_staleness_histogram())
     completed = stats.total_queries_completed()
     return ServiceLevelReport(
         offered=offered,
@@ -110,4 +123,7 @@ def service_report(
         cache_misses=stats.total_cache_misses(),
         cache_invalidations=stats.total_cache_invalidations(),
         duration=duration,
+        staleness_p50_ms=staleness[0.50],
+        staleness_p95_ms=staleness[0.95],
+        staleness_p99_ms=staleness[0.99],
     )

@@ -37,9 +37,19 @@ class MessageDelivery(SimulationEvent):
     priority = DELIVERY_PRIORITY
 
 
+class RefreshHorizon(SimulationEvent):
+    pass
+
+
+class RefreshTimerFire(SimulationEvent):
+    pass
+
+
 def event_rank(event, stamp=None):
     if isinstance(event, MessageDelivery):
         return (0,)
+    if isinstance(event, RefreshTimerFire):
+        return (3, str(event.address))
     return (1, stamp)
 """
 
@@ -149,7 +159,52 @@ class TestEventRankCoverage:
         assert findings and "RogueEvent" in findings[0].message
 
     def test_covered_tree_is_clean(self, tree):
+        # Includes the timer-wheel refresh plane events: RefreshHorizon is a
+        # stamped control event, RefreshTimerFire carries a content rank.
         assert "INV003" not in _rules(tool.check_tree(tree))
+
+    def test_anti_delta_wire_kind_as_delivery_needs_rank_branch(self, tree):
+        # A hypothetical events.py that models anti-delta traffic as its own
+        # delivery-priority event class (instead of a Message kind inside
+        # MessageDelivery) must rank it, or retraction replay order would be
+        # stamp-dependent.
+        (tree / "net" / "events.py").write_text(
+            MINIMAL_EVENTS
+            + "\n\nclass AntiDeltaDelivery(SimulationEvent):\n"
+            "    priority = DELIVERY_PRIORITY\n",
+            encoding="utf-8",
+        )
+        findings = [f for f in tool.check_tree(tree) if f.rule == "INV003"]
+        assert findings and "AntiDeltaDelivery" in findings[0].message
+
+    def test_timer_fire_promoted_to_delivery_needs_rank_branch(self, tree):
+        # If RefreshTimerFire were given delivery priority, its existing
+        # content branch keeps the tree clean — remove the branch and the
+        # checker must flag the class.
+        promoted = MINIMAL_EVENTS.replace(
+            "class RefreshTimerFire(SimulationEvent):\n    pass",
+            "class RefreshTimerFire(SimulationEvent):\n"
+            "    priority = DELIVERY_PRIORITY",
+        )
+        (tree / "net" / "events.py").write_text(promoted, encoding="utf-8")
+        assert "INV003" not in _rules(tool.check_tree(tree))
+        unranked = promoted.replace(
+            "    if isinstance(event, RefreshTimerFire):\n"
+            "        return (3, str(event.address))\n",
+            "",
+        )
+        (tree / "net" / "events.py").write_text(unranked, encoding="utf-8")
+        findings = [f for f in tool.check_tree(tree) if f.rule == "INV003"]
+        assert findings and "RefreshTimerFire" in findings[0].message
+
+    def test_timer_event_outside_events_py_flagged(self, tree):
+        (tree / "net" / "rogue_timer.py").write_text(
+            "from repro.net.events import SimulationEvent\n\n\n"
+            "class StrayTimerFire(SimulationEvent):\n    pass\n",
+            encoding="utf-8",
+        )
+        findings = [f for f in tool.check_tree(tree) if f.rule == "INV003"]
+        assert findings and "StrayTimerFire" in findings[0].message
 
 
 class TestSetIteration:

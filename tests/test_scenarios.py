@@ -132,12 +132,26 @@ class TestRetractionScenario:
 
     def test_bridge_retraction_splits_reachability(self, report):
         result, _ = report
-        converge, decay = result.row("converge"), result.row("decay")
+        converge = result.row("converge")
+        retract, refresh = result.row("retract"), result.row("refresh")
         # An 8-node bidirectional line has every pair (and, via back-and-
         # forth cycles, every self-pair) reachable: 64 facts.  Split into
-        # two 4-node halves that is 2 * 16.
+        # two 4-node halves that is 2 * 16 — and the split is visible in
+        # the retract phase itself: anti-deltas chase the remote copies,
+        # no phase waits out the TTL.
         assert converge.probe_facts == 64
-        assert decay.probe_facts == 32
+        assert retract.probe_facts == 32
+        assert refresh.probe_facts == 32
+
+    def test_one_fixpoint_repair_beats_ttl_decay(self, report):
+        result, _ = report
+        retract = result.row("retract")
+        assert retract.anti_delta_messages > 0
+        # The retraction repairs in wire time, not TTL time: the whole
+        # scenario (converge + retract + refresh) finishes well before a
+        # single soft-state lifetime would have elapsed.
+        assert retract.completion_time - retract.start_time < 1.0
+        assert result.rows[-1].completion_time < DEFAULT_SCENARIO_TTL
 
     def test_retraction_invalidates_provenance_at_the_retractors(self, report):
         result, simulator = report
@@ -194,10 +208,10 @@ class TestScenarioMachinery:
         )
 
     def test_phase_gap_advances_simulated_time(self):
-        scenario, simulator = retraction_scenario(node_count=6)
+        scenario, simulator = churn_scenario(node_count=6, seed=0)
         report = run_scenario(scenario, simulator)
-        decay = report.row("decay")
-        assert decay.start_time >= DEFAULT_SCENARIO_TTL
+        heal = report.row("heal")
+        assert heal.start_time >= DEFAULT_SCENARIO_TTL
 
     def test_render_phase_table_is_aligned(self):
         scenario, simulator = retraction_scenario(node_count=6)

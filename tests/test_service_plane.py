@@ -267,6 +267,21 @@ class TestNetworkServe:
         row = result.as_dict()
         assert row["service_offered"] == result.offered
         assert row["queries_completed"] == result.queries_completed
+        # The cache served hits, so their staleness-age spread is visible
+        # and ordered like any percentile family.
+        assert report.staleness_p99_ms >= report.staleness_p95_ms
+        assert report.staleness_p95_ms >= report.staleness_p50_ms
+        assert report.staleness_p95_ms > 0.0
+        assert report.as_dict()["staleness_p95_ms"] == report.staleness_p95_ms
+
+    def test_cold_cache_reports_zero_staleness(self):
+        network = self._network()  # no query_cache: nothing is ever a hit
+        result = network.serve(QueryWorkload(rate=2.0, duration=4.0, seed=1))
+        report = result.service()
+        assert report is not None
+        assert report.cache_hits == 0
+        assert report.staleness_p50_ms == 0.0
+        assert report.staleness_p99_ms == 0.0
 
     def test_admission_drop_sheds_over_rate(self):
         network = self._network(admission_rate=0.5, admission_burst=1.0)

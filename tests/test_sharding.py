@@ -333,6 +333,111 @@ class TestDynamicsAcrossShards:
         _assert_equivalent(serial, sharded)
 
 
+class TestDynamicsCountersEquivalence:
+    """The six churn-plane counters are part of the byte-identical contract.
+
+    Rederivations, anti-delta messages/bytes and the timer-wheel's refresh
+    messages/bytes/timer events are all driven by content-ranked events on
+    simulated time, so a script that exercises one-fixpoint deletion *and*
+    the wheel refresh plane must produce exactly equal ledgers on the
+    serial backend and on the sharded backend at every shard count.
+    """
+
+    COUNTERS = (
+        "rederivations",
+        "anti_delta_messages",
+        "anti_delta_bytes",
+        "refresh_messages",
+        "refresh_bytes",
+        "timer_events",
+    )
+
+    def _drive(self, backend, shards=2):
+        from repro.datalog import localize_program, parse_program
+        from repro.datalog.planner import compile_program
+        from repro.engine.tuples import Fact
+        from repro.net.events import (
+            FactInjection,
+            FactRetraction,
+            SoftStateRefresh,
+        )
+        from repro.net.topology import Link
+        from repro.queries.reachable import REACHABLE_LOCALIZED
+
+        topology = line_topology(4)
+        nodes = topology.nodes
+        # Redundant chords so the retraction forces rederivation, not just
+        # deletion: every pair stays connected without the bridge.
+        topology = topology.with_extra_links(
+            [
+                Link(source=nodes[0], destination=nodes[2], cost=1.0),
+                Link(source=nodes[2], destination=nodes[0], cost=1.0),
+                Link(source=nodes[1], destination=nodes[3], cost=1.0),
+                Link(source=nodes[3], destination=nodes[1], cost=1.0),
+            ]
+        )
+        network = Network.build(
+            topology=topology,
+            program=compile_program(
+                localize_program(parse_program(REACHABLE_LOCALIZED))
+            ),
+            config=EngineConfig(
+                default_ttl=12.0,
+                track_dependencies=True,
+                provenance_mode=ProvenanceMode.CONDENSED,
+                says_mode=SaysMode.NONE,
+                rederivation=True,
+            ),
+            options=NetOptions(
+                backend=backend,
+                shards=shards,
+                shard_mode="inline",
+                refresh_mode="wheel",
+                refresh_interval=5.0,
+            ),
+        )
+        simulator = network.simulator
+        for node in nodes:
+            facts = tuple(
+                Fact("link", (link.source, link.destination))
+                for link in sorted(
+                    topology.outgoing(node), key=lambda l: l.destination
+                )
+            )
+            simulator.schedule(FactInjection(time=0.0, address=node, facts=facts))
+        assert simulator.run_until_idle()
+        # Let the wheel carry state past its TTL before retracting.
+        simulator.schedule(SoftStateRefresh(time=25.0))
+        assert simulator.run_until_idle()
+        at = max(simulator.current_time(), 25.0) + 1.0
+        simulator.schedule(
+            FactRetraction(
+                time=at,
+                address=nodes[1],
+                facts=(Fact("link", (nodes[1], nodes[2])),),
+            )
+        )
+        simulator.schedule(
+            FactRetraction(
+                time=at,
+                address=nodes[2],
+                facts=(Fact("link", (nodes[2], nodes[1])),),
+            )
+        )
+        assert simulator.run_until_idle()
+        return simulator.finish()
+
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_wheel_and_rederivation_ledger_identical(self, shards):
+        serial = self._drive("serial")
+        sharded = self._drive("sharded", shards=shards)
+        _assert_equivalent(serial, sharded, relation="reachable")
+        summary = serial.stats.summary()
+        for key in self.COUNTERS:
+            assert summary[key] > 0, key
+            assert summary[key] == sharded.stats.summary()[key], key
+
+
 class TestShardedQueries:
     def test_inline_query_pays_messages_and_matches_serial_graph(self):
         topology = random_topology(8, seed=6)
